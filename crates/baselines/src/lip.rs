@@ -1,0 +1,226 @@
+//! LIP: lifetime-and-popularity file ranking (Feng & Dai, IPTPS 2007).
+//!
+//! A reputation-free pollution filter: authentic files *survive* — they age
+//! in place and their holders keep them — while fakes are deleted soon
+//! after download. LIP scores a file by combining its age with the survival
+//! ratio of its copies; the paper under reproduction notes its weakness:
+//! "this method cannot identify the quality of a file accurately when its
+//! number of owners is too small" — which experiment FAKE measures.
+
+use crate::system::ReputationSystem;
+use mdrep::OwnerEvaluation;
+use mdrep_types::{FileId, SimDuration, SimTime, UserId};
+use mdrep_workload::{Catalog, EventKind, TraceEvent};
+use std::collections::HashMap;
+
+/// Configuration of the LIP baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LipConfig {
+    /// Age at which the lifetime factor saturates at 1.
+    pub lifetime_saturation: SimDuration,
+    /// Below this number of observed copies the score is damped toward
+    /// neutral (the small-owner-count weakness, made explicit).
+    pub min_owners: usize,
+}
+
+impl Default for LipConfig {
+    fn default() -> Self {
+        Self { lifetime_saturation: SimDuration::from_days(7), min_owners: 3 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct FileStats {
+    first_seen: Option<SimTime>,
+    acquisitions: u64,
+    deletions: u64,
+}
+
+/// The LIP file-ranking system.
+///
+/// `score = lifetime_factor · survival_ratio`, where
+/// `lifetime_factor = min(age / saturation, 1)` and
+/// `survival_ratio = 1 − deletions / acquisitions`. Files with fewer than
+/// `min_owners` observed copies blend toward 0.5 (unknown).
+///
+/// # Examples
+///
+/// ```
+/// use mdrep_baselines::{Lip, LipConfig, ReputationSystem};
+/// use mdrep_types::{FileId, SimDuration, SimTime, UserId};
+///
+/// let lip = Lip::new(LipConfig::default());
+/// // A file LIP has never seen has no score.
+/// assert_eq!(lip.file_score(UserId::new(0), FileId::new(9), &[], SimTime::ZERO), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Lip {
+    config: LipConfig,
+    stats: HashMap<FileId, FileStats>,
+}
+
+impl Lip {
+    /// Creates the system.
+    #[must_use]
+    pub fn new(config: LipConfig) -> Self {
+        Self { config, stats: HashMap::new() }
+    }
+
+    /// Raw statistics for a file, if observed.
+    fn score_of(&self, file: FileId, now: SimTime) -> Option<f64> {
+        let s = self.stats.get(&file)?;
+        let first = s.first_seen?;
+        if s.acquisitions == 0 {
+            return None;
+        }
+        let age = now - first;
+        let lifetime_factor = (age.as_ticks() as f64
+            / self.config.lifetime_saturation.as_ticks() as f64)
+            .min(1.0);
+        let survival = 1.0 - s.deletions as f64 / s.acquisitions as f64;
+        let raw = lifetime_factor * survival.max(0.0);
+        // Small-sample damping toward the neutral 0.5.
+        let n = s.acquisitions as f64;
+        let k = self.config.min_owners as f64;
+        let confidence = n / (n + k);
+        Some(confidence * raw + (1.0 - confidence) * 0.5)
+    }
+}
+
+impl ReputationSystem for Lip {
+    fn name(&self) -> &'static str {
+        "lip"
+    }
+
+    fn observe(&mut self, event: &TraceEvent, _catalog: &Catalog) {
+        match event.kind {
+            EventKind::Publish { file, .. } | EventKind::Download { file, .. } => {
+                let s = self.stats.entry(file).or_default();
+                s.first_seen = Some(s.first_seen.map_or(event.time, |t| t.min(event.time)));
+                s.acquisitions += 1;
+            }
+            EventKind::Delete { file, .. } => {
+                self.stats.entry(file).or_default().deletions += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn recompute(&mut self, _now: SimTime) {}
+
+    /// LIP maintains no user-level trust.
+    fn reputation(&self, _i: UserId, _j: UserId) -> f64 {
+        0.0
+    }
+
+    fn file_score(
+        &self,
+        _viewer: UserId,
+        file: FileId,
+        _evaluations: &[OwnerEvaluation],
+        now: SimTime,
+    ) -> Option<f64> {
+        self.score_of(file, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(i: u64) -> UserId {
+        UserId::new(i)
+    }
+    fn f(i: u64) -> FileId {
+        FileId::new(i)
+    }
+
+    fn catalog() -> Catalog {
+        let config = mdrep_workload::WorkloadConfig::builder().users(2).titles(1).build().unwrap();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+        let population = mdrep_workload::Population::generate(&config, &mut rng);
+        Catalog::generate(&config, &population, &mut rng)
+    }
+
+    fn download(lip: &mut Lip, cat: &Catalog, t: SimTime, d: u64, file: u64) {
+        lip.observe(
+            &TraceEvent {
+                time: t,
+                kind: EventKind::Download { downloader: u(d), uploader: u(99), file: f(file) },
+            },
+            cat,
+        );
+    }
+
+    fn delete(lip: &mut Lip, cat: &Catalog, t: SimTime, d: u64, file: u64) {
+        lip.observe(
+            &TraceEvent { time: t, kind: EventKind::Delete { user: u(d), file: f(file) } },
+            cat,
+        );
+    }
+
+    #[test]
+    fn surviving_old_file_scores_high() {
+        let cat = catalog();
+        let mut lip = Lip::new(LipConfig::default());
+        for d in 0..20 {
+            download(&mut lip, &cat, SimTime::ZERO, d, 0);
+        }
+        let week = SimTime::ZERO + SimDuration::from_days(7);
+        let score = lip.file_score(u(0), f(0), &[], week).unwrap();
+        assert!(score > 0.8, "got {score}");
+    }
+
+    #[test]
+    fn quickly_deleted_file_scores_low() {
+        let cat = catalog();
+        let mut lip = Lip::new(LipConfig::default());
+        let hour = SimTime::ZERO + SimDuration::from_hours(1);
+        for d in 0..20 {
+            download(&mut lip, &cat, SimTime::ZERO, d, 0);
+            delete(&mut lip, &cat, hour, d, 0);
+        }
+        let week = SimTime::ZERO + SimDuration::from_days(7);
+        let score = lip.file_score(u(0), f(0), &[], week).unwrap();
+        assert!(score < 0.2, "got {score}");
+    }
+
+    #[test]
+    fn young_file_scores_low_regardless() {
+        let cat = catalog();
+        let mut lip = Lip::new(LipConfig::default());
+        for d in 0..20 {
+            download(&mut lip, &cat, SimTime::ZERO, d, 0);
+        }
+        // One hour old: lifetime factor ≈ 1/168.
+        let hour = SimTime::ZERO + SimDuration::from_hours(1);
+        let score = lip.file_score(u(0), f(0), &[], hour).unwrap();
+        assert!(score < 0.3, "got {score}");
+    }
+
+    #[test]
+    fn small_owner_count_blends_toward_neutral() {
+        let cat = catalog();
+        let mut lip = Lip::new(LipConfig::default());
+        // A single surviving old copy: raw score would be 1.0, but with
+        // min_owners = 3 the confidence is 1/4.
+        download(&mut lip, &cat, SimTime::ZERO, 0, 0);
+        let week = SimTime::ZERO + SimDuration::from_days(7);
+        let score = lip.file_score(u(0), f(0), &[], week).unwrap();
+        let expected = 0.25 * 1.0 + 0.75 * 0.5;
+        assert!((score - expected).abs() < 1e-9, "got {score}");
+    }
+
+    #[test]
+    fn unknown_file_has_no_score() {
+        let lip = Lip::new(LipConfig::default());
+        assert_eq!(lip.file_score(u(0), f(5), &[], SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn no_user_reputation() {
+        let lip = Lip::new(LipConfig::default());
+        assert_eq!(lip.reputation(u(0), u(1)), 0.0);
+        assert_eq!(lip.name(), "lip");
+    }
+}

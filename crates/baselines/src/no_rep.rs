@@ -1,0 +1,79 @@
+//! The control baseline: no reputation at all.
+
+use crate::system::ReputationSystem;
+use mdrep::OwnerEvaluation;
+use mdrep_types::{FileId, SimTime, UserId};
+use mdrep_workload::{Catalog, TraceEvent};
+
+/// A reputation system that knows nothing and treats everyone equally —
+/// the control condition for every experiment.
+///
+/// # Examples
+///
+/// ```
+/// use mdrep_baselines::{NoReputation, ReputationSystem};
+/// use mdrep_types::{SimTime, UserId};
+///
+/// let none = NoReputation::new();
+/// assert_eq!(none.reputation(UserId::new(0), UserId::new(1)), 0.0);
+/// assert_eq!(none.request_coverage(&[(UserId::new(0), UserId::new(1))]), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoReputation;
+
+impl NoReputation {
+    /// Creates the control system.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl ReputationSystem for NoReputation {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn observe(&mut self, _event: &TraceEvent, _catalog: &Catalog) {}
+
+    fn recompute(&mut self, _now: SimTime) {}
+
+    fn reputation(&self, _i: UserId, _j: UserId) -> f64 {
+        0.0
+    }
+
+    fn file_score(
+        &self,
+        _viewer: UserId,
+        _file: FileId,
+        _evaluations: &[OwnerEvaluation],
+        _now: SimTime,
+    ) -> Option<f64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_zero() {
+        let mut none = NoReputation::new();
+        none.recompute(SimTime::ZERO);
+        assert_eq!(none.reputation(UserId::new(1), UserId::new(2)), 0.0);
+        assert_eq!(
+            none.file_score(UserId::new(1), FileId::new(0), &[], SimTime::ZERO),
+            None
+        );
+        assert_eq!(none.name(), "none");
+    }
+
+    #[test]
+    fn coverage_is_zero() {
+        let none = NoReputation::new();
+        let reqs = vec![(UserId::new(0), UserId::new(1)); 5];
+        assert_eq!(none.request_coverage(&reqs), 0.0);
+        assert_eq!(none.request_coverage(&[]), 0.0);
+    }
+}

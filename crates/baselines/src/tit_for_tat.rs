@@ -1,0 +1,184 @@
+//! Tit-for-Tat: private download history.
+//!
+//! The classic BitTorrent/Maze incentive: a peer gives priority to peers it
+//! has successfully downloaded from. All knowledge is private pairwise
+//! history, which is exactly its weakness — Q. Lian et al. measured that a
+//! one-month history lets Tit-for-Tat differentiate only ≈2% of upload
+//! requests; the rest are "blind uploads" to strangers.
+
+use crate::system::ReputationSystem;
+use mdrep::OwnerEvaluation;
+use mdrep_types::{Evaluation, FileId, FileSize, SimTime, UserId};
+use mdrep_workload::{Catalog, EventKind, TraceEvent};
+use std::collections::HashMap;
+
+/// Private-history Tit-for-Tat.
+///
+/// `reputation(i, j)` is the volume `i` has downloaded from `j`, scaled by
+/// `i`'s largest such volume so the best-known peer maps to 1.
+///
+/// # Examples
+///
+/// ```
+/// use mdrep_baselines::{ReputationSystem, TitForTat};
+/// use mdrep_types::{FileSize, SimTime, UserId};
+///
+/// let mut tft = TitForTat::new();
+/// tft.record_download(UserId::new(0), UserId::new(1), FileSize::from_mib(300));
+/// tft.record_download(UserId::new(0), UserId::new(2), FileSize::from_mib(100));
+/// tft.recompute(SimTime::ZERO);
+/// assert_eq!(tft.reputation(UserId::new(0), UserId::new(1)), 1.0);
+/// assert!((tft.reputation(UserId::new(0), UserId::new(2)) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TitForTat {
+    /// `(downloader, uploader) → MiB downloaded` (live).
+    history: HashMap<(UserId, UserId), f64>,
+    /// The history as of the last `recompute` — what queries answer from,
+    /// so that all systems see state refreshed at the same cadence.
+    snapshot: HashMap<(UserId, UserId), f64>,
+    /// Per-downloader maximum over the snapshot.
+    row_max: HashMap<UserId, f64>,
+}
+
+impl TitForTat {
+    /// Creates an empty history.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a completed download (visible to queries after the next
+    /// [`ReputationSystem::recompute`]).
+    pub fn record_download(&mut self, downloader: UserId, uploader: UserId, size: FileSize) {
+        *self.history.entry((downloader, uploader)).or_insert(0.0) += size.as_mib_f64();
+    }
+
+    /// Number of distinct pairs with history.
+    #[must_use]
+    pub fn pair_count(&self) -> usize {
+        self.history.len()
+    }
+}
+
+impl ReputationSystem for TitForTat {
+    fn name(&self) -> &'static str {
+        "tit-for-tat"
+    }
+
+    fn observe(&mut self, event: &TraceEvent, catalog: &Catalog) {
+        match event.kind {
+            EventKind::Download { downloader, uploader, file } => {
+                let size = catalog.file_meta(file).map_or(FileSize::ZERO, |m| m.size);
+                self.record_download(downloader, uploader, size);
+            }
+            EventKind::Whitewash { user } => {
+                self.history.retain(|&(d, u), _| d != user && u != user);
+                self.row_max.remove(&user);
+            }
+            _ => {}
+        }
+    }
+
+    fn recompute(&mut self, _now: SimTime) {
+        self.snapshot = self.history.clone();
+        self.row_max.clear();
+        for (&(d, _), &v) in &self.snapshot {
+            let max = self.row_max.entry(d).or_insert(0.0);
+            *max = max.max(v);
+        }
+    }
+
+    fn reputation(&self, i: UserId, j: UserId) -> f64 {
+        let volume = self.snapshot.get(&(i, j)).copied().unwrap_or(0.0);
+        let max = self.row_max.get(&i).copied().unwrap_or(0.0);
+        if max > 0.0 {
+            volume / max
+        } else {
+            0.0
+        }
+    }
+
+    /// Tit-for-Tat has no notion of file authenticity: it can only fall
+    /// back to the unweighted mean of whatever evaluations it is shown.
+    fn file_score(
+        &self,
+        _viewer: UserId,
+        _file: FileId,
+        evaluations: &[OwnerEvaluation],
+        _now: SimTime,
+    ) -> Option<f64> {
+        let values: Vec<Evaluation> = evaluations.iter().map(|o| o.evaluation).collect();
+        Evaluation::mean(&values).map(Evaluation::value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(i: u64) -> UserId {
+        UserId::new(i)
+    }
+
+    #[test]
+    fn history_is_private_and_directed() {
+        let mut tft = TitForTat::new();
+        tft.record_download(u(0), u(1), FileSize::from_mib(100));
+        tft.recompute(SimTime::ZERO);
+        assert_eq!(tft.reputation(u(0), u(1)), 1.0);
+        assert_eq!(tft.reputation(u(1), u(0)), 0.0, "uploads do not earn trust back");
+        assert_eq!(tft.reputation(u(2), u(1)), 0.0, "others see nothing");
+    }
+
+    #[test]
+    fn volumes_accumulate_and_scale() {
+        let mut tft = TitForTat::new();
+        tft.record_download(u(0), u(1), FileSize::from_mib(50));
+        tft.record_download(u(0), u(1), FileSize::from_mib(50));
+        tft.record_download(u(0), u(2), FileSize::from_mib(25));
+        tft.recompute(SimTime::ZERO);
+        assert_eq!(tft.reputation(u(0), u(1)), 1.0);
+        assert!((tft.reputation(u(0), u(2)) - 0.25).abs() < 1e-12);
+        assert_eq!(tft.pair_count(), 2);
+    }
+
+    #[test]
+    fn whitewash_clears_history() {
+        let mut tft = TitForTat::new();
+        tft.record_download(u(0), u(1), FileSize::from_mib(100));
+        let event = TraceEvent {
+            time: SimTime::ZERO,
+            kind: EventKind::Whitewash { user: u(1) },
+        };
+        // A catalog is required by the trait; build a tiny one.
+        let config = mdrep_workload::WorkloadConfig::builder().users(2).titles(1).build().unwrap();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+        let population = mdrep_workload::Population::generate(&config, &mut rng);
+        let catalog = mdrep_workload::Catalog::generate(&config, &population, &mut rng);
+        tft.observe(&event, &catalog);
+        tft.recompute(SimTime::ZERO);
+        assert_eq!(tft.reputation(u(0), u(1)), 0.0);
+    }
+
+    #[test]
+    fn file_score_is_unweighted_mean() {
+        let tft = TitForTat::new();
+        let evals = [
+            OwnerEvaluation::new(u(1), Evaluation::BEST),
+            OwnerEvaluation::new(u(2), Evaluation::WORST),
+        ];
+        let score = tft.file_score(u(0), FileId::new(0), &evals, SimTime::ZERO).unwrap();
+        assert!((score - 0.5).abs() < 1e-12);
+        assert_eq!(tft.file_score(u(0), FileId::new(0), &[], SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn coverage_counts_only_experienced_pairs() {
+        let mut tft = TitForTat::new();
+        tft.record_download(u(0), u(1), FileSize::from_mib(1));
+        tft.recompute(SimTime::ZERO);
+        let requests = [(u(0), u(1)), (u(0), u(2)), (u(1), u(0)), (u(2), u(0))];
+        assert!((tft.request_coverage(&requests) - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests over all reputation systems: shared invariants the
+//! trait implicitly promises.
+
+use mdrep::Params;
+use mdrep_baselines::{
+    EigenTrust, EigenTrustConfig, Lip, LipConfig, MultiDimensional, MultiTrustHybrid,
+    NoReputation, ReputationSystem, TitForTat,
+};
+use mdrep_types::{SimTime, UserId};
+use mdrep_workload::{BehaviorMix, Trace, TraceBuilder, WorkloadConfig};
+use proptest::prelude::*;
+
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    (10usize..40, 10usize..40, 1u64..3, 0u64..500, 0.0f64..0.5).prop_map(
+        |(users, titles, days, seed, pollution)| {
+            TraceBuilder::new(
+                WorkloadConfig::builder()
+                    .users(users)
+                    .titles(titles)
+                    .days(days)
+                    .behavior_mix(BehaviorMix::realistic())
+                    .pollution_rate(pollution)
+                    .seed(seed)
+                    .build()
+                    .expect("valid config"),
+            )
+            .generate()
+        },
+    )
+}
+
+fn all_systems() -> Vec<Box<dyn ReputationSystem>> {
+    vec![
+        Box::new(NoReputation::new()),
+        Box::new(TitForTat::new()),
+        Box::new(EigenTrust::new(EigenTrustConfig::default())),
+        Box::new(MultiTrustHybrid::new(2)),
+        Box::new(Lip::new(LipConfig::default())),
+        Box::new(MultiDimensional::new(Params::default())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn reputations_are_finite_and_nonnegative(trace in trace_strategy()) {
+        let end = SimTime::from_ticks(3 * 86_400);
+        for mut system in all_systems() {
+            for event in trace.events() {
+                system.observe(event, trace.catalog());
+            }
+            system.recompute(end);
+            for (_, d, u, _) in trace.downloads().take(50) {
+                let r = system.reputation(d, u);
+                prop_assert!(r.is_finite() && r >= 0.0, "{}: {r}", system.name());
+                let rel = system.relative_reputation(d, u);
+                prop_assert!(rel.is_finite() && (0.0..=1.0 + 1e-9).contains(&rel),
+                    "{}: relative {rel}", system.name());
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_observation(trace in trace_strategy()) {
+        // Observing more of the trace can only increase (or keep) coverage
+        // over a fixed request set — for the *accumulative* systems.
+        // (EigenTrust is intentionally excluded: a later negative vote
+        // reclassifies a transaction and can erase a local-trust edge, so
+        // its rank coverage is legitimately non-monotone.)
+        let end = SimTime::from_ticks(3 * 86_400);
+        let requests = trace.request_pairs();
+        prop_assume!(requests.len() >= 4);
+        let events = trace.events();
+        let half = events.len() / 2;
+        for make in [0usize, 1, 2] {
+            let mut sys_half: Box<dyn ReputationSystem> = match make {
+                0 => Box::new(TitForTat::new()),
+                1 => Box::new(MultiTrustHybrid::new(2)),
+                _ => Box::new(MultiDimensional::new(Params::default())),
+            };
+            let mut sys_full: Box<dyn ReputationSystem> = match make {
+                0 => Box::new(TitForTat::new()),
+                1 => Box::new(MultiTrustHybrid::new(2)),
+                _ => Box::new(MultiDimensional::new(Params::default())),
+            };
+            for event in &events[..half] {
+                sys_half.observe(event, trace.catalog());
+            }
+            for event in events {
+                sys_full.observe(event, trace.catalog());
+            }
+            sys_half.recompute(end);
+            sys_full.recompute(end);
+            let c_half = sys_half.request_coverage(&requests);
+            let c_full = sys_full.request_coverage(&requests);
+            // TFT and multi-trust are strictly accumulative. The
+            // multi-dimensional FT edge can vanish in the corner case of
+            // exactly opposite opinions on the single common file
+            // (FT = 1 − |1 − 0| = 0), so it gets a whisker of slack.
+            let slack = if make == 2 { 0.05 } else { 1e-9 };
+            prop_assert!(
+                c_full + slack >= c_half,
+                "{}: full {c_full} vs half {c_half}",
+                sys_full.name()
+            );
+        }
+    }
+
+    #[test]
+    fn file_scores_are_in_unit_range(trace in trace_strategy()) {
+        let end = SimTime::from_ticks(3 * 86_400);
+        for mut system in all_systems() {
+            for event in trace.events() {
+                system.observe(event, trace.catalog());
+            }
+            system.recompute(end);
+            for title in trace.catalog().titles().take(20) {
+                for &file in title.files() {
+                    if let Some(score) = system.file_score(UserId::new(0), file, &[], end) {
+                        prop_assert!(
+                            (0.0..=1.0).contains(&score),
+                            "{}: {score}",
+                            system.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn whitewash_never_increases_reputation(trace in trace_strategy()) {
+        let end = SimTime::from_ticks(3 * 86_400);
+        // The whitewashed identity must not end up with more reputation
+        // than before, under any system. The victim must not be the
+        // EigenTrust pre-trusted peer (user 0): pre-trusted peers hold
+        // axiomatic rank that no amount of whitewashing removes.
+        let victim = trace.population().iter().last().expect("non-empty").id();
+        prop_assume!(victim != UserId::new(0));
+        for mut system in all_systems() {
+            for event in trace.events() {
+                system.observe(event, trace.catalog());
+            }
+            system.recompute(end);
+            let viewers: Vec<UserId> =
+                trace.population().iter().map(|p| p.id()).take(10).collect();
+            let before: f64 = viewers.iter().map(|&v| system.reputation(v, victim)).sum();
+            system.observe(
+                &mdrep_workload::TraceEvent {
+                    time: end,
+                    kind: mdrep_workload::EventKind::Whitewash { user: victim },
+                },
+                trace.catalog(),
+            );
+            system.recompute(end);
+            let after: f64 = viewers.iter().map(|&v| system.reputation(v, victim)).sum();
+            prop_assert!(after <= before + 1e-9, "{}: {after} > {before}", system.name());
+        }
+    }
+}

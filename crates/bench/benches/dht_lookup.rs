@@ -1,0 +1,99 @@
+//! Benchmarks of the simulated DHT: store and retrieve cost as the overlay
+//! grows, and the evaluation publish/verify round trip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdrep_crypto::KeyRegistry;
+use mdrep_dht::{Dht, DhtConfig, EvaluationPublisher, Key};
+use mdrep_types::{Evaluation, FileId, SimTime, UserId};
+use std::hint::black_box;
+
+fn overlay(nodes: u64) -> Dht {
+    let mut dht = Dht::new(DhtConfig::default());
+    for i in 0..nodes {
+        dht.join(UserId::new(i), SimTime::ZERO);
+    }
+    dht
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht/store");
+    group.sample_size(30);
+    for &nodes in &[64u64, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            let mut dht = overlay(nodes);
+            let mut counter = 0u64;
+            b.iter(|| {
+                counter += 1;
+                let key = Key::for_content(&counter.to_be_bytes());
+                black_box(
+                    dht.store(UserId::new(counter % nodes), key, vec![0u8; 64], SimTime::ZERO),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht/get");
+    group.sample_size(30);
+    for &nodes in &[64u64, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            let mut dht = overlay(nodes);
+            let key = Key::for_content(b"hot-key");
+            dht.store(UserId::new(0), key, vec![1u8; 64], SimTime::ZERO)
+                .expect("healthy overlay");
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                black_box(dht.get(UserId::new(i % nodes), key, SimTime::ZERO))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluation_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht/evaluation_publish_retrieve");
+    group.sample_size(30);
+    let nodes = 128u64;
+    let mut dht = overlay(nodes);
+    let mut registry = KeyRegistry::new();
+    let mut keys = Vec::new();
+    for i in 0..nodes {
+        keys.push(registry.register(UserId::new(i), 100 + i));
+    }
+    let publisher = EvaluationPublisher::new();
+    let mut file = 0u64;
+    group.bench_function("publish+retrieve", |b| {
+        b.iter(|| {
+            file += 1;
+            let owner = UserId::new(file % nodes);
+            publisher
+                .publish(
+                    &mut dht,
+                    &keys[(file % nodes) as usize],
+                    owner,
+                    FileId::new(file),
+                    Evaluation::BEST,
+                    SimTime::ZERO,
+                )
+                .expect("healthy overlay");
+            black_box(
+                publisher
+                    .retrieve(
+                        &mut dht,
+                        &registry,
+                        UserId::new((file + 1) % nodes),
+                        FileId::new(file),
+                        SimTime::ZERO,
+                    )
+                    .expect("healthy overlay"),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store, bench_get, bench_evaluation_round_trip);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Head-to-head cost comparison of the reputation systems: full-trace
+//! ingestion + recomputation for each implementation, on the same trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdrep::Params;
+use mdrep_baselines::{
+    EigenTrust, EigenTrustConfig, Lip, LipConfig, MultiDimensional, MultiTrustHybrid,
+    ReputationSystem, TitForTat,
+};
+use mdrep_types::SimTime;
+use mdrep_workload::{BehaviorMix, Trace, TraceBuilder, WorkloadConfig};
+use std::hint::black_box;
+
+fn trace() -> Trace {
+    TraceBuilder::new(
+        WorkloadConfig::builder()
+            .users(200)
+            .titles(300)
+            .days(3)
+            .behavior_mix(BehaviorMix::realistic())
+            .pollution_rate(0.3)
+            .seed(55)
+            .build()
+            .expect("valid config"),
+    )
+    .generate()
+}
+
+fn run_system<S: ReputationSystem>(trace: &Trace, mut system: S) -> S {
+    for event in trace.events() {
+        system.observe(event, trace.catalog());
+    }
+    system.recompute(SimTime::from_ticks(3 * 86_400));
+    system
+}
+
+fn bench_systems(c: &mut Criterion) {
+    let trace = trace();
+    let mut group = c.benchmark_group("systems/ingest+recompute");
+    group.sample_size(10);
+
+    group.bench_with_input(BenchmarkId::from_parameter("tit-for-tat"), &trace, |b, t| {
+        b.iter(|| black_box(run_system(t, TitForTat::new())));
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("eigentrust"), &trace, |b, t| {
+        b.iter(|| black_box(run_system(t, EigenTrust::new(EigenTrustConfig::default()))));
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("multi-trust-n2"), &trace, |b, t| {
+        b.iter(|| black_box(run_system(t, MultiTrustHybrid::new(2))));
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("lip"), &trace, |b, t| {
+        b.iter(|| black_box(run_system(t, Lip::new(LipConfig::default()))));
+    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("multi-dimensional"),
+        &trace,
+        |b, t| {
+            b.iter(|| black_box(run_system(t, MultiDimensional::new(Params::default()))));
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_systems);
+criterion_main!(benches);

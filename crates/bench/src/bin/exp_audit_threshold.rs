@@ -1,0 +1,139 @@
+//! **AUDIT** — tuning the proactive audit (Section 4.2, attack 3): the
+//! divergence threshold trades detection of evaluation-list copying
+//! against false accusations of honest users whose opinions drift
+//! naturally (retention keeps growing, votes get revised).
+//!
+//! We synthesize both populations — honest users whose re-examined lists
+//! drift by vote revisions and implicit-evaluation aging, and forgers who
+//! swap in a copied (inverted) list between examinations — and sweep the
+//! threshold, reporting detection and false-accusation rates.
+//!
+//! Run: `cargo run -p mdrep-bench --bin exp_audit_threshold --release`
+
+use mdrep::{Auditor, EvaluationStore, Params};
+use mdrep_bench::Table;
+use mdrep_types::{Evaluation, FileId, SimDuration, SimTime, UserId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const HONEST: u64 = 200;
+/// Half the forgers *flip* their own published values; the other half
+/// *copy* a random honest user's list verbatim (the attack of Section 4.2:
+/// "U4 may forge his files' evaluations as the same as U1").
+const FORGERS: u64 = 50;
+const FILES_PER_USER: u64 = 12;
+
+fn main() {
+    let params = Params::default();
+    let mut rng = StdRng::seed_from_u64(0xa0d1);
+
+    // Build every user's day-0 evaluation store.
+    let mut store = EvaluationStore::new();
+    let t0 = SimTime::ZERO;
+    for u in 0..HONEST + FORGERS {
+        for f in 0..FILES_PER_USER {
+            let file = FileId::new(u * FILES_PER_USER + f);
+            store.record_download(t0, UserId::new(u), file);
+            if rng.random::<f64>() < 0.5 {
+                let v = Evaluation::clamped(0.6 + 0.4 * rng.random::<f64>());
+                store.record_vote(t0, UserId::new(u), file, v);
+            }
+        }
+    }
+
+    // First examination at day 2; second at day 5 after natural drift
+    // (honest) or a list swap (forgers).
+    let t1 = t0 + SimDuration::from_days(2);
+    let t2 = t0 + SimDuration::from_days(5);
+
+    let mut table = Table::new(
+        "Proactive-audit threshold sweep (200 honest, 25 flippers + 25 copiers)",
+        &["threshold", "detect_flip", "detect_copy", "false_accusation"],
+    );
+
+    for &threshold in &[0.1, 0.2, 0.3, 0.4, 0.5] {
+        let mut auditor = Auditor::new(threshold);
+        // Baselines at t1, on the then-current lists.
+        for u in 0..HONEST + FORGERS {
+            let published = store.evaluations_of(UserId::new(u), t1, &params);
+            auditor.audit(t1, UserId::new(u), &published);
+        }
+
+        // Drift/forgery between the examinations.
+        let mut drifted = store.clone();
+        let mut drift_rng = StdRng::seed_from_u64(0xd21f7 ^ (threshold * 100.0) as u64);
+        for u in 0..HONEST + FORGERS {
+            let user = UserId::new(u);
+            let current = store.evaluations_of(user, t2, &params);
+            if u < HONEST {
+                // Honest: a third of the files get a slightly revised vote.
+                for (&file, &value) in &current {
+                    if drift_rng.random::<f64>() < 0.33 {
+                        let nudged = Evaluation::clamped(
+                            value.value() + (drift_rng.random::<f64>() - 0.5) * 0.2,
+                        );
+                        drifted.record_vote(t2, user, file, nudged);
+                    }
+                }
+            } else if u < HONEST + FORGERS / 2 {
+                // Flipper: inverts its own published opinions outright.
+                for &file in current.keys() {
+                    let flipped = if current[&file].value() >= 0.5 {
+                        Evaluation::WORST
+                    } else {
+                        Evaluation::BEST
+                    };
+                    drifted.record_vote(t2, user, file, flipped);
+                }
+            } else {
+                // Copier: adopts a random honest user's opinions for its
+                // own files (value-wise — the files differ, the *pattern*
+                // of opinions is what gets copied).
+                let victim = UserId::new(drift_rng.random_range(0..HONEST));
+                let victim_values: Vec<Evaluation> =
+                    store.evaluations_of(victim, t2, &params).into_values().collect();
+                for (i, (&file, _)) in current.iter().enumerate() {
+                    if let Some(&v) = victim_values.get(i % victim_values.len().max(1)) {
+                        drifted.record_vote(t2, user, file, v);
+                    }
+                }
+            }
+        }
+
+        let mut detected_flip = 0usize;
+        let mut detected_copy = 0usize;
+        let mut accused = 0usize;
+        for u in 0..HONEST + FORGERS {
+            let user = UserId::new(u);
+            let published = drifted.evaluations_of(user, t2, &params);
+            let outcome = auditor.audit(t2, user, &published);
+            if outcome.is_forged() {
+                if u < HONEST {
+                    accused += 1;
+                } else if u < HONEST + FORGERS / 2 {
+                    detected_flip += 1;
+                } else {
+                    detected_copy += 1;
+                }
+            }
+        }
+        table.row_f64(&[
+            threshold,
+            detected_flip as f64 / (FORGERS / 2) as f64,
+            detected_copy as f64 / (FORGERS / 2) as f64,
+            accused as f64 / HONEST as f64,
+        ]);
+    }
+
+    table.finish("exp_audit_threshold");
+    println!(
+        "\nreading: outright flips are caught across a wide threshold band (0.2–0.3)\n\
+         with almost no false accusations. Copying a *plausible* honest list,\n\
+         however, evades divergence auditing entirely: the copied values are\n\
+         statistically close to the forger's old ones, so only thresholds that\n\
+         also accuse every honest user would flag it. Divergence audits stop\n\
+         opinion *reversals*; copy attacks need the cross-user comparison the\n\
+         reputation weighting itself provides (a copier still earns no DM/UM\n\
+         trust, so its copied voice carries little Equation 9 weight)."
+    );
+}

@@ -1,0 +1,75 @@
+//! **TFT2** — the Section 2 comparison: private-history Tit-for-Tat can
+//! differentiate only a tiny fraction of upload requests (Q. Lian et al.
+//! measured ≈2% for a month of Maze history — "the other 98% are blind
+//! uploads"), EigenTrust is global but coarse, Lian's multi-trust hybrid
+//! extends reach through tiers, and the paper's multi-dimensional system
+//! gets the densest coverage from the same trace.
+//!
+//! All five systems replay the identical trace through the overlay
+//! simulator; coverage is measured at request arrival.
+//!
+//! Run: `cargo run -p mdrep-bench --bin exp_baseline_coverage --release`
+
+use mdrep::Params;
+use mdrep_baselines::{
+    EigenTrust, EigenTrustConfig, MultiDimensional, MultiTrustHybrid, NoReputation,
+    ReputationSystem, TitForTat,
+};
+use mdrep_bench::Table;
+use mdrep_sim::{SimConfig, SimReport, Simulation};
+use mdrep_workload::{BehaviorMix, Trace, TraceBuilder, WorkloadConfig};
+
+fn main() {
+    let trace = TraceBuilder::new(
+        WorkloadConfig::builder()
+            .users(1200)
+            .titles(4000)
+            .days(14)
+            .downloads_per_user_day(2.0)
+            .behavior_mix(BehaviorMix::realistic())
+            .pollution_rate(0.2)
+            .seed(140)
+            .build()
+            .expect("valid config"),
+    )
+    .generate();
+    println!(
+        "trace (sparse, Maze-like pair density): {} users, {} downloads over 14 days",
+        trace.population().len(),
+        trace.stats().downloads
+    );
+
+    let mut table = Table::new(
+        "Request coverage per reputation system (same trace)",
+        &["system", "mean_coverage", "final_coverage", "blind_fraction"],
+    );
+
+    let reports: Vec<SimReport> = vec![
+        run(&trace, NoReputation::new()),
+        run(&trace, TitForTat::new()),
+        run(&trace, EigenTrust::new(EigenTrustConfig::default())),
+        run(&trace, MultiTrustHybrid::new(2)),
+        run(&trace, MultiDimensional::new(Params::default())),
+    ];
+
+    for report in &reports {
+        let mean = report.mean_coverage();
+        let last = report.final_coverage().unwrap_or(0.0);
+        table.row(&[
+            report.system.to_string(),
+            format!("{mean:.4}"),
+            format!("{last:.4}"),
+            format!("{:.4}", 1.0 - mean),
+        ]);
+    }
+
+    table.finish("exp_baseline_coverage");
+    println!(
+        "\npaper claims: tit-for-tat leaves ~98% of uploads blind even with long\n\
+         history; the multi-dimensional one-step matrix covers the most requests."
+    );
+}
+
+fn run<S: ReputationSystem>(trace: &Trace, system: S) -> SimReport {
+    Simulation::new(SimConfig::default(), system).run(trace)
+}

@@ -1,0 +1,119 @@
+//! **CHURN** — the paper's explanation for Figure 1's flat curves: "We can
+//! also find that the request coverage will not change significantly with
+//! time. It originates from the churn of users and files."
+//!
+//! Two otherwise-identical 30-day replays: one with realistic churn
+//! (staggered user arrival, short title lifetimes) and one frozen world
+//! (everyone present from day 0, titles never die). Coverage is the
+//! Figure 1 file-based-trust criterion at 20% explicit evaluation — the
+//! regime where densification is still visibly in progress.
+//!
+//! Run: `cargo run -p mdrep-bench --bin exp_churn_coverage --release`
+
+use mdrep_bench::Table;
+use mdrep_types::{FileId, UserId};
+use mdrep_workload::{EventKind, Trace, TraceBuilder, WorkloadConfig, WorkloadConfigBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+const DAYS: u64 = 60;
+const EVALUATE_PROBABILITY: f64 = 0.20;
+
+fn main() {
+    let base = || -> WorkloadConfigBuilder {
+        WorkloadConfig::builder()
+            .users(800)
+            .titles(1600)
+            .days(DAYS)
+            .downloads_per_user_day(4.0)
+            .pollution_rate(0.0)
+            .seed(3030)
+            .clone()
+    };
+    let churning = TraceBuilder::new(
+        base()
+            .arrival_spread_days(10)
+            .title_lifetime_days(6.0)
+            .build()
+            .expect("valid config"),
+    )
+    .generate();
+    let frozen = TraceBuilder::new(
+        base()
+            .arrival_spread_days(0) // everyone is there on day 0 …
+            .title_lifetime_days(10_000.0) // … and titles never die
+            .build()
+            .expect("valid config"),
+    )
+    .generate();
+
+    let churn_series = coverage_by_day(&churning);
+    let frozen_series = coverage_by_day(&frozen);
+
+    let mut table = Table::new(
+        "Request coverage over time, churning vs frozen world (20% evaluation)",
+        &["day", "churning", "frozen"],
+    );
+    for day in 0..DAYS as usize {
+        table.row_f64(&[(day + 1) as f64, churn_series[day], frozen_series[day]]);
+    }
+    table.finish("exp_churn_coverage");
+
+    let tail = |s: &[f64]| s[s.len() - 5..].iter().sum::<f64>() / 5.0;
+    let slope = |s: &[f64]| tail(s) - s[s.len() / 2..s.len() / 2 + 5].iter().sum::<f64>() / 5.0;
+    println!(
+        "\nfinal-5-day coverage: churning {:.3} (late slope {:+.3}), frozen {:.3} (late slope {:+.3})",
+        tail(&churn_series),
+        slope(&churn_series),
+        tail(&frozen_series),
+        slope(&frozen_series),
+    );
+    println!(
+        "paper claim: churn caps the curve — the churning series flattens while\n\
+         the frozen world keeps densifying toward full coverage."
+    );
+}
+
+/// Figure 1 replay at one evaluation-coverage level (same procedure as the
+/// FIG1 binary, kept local so this experiment stays self-contained).
+fn coverage_by_day(trace: &Trace) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(0xc0de);
+    let mut evaluated: HashMap<UserId, HashSet<FileId>> = HashMap::new();
+    let mut covered = vec![0usize; DAYS as usize + 1];
+    let mut total = vec![0usize; DAYS as usize + 1];
+
+    let maybe = |rng: &mut StdRng,
+                     evaluated: &mut HashMap<UserId, HashSet<FileId>>,
+                     user: UserId,
+                     file: FileId| {
+        if rng.random::<f64>() < EVALUATE_PROBABILITY {
+            evaluated.entry(user).or_default().insert(file);
+        }
+    };
+
+    for event in trace.events() {
+        match event.kind {
+            EventKind::Publish { user, file } => maybe(&mut rng, &mut evaluated, user, file),
+            EventKind::Download { downloader, uploader, file } => {
+                let day = (event.time.as_days_f64() as usize).min(DAYS as usize);
+                total[day] += 1;
+                let connected = match (evaluated.get(&downloader), evaluated.get(&uploader)) {
+                    (Some(a), Some(b)) => {
+                        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+                        small.iter().any(|f| large.contains(f))
+                    }
+                    _ => false,
+                };
+                if connected {
+                    covered[day] += 1;
+                }
+                maybe(&mut rng, &mut evaluated, downloader, file);
+            }
+            _ => {}
+        }
+    }
+    (0..DAYS as usize)
+        .map(|d| if total[d] == 0 { 0.0 } else { covered[d] as f64 / total[d] as f64 })
+        .collect()
+}

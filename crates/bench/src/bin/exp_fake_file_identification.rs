@@ -1,0 +1,85 @@
+//! **FAKE** — fake-file identification (Section 3.3 / Equation 9) under a
+//! pollution-rate sweep.
+//!
+//! For each pollution level the same trace is replayed through the
+//! simulator with download filtering on, under three systems: the paper's
+//! multi-dimensional reputation, the LIP lifetime-and-popularity filter,
+//! and the no-reputation control. Reported per condition: fake-download
+//! avoidance (recall), false-positive rate on authentic files, and the
+//! fraction of downloads that ended up fetching a fake.
+//!
+//! Run: `cargo run -p mdrep-bench --bin exp_fake_file_identification --release`
+
+use mdrep::Params;
+use mdrep_baselines::{Lip, LipConfig, MultiDimensional, NoReputation};
+use mdrep_bench::Table;
+use mdrep_sim::{SimConfig, SimReport, Simulation};
+use mdrep_workload::{BehaviorMix, Trace, TraceBuilder, WorkloadConfig};
+
+fn main() {
+    let pollution_rates = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+    let mut table = Table::new(
+        "Fake-file identification vs pollution rate",
+        &[
+            "pollution",
+            "system",
+            "fake_requests",
+            "avoided_pct",
+            "false_pos_pct",
+            "fake_dl_share_pct",
+        ],
+    );
+
+    for &pollution in &pollution_rates {
+        let trace = trace_with(pollution);
+        let filtering = SimConfig { filter_fakes: true, ..SimConfig::default() };
+        let conditions: Vec<SimReport> = vec![
+            Simulation::new(SimConfig::default(), NoReputation::new()).run(&trace),
+            Simulation::new(filtering.clone(), MultiDimensional::new(Params::default()))
+                .run(&trace),
+            Simulation::new(filtering, Lip::new(LipConfig::default())).run(&trace),
+        ];
+        for report in conditions {
+            let downloaded =
+                report.fakes.fake_downloads + report.fakes.authentic_downloads;
+            let fake_share = if downloaded == 0 {
+                0.0
+            } else {
+                report.fakes.fake_downloads as f64 / downloaded as f64
+            };
+            table.row(&[
+                format!("{pollution:.1}"),
+                report.system.to_string(),
+                report.fakes.fake_requests.to_string(),
+                format!("{:.1}", report.fakes.avoidance_rate() * 100.0),
+                format!("{:.1}", report.fakes.false_positive_rate() * 100.0),
+                format!("{:.1}", fake_share * 100.0),
+            ]);
+        }
+    }
+
+    table.finish("exp_fake_file_identification");
+    println!(
+        "\npaper claims: reputation-weighted evaluations (Eq. 9) identify fakes while\n\
+         the honest-feedback weighting keeps false positives far below LIP's\n\
+         (which throttles every young file; the paper cites its small-owner-count\n\
+         weakness explicitly)."
+    );
+}
+
+fn trace_with(pollution: f64) -> Trace {
+    TraceBuilder::new(
+        WorkloadConfig::builder()
+            .users(300)
+            .titles(400)
+            .days(7)
+            .downloads_per_user_day(5.0)
+            .behavior_mix(BehaviorMix::new(0.15, 0.10, 0.04, 0.02).expect("valid mix"))
+            .pollution_rate(pollution)
+            .fakes_per_polluted_title(2)
+            .seed(777)
+            .build()
+            .expect("valid config"),
+    )
+    .generate()
+}

@@ -1,0 +1,130 @@
+//! **NODE** — the whole stack, live: the `mdrep-node` community (engine +
+//! DHT co-publication + signatures + incentive + audits) running a
+//! polluted neighbourhood for ten simulated days. This is the paper's
+//! architecture operating end to end rather than a component in
+//! isolation: every download consults *DHT-retrieved, signature-verified*
+//! evaluations, and maintenance republishes and audits on schedule.
+//!
+//! Reported per day: fake downloads slipped through vs rejected, and the
+//! mean reputation gap between honest peers and polluters.
+//!
+//! Run: `cargo run -p mdrep-bench --bin exp_node_pipeline --release`
+
+use mdrep_bench::Table;
+use mdrep_node::{Community, DownloadOutcome, NodeConfig};
+use mdrep_types::{Evaluation, FileId, FileSize, SimDuration, SimTime, UserId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const PEERS: u64 = 40;
+const HONEST: u64 = 32;
+const DAYS: u64 = 10;
+const REQUESTS_PER_DAY: usize = 120;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1337);
+    let mut community = Community::new(NodeConfig::default());
+    for i in 0..PEERS {
+        community.join(UserId::new(i), SimTime::ZERO);
+    }
+
+    // Everyone publishes two files; polluter files are the fakes.
+    let mut authentic = Vec::new();
+    let mut fakes = Vec::new();
+    for i in 0..PEERS {
+        for copy in 0..2u64 {
+            let file = FileId::new(i * 2 + copy);
+            community
+                .publish(UserId::new(i), file, FileSize::from_mib(25), SimTime::ZERO)
+                .expect("publish succeeds");
+            if i < HONEST {
+                authentic.push(file);
+            } else {
+                fakes.push(file);
+            }
+        }
+    }
+
+    let mut table = Table::new(
+        "Full node pipeline over 10 days (DHT-verified evaluations on every request)",
+        &["day", "fake_requests", "rejected", "slipped", "honest_rep", "polluter_rep"],
+    );
+
+    let mut now = SimTime::ZERO;
+    for day in 1..=DAYS {
+        let mut fake_requests = 0usize;
+        let mut rejected = 0usize;
+        let mut slipped = 0usize;
+        for _ in 0..REQUESTS_PER_DAY {
+            now += SimDuration::from_ticks(86_400 / REQUESTS_PER_DAY as u64);
+            let downloader = UserId::new(rng.random_range(0..HONEST));
+            let fake = rng.random::<f64>() < 0.35;
+            let file = if fake {
+                fakes[rng.random_range(0..fakes.len())]
+            } else {
+                authentic[rng.random_range(0..authentic.len())]
+            };
+            if fake {
+                fake_requests += 1;
+            }
+            match community.request(downloader, file, now) {
+                Ok(DownloadOutcome::Completed { .. }) => {
+                    if fake {
+                        slipped += 1;
+                        community
+                            .vote(downloader, file, Evaluation::WORST, now)
+                            .expect("vote succeeds");
+                        let _ = community.delete(downloader, file, now);
+                    } else if rng.random::<f64>() < 0.3 {
+                        community
+                            .vote(downloader, file, Evaluation::BEST, now)
+                            .expect("vote succeeds");
+                    }
+                }
+                Ok(DownloadOutcome::RejectedAsFake { .. }) => {
+                    if fake {
+                        rejected += 1;
+                    }
+                }
+                Ok(DownloadOutcome::NoSource) | Err(_) => {}
+            }
+        }
+        community.tick(now);
+
+        // Reputation gap from peer 0's point of view.
+        let engine = community.peer(UserId::new(0)).expect("joined").engine();
+        let mean = |range: std::ops::Range<u64>| {
+            let vals: Vec<f64> = range
+                .map(|i| engine.reputation(UserId::new(0), UserId::new(i)))
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        table.row_f64(&[
+            day as f64,
+            fake_requests as f64,
+            rejected as f64,
+            slipped as f64,
+            mean(1..HONEST),
+            mean(HONEST..PEERS),
+        ]);
+    }
+
+    table.finish("exp_node_pipeline");
+    println!(
+        "\nreading: rejections overtake slips as retention evidence and votes\n\
+         accumulate at the index peers; the polluters' reputation (as honest\n\
+         peers compute it from DHT-verified evaluations) stays pinned near zero.\n\
+         DHT totals: {} messages, {} dropped.",
+        // The overlay message bill for the whole run:
+        {
+            let s = community_stats(&community);
+            s.0
+        },
+        community_stats(&community).1,
+    );
+}
+
+fn community_stats(c: &Community) -> (u64, u64) {
+    let stats = c.dht().stats();
+    (stats.total(), stats.dropped)
+}

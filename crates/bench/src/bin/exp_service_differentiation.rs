@@ -1,0 +1,111 @@
+//! **INCENT** — the trust-based incentive mechanism (Section 3.4):
+//! service differentiation gives reputable sharers a negative queue offset
+//! and throttles low-reputation strangers with a bandwidth quota.
+//!
+//! One congested trace is replayed twice — differentiation on and off —
+//! and the per-behaviour-class queueing statistics are compared. The
+//! paper's claim: users who upload real files, vote, and delete fakes get
+//! visibly better service, which is what motivates participation.
+//!
+//! Run: `cargo run -p mdrep-bench --bin exp_service_differentiation --release`
+
+use mdrep::{Params, ServicePolicy, Weights};
+use mdrep_baselines::MultiDimensional;
+use mdrep_bench::Table;
+use mdrep_sim::{SimConfig, Simulation};
+use mdrep_types::SimDuration;
+use mdrep_workload::{BehaviorMix, TraceBuilder, WorkloadConfig};
+
+fn main() {
+    let trace = TraceBuilder::new(
+        WorkloadConfig::builder()
+            .users(250)
+            .titles(300)
+            .days(7)
+            .downloads_per_user_day(8.0)
+            .behavior_mix(BehaviorMix::new(0.30, 0.08, 0.04, 0.02).expect("valid mix"))
+            .pollution_rate(0.3)
+            .seed(34)
+            .build()
+            .expect("valid config"),
+    )
+    .generate();
+    println!("trace: {} downloads over 7 days (congested)", trace.stats().downloads);
+
+    // A congested overlay with a policy tuned to the observed reputation
+    // scale (mean honest relative reputation ≈ 0.14, free-riders ≈ 0.05):
+    // the quota threshold sits between the two populations.
+    let strong_policy = ServicePolicy::new(SimDuration::from_hours(4), 0.1, 0.1);
+    let differentiated = SimConfig {
+        upload_slots: 1,
+        slot_bandwidth_mib_s: 0.08,
+        policy: strong_policy,
+        // Section 3.4's contribution bonus (sharing/voting/ranking/quick
+        // deletion buy service directly).
+        contribution_weight: 0.5,
+        ..SimConfig::default()
+    };
+    let fifo = SimConfig { differentiate_service: false, ..differentiated.clone() };
+
+    // Incentive-oriented parameters: two multi-trust steps so that upload
+    // contribution (DM/UM columns) reaches uploaders who never met the
+    // requester, and a blend that emphasizes the contribution dimensions
+    // over opinion similarity.
+    let incentive_params = || {
+        Params::builder()
+            .steps(2)
+            .weights(Weights::new(0.2, 0.5, 0.3).expect("convex"))
+            .prune_threshold(1e-4)
+            .build()
+            .expect("valid params")
+    };
+    let on = Simulation::new(differentiated, MultiDimensional::new(incentive_params()))
+        .run(&trace);
+    let off = Simulation::new(fifo, MultiDimensional::new(incentive_params())).run(&trace);
+
+    // The interesting numbers come from the warmed-up half of the run —
+    // reputations start at zero, so the first days throttle everyone alike.
+    let mut table = Table::new(
+        "Mean service per behaviour class (second half of run), ON vs OFF",
+        &[
+            "class",
+            "served",
+            "wait_on_s",
+            "slowdown_on",
+            "wait_off_s",
+            "slowdown_off",
+        ],
+    );
+    for (class, stats_on) in &on.warm_class_stats {
+        let stats_off = off.warm_class_stats.get(class).copied().unwrap_or_default();
+        table.row(&[
+            class.clone(),
+            stats_on.served.to_string(),
+            format!("{:.0}", stats_on.mean_wait_secs()),
+            format!("{:.2}", stats_on.mean_slowdown()),
+            format!("{:.0}", stats_off.mean_wait_secs()),
+            format!("{:.2}", stats_off.mean_slowdown()),
+        ]);
+    }
+    table.finish("exp_service_differentiation");
+
+    let slowdown = |report: &mdrep_sim::SimReport, class: &str| {
+        report
+            .warm_class_stats
+            .get(class)
+            .map(mdrep_sim::ClassStats::mean_slowdown)
+            .unwrap_or(0.0)
+    };
+    let honest_on = slowdown(&on, "honest");
+    let free_on = slowdown(&on, "free-rider");
+    println!(
+        "\nwith differentiation ON, free-riders suffer {:.2}x the slowdown of honest\n\
+         sharers (OFF ratio: {:.2}x — the gap is the paper's incentive at work)",
+        if honest_on > 0.0 { free_on / honest_on } else { 0.0 },
+        {
+            let h = slowdown(&off, "honest");
+            let f = slowdown(&off, "free-rider");
+            if h > 0.0 { f / h } else { 0.0 }
+        },
+    );
+}

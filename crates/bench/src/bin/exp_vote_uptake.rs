@@ -1,0 +1,136 @@
+//! **UPTAKE** — the paper's core incentive claim, closed-loop: *"an
+//! incentive mechanism is also needed to encourage voting"* / the system
+//! "encourage\[s\] users to share and vote on files".
+//!
+//! Fewer than 1% of popular KaZaA files are voted on because voting has no
+//! payoff. Here the payoff exists: voters build denser file-based trust,
+//! which buys them queue offsets and full bandwidth. We model adoption as
+//! replicator dynamics over epochs: the population splits into *voters*
+//! and *non-voters*; after each epoch the voter fraction grows in
+//! proportion to the relative service (inverse slowdown) the two
+//! strategies obtained. With service differentiation ON, voting should
+//! spread; with it OFF, there is no payoff and the fraction drifts
+//! nowhere.
+//!
+//! Run: `cargo run -p mdrep-bench --bin exp_vote_uptake --release`
+
+use mdrep::{Params, ServicePolicy, Weights};
+use mdrep_baselines::MultiDimensional;
+use mdrep_bench::Table;
+use mdrep_sim::{SimConfig, Simulation};
+use mdrep_types::SimDuration;
+use mdrep_workload::{BehaviorMix, TraceBuilder, WorkloadConfig};
+
+const EPOCHS: usize = 8;
+/// Seeds averaged per epoch to beat queueing noise.
+const SEEDS_PER_EPOCH: u64 = 3;
+const INITIAL_VOTER_FRACTION: f64 = 0.10;
+
+fn main() {
+    let mut table = Table::new(
+        "Voting adoption over epochs (replicator dynamics on inverse slowdown)",
+        &["epoch", "voter_frac_ON", "voter_payoff_ON", "voter_frac_OFF", "voter_payoff_OFF"],
+    );
+
+    let mut frac_on = INITIAL_VOTER_FRACTION;
+    let mut frac_off = INITIAL_VOTER_FRACTION;
+    for epoch in 0..EPOCHS {
+        let (next_on, payoff_on) = averaged_epoch(epoch as u64, frac_on, true);
+        let (next_off, payoff_off) = averaged_epoch(epoch as u64, frac_off, false);
+        table.row_f64(&[epoch as f64, frac_on, payoff_on, frac_off, payoff_off]);
+        frac_on = next_on;
+        frac_off = next_off;
+    }
+    table.finish("exp_vote_uptake");
+    println!(
+        "\nreading: with service differentiation ON, voters obtain better service\n\
+         (payoff > 1) and the strategy spreads ({:.0}% → {:.0}%); with it OFF the\n\
+         payoff hovers at 1 and adoption stalls ({:.0}% → {:.0}%). This is the\n\
+         trust+incentive combination working as the paper intends.",
+        INITIAL_VOTER_FRACTION * 100.0,
+        frac_on * 100.0,
+        INITIAL_VOTER_FRACTION * 100.0,
+        frac_off * 100.0,
+    );
+}
+
+/// Averages the replicator step over several seeds (queueing noise would
+/// otherwise dominate a single run).
+fn averaged_epoch(epoch: u64, voter_fraction: f64, differentiate: bool) -> (f64, f64) {
+    let mut next_sum = 0.0;
+    let mut payoff_sum = 0.0;
+    for s in 0..SEEDS_PER_EPOCH {
+        let (next, payoff) = epoch_step(epoch * SEEDS_PER_EPOCH + s, voter_fraction, differentiate);
+        next_sum += next;
+        payoff_sum += payoff;
+    }
+    (next_sum / SEEDS_PER_EPOCH as f64, payoff_sum / SEEDS_PER_EPOCH as f64)
+}
+
+/// Runs one epoch at `voter_fraction`; returns the next fraction and the
+/// voters' relative payoff (non-voter slowdown / voter slowdown).
+fn epoch_step(epoch: u64, voter_fraction: f64, differentiate: bool) -> (f64, f64) {
+    let config = WorkloadConfig::builder()
+        .users(200)
+        .titles(250)
+        .days(6)
+        .downloads_per_user_day(7.0)
+        .behavior_mix(BehaviorMix::new(0.15, 0.06, 0.0, 0.0).expect("valid"))
+        .pollution_rate(0.3)
+        // Constant file sizes: the voter/non-voter comparison measures the
+        // *service mechanism*, so size variance is controlled out.
+        .size_distribution(2.5, 0.0)
+        .voter_fraction(voter_fraction)
+        .seed(4242 + epoch)
+        .build()
+        .expect("valid config");
+    let trace = TraceBuilder::new(config.clone()).generate();
+
+    let sim_config = SimConfig {
+        upload_slots: 1,
+        slot_bandwidth_mib_s: 0.08,
+        policy: ServicePolicy::new(SimDuration::from_hours(4), 0.2, 0.1),
+        differentiate_service: differentiate,
+        // Section 3.4's contribution bonus: voting and sharing directly buy
+        // better service — the knob that closes the feedback loop.
+        contribution_weight: 0.5,
+        ..SimConfig::default()
+    };
+    // Incentive parameters: 2 steps, contribution-weighted (see INCENT).
+    let params = Params::builder()
+        .steps(2)
+        .weights(Weights::new(0.4, 0.4, 0.2).expect("convex"))
+        .prune_threshold(1e-4)
+        .build()
+        .expect("valid params");
+    let report = Simulation::new(sim_config, MultiDimensional::new(params)).run(&trace);
+
+    // Strategy fitness: inverse mean slowdown per group, honest users only
+    // (attackers don't model adoption).
+    let mut voter = (0.0, 0usize);
+    let mut non_voter = (0.0, 0usize);
+    for (user, stats) in &report.user_stats {
+        let profile = trace.population().profile(*user).expect("known user");
+        if profile.behavior() != mdrep_workload::Behavior::Honest || stats.served == 0 {
+            continue;
+        }
+        let bucket = if config.is_voter(user.as_index()) { &mut voter } else { &mut non_voter };
+        bucket.0 += stats.mean_slowdown();
+        bucket.1 += 1;
+    }
+    if voter.1 == 0 || non_voter.1 == 0 {
+        return (voter_fraction, 1.0);
+    }
+    let voter_slowdown = voter.0 / voter.1 as f64;
+    let non_voter_slowdown = non_voter.0 / non_voter.1 as f64;
+    let payoff = non_voter_slowdown / voter_slowdown; // >1 ⇔ voting pays
+
+    // Replicator update with a damping factor so single epochs cannot
+    // flip the population.
+    let fv = 1.0 / voter_slowdown;
+    let fn_ = 1.0 / non_voter_slowdown;
+    let mean_fitness = voter_fraction * fv + (1.0 - voter_fraction) * fn_;
+    let raw_next = voter_fraction * fv / mean_fitness;
+    let next = (0.7 * voter_fraction + 0.3 * raw_next).clamp(0.02, 0.98);
+    (next, payoff)
+}

@@ -1,0 +1,148 @@
+//! **FIG1** — Figure 1 of the paper: request coverage over time for
+//! different evaluation coverage levels.
+//!
+//! The paper replays a 30-day Maze log: "we first set the evaluation
+//! coverage to be k%, meaning each user will evaluate k percent of his
+//! files randomly, then replay the downloading actions to see how many
+//! download requests will be covered. A download request is covered
+//! \[when\] a file based direct trust relationship can be constructed from
+//! the uploader to the downloader with the files they have evaluated."
+//!
+//! Reported shape: k=5% → small coverage; k=20% → ≈50%; implicit
+//! evaluation (k=100%) → >80%; roughly flat over time.
+//!
+//! Run: `cargo run -p mdrep-bench --bin fig1_request_coverage --release`
+
+use mdrep_bench::Table;
+use mdrep_types::{FileId, UserId};
+use mdrep_workload::{EventKind, Trace, TraceBuilder, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// One evaluation-coverage condition of the figure.
+struct Condition {
+    label: &'static str,
+    /// Probability that a user evaluates a file it holds.
+    evaluate_probability: f64,
+}
+
+fn main() {
+    let days = 30u64;
+    let config = WorkloadConfig::builder()
+        .users(1500)
+        .titles(3000)
+        .days(days)
+        .downloads_per_user_day(4.0)
+        .zipf_exponent(0.8)
+        .arrival_spread_days(5)
+        .title_lifetime_days(15.0)
+        .pollution_rate(0.0)
+        .seed(20070701)
+        .build()
+        .expect("valid config");
+    println!("generating {days}-day Maze-like trace (this is the large Figure 1 run)…");
+    let trace = TraceBuilder::new(config).generate();
+    let stats = trace.stats();
+    println!(
+        "trace: {} users, {} downloads, {} distinct pairs",
+        trace.population().len(),
+        stats.downloads,
+        stats.distinct_pairs
+    );
+
+    let conditions = [
+        Condition { label: "cov_5pct", evaluate_probability: 0.05 },
+        Condition { label: "cov_20pct", evaluate_probability: 0.20 },
+        Condition { label: "cov_implicit_100pct", evaluate_probability: 1.0 },
+    ];
+
+    let mut per_day: Vec<Vec<f64>> = Vec::new();
+    for condition in &conditions {
+        let series = replay(&trace, condition.evaluate_probability, days);
+        per_day.push(series);
+    }
+
+    let mut table = Table::new(
+        "Figure 1: request coverage vs time (x = day, one series per evaluation coverage)",
+        &["day", conditions[0].label, conditions[1].label, conditions[2].label],
+    );
+    for (day, ((a, b), c)) in per_day[0]
+        .iter()
+        .zip(&per_day[1])
+        .zip(&per_day[2])
+        .enumerate()
+    {
+        table.row_f64(&[(day + 1) as f64, *a, *b, *c]);
+    }
+    table.finish("fig1_request_coverage");
+
+    // Paper-shape summary over the settled second half of the run.
+    let settled = |series: &[f64]| {
+        let half = &series[series.len() / 2..];
+        half.iter().sum::<f64>() / half.len() as f64
+    };
+    println!("\nsettled coverage (mean of days {}-{}):", days / 2 + 1, days);
+    for (condition, series) in conditions.iter().zip(&per_day) {
+        println!("  {:<22} {:.3}", condition.label, settled(series));
+    }
+    println!("paper shape: 5% small, 20% ≈ 0.5, implicit > 0.8, flat over time");
+}
+
+/// Replays the trace under one evaluation-coverage level and returns the
+/// per-day request coverage.
+fn replay(trace: &Trace, evaluate_probability: f64, days: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64((evaluate_probability * 1e6) as u64 ^ 0xf161);
+    // Which files each user has evaluated so far.
+    let mut evaluated: HashMap<UserId, HashSet<FileId>> = HashMap::new();
+    let mut covered = vec![0usize; days as usize + 1];
+    let mut total = vec![0usize; days as usize + 1];
+
+    let maybe_evaluate =
+        |rng: &mut StdRng, evaluated: &mut HashMap<UserId, HashSet<FileId>>, user: UserId, file: FileId| {
+            if rng.random::<f64>() < evaluate_probability {
+                evaluated.entry(user).or_default().insert(file);
+            }
+        };
+
+    for event in trace.events() {
+        match event.kind {
+            EventKind::Publish { user, file } => {
+                maybe_evaluate(&mut rng, &mut evaluated, user, file);
+            }
+            EventKind::Download { downloader, uploader, file } => {
+                let day = (event.time.as_days_f64() as usize).min(days as usize);
+                total[day] += 1;
+                if shares_evaluated_file(&evaluated, downloader, uploader) {
+                    covered[day] += 1;
+                }
+                maybe_evaluate(&mut rng, &mut evaluated, downloader, file);
+            }
+            _ => {}
+        }
+    }
+
+    (0..days as usize)
+        .map(|d| {
+            if total[d] == 0 {
+                0.0
+            } else {
+                covered[d] as f64 / total[d] as f64
+            }
+        })
+        .collect()
+}
+
+/// Whether a file-based direct trust relationship exists between the two
+/// users: a non-empty intersection of their evaluated file sets.
+fn shares_evaluated_file(
+    evaluated: &HashMap<UserId, HashSet<FileId>>,
+    a: UserId,
+    b: UserId,
+) -> bool {
+    let (Some(sa), Some(sb)) = (evaluated.get(&a), evaluated.get(&b)) else {
+        return false;
+    };
+    let (small, large) = if sa.len() <= sb.len() { (sa, sb) } else { (sb, sa) };
+    small.iter().any(|f| large.contains(f))
+}

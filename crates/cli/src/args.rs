@@ -1,0 +1,278 @@
+//! Hand-rolled argument parsing (no external dependency needed for a
+//! handful of `--key value` flags).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Parse error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError {
+    message: String,
+}
+
+impl ArgError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (try `mdrep help`)", self.message)
+    }
+}
+
+impl Error for ArgError {}
+
+/// The selected subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Print workload statistics.
+    Trace,
+    /// Full simulation report.
+    Simulate,
+    /// Coverage series.
+    Coverage,
+    /// Fake-filtering report.
+    FakeCheck,
+    /// DHT walkthrough.
+    DhtDemo,
+    /// Full node-pipeline community run.
+    Community,
+    /// Usage text.
+    Help,
+}
+
+/// Parsed command line: the subcommand plus `--key value` flags.
+///
+/// # Examples
+///
+/// ```
+/// use mdrep_cli::Arguments;
+///
+/// let args = Arguments::parse(["simulate", "--users", "100", "--system", "lip"])?;
+/// assert_eq!(args.get_usize("users", 50)?, 100);
+/// assert_eq!(args.get_str("system", "multi-dimensional"), "lip");
+/// assert_eq!(args.get_f64("pollution", 0.3)?, 0.3); // default
+/// # Ok::<(), mdrep_cli::ArgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Arguments {
+    command: Command,
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Arguments {
+    /// Parses an argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] for an unknown subcommand, a flag missing its
+    /// value, or a duplicated flag.
+    pub fn parse<I, S>(args: I) -> Result<Self, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut iter = args.into_iter();
+        let command = match iter.next().as_ref().map(AsRef::as_ref) {
+            None | Some("help") | Some("--help") | Some("-h") => Command::Help,
+            Some("trace") => Command::Trace,
+            Some("simulate") => Command::Simulate,
+            Some("coverage") => Command::Coverage,
+            Some("fake-check") => Command::FakeCheck,
+            Some("dht-demo") => Command::DhtDemo,
+            Some("community") => Command::Community,
+            Some(other) => {
+                return Err(ArgError::new(format!("unknown subcommand `{other}`")));
+            }
+        };
+
+        let mut flags = HashMap::new();
+        let mut switches = Vec::new();
+        let rest: Vec<String> = iter.map(|s| s.as_ref().to_string()).collect();
+        let mut i = 0;
+        while i < rest.len() {
+            let token = &rest[i];
+            let Some(name) = token.strip_prefix("--") else {
+                return Err(ArgError::new(format!("expected a --flag, got `{token}`")));
+            };
+            // Boolean switches take no value; everything else does.
+            if matches!(name, "filter" | "no-differentiation" | "contribution") {
+                switches.push(name.to_string());
+                i += 1;
+                continue;
+            }
+            let Some(value) = rest.get(i + 1) else {
+                return Err(ArgError::new(format!("flag --{name} is missing its value")));
+            };
+            if flags.insert(name.to_string(), value.clone()).is_some() {
+                return Err(ArgError::new(format!("flag --{name} given twice")));
+            }
+            i += 2;
+        }
+        Ok(Self { command, flags, switches })
+    }
+
+    /// The subcommand.
+    #[must_use]
+    pub fn command(&self) -> Command {
+        self.command
+    }
+
+    /// String flag with default.
+    #[must_use]
+    pub fn get_str(&self, name: &str, default: &str) -> String {
+        self.flags.get(name).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Integer flag with default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when present but unparsable.
+    pub fn get_usize(&self, name: &str, default: usize) -> Result<usize, ArgError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::new(format!("--{name} expects an integer, got `{v}`"))),
+        }
+    }
+
+    /// `u64` flag with default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when present but unparsable.
+    pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, ArgError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::new(format!("--{name} expects an integer, got `{v}`"))),
+        }
+    }
+
+    /// Float flag with default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when present but unparsable.
+    pub fn get_f64(&self, name: &str, default: f64) -> Result<f64, ArgError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::new(format!("--{name} expects a number, got `{v}`"))),
+        }
+    }
+
+    /// Whether a boolean switch was given.
+    #[must_use]
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+/// The `mdrep help` text.
+pub const USAGE: &str = "\
+mdrep — multi-dimensional P2P reputation (ICDCS 2007 reproduction)
+
+USAGE:
+  mdrep <subcommand> [--flag value]…
+
+SUBCOMMANDS:
+  trace       generate a synthetic workload and print its statistics
+  simulate    replay the workload through a reputation system
+  coverage    print the per-interval request-coverage series
+  fake-check  pollution report with download filtering enabled
+  dht-demo    run the Figure 2 publish/retrieve walkthrough
+  community   run the full node pipeline (engine + DHT + incentive)
+  help        this text
+
+WORKLOAD FLAGS (trace / simulate / coverage / fake-check):
+  --users N        population size            (default 200)
+  --export PATH    (trace only) write the replayable event log to PATH
+  --titles N       catalog size               (default 2×users)
+  --days D         simulated days             (default 5)
+  --pollution P    polluted-title fraction    (default 0.3)
+  --seed S         RNG seed                   (default 42)
+
+SIMULATION FLAGS (simulate / coverage / fake-check):
+  --system NAME    none | tit-for-tat | eigentrust | multi-trust |
+                   lip | multi-dimensional    (default multi-dimensional)
+  --filter             skip downloads the file score flags as fake
+  --no-differentiation serve FIFO at full bandwidth (control)
+  --contribution       enable the Section 3.4 contribution bonus
+
+DHT FLAGS (dht-demo):
+  --nodes N        overlay size               (default 64)
+
+COMMUNITY FLAGS (community):
+  --peers N        community size             (default 32)
+  --polluters N    polluting peers            (default peers/8)
+  --days D         simulated days             (default 5)
+  --seed S         RNG seed                   (default 42)
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_subcommands() {
+        assert_eq!(Arguments::parse(["trace"]).unwrap().command(), Command::Trace);
+        assert_eq!(Arguments::parse(["simulate"]).unwrap().command(), Command::Simulate);
+        assert_eq!(Arguments::parse(["coverage"]).unwrap().command(), Command::Coverage);
+        assert_eq!(Arguments::parse(["fake-check"]).unwrap().command(), Command::FakeCheck);
+        assert_eq!(Arguments::parse(["dht-demo"]).unwrap().command(), Command::DhtDemo);
+        assert_eq!(Arguments::parse(["community"]).unwrap().command(), Command::Community);
+        assert_eq!(Arguments::parse(["help"]).unwrap().command(), Command::Help);
+        assert_eq!(Arguments::parse::<_, &str>([]).unwrap().command(), Command::Help);
+        assert!(Arguments::parse(["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn parses_flags_with_defaults() {
+        let args = Arguments::parse(["trace", "--users", "77", "--pollution", "0.5"]).unwrap();
+        assert_eq!(args.get_usize("users", 200).unwrap(), 77);
+        assert_eq!(args.get_f64("pollution", 0.3).unwrap(), 0.5);
+        assert_eq!(args.get_u64("seed", 42).unwrap(), 42);
+        assert_eq!(args.get_str("system", "multi-dimensional"), "multi-dimensional");
+    }
+
+    #[test]
+    fn parses_switches() {
+        let args =
+            Arguments::parse(["simulate", "--filter", "--users", "10", "--no-differentiation"])
+                .unwrap();
+        assert!(args.switch("filter"));
+        assert!(args.switch("no-differentiation"));
+        assert!(!args.switch("contribution"));
+        assert_eq!(args.get_usize("users", 0).unwrap(), 10);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Arguments::parse(["trace", "users", "7"]).is_err(), "missing --");
+        assert!(Arguments::parse(["trace", "--users"]).is_err(), "missing value");
+        assert!(
+            Arguments::parse(["trace", "--users", "1", "--users", "2"]).is_err(),
+            "duplicate"
+        );
+        let args = Arguments::parse(["trace", "--users", "abc"]).unwrap();
+        assert!(args.get_usize("users", 1).is_err(), "unparsable value");
+        let err = args.get_usize("users", 1).unwrap_err();
+        assert!(err.to_string().contains("abc"));
+    }
+
+    #[test]
+    fn usage_mentions_every_subcommand() {
+        for sub in ["trace", "simulate", "coverage", "fake-check", "dht-demo", "community"] {
+            assert!(USAGE.contains(sub), "{sub} missing from usage");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Library side of the `mdrep` command-line tool: argument parsing and the
+//! subcommand implementations, kept in a library so they are unit-testable.
+//!
+//! Subcommands:
+//!
+//! - `mdrep trace …` — generate a synthetic workload and print its stats;
+//! - `mdrep simulate …` — replay a workload through a reputation system
+//!   and print the full simulation report;
+//! - `mdrep coverage …` — print the request-coverage series (Figure 1
+//!   style) for a chosen system;
+//! - `mdrep fake-check …` — pollution report: fake avoidance and false
+//!   positives with filtering on;
+//! - `mdrep dht-demo …` — run the Figure 2 publish/retrieve walkthrough.
+//!
+//! Run `mdrep help` for the flag reference.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{ArgError, Arguments, Command};
+pub use commands::run;

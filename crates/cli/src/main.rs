@@ -1,0 +1,23 @@
+//! The `mdrep` binary: parse, dispatch, exit non-zero on usage errors.
+
+use mdrep_cli::{run, Arguments};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Arguments::parse(argv.iter().map(String::as_str)) {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    match run(&args, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Proactive evaluation audits (Section 4.2, attack 3).
+//!
+//! A user could copy another user's published evaluation list verbatim to
+//! inherit their trust ("U₄ may forge his files' evaluations as the same as
+//! U₁"). Following Swamynathan et al., a *virtual user* re-examines a
+//! user's published evaluations at random times; if two examinations
+//! diverge wildly, the list was forged and the user is punished.
+
+use mdrep_types::{Evaluation, FileId, SimTime, UserId};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Outcome of one audit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AuditOutcome {
+    /// First time this user is examined; a baseline snapshot was taken.
+    Baseline,
+    /// The published evaluations are consistent with the earlier snapshot.
+    Consistent {
+        /// Mean absolute divergence over the compared files.
+        divergence: f64,
+    },
+    /// The evaluations diverged beyond the threshold — evidence of forgery.
+    Forged {
+        /// Mean absolute divergence over the compared files.
+        divergence: f64,
+    },
+}
+
+impl AuditOutcome {
+    /// Whether the audit found evidence of forgery.
+    #[must_use]
+    pub fn is_forged(&self) -> bool {
+        matches!(self, Self::Forged { .. })
+    }
+}
+
+impl fmt::Display for AuditOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Baseline => f.write_str("baseline snapshot taken"),
+            Self::Consistent { divergence } => write!(f, "consistent (Δ = {divergence:.3})"),
+            Self::Forged { divergence } => write!(f, "forged (Δ = {divergence:.3})"),
+        }
+    }
+}
+
+/// The auditing virtual user.
+///
+/// # Examples
+///
+/// ```
+/// use mdrep::{AuditOutcome, Auditor};
+/// use mdrep_types::{Evaluation, FileId, SimTime, UserId};
+/// use std::collections::BTreeMap;
+///
+/// let mut auditor = Auditor::new(0.3);
+/// let user = UserId::new(1);
+/// let mut evals = BTreeMap::new();
+/// evals.insert(FileId::new(0), Evaluation::BEST);
+///
+/// // First examination: baseline.
+/// assert_eq!(auditor.audit(SimTime::ZERO, user, &evals), AuditOutcome::Baseline);
+/// // Unchanged evaluations pass.
+/// assert!(!auditor.audit(SimTime::ZERO, user, &evals).is_forged());
+/// // A flipped list is caught.
+/// evals.insert(FileId::new(0), Evaluation::WORST);
+/// assert!(auditor.audit(SimTime::ZERO, user, &evals).is_forged());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Auditor {
+    threshold: f64,
+    snapshots: HashMap<UserId, BTreeMap<FileId, Evaluation>>,
+    flagged: HashMap<UserId, usize>,
+}
+
+impl Auditor {
+    /// Creates an auditor flagging users whose mean divergence between two
+    /// examinations exceeds `threshold` (a value in `(0, 1]`; the paper
+    /// leaves the exact setting open, 0.3 is a reasonable default).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threshold` is not in `(0, 1]`.
+    #[must_use]
+    pub fn new(threshold: f64) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "audit threshold must lie in (0, 1]"
+        );
+        Self { threshold, snapshots: HashMap::new(), flagged: HashMap::new() }
+    }
+
+    /// Examines `user`'s currently-published evaluations.
+    ///
+    /// The first examination stores a baseline. Later examinations compare
+    /// the *common* files: genuine opinions drift slowly (retention only
+    /// grows), while a copied list jumps to match whoever is being imitated.
+    /// Each examination replaces the stored snapshot.
+    pub fn audit(
+        &mut self,
+        _now: SimTime,
+        user: UserId,
+        published: &BTreeMap<FileId, Evaluation>,
+    ) -> AuditOutcome {
+        let outcome = match self.snapshots.get(&user) {
+            None => AuditOutcome::Baseline,
+            Some(previous) => {
+                let mut total = 0.0;
+                let mut count = 0usize;
+                for (file, old) in previous {
+                    if let Some(new) = published.get(file) {
+                        total += old.distance(*new);
+                        count += 1;
+                    }
+                }
+                if count == 0 {
+                    // No overlap (user churned its whole library): treat as
+                    // a fresh baseline rather than evidence either way.
+                    AuditOutcome::Baseline
+                } else {
+                    let divergence = total / count as f64;
+                    if divergence > self.threshold {
+                        AuditOutcome::Forged { divergence }
+                    } else {
+                        AuditOutcome::Consistent { divergence }
+                    }
+                }
+            }
+        };
+        if outcome.is_forged() {
+            *self.flagged.entry(user).or_insert(0) += 1;
+        }
+        self.snapshots.insert(user, published.clone());
+        outcome
+    }
+
+    /// How many times `user` has been caught forging.
+    #[must_use]
+    pub fn forgery_count(&self, user: UserId) -> usize {
+        self.flagged.get(&user).copied().unwrap_or(0)
+    }
+
+    /// Users with at least one forgery flag — candidates for punishment
+    /// (blacklisting / reputation reset).
+    pub fn flagged_users(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.flagged.keys().copied()
+    }
+
+    /// Forgets audit history for `user` (e.g. after punishment was applied).
+    pub fn clear(&mut self, user: UserId) {
+        self.snapshots.remove(&user);
+        self.flagged.remove(&user);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(i: u64) -> UserId {
+        UserId::new(i)
+    }
+    fn f(i: u64) -> FileId {
+        FileId::new(i)
+    }
+    fn e(v: f64) -> Evaluation {
+        Evaluation::new(v).unwrap()
+    }
+
+    fn evals(pairs: &[(u64, f64)]) -> BTreeMap<FileId, Evaluation> {
+        pairs.iter().map(|&(id, v)| (f(id), e(v))).collect()
+    }
+
+    #[test]
+    fn first_audit_is_baseline() {
+        let mut a = Auditor::new(0.3);
+        assert_eq!(a.audit(SimTime::ZERO, u(1), &evals(&[(0, 1.0)])), AuditOutcome::Baseline);
+    }
+
+    #[test]
+    fn small_drift_is_consistent() {
+        let mut a = Auditor::new(0.3);
+        a.audit(SimTime::ZERO, u(1), &evals(&[(0, 0.5), (1, 0.6)]));
+        let outcome = a.audit(SimTime::ZERO, u(1), &evals(&[(0, 0.6), (1, 0.7)]));
+        assert!(matches!(outcome, AuditOutcome::Consistent { divergence } if divergence < 0.11));
+        assert_eq!(a.forgery_count(u(1)), 0);
+    }
+
+    #[test]
+    fn wholesale_flip_is_forgery() {
+        let mut a = Auditor::new(0.3);
+        a.audit(SimTime::ZERO, u(1), &evals(&[(0, 1.0), (1, 1.0)]));
+        let outcome = a.audit(SimTime::ZERO, u(1), &evals(&[(0, 0.0), (1, 0.0)]));
+        assert!(outcome.is_forged());
+        assert_eq!(a.forgery_count(u(1)), 1);
+        assert_eq!(a.flagged_users().collect::<Vec<_>>(), vec![u(1)]);
+    }
+
+    #[test]
+    fn disjoint_libraries_reset_baseline() {
+        let mut a = Auditor::new(0.3);
+        a.audit(SimTime::ZERO, u(1), &evals(&[(0, 1.0)]));
+        // Entirely different files: no comparison possible.
+        let outcome = a.audit(SimTime::ZERO, u(1), &evals(&[(5, 0.0)]));
+        assert_eq!(outcome, AuditOutcome::Baseline);
+        assert_eq!(a.forgery_count(u(1)), 0);
+    }
+
+    #[test]
+    fn snapshot_rolls_forward() {
+        let mut a = Auditor::new(0.3);
+        a.audit(SimTime::ZERO, u(1), &evals(&[(0, 1.0)]));
+        a.audit(SimTime::ZERO, u(1), &evals(&[(0, 0.8)])); // consistent, replaces
+        // Compared against 0.8 now, so 0.6 is a 0.2 drift — consistent.
+        let outcome = a.audit(SimTime::ZERO, u(1), &evals(&[(0, 0.6)]));
+        assert!(!outcome.is_forged());
+    }
+
+    #[test]
+    fn clear_resets_user() {
+        let mut a = Auditor::new(0.3);
+        a.audit(SimTime::ZERO, u(1), &evals(&[(0, 1.0)]));
+        a.audit(SimTime::ZERO, u(1), &evals(&[(0, 0.0)]));
+        assert_eq!(a.forgery_count(u(1)), 1);
+        a.clear(u(1));
+        assert_eq!(a.forgery_count(u(1)), 0);
+        assert_eq!(a.audit(SimTime::ZERO, u(1), &evals(&[(0, 0.0)])), AuditOutcome::Baseline);
+    }
+
+    #[test]
+    fn users_are_audited_independently() {
+        let mut a = Auditor::new(0.3);
+        a.audit(SimTime::ZERO, u(1), &evals(&[(0, 1.0)]));
+        a.audit(SimTime::ZERO, u(2), &evals(&[(0, 1.0)]));
+        a.audit(SimTime::ZERO, u(1), &evals(&[(0, 0.0)]));
+        assert_eq!(a.forgery_count(u(1)), 1);
+        assert_eq!(a.forgery_count(u(2)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn zero_threshold_panics() {
+        let _ = Auditor::new(0.0);
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert!(AuditOutcome::Baseline.to_string().contains("baseline"));
+        assert!(AuditOutcome::Forged { divergence: 0.9 }.to_string().contains("forged"));
+        assert!(AuditOutcome::Consistent { divergence: 0.1 }
+            .to_string()
+            .contains("consistent"));
+    }
+}

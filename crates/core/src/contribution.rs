@@ -1,0 +1,232 @@
+//! The contribution ledger behind Section 3.4's incentive sentence:
+//!
+//! > *"Different from other reputation systems, uploading real files,
+//! > voting on files and ranking other users honestly and even deleting
+//! > fake files quicker can increase a user's reputation and give him
+//! > better service."*
+//!
+//! Pairwise trust (Equations 2–8) measures *who trusts whom*; it cannot by
+//! itself reward actions like casting a vote, because a silent user whose
+//! implicit evaluations agree earns the same similarity edge. The paper
+//! therefore grants better service for the contribution actions
+//! themselves. [`ContributionLedger`] counts them per user and maps the
+//! counts to a bounded score that the service policy blends with the
+//! relative reputation (see
+//! [`ServicePolicy::decide_with_contribution`](crate::ServicePolicy::decide_with_contribution)).
+
+use mdrep_types::UserId;
+use std::collections::HashMap;
+
+/// Per-user contribution counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Contribution {
+    /// Completed uploads served to other peers.
+    pub uploads: u64,
+    /// Explicit votes cast.
+    pub votes: u64,
+    /// User-to-user ratings given.
+    pub ranks: u64,
+    /// Fake files deleted quickly after discovery.
+    pub quick_deletes: u64,
+}
+
+/// Counts contribution actions and scores them into `[0, 1]`.
+///
+/// Each category saturates independently (`1 − exp(−n/τ)`), so a user
+/// cannot buy unlimited service by spamming one cheap action; the overall
+/// score is the weighted mean of the four categories.
+///
+/// # Examples
+///
+/// ```
+/// use mdrep::ContributionLedger;
+/// use mdrep_types::UserId;
+///
+/// let mut ledger = ContributionLedger::new();
+/// let sharer = UserId::new(1);
+/// for _ in 0..20 {
+///     ledger.record_upload(sharer);
+///     ledger.record_vote(sharer);
+/// }
+/// let free_rider = UserId::new(2);
+/// assert!(ledger.score(sharer) > ledger.score(free_rider));
+/// assert!(ledger.score(sharer) < 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ContributionLedger {
+    entries: HashMap<UserId, Contribution>,
+}
+
+/// Saturation constants: how many actions of each kind reach ~63% of the
+/// category's ceiling.
+const TAU_UPLOADS: f64 = 20.0;
+const TAU_VOTES: f64 = 10.0;
+const TAU_RANKS: f64 = 8.0;
+const TAU_QUICK_DELETES: f64 = 4.0;
+
+/// Category weights (sum to 1): uploading real files carries the most.
+const W_UPLOADS: f64 = 0.4;
+const W_VOTES: f64 = 0.3;
+const W_RANKS: f64 = 0.15;
+const W_QUICK_DELETES: f64 = 0.15;
+
+impl ContributionLedger {
+    /// Creates an empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a completed upload by `user`.
+    pub fn record_upload(&mut self, user: UserId) {
+        self.entries.entry(user).or_default().uploads += 1;
+    }
+
+    /// Records a vote cast by `user`.
+    pub fn record_vote(&mut self, user: UserId) {
+        self.entries.entry(user).or_default().votes += 1;
+    }
+
+    /// Records a user rating given by `user`.
+    pub fn record_rank(&mut self, user: UserId) {
+        self.entries.entry(user).or_default().ranks += 1;
+    }
+
+    /// Records that `user` deleted a discovered fake quickly.
+    pub fn record_quick_delete(&mut self, user: UserId) {
+        self.entries.entry(user).or_default().quick_deletes += 1;
+    }
+
+    /// The raw counters for `user`.
+    #[must_use]
+    pub fn contribution(&self, user: UserId) -> Contribution {
+        self.entries.get(&user).copied().unwrap_or_default()
+    }
+
+    /// Forgets `user` (whitewash handling — a fresh identity has
+    /// contributed nothing).
+    pub fn remove_user(&mut self, user: UserId) {
+        self.entries.remove(&user);
+    }
+
+    /// The contribution score in `[0, 1]`.
+    #[must_use]
+    pub fn score(&self, user: UserId) -> f64 {
+        let c = self.contribution(user);
+        let sat = |n: u64, tau: f64| 1.0 - (-(n as f64) / tau).exp();
+        W_UPLOADS * sat(c.uploads, TAU_UPLOADS)
+            + W_VOTES * sat(c.votes, TAU_VOTES)
+            + W_RANKS * sat(c.ranks, TAU_RANKS)
+            + W_QUICK_DELETES * sat(c.quick_deletes, TAU_QUICK_DELETES)
+    }
+
+    /// Number of users with any recorded contribution.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(i: u64) -> UserId {
+        UserId::new(i)
+    }
+
+    #[test]
+    fn empty_ledger_scores_zero() {
+        let ledger = ContributionLedger::new();
+        assert_eq!(ledger.score(u(1)), 0.0);
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.contribution(u(1)), Contribution::default());
+    }
+
+    #[test]
+    fn each_action_kind_raises_the_score() {
+        let mut ledger = ContributionLedger::new();
+        let mut last = 0.0;
+        ledger.record_upload(u(1));
+        let s = ledger.score(u(1));
+        assert!(s > last);
+        last = s;
+        ledger.record_vote(u(1));
+        let s = ledger.score(u(1));
+        assert!(s > last);
+        last = s;
+        ledger.record_rank(u(1));
+        let s = ledger.score(u(1));
+        assert!(s > last);
+        last = s;
+        ledger.record_quick_delete(u(1));
+        assert!(ledger.score(u(1)) > last);
+    }
+
+    #[test]
+    fn score_saturates_below_one() {
+        let mut ledger = ContributionLedger::new();
+        for _ in 0..10_000 {
+            ledger.record_upload(u(1));
+            ledger.record_vote(u(1));
+            ledger.record_rank(u(1));
+            ledger.record_quick_delete(u(1));
+        }
+        let s = ledger.score(u(1));
+        assert!(s > 0.95 && s <= 1.0, "got {s}");
+    }
+
+    #[test]
+    fn spamming_one_cheap_action_is_capped() {
+        let mut spammer = ContributionLedger::new();
+        for _ in 0..10_000 {
+            spammer.record_rank(u(1));
+        }
+        // Rank-spam alone caps at its category weight.
+        assert!(spammer.score(u(1)) <= W_RANKS + 1e-9);
+
+        let mut balanced = ContributionLedger::new();
+        for _ in 0..20 {
+            balanced.record_upload(u(2));
+            balanced.record_vote(u(2));
+        }
+        assert!(balanced.score(u(2)) > spammer.score(u(1)));
+    }
+
+    #[test]
+    fn monotone_in_action_count() {
+        let mut ledger = ContributionLedger::new();
+        let mut prev = ledger.score(u(1));
+        for _ in 0..50 {
+            ledger.record_upload(u(1));
+            let s = ledger.score(u(1));
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn whitewash_resets_contribution() {
+        let mut ledger = ContributionLedger::new();
+        ledger.record_upload(u(1));
+        ledger.record_vote(u(1));
+        assert!(ledger.score(u(1)) > 0.0);
+        ledger.remove_user(u(1));
+        assert_eq!(ledger.score(u(1)), 0.0);
+        assert_eq!(ledger.contribution(u(1)).uploads, 0);
+    }
+
+    #[test]
+    fn users_are_independent() {
+        let mut ledger = ContributionLedger::new();
+        ledger.record_upload(u(1));
+        assert_eq!(ledger.score(u(2)), 0.0);
+        assert_eq!(ledger.len(), 1);
+    }
+}

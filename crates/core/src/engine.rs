@@ -1,0 +1,549 @@
+//! The [`ReputationEngine`]: event ingestion, matrix recomputation, and
+//! queries.
+//!
+//! The engine is the façade a peer (or the overlay simulator) uses:
+//! feed it observations — downloads, votes, deletions, user ratings — then
+//! call [`ReputationEngine::recompute`] to rebuild
+//! `RM = (α·FM + β·DM + γ·UM)^n` and query reputations, file verdicts, and
+//! service decisions.
+
+use crate::audit::{AuditOutcome, Auditor};
+use crate::eval::EvaluationStore;
+use crate::file_reputation::{download_decision, file_reputation, DownloadDecision, OwnerEvaluation};
+use crate::file_trust::{FileTrust, FileTrustOptions};
+use crate::incentive::{ServiceDecision, ServicePolicy};
+use crate::params::Params;
+use crate::reputation::ReputationMatrix;
+use crate::user_trust::UserTrust;
+use crate::volume_trust::VolumeTrust;
+use mdrep_matrix::{blend, SparseMatrix};
+use mdrep_types::{Evaluation, FileId, FileSize, SimTime, UserId};
+use mdrep_workload::{Catalog, EventKind, TraceEvent};
+use std::collections::{BTreeMap, HashSet};
+
+/// The one-step matrices of the last recomputation, kept for inspection and
+/// experiments.
+#[derive(Debug, Clone)]
+pub struct TrustComponents {
+    /// File-based one-step matrix `FM` (Equation 3).
+    pub fm: SparseMatrix,
+    /// Download-volume one-step matrix `DM` (Equation 5).
+    pub dm: SparseMatrix,
+    /// User-based one-step matrix `UM` (Equation 6).
+    pub um: SparseMatrix,
+    /// The blended one-step matrix `TM` (Equation 7).
+    pub tm: SparseMatrix,
+}
+
+/// The multi-dimensional reputation engine (see crate docs for the model).
+///
+/// # Examples
+///
+/// ```
+/// use mdrep::{Params, ReputationEngine};
+/// use mdrep_types::{Evaluation, FileId, FileSize, SimTime, UserId};
+///
+/// let mut engine = ReputationEngine::new(Params::default());
+/// let (a, b) = (UserId::new(0), UserId::new(1));
+/// engine.observe_download(SimTime::ZERO, a, b, FileId::new(0), FileSize::from_mib(10));
+/// engine.observe_vote(SimTime::ZERO, a, FileId::new(0), Evaluation::BEST);
+/// engine.recompute(SimTime::ZERO);
+/// assert!(engine.reputation(a, b) > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReputationEngine {
+    params: Params,
+    file_trust_options: FileTrustOptions,
+    evals: EvaluationStore,
+    volume: VolumeTrust,
+    user_trust: UserTrust,
+    rm: Option<ReputationMatrix>,
+    components: Option<TrustComponents>,
+    punished: HashSet<UserId>,
+}
+
+impl ReputationEngine {
+    /// Creates an engine with default file-trust options.
+    #[must_use]
+    pub fn new(params: Params) -> Self {
+        Self::with_options(params, FileTrustOptions::default())
+    }
+
+    /// Creates an engine with explicit file-trust options (distance metric,
+    /// per-file evaluator cap).
+    #[must_use]
+    pub fn with_options(params: Params, file_trust_options: FileTrustOptions) -> Self {
+        Self {
+            params,
+            file_trust_options,
+            evals: EvaluationStore::new(),
+            volume: VolumeTrust::new(),
+            user_trust: UserTrust::new(),
+            rm: None,
+            components: None,
+            punished: HashSet::new(),
+        }
+    }
+
+    /// The engine's parameters.
+    #[must_use]
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Records a completed download (starts the retention clock and adds
+    /// download volume).
+    pub fn observe_download(
+        &mut self,
+        time: SimTime,
+        downloader: UserId,
+        uploader: UserId,
+        file: FileId,
+        size: FileSize,
+    ) {
+        self.evals.record_download(time, downloader, file);
+        self.volume.record_download(downloader, uploader, file, size);
+    }
+
+    /// Records that `user` published `file` (publication starts a retention
+    /// record too — the publisher holds the file).
+    pub fn observe_publish(&mut self, time: SimTime, user: UserId, file: FileId) {
+        self.evals.record_download(time, user, file);
+    }
+
+    /// Records an explicit vote.
+    pub fn observe_vote(&mut self, time: SimTime, user: UserId, file: FileId, value: Evaluation) {
+        self.evals.record_vote(time, user, file, value);
+    }
+
+    /// Records a file deletion (freezes the retention clock).
+    pub fn observe_delete(&mut self, time: SimTime, user: UserId, file: FileId) {
+        self.evals.record_delete(time, user, file);
+    }
+
+    /// Records a user-to-user rating.
+    pub fn observe_rank(&mut self, rater: UserId, target: UserId, value: Evaluation) {
+        self.user_trust.rate(rater, target, value);
+    }
+
+    /// Handles a whitewash: the user's entire history disappears, exactly
+    /// what makes whitewashing unprofitable — the fresh identity also has
+    /// zero reputation and gets stranger-level service.
+    pub fn observe_whitewash(&mut self, user: UserId) {
+        self.evals.remove_user(user);
+        self.volume.remove_user(user);
+        self.user_trust.remove_user(user);
+    }
+
+    /// Feeds one workload trace event; file sizes are resolved through the
+    /// catalog (unknown files fall back to zero size, contributing no
+    /// volume trust).
+    pub fn observe_trace_event(&mut self, event: &TraceEvent, catalog: &Catalog) {
+        match event.kind {
+            EventKind::Join { .. } => {}
+            EventKind::Publish { user, file } => self.observe_publish(event.time, user, file),
+            EventKind::Download { downloader, uploader, file } => {
+                let size = catalog.file_meta(file).map_or(FileSize::ZERO, |m| m.size);
+                self.observe_download(event.time, downloader, uploader, file, size);
+            }
+            EventKind::Vote { user, file, value } => {
+                self.observe_vote(event.time, user, file, value);
+            }
+            EventKind::Delete { user, file } => self.observe_delete(event.time, user, file),
+            EventKind::RankUser { rater, target, value } => {
+                self.observe_rank(rater, target, value);
+            }
+            EventKind::Whitewash { user } => self.observe_whitewash(user),
+        }
+    }
+
+    /// Drops evaluations older than the configured interval. Returns how
+    /// many records were expired.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        self.evals.expire(now, &self.params)
+    }
+
+    /// Rebuilds `FM`, `DM`, `UM`, `TM`, and `RM` from the observations.
+    pub fn recompute(&mut self, now: SimTime) {
+        let fm = FileTrust::compute_with(&self.evals, now, &self.params, self.file_trust_options)
+            .matrix();
+        let dm = self.volume.matrix(&self.evals, now, &self.params);
+        let um = self.user_trust.matrix();
+        let w = self.params.weights();
+        let tm = blend(&[(w.alpha(), &fm), (w.beta(), &dm), (w.gamma(), &um)])
+            .expect("validated weights form a convex combination");
+        self.rm = Some(ReputationMatrix::compute(&tm, &self.params));
+        self.components = Some(TrustComponents { fm, dm, um, tm });
+    }
+
+    /// `RM_ij` from the last [`recompute`](Self::recompute); 0 before the
+    /// first recomputation, for unknown pairs, and for punished targets.
+    #[must_use]
+    pub fn reputation(&self, i: UserId, j: UserId) -> f64 {
+        if self.punished.contains(&j) {
+            return 0.0;
+        }
+        self.rm.as_ref().map_or(0.0, |rm| rm.reputation(i, j))
+    }
+
+    /// Marks `user` as punished (caught forging evaluations, Section 4.2
+    /// attack 3): its reputation reads as zero everywhere and its published
+    /// evaluations stop counting in Equation 9. The underlying observations
+    /// are kept so a [`pardon`](Self::pardon) can restore the user.
+    pub fn mark_punished(&mut self, user: UserId) {
+        self.punished.insert(user);
+    }
+
+    /// Lifts a punishment.
+    pub fn pardon(&mut self, user: UserId) {
+        self.punished.remove(&user);
+    }
+
+    /// Whether `user` is currently punished.
+    #[must_use]
+    pub fn is_punished(&self, user: UserId) -> bool {
+        self.punished.contains(&user)
+    }
+
+    /// Runs one proactive audit of `user`'s published evaluations through
+    /// `auditor` and applies the punishment automatically when forgery is
+    /// detected. Returns the audit outcome.
+    pub fn audit_user(
+        &mut self,
+        auditor: &mut Auditor,
+        user: UserId,
+        now: SimTime,
+    ) -> AuditOutcome {
+        let published = self.published_evaluations(user, now);
+        let outcome = auditor.audit(now, user, &published);
+        if outcome.is_forged() {
+            self.mark_punished(user);
+        }
+        outcome
+    }
+
+    /// The full reputation matrix, if computed.
+    #[must_use]
+    pub fn reputation_matrix(&self) -> Option<&ReputationMatrix> {
+        self.rm.as_ref()
+    }
+
+    /// The one-step matrices of the last recomputation, if any.
+    #[must_use]
+    pub fn components(&self) -> Option<&TrustComponents> {
+        self.components.as_ref()
+    }
+
+    /// Equation 9 for `viewer` over the supplied owner evaluations.
+    /// Punished owners' evaluations are discarded first. `None` before the
+    /// first recomputation or when no remaining owner is reputable.
+    #[must_use]
+    pub fn file_reputation(
+        &self,
+        viewer: UserId,
+        evaluations: &[OwnerEvaluation],
+    ) -> Option<Evaluation> {
+        let trusted = self.trusted_evaluations(evaluations);
+        self.rm.as_ref().and_then(|rm| file_reputation(rm, viewer, &trusted))
+    }
+
+    /// The download decision for `viewer` over the supplied evaluations
+    /// (punished owners discarded).
+    #[must_use]
+    pub fn decide_download(
+        &self,
+        viewer: UserId,
+        evaluations: &[OwnerEvaluation],
+    ) -> DownloadDecision {
+        let trusted = self.trusted_evaluations(evaluations);
+        match &self.rm {
+            None => DownloadDecision::Unknown,
+            Some(rm) => download_decision(rm, viewer, &trusted, &self.params),
+        }
+    }
+
+    fn trusted_evaluations(&self, evaluations: &[OwnerEvaluation]) -> Vec<OwnerEvaluation> {
+        evaluations
+            .iter()
+            .filter(|oe| !self.punished.contains(&oe.owner))
+            .copied()
+            .collect()
+    }
+
+    /// The service `uploader` grants `requester` under `policy`
+    /// (stranger-level before the first recomputation).
+    #[must_use]
+    pub fn service(
+        &self,
+        uploader: UserId,
+        requester: UserId,
+        policy: &ServicePolicy,
+    ) -> ServiceDecision {
+        match &self.rm {
+            None => policy.decide_scaled(0.0),
+            Some(rm) => policy.decide(rm, uploader, requester),
+        }
+    }
+
+    /// Tier-based service (the multi-tier incentive scheme): which trust
+    /// tier `requester` falls into for `uploader` decides the band, the
+    /// in-tier value the position inside it. Punished requesters are
+    /// strangers.
+    #[must_use]
+    pub fn service_tiered(
+        &self,
+        uploader: UserId,
+        requester: UserId,
+        policy: &ServicePolicy,
+    ) -> ServiceDecision {
+        match &self.rm {
+            _ if self.punished.contains(&requester) => policy.decide_scaled(0.0),
+            None => policy.decide_scaled(0.0),
+            Some(rm) => {
+                policy.decide_tiered(rm.tier_of(uploader, requester), rm.steps().max(1))
+            }
+        }
+    }
+
+    /// The evaluations `user` would publish to the DHT at `now` (Fig. 2
+    /// step 1) — also the input the auditor re-examines.
+    #[must_use]
+    pub fn published_evaluations(&self, user: UserId, now: SimTime) -> BTreeMap<FileId, Evaluation> {
+        self.evals.evaluations_of(user, now, &self.params)
+    }
+
+    /// Read access to the evaluation store (for experiments).
+    #[must_use]
+    pub fn evaluations(&self) -> &EvaluationStore {
+        &self.evals
+    }
+
+    /// Figure 1 metric over the last recomputed `RM`: fraction of request
+    /// pairs with positive reputation. 0.0 before the first recomputation.
+    #[must_use]
+    pub fn request_coverage(&self, requests: &[(UserId, UserId)]) -> f64 {
+        self.rm.as_ref().map_or(0.0, |rm| rm.request_coverage(requests))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdrep_types::SimDuration;
+    use mdrep_workload::{BehaviorMix, TraceBuilder, WorkloadConfig};
+
+    fn u(i: u64) -> UserId {
+        UserId::new(i)
+    }
+    fn f(i: u64) -> FileId {
+        FileId::new(i)
+    }
+
+    #[test]
+    fn fresh_engine_answers_conservatively() {
+        let engine = ReputationEngine::new(Params::default());
+        assert_eq!(engine.reputation(u(0), u(1)), 0.0);
+        assert!(engine.reputation_matrix().is_none());
+        assert!(engine.components().is_none());
+        assert_eq!(engine.decide_download(u(0), &[]), DownloadDecision::Unknown);
+        let svc = engine.service(u(0), u(1), &ServicePolicy::default());
+        assert!(svc.is_throttled());
+        assert_eq!(engine.request_coverage(&[(u(0), u(1))]), 0.0);
+    }
+
+    #[test]
+    fn download_and_vote_build_reputation() {
+        let mut engine = ReputationEngine::new(Params::default());
+        engine.observe_download(SimTime::ZERO, u(0), u(1), f(0), FileSize::from_mib(100));
+        engine.observe_vote(SimTime::ZERO, u(0), f(0), Evaluation::BEST);
+        engine.recompute(SimTime::ZERO);
+        assert!(engine.reputation(u(0), u(1)) > 0.0, "volume trust edge");
+    }
+
+    #[test]
+    fn shared_votes_build_file_trust_both_ways() {
+        let mut engine = ReputationEngine::new(Params::default());
+        engine.observe_vote(SimTime::ZERO, u(0), f(0), Evaluation::BEST);
+        engine.observe_vote(SimTime::ZERO, u(1), f(0), Evaluation::BEST);
+        engine.recompute(SimTime::ZERO);
+        assert!(engine.reputation(u(0), u(1)) > 0.0);
+        assert!(engine.reputation(u(1), u(0)) > 0.0);
+    }
+
+    #[test]
+    fn ranking_builds_user_trust() {
+        let mut engine = ReputationEngine::new(Params::default());
+        engine.observe_rank(u(0), u(1), Evaluation::BEST);
+        engine.recompute(SimTime::ZERO);
+        assert!(engine.reputation(u(0), u(1)) > 0.0);
+        // γ = 0.2 and UM_01 = 1 → TM_01 = 0.2.
+        assert!((engine.reputation(u(0), u(1)) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn components_are_exposed_and_stochastic() {
+        let mut engine = ReputationEngine::new(Params::default());
+        engine.observe_rank(u(0), u(1), Evaluation::BEST);
+        engine.observe_vote(SimTime::ZERO, u(0), f(0), Evaluation::BEST);
+        engine.observe_vote(SimTime::ZERO, u(1), f(0), Evaluation::BEST);
+        engine.recompute(SimTime::ZERO);
+        let c = engine.components().unwrap();
+        assert!(c.fm.is_row_stochastic(1e-9));
+        assert!(c.um.is_row_stochastic(1e-9));
+        // TM rows sum to at most 1 (a dimension can be empty for a user).
+        for r in c.tm.row_ids() {
+            assert!(c.tm.row_sum(r) <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn whitewash_erases_reputation() {
+        let mut engine = ReputationEngine::new(Params::default());
+        engine.observe_download(SimTime::ZERO, u(0), u(1), f(0), FileSize::from_mib(100));
+        engine.observe_vote(SimTime::ZERO, u(0), f(0), Evaluation::BEST);
+        engine.observe_rank(u(0), u(1), Evaluation::BEST);
+        engine.recompute(SimTime::ZERO);
+        assert!(engine.reputation(u(0), u(1)) > 0.0);
+
+        engine.observe_whitewash(u(1));
+        engine.recompute(SimTime::ZERO);
+        assert_eq!(engine.reputation(u(0), u(1)), 0.0);
+    }
+
+    #[test]
+    fn file_reputation_through_engine() {
+        let mut engine = ReputationEngine::new(Params::default());
+        engine.observe_rank(u(0), u(1), Evaluation::BEST);
+        engine.recompute(SimTime::ZERO);
+        let evals = [OwnerEvaluation::new(u(1), Evaluation::WORST)];
+        let r = engine.file_reputation(u(0), &evals).unwrap();
+        assert_eq!(r, Evaluation::WORST);
+        assert!(!engine.decide_download(u(0), &evals).is_accept());
+    }
+
+    #[test]
+    fn service_differentiation_through_engine() {
+        let mut engine = ReputationEngine::new(Params::default());
+        engine.observe_rank(u(1), u(0), Evaluation::BEST); // uploader 1 trusts 0
+        engine.recompute(SimTime::ZERO);
+        let policy = ServicePolicy::default();
+        let friend = engine.service(u(1), u(0), &policy);
+        let stranger = engine.service(u(1), u(9), &policy);
+        assert!(friend.queue_offset > stranger.queue_offset);
+        assert!(!friend.is_throttled());
+        assert!(stranger.is_throttled());
+    }
+
+    #[test]
+    fn expire_forgets_old_records() {
+        let params = Params::builder()
+            .evaluation_interval(SimDuration::from_days(2))
+            .build()
+            .unwrap();
+        let mut engine = ReputationEngine::new(params);
+        engine.observe_vote(SimTime::ZERO, u(0), f(0), Evaluation::BEST);
+        engine.observe_vote(SimTime::ZERO, u(1), f(0), Evaluation::BEST);
+        let later = SimTime::ZERO + SimDuration::from_days(5);
+        assert_eq!(engine.expire(later), 2);
+        engine.recompute(later);
+        assert_eq!(engine.reputation(u(0), u(1)), 0.0);
+    }
+
+    #[test]
+    fn consumes_whole_workload_traces() {
+        let config = WorkloadConfig::builder()
+            .users(40)
+            .titles(50)
+            .days(2)
+            .behavior_mix(BehaviorMix::realistic())
+            .pollution_rate(0.3)
+            .seed(5)
+            .build()
+            .unwrap();
+        let trace = TraceBuilder::new(config).generate();
+        let mut engine = ReputationEngine::new(Params::default());
+        for event in trace.events() {
+            engine.observe_trace_event(event, trace.catalog());
+        }
+        let end = SimTime::ZERO + SimDuration::from_days(2);
+        engine.recompute(end);
+        let coverage = engine.request_coverage(&trace.request_pairs());
+        assert!(coverage > 0.0, "some requests must be covered");
+        // Published evaluations exist for active users.
+        let some_user = trace.population().iter().next().unwrap().id();
+        let _ = engine.published_evaluations(some_user, end);
+    }
+
+    #[test]
+    fn punished_users_lose_reputation_and_voice() {
+        let mut engine = ReputationEngine::new(Params::default());
+        engine.observe_rank(u(0), u(1), Evaluation::BEST);
+        engine.recompute(SimTime::ZERO);
+        assert!(engine.reputation(u(0), u(1)) > 0.0);
+        let evals = [OwnerEvaluation::new(u(1), Evaluation::BEST)];
+        assert!(engine.file_reputation(u(0), &evals).is_some());
+
+        engine.mark_punished(u(1));
+        assert!(engine.is_punished(u(1)));
+        assert_eq!(engine.reputation(u(0), u(1)), 0.0, "reputation zeroed");
+        assert!(engine.file_reputation(u(0), &evals).is_none(), "evaluations discarded");
+        assert_eq!(engine.decide_download(u(0), &evals), DownloadDecision::Unknown);
+
+        engine.pardon(u(1));
+        assert!(!engine.is_punished(u(1)));
+        assert!(engine.reputation(u(0), u(1)) > 0.0, "pardon restores");
+    }
+
+    #[test]
+    fn audit_user_punishes_forgery_automatically() {
+        use crate::audit::Auditor;
+        let mut engine = ReputationEngine::new(Params::default());
+        let mut auditor = Auditor::new(0.3);
+        // User 1 has a genuine evaluation history.
+        engine.observe_vote(SimTime::ZERO, u(1), f(0), Evaluation::BEST);
+        engine.observe_vote(SimTime::ZERO, u(1), f(1), Evaluation::BEST);
+
+        // Baseline examination.
+        let outcome = engine.audit_user(&mut auditor, u(1), SimTime::ZERO);
+        assert!(!outcome.is_forged());
+        assert!(!engine.is_punished(u(1)));
+
+        // The user swaps its list (re-votes everything inverted).
+        engine.observe_vote(SimTime::ZERO, u(1), f(0), Evaluation::WORST);
+        engine.observe_vote(SimTime::ZERO, u(1), f(1), Evaluation::WORST);
+        let outcome = engine.audit_user(&mut auditor, u(1), SimTime::ZERO);
+        assert!(outcome.is_forged());
+        assert!(engine.is_punished(u(1)), "forgery leads to punishment");
+    }
+
+    #[test]
+    fn tiered_service_prefers_closer_tiers() {
+        // Chain 0 → 1 → 2 with two multi-trust steps.
+        let params = Params::builder().steps(2).build().unwrap();
+        let mut engine = ReputationEngine::new(params);
+        engine.observe_rank(u(0), u(1), Evaluation::BEST);
+        engine.observe_rank(u(1), u(2), Evaluation::BEST);
+        engine.recompute(SimTime::ZERO);
+        let policy = ServicePolicy::default();
+        let tier1 = engine.service_tiered(u(0), u(1), &policy);
+        let tier2 = engine.service_tiered(u(0), u(2), &policy);
+        let stranger = engine.service_tiered(u(0), u(9), &policy);
+        assert!(tier1.queue_offset > tier2.queue_offset);
+        assert!(tier2.queue_offset >= stranger.queue_offset);
+        assert!(stranger.is_throttled());
+
+        // Punished requesters fall to stranger level regardless of tier.
+        engine.mark_punished(u(1));
+        let punished = engine.service_tiered(u(0), u(1), &policy);
+        assert_eq!(punished.queue_offset, stranger.queue_offset);
+    }
+
+    #[test]
+    fn publish_event_starts_retention() {
+        let mut engine = ReputationEngine::new(Params::default());
+        engine.observe_publish(SimTime::ZERO, u(0), f(0));
+        let week = SimTime::ZERO + SimDuration::from_days(7);
+        let evals = engine.published_evaluations(u(0), week);
+        assert_eq!(evals.get(&f(0)), Some(&Evaluation::BEST));
+    }
+}

@@ -1,0 +1,447 @@
+//! Evaluation storage and Equation 1: blending implicit (retention-time)
+//! and explicit (vote) evaluations.
+//!
+//! > *"A file can be evaluated explicitly and implicitly. […] Our work
+//! > calculates a file's evaluation by an integration of the two."*
+//!
+//! The **implicit** evaluation is derived from how long the user retained
+//! the file: fakes are deleted quickly, keepers are kept. It saturates at 1
+//! once the retention reaches [`Params::retention_saturation`]. Because
+//! retention exists for *every* download, implicit evaluation gives 100%
+//! evaluation coverage — the key to the >80% request coverage of Figure 1.
+//!
+//! The **explicit** evaluation is the user's vote. When present, Equation 1
+//! blends the two: `E = η·IE + ρ·EE`.
+
+use crate::params::Params;
+use mdrep_types::{Evaluation, FileId, SimTime, UserId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Everything known about one user's interaction with one file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvaluationRecord {
+    downloaded_at: SimTime,
+    deleted_at: Option<SimTime>,
+    vote: Option<Evaluation>,
+    last_activity: SimTime,
+}
+
+impl EvaluationRecord {
+    /// When the user obtained the file.
+    #[must_use]
+    pub fn downloaded_at(&self) -> SimTime {
+        self.downloaded_at
+    }
+
+    /// When the user deleted it, if they did.
+    #[must_use]
+    pub fn deleted_at(&self) -> Option<SimTime> {
+        self.deleted_at
+    }
+
+    /// The explicit vote, if one was cast.
+    #[must_use]
+    pub fn vote(&self) -> Option<Evaluation> {
+        self.vote
+    }
+
+    /// The implicit evaluation at `now`, derived from retention time.
+    ///
+    /// The discriminating signal is the *held fraction*: how much of the
+    /// time since download the user kept the file (1.0 while still held; a
+    /// quick deletion drives it toward 0). Because a file downloaded five
+    /// minutes ago carries no information either way, the fraction is
+    /// blended with the neutral value 0.5 by an age-confidence ramp that
+    /// saturates at [`Params::retention_saturation`]:
+    ///
+    /// `IE = 0.5 + (held_fraction − 0.5) · min(age / saturation, 1)`
+    ///
+    /// So: young files ≈ neutral, long-retained files → 1, files deleted
+    /// shortly after download → 0.
+    #[must_use]
+    pub fn implicit(&self, now: SimTime, params: &Params) -> Evaluation {
+        let now = now.max(self.downloaded_at);
+        let age = (now - self.downloaded_at).as_ticks() as f64;
+        if age <= 0.0 {
+            return Evaluation::NEUTRAL;
+        }
+        let end = self.deleted_at.unwrap_or(now).max(self.downloaded_at);
+        let retention = (end - self.downloaded_at).as_ticks() as f64;
+        let held_fraction = (retention / age).clamp(0.0, 1.0);
+        let saturation = params.retention_saturation().as_ticks() as f64;
+        let confidence = (age / saturation).min(1.0);
+        Evaluation::clamped(0.5 + (held_fraction - 0.5) * confidence)
+    }
+
+    /// Equation 1: the integrated evaluation at `now`.
+    #[must_use]
+    pub fn evaluation(&self, now: SimTime, params: &Params) -> Evaluation {
+        let ie = self.implicit(now, params);
+        match self.vote {
+            None => ie,
+            Some(ee) => ie.blend(ee, params.eta()).expect("eta validated"),
+        }
+    }
+}
+
+/// Per-user evaluation records with an inverted file index.
+///
+/// # Examples
+///
+/// ```
+/// use mdrep::{EvaluationStore, Params};
+/// use mdrep_types::{Evaluation, FileId, SimDuration, SimTime, UserId};
+///
+/// let params = Params::default();
+/// let mut store = EvaluationStore::new();
+/// let (u, f) = (UserId::new(1), FileId::new(1));
+/// store.record_download(SimTime::ZERO, u, f);
+/// store.record_vote(SimTime::ZERO, u, f, Evaluation::BEST);
+///
+/// // Immediately after download the implicit part is neutral (0.5), so
+/// // Equation 1 gives η·0.5 + (1 − η)·1.
+/// let now = SimTime::ZERO;
+/// let e = store.evaluation(u, f, now, &params).unwrap();
+/// let expected = params.eta() * 0.5 + (1.0 - params.eta());
+/// assert!((e.value() - expected).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EvaluationStore {
+    records: HashMap<UserId, BTreeMap<FileId, EvaluationRecord>>,
+    evaluators: HashMap<FileId, BTreeSet<UserId>>,
+}
+
+impl EvaluationStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `user` obtained `file` at `time` (download or own
+    /// publication — both start the retention clock).
+    pub fn record_download(&mut self, time: SimTime, user: UserId, file: FileId) {
+        let record = EvaluationRecord {
+            downloaded_at: time,
+            deleted_at: None,
+            vote: None,
+            last_activity: time,
+        };
+        self.records.entry(user).or_default().insert(file, record);
+        self.evaluators.entry(file).or_default().insert(user);
+    }
+
+    /// Records that `user` deleted `file` at `time`. Ignored when no
+    /// download was recorded (deletions of unknown files carry no signal).
+    pub fn record_delete(&mut self, time: SimTime, user: UserId, file: FileId) {
+        if let Some(r) = self.records.get_mut(&user).and_then(|m| m.get_mut(&file)) {
+            if r.deleted_at.is_none() {
+                r.deleted_at = Some(time.max(r.downloaded_at));
+                r.last_activity = time;
+            }
+        }
+    }
+
+    /// Records an explicit vote; replaces any earlier vote. A vote on a file
+    /// the user never downloaded creates a record (a user may evaluate a
+    /// file it obtained out of band).
+    pub fn record_vote(&mut self, time: SimTime, user: UserId, file: FileId, value: Evaluation) {
+        let entry = self
+            .records
+            .entry(user)
+            .or_default()
+            .entry(file)
+            .or_insert(EvaluationRecord {
+                downloaded_at: time,
+                deleted_at: None,
+                vote: None,
+                last_activity: time,
+            });
+        entry.vote = Some(value);
+        entry.last_activity = time;
+        self.evaluators.entry(file).or_default().insert(user);
+    }
+
+    /// Forgets everything about `user` (whitewash handling).
+    pub fn remove_user(&mut self, user: UserId) {
+        if let Some(files) = self.records.remove(&user) {
+            for file in files.keys() {
+                if let Some(set) = self.evaluators.get_mut(file) {
+                    set.remove(&user);
+                    if set.is_empty() {
+                        self.evaluators.remove(file);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops records whose last activity is older than the evaluation
+    /// interval (Section 4.3: evaluations are only preserved within an
+    /// interval). Returns how many records were dropped.
+    pub fn expire(&mut self, now: SimTime, params: &Params) -> usize {
+        let cutoff = params.evaluation_interval();
+        let mut dropped = 0;
+        let mut emptied_files: Vec<(UserId, FileId)> = Vec::new();
+        for (&user, files) in &mut self.records {
+            files.retain(|&file, r| {
+                let fresh = (now - r.last_activity) <= cutoff;
+                if !fresh {
+                    dropped += 1;
+                    emptied_files.push((user, file));
+                }
+                fresh
+            });
+        }
+        self.records.retain(|_, files| !files.is_empty());
+        for (user, file) in emptied_files {
+            if let Some(set) = self.evaluators.get_mut(&file) {
+                set.remove(&user);
+                if set.is_empty() {
+                    self.evaluators.remove(&file);
+                }
+            }
+        }
+        dropped
+    }
+
+    /// The record for `(user, file)`, if any.
+    #[must_use]
+    pub fn record(&self, user: UserId, file: FileId) -> Option<&EvaluationRecord> {
+        self.records.get(&user).and_then(|m| m.get(&file))
+    }
+
+    /// Equation 1 for `(user, file)` at `now`; `None` when no record exists.
+    #[must_use]
+    pub fn evaluation(
+        &self,
+        user: UserId,
+        file: FileId,
+        now: SimTime,
+        params: &Params,
+    ) -> Option<Evaluation> {
+        self.record(user, file).map(|r| r.evaluation(now, params))
+    }
+
+    /// All of `user`'s evaluations at `now`, keyed by file.
+    #[must_use]
+    pub fn evaluations_of(
+        &self,
+        user: UserId,
+        now: SimTime,
+        params: &Params,
+    ) -> BTreeMap<FileId, Evaluation> {
+        self.records
+            .get(&user)
+            .map(|files| {
+                files
+                    .iter()
+                    .map(|(&f, r)| (f, r.evaluation(now, params)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Users who have evaluated `file` (the inverted index driving
+    /// file-based trust).
+    pub fn evaluators_of(&self, file: FileId) -> impl Iterator<Item = UserId> + '_ {
+        self.evaluators
+            .get(&file)
+            .into_iter()
+            .flat_map(|set| set.iter().copied())
+    }
+
+    /// Iterates over all users with at least one record.
+    pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.records.keys().copied()
+    }
+
+    /// Iterates over all files with at least one evaluator.
+    pub fn files(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.evaluators.keys().copied()
+    }
+
+    /// Total number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.values().map(BTreeMap::len).sum()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdrep_types::SimDuration;
+
+    fn u(i: u64) -> UserId {
+        UserId::new(i)
+    }
+    fn f(i: u64) -> FileId {
+        FileId::new(i)
+    }
+
+    #[test]
+    fn implicit_grows_with_retention() {
+        let params = Params::default(); // saturation: 7 days
+        let mut store = EvaluationStore::new();
+        store.record_download(SimTime::ZERO, u(1), f(1));
+
+        // A still-held file: held fraction 1, confidence age/7d.
+        let t0 = store.evaluation(u(1), f(1), SimTime::ZERO, &params).unwrap();
+        assert_eq!(t0, Evaluation::NEUTRAL, "no age, no information");
+        let day1 = SimTime::ZERO + SimDuration::from_days(1);
+        let day7 = SimTime::ZERO + SimDuration::from_days(7);
+        let day30 = SimTime::ZERO + SimDuration::from_days(30);
+        let e1 = store.evaluation(u(1), f(1), day1, &params).unwrap();
+        let e7 = store.evaluation(u(1), f(1), day7, &params).unwrap();
+        let e30 = store.evaluation(u(1), f(1), day30, &params).unwrap();
+        assert!((e1.value() - (0.5 + 0.5 / 7.0)).abs() < 1e-9, "got {e1}");
+        assert_eq!(e7, Evaluation::BEST);
+        assert_eq!(e30, Evaluation::BEST, "saturates at 1");
+    }
+
+    #[test]
+    fn quick_deletion_reads_as_fake() {
+        let params = Params::default();
+        let mut store = EvaluationStore::new();
+        store.record_download(SimTime::ZERO, u(1), f(1));
+        let hour6 = SimTime::ZERO + SimDuration::from_hours(6);
+        store.record_delete(hour6, u(1), f(1));
+        // Long after the deletion: full confidence, tiny held fraction.
+        let later = SimTime::ZERO + SimDuration::from_days(10);
+        let e = store.evaluation(u(1), f(1), later, &params).unwrap();
+        let held = 6.0 / (10.0 * 24.0);
+        assert!((e.value() - held).abs() < 1e-9, "got {e}");
+        assert!(e.is_below(Evaluation::NEUTRAL));
+    }
+
+    #[test]
+    fn second_delete_is_ignored() {
+        let params = Params::default();
+        let mut store = EvaluationStore::new();
+        store.record_download(SimTime::ZERO, u(1), f(1));
+        let t1 = SimTime::ZERO + SimDuration::from_hours(1);
+        let t2 = SimTime::ZERO + SimDuration::from_hours(20);
+        store.record_delete(t1, u(1), f(1));
+        store.record_delete(t2, u(1), f(1));
+        let e = store.evaluation(u(1), f(1), t2, &params).unwrap();
+        // Held 1h of 20h, confidence 20h/168h.
+        let held_fraction: f64 = 1.0 / 20.0;
+        let confidence = 20.0 / 168.0;
+        let expected = 0.5 + (held_fraction - 0.5) * confidence;
+        assert!((e.value() - expected).abs() < 1e-9, "got {e}");
+    }
+
+    #[test]
+    fn vote_blends_per_equation_one() {
+        let params = Params::builder().eta(0.4).build().unwrap();
+        let mut store = EvaluationStore::new();
+        store.record_download(SimTime::ZERO, u(1), f(1));
+        store.record_vote(SimTime::ZERO, u(1), f(1), Evaluation::WORST);
+        // At saturation the implicit part is 1, vote is 0:
+        // E = 0.4·1 + 0.6·0 = 0.4.
+        let later = SimTime::ZERO + SimDuration::from_days(30);
+        let e = store.evaluation(u(1), f(1), later, &params).unwrap();
+        assert!((e.value() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vote_without_download_creates_record() {
+        let params = Params::default();
+        let mut store = EvaluationStore::new();
+        store.record_vote(SimTime::ZERO, u(2), f(3), Evaluation::BEST);
+        assert!(store.evaluation(u(2), f(3), SimTime::ZERO, &params).is_some());
+        assert_eq!(store.evaluators_of(f(3)).collect::<Vec<_>>(), vec![u(2)]);
+    }
+
+    #[test]
+    fn revote_replaces() {
+        let params = Params::builder().eta(0.0).build().unwrap(); // pure explicit
+        let mut store = EvaluationStore::new();
+        store.record_download(SimTime::ZERO, u(1), f(1));
+        store.record_vote(SimTime::ZERO, u(1), f(1), Evaluation::WORST);
+        store.record_vote(SimTime::ZERO, u(1), f(1), Evaluation::BEST);
+        let e = store.evaluation(u(1), f(1), SimTime::ZERO, &params).unwrap();
+        assert_eq!(e, Evaluation::BEST);
+    }
+
+    #[test]
+    fn delete_of_unknown_file_is_noop() {
+        let mut store = EvaluationStore::new();
+        store.record_delete(SimTime::ZERO, u(1), f(1));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn remove_user_clears_indices() {
+        let mut store = EvaluationStore::new();
+        store.record_download(SimTime::ZERO, u(1), f(1));
+        store.record_download(SimTime::ZERO, u(2), f(1));
+        store.remove_user(u(1));
+        assert_eq!(store.evaluators_of(f(1)).collect::<Vec<_>>(), vec![u(2)]);
+        store.remove_user(u(2));
+        assert!(store.is_empty());
+        assert_eq!(store.files().count(), 0);
+    }
+
+    #[test]
+    fn expire_drops_stale_records() {
+        let params = Params::builder()
+            .evaluation_interval(SimDuration::from_days(5))
+            .build()
+            .unwrap();
+        let mut store = EvaluationStore::new();
+        store.record_download(SimTime::ZERO, u(1), f(1));
+        let day3 = SimTime::ZERO + SimDuration::from_days(3);
+        store.record_download(day3, u(1), f(2));
+
+        let day7 = SimTime::ZERO + SimDuration::from_days(7);
+        let dropped = store.expire(day7, &params);
+        assert_eq!(dropped, 1);
+        assert!(store.record(u(1), f(1)).is_none(), "stale record dropped");
+        assert!(store.record(u(1), f(2)).is_some(), "fresh record kept");
+        assert_eq!(store.evaluators_of(f(1)).count(), 0);
+    }
+
+    #[test]
+    fn expire_keeps_recently_active_records() {
+        let params = Params::builder()
+            .evaluation_interval(SimDuration::from_days(5))
+            .build()
+            .unwrap();
+        let mut store = EvaluationStore::new();
+        store.record_download(SimTime::ZERO, u(1), f(1));
+        // A fresh vote refreshes the activity clock.
+        let day4 = SimTime::ZERO + SimDuration::from_days(4);
+        store.record_vote(day4, u(1), f(1), Evaluation::BEST);
+        let day8 = SimTime::ZERO + SimDuration::from_days(8);
+        assert_eq!(store.expire(day8, &params), 0);
+    }
+
+    #[test]
+    fn evaluations_of_lists_all_files() {
+        let params = Params::default();
+        let mut store = EvaluationStore::new();
+        store.record_download(SimTime::ZERO, u(1), f(1));
+        store.record_download(SimTime::ZERO, u(1), f(2));
+        let evals = store.evaluations_of(u(1), SimTime::ZERO, &params);
+        assert_eq!(evals.len(), 2);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.users().count(), 1);
+    }
+
+    #[test]
+    fn empty_store_queries() {
+        let params = Params::default();
+        let store = EvaluationStore::new();
+        assert!(store.evaluation(u(1), f(1), SimTime::ZERO, &params).is_none());
+        assert!(store.evaluations_of(u(1), SimTime::ZERO, &params).is_empty());
+        assert_eq!(store.evaluators_of(f(1)).count(), 0);
+    }
+}

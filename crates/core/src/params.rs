@@ -1,0 +1,323 @@
+//! Tunable parameters of the reputation system.
+
+use mdrep_types::{Evaluation, SimDuration};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned for invalid parameter combinations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamsError {
+    message: String,
+}
+
+impl ParamsError {
+    fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid reputation parameters: {}", self.message)
+    }
+}
+
+impl Error for ParamsError {}
+
+/// The convex weights of Equation 7: `TM = α·FM + β·DM + γ·UM`.
+///
+/// # Examples
+///
+/// ```
+/// use mdrep::Weights;
+///
+/// let w = Weights::new(0.5, 0.3, 0.2)?;
+/// assert_eq!(w.alpha(), 0.5);
+/// # Ok::<(), mdrep::ParamsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weights {
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+}
+
+impl Weights {
+    /// Builds the weight triple; values must be non-negative, finite, and
+    /// sum to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamsError`] otherwise.
+    pub fn new(alpha: f64, beta: f64, gamma: f64) -> Result<Self, ParamsError> {
+        let parts = [alpha, beta, gamma];
+        if parts.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(ParamsError::new("weights must be finite and non-negative"));
+        }
+        if (alpha + beta + gamma - 1.0).abs() > 1e-9 {
+            return Err(ParamsError::new(format!(
+                "weights must sum to 1, got {}",
+                alpha + beta + gamma
+            )));
+        }
+        Ok(Self { alpha, beta, gamma })
+    }
+
+    /// Weight of the file-based matrix `FM`.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Weight of the download-volume matrix `DM`.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Weight of the user-based matrix `UM`.
+    #[must_use]
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+}
+
+impl Default for Weights {
+    /// The balanced default used throughout the experiments:
+    /// `α = 0.5, β = 0.3, γ = 0.2` (file similarity carries the most signal,
+    /// per the paper's emphasis on the file dimension).
+    fn default() -> Self {
+        Self { alpha: 0.5, beta: 0.3, gamma: 0.2 }
+    }
+}
+
+/// All tunables of the reputation system. Construct via [`Params::builder`]
+/// or use [`Params::default`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    pub(crate) eta: f64,
+    pub(crate) weights: Weights,
+    pub(crate) steps: u32,
+    pub(crate) retention_saturation: SimDuration,
+    pub(crate) evaluation_interval: SimDuration,
+    pub(crate) fake_threshold: Evaluation,
+    pub(crate) prune_threshold: f64,
+}
+
+impl Params {
+    /// Starts building a parameter set from the defaults.
+    #[must_use]
+    pub fn builder() -> ParamsBuilder {
+        ParamsBuilder { params: Self::default() }
+    }
+
+    /// Equation 1's `η`: weight of the implicit evaluation when an explicit
+    /// vote exists (`ρ = 1 − η`).
+    #[must_use]
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    /// Equation 7's `(α, β, γ)`.
+    #[must_use]
+    pub fn weights(&self) -> Weights {
+        self.weights
+    }
+
+    /// Equation 8's `n`: number of multi-trust steps.
+    #[must_use]
+    pub fn steps(&self) -> u32 {
+        self.steps
+    }
+
+    /// Retention time at which the implicit evaluation saturates at 1.
+    #[must_use]
+    pub fn retention_saturation(&self) -> SimDuration {
+        self.retention_saturation
+    }
+
+    /// How long evaluations are kept ("users only need to preserve the
+    /// evaluations within an interval", Section 4.3).
+    #[must_use]
+    pub fn evaluation_interval(&self) -> SimDuration {
+        self.evaluation_interval
+    }
+
+    /// File-reputation threshold below which a file is treated as fake.
+    #[must_use]
+    pub fn fake_threshold(&self) -> Evaluation {
+        self.fake_threshold
+    }
+
+    /// Entries of `TM^n` below this are pruned (0 disables pruning).
+    #[must_use]
+    pub fn prune_threshold(&self) -> f64 {
+        self.prune_threshold
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            eta: 0.4,
+            weights: Weights::default(),
+            steps: 1,
+            retention_saturation: SimDuration::from_days(7),
+            evaluation_interval: SimDuration::from_days(30),
+            fake_threshold: Evaluation::NEUTRAL,
+            prune_threshold: 0.0,
+        }
+    }
+}
+
+/// Builder for [`Params`].
+#[derive(Debug, Clone)]
+pub struct ParamsBuilder {
+    params: Params,
+}
+
+impl ParamsBuilder {
+    /// Sets `η` (implicit-evaluation weight in Equation 1).
+    pub fn eta(&mut self, eta: f64) -> &mut Self {
+        self.params.eta = eta;
+        self
+    }
+
+    /// Sets the Equation 7 weights.
+    pub fn weights(&mut self, weights: Weights) -> &mut Self {
+        self.params.weights = weights;
+        self
+    }
+
+    /// Sets the multi-trust step count `n`.
+    pub fn steps(&mut self, steps: u32) -> &mut Self {
+        self.params.steps = steps;
+        self
+    }
+
+    /// Sets the retention-saturation duration.
+    pub fn retention_saturation(&mut self, d: SimDuration) -> &mut Self {
+        self.params.retention_saturation = d;
+        self
+    }
+
+    /// Sets the evaluation retention interval.
+    pub fn evaluation_interval(&mut self, d: SimDuration) -> &mut Self {
+        self.params.evaluation_interval = d;
+        self
+    }
+
+    /// Sets the fake-file decision threshold.
+    pub fn fake_threshold(&mut self, t: Evaluation) -> &mut Self {
+        self.params.fake_threshold = t;
+        self
+    }
+
+    /// Sets the matrix prune threshold.
+    pub fn prune_threshold(&mut self, t: f64) -> &mut Self {
+        self.params.prune_threshold = t;
+        self
+    }
+
+    /// Validates and returns the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamsError`] when `η ∉ [0,1]`, `n = 0`, durations are
+    /// zero, or the prune threshold is invalid.
+    pub fn build(&self) -> Result<Params, ParamsError> {
+        let p = &self.params;
+        if !p.eta.is_finite() || !(0.0..=1.0).contains(&p.eta) {
+            return Err(ParamsError::new("eta must lie in [0, 1]"));
+        }
+        if p.steps == 0 {
+            return Err(ParamsError::new("steps must be at least 1"));
+        }
+        if p.retention_saturation == SimDuration::ZERO {
+            return Err(ParamsError::new("retention saturation must be positive"));
+        }
+        if p.evaluation_interval == SimDuration::ZERO {
+            return Err(ParamsError::new("evaluation interval must be positive"));
+        }
+        if !p.prune_threshold.is_finite() || p.prune_threshold < 0.0 {
+            return Err(ParamsError::new("prune threshold must be finite and non-negative"));
+        }
+        Ok(p.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_are_valid() {
+        let p = Params::default();
+        assert_eq!(p.steps(), 1);
+        assert!((p.eta() - 0.4).abs() < 1e-12);
+        assert_eq!(p.fake_threshold(), Evaluation::NEUTRAL);
+        // And round-trip through the builder.
+        assert_eq!(Params::builder().build().unwrap(), p);
+    }
+
+    #[test]
+    fn weights_must_be_convex() {
+        assert!(Weights::new(0.5, 0.3, 0.2).is_ok());
+        assert!(Weights::new(1.0, 0.0, 0.0).is_ok());
+        assert!(Weights::new(0.5, 0.5, 0.5).is_err());
+        assert!(Weights::new(-0.5, 1.0, 0.5).is_err());
+        assert!(Weights::new(f64::NAN, 0.5, 0.5).is_err());
+    }
+
+    #[test]
+    fn weights_accessors() {
+        let w = Weights::new(0.2, 0.3, 0.5).unwrap();
+        assert_eq!(w.alpha(), 0.2);
+        assert_eq!(w.beta(), 0.3);
+        assert_eq!(w.gamma(), 0.5);
+        let d = Weights::default();
+        assert!((d.alpha() + d.beta() + d.gamma() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(Params::builder().eta(1.5).build().is_err());
+        assert!(Params::builder().eta(-0.1).build().is_err());
+        assert!(Params::builder().steps(0).build().is_err());
+        assert!(Params::builder()
+            .retention_saturation(SimDuration::ZERO)
+            .build()
+            .is_err());
+        assert!(Params::builder()
+            .evaluation_interval(SimDuration::ZERO)
+            .build()
+            .is_err());
+        assert!(Params::builder().prune_threshold(-1.0).build().is_err());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let p = Params::builder()
+            .eta(0.7)
+            .weights(Weights::new(0.4, 0.4, 0.2).unwrap())
+            .steps(3)
+            .retention_saturation(SimDuration::from_days(2))
+            .evaluation_interval(SimDuration::from_days(10))
+            .fake_threshold(Evaluation::new(0.4).unwrap())
+            .prune_threshold(0.001)
+            .build()
+            .unwrap();
+        assert_eq!(p.eta(), 0.7);
+        assert_eq!(p.steps(), 3);
+        assert_eq!(p.weights().beta(), 0.4);
+        assert_eq!(p.prune_threshold(), 0.001);
+    }
+
+    #[test]
+    fn error_messages_are_specific() {
+        let err = Params::builder().steps(0).build().unwrap_err();
+        assert!(err.to_string().contains("steps"));
+        let err = Weights::new(0.2, 0.2, 0.2).unwrap_err();
+        assert!(err.to_string().contains("sum to 1"));
+    }
+}

@@ -1,0 +1,185 @@
+//! User-based direct trust: Equation 6.
+//!
+//! Users can rate each other directly — through explicit values, friend
+//! lists (high trust), and blacklists (zero trust). The latest rating per
+//! ordered pair is kept as `UT_ij`, and row-normalization yields the
+//! one-step matrix `UM` (Equation 6).
+
+use mdrep_matrix::SparseMatrix;
+use mdrep_types::{Evaluation, UserId};
+use std::collections::HashMap;
+
+/// Accumulates user-to-user ratings and computes `UT`/`UM`.
+///
+/// # Examples
+///
+/// ```
+/// use mdrep::UserTrust;
+/// use mdrep_types::{Evaluation, UserId};
+///
+/// let mut ut = UserTrust::new();
+/// let (a, b, c) = (UserId::new(0), UserId::new(1), UserId::new(2));
+/// ut.add_friend(a, b);          // friend list → trust 1
+/// ut.add_blacklist(a, c);       // blacklist → trust 0
+/// let um = ut.matrix();
+/// assert_eq!(um.get(a, b), 1.0);
+/// assert_eq!(um.get(a, c), 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UserTrust {
+    ratings: HashMap<(UserId, UserId), Evaluation>,
+}
+
+impl UserTrust {
+    /// Creates an empty rating store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `rater`'s rating of `target`, replacing any earlier one.
+    /// Self-ratings are ignored (they would let users seed their own rows).
+    pub fn rate(&mut self, rater: UserId, target: UserId, value: Evaluation) {
+        if rater != target {
+            self.ratings.insert((rater, target), value);
+        }
+    }
+
+    /// Friend-list shortcut: rate `friend` with the maximum value.
+    pub fn add_friend(&mut self, rater: UserId, friend: UserId) {
+        self.rate(rater, friend, Evaluation::BEST);
+    }
+
+    /// Blacklist shortcut: rate `target` with zero.
+    pub fn add_blacklist(&mut self, rater: UserId, target: UserId) {
+        self.rate(rater, target, Evaluation::WORST);
+    }
+
+    /// The current rating of `target` by `rater`, if any.
+    #[must_use]
+    pub fn rating(&self, rater: UserId, target: UserId) -> Option<Evaluation> {
+        self.ratings.get(&(rater, target)).copied()
+    }
+
+    /// Forgets every rating involving `user` — both the ratings it gave and
+    /// the ones it received (whitewash handling).
+    pub fn remove_user(&mut self, user: UserId) {
+        self.ratings.retain(|&(r, t), _| r != user && t != user);
+    }
+
+    /// Number of stored ratings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ratings.len()
+    }
+
+    /// Whether no ratings are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ratings.is_empty()
+    }
+
+    /// The raw `UT` matrix. Zero ratings (blacklist entries) are absent
+    /// from the sparse form — exactly their Equation 6 semantics, since a
+    /// zero contributes nothing to the normalized row.
+    #[must_use]
+    pub fn raw(&self) -> SparseMatrix {
+        let mut ut = SparseMatrix::new();
+        for (&(rater, target), &value) in &self.ratings {
+            if value.value() > 0.0 {
+                ut.set(rater, target, value.value()).expect("in [0,1]");
+            }
+        }
+        ut
+    }
+
+    /// Equation 6: the row-normalized one-step matrix `UM`.
+    #[must_use]
+    pub fn matrix(&self) -> SparseMatrix {
+        self.raw().normalized_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(i: u64) -> UserId {
+        UserId::new(i)
+    }
+
+    #[test]
+    fn ratings_round_trip() {
+        let mut ut = UserTrust::new();
+        ut.rate(u(0), u(1), Evaluation::new(0.8).unwrap());
+        assert_eq!(ut.rating(u(0), u(1)).unwrap().value(), 0.8);
+        assert_eq!(ut.rating(u(1), u(0)), None);
+        assert_eq!(ut.len(), 1);
+    }
+
+    #[test]
+    fn re_rating_replaces() {
+        let mut ut = UserTrust::new();
+        ut.rate(u(0), u(1), Evaluation::BEST);
+        ut.rate(u(0), u(1), Evaluation::new(0.2).unwrap());
+        assert_eq!(ut.rating(u(0), u(1)).unwrap().value(), 0.2);
+        assert_eq!(ut.len(), 1);
+    }
+
+    #[test]
+    fn self_ratings_ignored() {
+        let mut ut = UserTrust::new();
+        ut.rate(u(0), u(0), Evaluation::BEST);
+        ut.add_friend(u(1), u(1));
+        assert!(ut.is_empty());
+    }
+
+    #[test]
+    fn um_normalizes_rows() {
+        let mut ut = UserTrust::new();
+        ut.rate(u(0), u(1), Evaluation::new(0.6).unwrap());
+        ut.rate(u(0), u(2), Evaluation::new(0.2).unwrap());
+        let um = ut.matrix();
+        assert!(um.is_row_stochastic(1e-12));
+        assert!((um.get(u(0), u(1)) - 0.75).abs() < 1e-12);
+        assert!((um.get(u(0), u(2)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blacklisted_users_get_nothing_after_normalization() {
+        let mut ut = UserTrust::new();
+        ut.add_friend(u(0), u(1));
+        ut.add_blacklist(u(0), u(2));
+        let um = ut.matrix();
+        assert_eq!(um.get(u(0), u(1)), 1.0);
+        assert_eq!(um.get(u(0), u(2)), 0.0);
+    }
+
+    #[test]
+    fn blacklist_overrides_friendship() {
+        let mut ut = UserTrust::new();
+        ut.add_friend(u(0), u(1));
+        ut.add_blacklist(u(0), u(1));
+        assert_eq!(ut.matrix().get(u(0), u(1)), 0.0);
+    }
+
+    #[test]
+    fn remove_user_clears_given_and_received() {
+        let mut ut = UserTrust::new();
+        ut.add_friend(u(0), u(1));
+        ut.add_friend(u(1), u(2));
+        ut.add_friend(u(2), u(0));
+        ut.remove_user(u(1));
+        assert_eq!(ut.len(), 1);
+        assert!(ut.rating(u(2), u(0)).is_some());
+    }
+
+    #[test]
+    fn all_blacklist_row_is_empty() {
+        let mut ut = UserTrust::new();
+        ut.add_blacklist(u(0), u(1));
+        ut.add_blacklist(u(0), u(2));
+        let um = ut.matrix();
+        assert!(um.is_empty());
+    }
+}

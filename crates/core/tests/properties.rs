@@ -1,0 +1,119 @@
+//! Property-based tests on the reputation system's invariants.
+
+use mdrep::{
+    file_reputation, EvaluationStore, FileTrust, OwnerEvaluation, Params, ReputationEngine,
+    ReputationMatrix, ServicePolicy, UserTrust, Weights,
+};
+use mdrep_matrix::SparseMatrix;
+use mdrep_types::{Evaluation, FileId, FileSize, SimTime, UserId};
+use proptest::prelude::*;
+
+fn eval_strategy() -> impl Strategy<Value = Evaluation> {
+    (0.0f64..=1.0).prop_map(|v| Evaluation::new(v).expect("in range"))
+}
+
+/// A small random vote table: (user, file, value).
+fn votes_strategy() -> impl Strategy<Value = Vec<(u64, u64, Evaluation)>> {
+    proptest::collection::vec((0u64..8, 0u64..10, eval_strategy()), 1..60)
+}
+
+proptest! {
+    #[test]
+    fn file_trust_is_symmetric_and_bounded(votes in votes_strategy()) {
+        let params = Params::builder().eta(0.0).build().expect("valid");
+        let mut store = EvaluationStore::new();
+        for &(u, f, v) in &votes {
+            store.record_vote(SimTime::ZERO, UserId::new(u), FileId::new(f), v);
+        }
+        let ft = FileTrust::compute(&store, SimTime::ZERO, &params);
+        for (i, j, v) in ft.raw().iter() {
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!((ft.raw().get(j, i) - v).abs() < 1e-12, "symmetry");
+            prop_assert_ne!(i, j, "no self trust");
+        }
+        prop_assert!(ft.matrix().is_row_stochastic(1e-9));
+    }
+
+    #[test]
+    fn equation_nine_is_bounded_by_evaluations(
+        entries in proptest::collection::vec((1u64..10, 0.001f64..1.0), 1..8),
+        evals in proptest::collection::vec((1u64..10, 0.0f64..=1.0), 1..8),
+    ) {
+        let mut tm = SparseMatrix::new();
+        for &(j, v) in &entries {
+            tm.set(UserId::new(0), UserId::new(j), v).expect("valid");
+        }
+        let rm = ReputationMatrix::compute(&tm, &Params::default());
+        let owner_evals: Vec<OwnerEvaluation> = evals
+            .iter()
+            .map(|&(j, v)| OwnerEvaluation::new(UserId::new(j), Evaluation::new(v).expect("ok")))
+            .collect();
+        if let Some(r) = file_reputation(&rm, UserId::new(0), &owner_evals) {
+            let lo = owner_evals.iter().map(|o| o.evaluation.value()).fold(f64::INFINITY, f64::min);
+            let hi = owner_evals.iter().map(|o| o.evaluation.value()).fold(0.0, f64::max);
+            prop_assert!(r.value() >= lo - 1e-9);
+            prop_assert!(r.value() <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn service_is_monotone_in_reputation(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let policy = ServicePolicy::default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let dlo = policy.decide_scaled(lo);
+        let dhi = policy.decide_scaled(hi);
+        prop_assert!(dhi.queue_offset >= dlo.queue_offset);
+        prop_assert!(dhi.bandwidth_fraction >= dlo.bandwidth_fraction - 1e-12);
+        prop_assert!(dlo.bandwidth_fraction > 0.0, "nobody is starved outright");
+        prop_assert!(dhi.bandwidth_fraction <= 1.0);
+    }
+
+    #[test]
+    fn user_trust_rows_normalize(ratings in proptest::collection::vec(
+        (0u64..6, 0u64..6, eval_strategy()), 0..40)) {
+        let mut ut = UserTrust::new();
+        for &(r, t, v) in &ratings {
+            ut.rate(UserId::new(r), UserId::new(t), v);
+        }
+        prop_assert!(ut.matrix().is_row_stochastic(1e-9));
+    }
+
+    #[test]
+    fn engine_reputation_nonnegative_and_rows_bounded(
+        downloads in proptest::collection::vec((0u64..6, 0u64..6, 0u64..8, 1u64..500), 1..40),
+        votes in proptest::collection::vec((0u64..6, 0u64..8, eval_strategy()), 0..30),
+    ) {
+        let mut engine = ReputationEngine::new(Params::default());
+        for &(d, u, f, mib) in &downloads {
+            if d != u {
+                engine.observe_download(
+                    SimTime::ZERO,
+                    UserId::new(d),
+                    UserId::new(u),
+                    FileId::new(f),
+                    FileSize::from_mib(mib),
+                );
+            }
+        }
+        for &(u, f, v) in &votes {
+            engine.observe_vote(SimTime::ZERO, UserId::new(u), FileId::new(f), v);
+        }
+        engine.recompute(SimTime::ZERO);
+        let rm = engine.reputation_matrix().expect("computed");
+        for (i, _, v) in rm.matrix().iter() {
+            prop_assert!(v >= 0.0);
+            prop_assert!(rm.matrix().row_sum(i) <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn weights_validity_is_exact(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let c = 1.0 - a - b;
+        let result = Weights::new(a, b, c);
+        if c >= 0.0 {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+}

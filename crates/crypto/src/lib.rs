@@ -1,0 +1,56 @@
+//! Cryptographic substrate for the simulated P2P overlay: a from-scratch
+//! SHA-256, HMAC-SHA-256, content hashing, and a keyed signature scheme with
+//! a trusted key registry.
+//!
+//! The paper secures `EvaluationInfo = <FileID, OwnerID, Evaluation,
+//! Signature>` records with digital signatures so that evaluations cannot be
+//! forged or distorted in transit or at the index peer (Section 4.2, attack
+//! 1). In a production system those would be asymmetric signatures under a
+//! PKI. This reproduction substitutes a **keyed-hash (HMAC) signature scheme
+//! with a trusted [`KeyRegistry`]**: each simulated user holds a secret
+//! [`SigningKey`]; verifiers resolve the matching verification key through
+//! the registry, which plays the role of the PKI. The security property the
+//! experiments exercise — *a tampered or mis-attributed evaluation fails
+//! verification* — is preserved exactly (see DESIGN.md, substitution table).
+//!
+//! # Examples
+//!
+//! ```
+//! use mdrep_crypto::{KeyRegistry, Sha256, SigningKey};
+//! use mdrep_types::UserId;
+//!
+//! // One-shot hashing.
+//! let digest = Sha256::digest(b"hello world");
+//! assert_eq!(
+//!     digest.to_hex(),
+//!     "b94d27b9934d3e08a52e52d7da7dabfac484efe37a5380ee9088f7ace2efcde9",
+//! );
+//!
+//! // Signing and verification through the registry.
+//! let mut registry = KeyRegistry::new();
+//! let alice = UserId::new(1);
+//! let key = registry.register(alice, 42);
+//! let sig = key.sign(b"my evaluation");
+//! assert!(registry.verify(alice, b"my evaluation", &sig));
+//! assert!(!registry.verify(alice, b"my EVALUATION", &sig));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hmac;
+mod sha256;
+mod sign;
+
+pub use hmac::HmacSha256;
+pub use sha256::{Digest, Sha256};
+pub use sign::{KeyRegistry, Signature, SigningKey};
+
+use mdrep_types::ContentHash;
+
+/// Hashes arbitrary bytes into a [`ContentHash`] (the file-content digest
+/// used by DHT keys and trace records).
+#[must_use]
+pub fn content_hash(bytes: &[u8]) -> ContentHash {
+    ContentHash::from_bytes(Sha256::digest(bytes).into_bytes())
+}

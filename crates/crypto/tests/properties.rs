@@ -1,0 +1,76 @@
+//! Property-based tests for the crypto substrate.
+
+use mdrep_crypto::{content_hash, HmacSha256, KeyRegistry, Sha256, SigningKey};
+use mdrep_types::UserId;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn incremental_equals_one_shot(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                   split in 0usize..2048) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn sha256_is_deterministic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(Sha256::digest(&data), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn distinct_inputs_rarely_collide(a in proptest::collection::vec(any::<u8>(), 0..256),
+                                      b in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if a != b {
+            prop_assert_ne!(Sha256::digest(&a), Sha256::digest(&b));
+        }
+    }
+
+    #[test]
+    fn hmac_differs_from_plain_hash(key in proptest::collection::vec(any::<u8>(), 1..128),
+                                    msg in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_ne!(HmacSha256::mac(&key, &msg), Sha256::digest(&msg));
+    }
+
+    #[test]
+    fn signature_round_trip(seed in any::<u64>(),
+                            msg in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let key = SigningKey::from_seed(seed);
+        let sig = key.sign(&msg);
+        prop_assert!(key.verify(&msg, &sig));
+    }
+
+    #[test]
+    fn flipping_any_bit_breaks_signature(seed in any::<u64>(),
+                                         msg in proptest::collection::vec(any::<u8>(), 1..64),
+                                         bit in 0usize..8,
+                                         idx_seed in any::<usize>()) {
+        let key = SigningKey::from_seed(seed);
+        let sig = key.sign(&msg);
+        let mut tampered = msg.clone();
+        let idx = idx_seed % tampered.len();
+        tampered[idx] ^= 1 << bit;
+        prop_assert!(!key.verify(&tampered, &sig));
+    }
+
+    #[test]
+    fn registry_isolation(seed in any::<u64>(), ua in 0u64..1000, ub in 0u64..1000,
+                          msg in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assume!(ua != ub);
+        let mut reg = KeyRegistry::new();
+        let ka = reg.register(UserId::new(ua), seed);
+        reg.register(UserId::new(ub), seed);
+        let sig = ka.sign(&msg);
+        prop_assert!(reg.verify(UserId::new(ua), &msg, &sig));
+        prop_assert!(!reg.verify(UserId::new(ub), &msg, &sig));
+    }
+
+    #[test]
+    fn content_hash_matches_sha256(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let ch = content_hash(&data);
+        let d = Sha256::digest(&data);
+        prop_assert_eq!(ch.as_bytes(), d.as_bytes());
+    }
+}

@@ -1,0 +1,552 @@
+//! The simulated overlay: joins, iterative lookups, stores, retrievals,
+//! republication, churn, and message accounting.
+
+use crate::id::{Key, NodeId};
+use crate::node::{Node, StoredValue};
+use mdrep_types::{SimDuration, SimTime, UserId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{BTreeSet, HashMap};
+use std::error::Error;
+use std::fmt;
+
+/// Configuration of the simulated DHT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DhtConfig {
+    /// How many closest nodes store each value (Kademlia's replication).
+    pub replication: usize,
+    /// Lookup fan-out per round (Kademlia's α).
+    pub lookup_parallelism: usize,
+    /// Value TTL; republication refreshes it.
+    pub ttl: SimDuration,
+    /// Probability that any RPC is lost in transit.
+    pub message_loss: f64,
+    /// RNG seed for the loss process.
+    pub seed: u64,
+}
+
+impl Default for DhtConfig {
+    fn default() -> Self {
+        Self {
+            replication: 3,
+            lookup_parallelism: 3,
+            ttl: SimDuration::from_hours(24),
+            message_loss: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Errors returned by DHT operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DhtError {
+    /// The acting user has no node in the overlay.
+    UnknownUser(UserId),
+    /// The acting user's node is offline.
+    Offline(UserId),
+    /// No reachable node could store or serve the request.
+    NoReachableNodes,
+}
+
+impl fmt::Display for DhtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownUser(u) => write!(f, "user {u} has not joined the overlay"),
+            Self::Offline(u) => write!(f, "user {u} is offline"),
+            Self::NoReachableNodes => f.write_str("no reachable nodes for the request"),
+        }
+    }
+}
+
+impl Error for DhtError {}
+
+/// Message counters (requests sent; responses are implied).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MessageStats {
+    /// `FIND_NODE` requests.
+    pub find_node: u64,
+    /// `STORE` requests.
+    pub store: u64,
+    /// `FIND_VALUE` requests.
+    pub find_value: u64,
+    /// Requests lost in transit.
+    pub dropped: u64,
+    /// Requests addressed to offline nodes.
+    pub refused: u64,
+}
+
+impl MessageStats {
+    /// Total requests sent.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.find_node + self.store + self.find_value
+    }
+}
+
+/// The whole simulated overlay.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Debug)]
+pub struct Dht {
+    config: DhtConfig,
+    rng: StdRng,
+    nodes: HashMap<NodeId, Node>,
+    by_user: HashMap<UserId, NodeId>,
+    /// What each user has published, for republication.
+    publications: HashMap<UserId, Vec<(Key, Vec<u8>)>>,
+    stats: MessageStats,
+}
+
+impl Dht {
+    /// Creates an empty overlay.
+    #[must_use]
+    pub fn new(config: DhtConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed ^ 0x6468_7431);
+        Self {
+            config,
+            rng,
+            nodes: HashMap::new(),
+            by_user: HashMap::new(),
+            publications: HashMap::new(),
+            stats: MessageStats::default(),
+        }
+    }
+
+    /// Message counters so far.
+    #[must_use]
+    pub fn stats(&self) -> MessageStats {
+        self.stats
+    }
+
+    /// Resets the message counters (between experiment phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = MessageStats::default();
+    }
+
+    /// Number of nodes that ever joined.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the overlay is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of currently-online nodes.
+    #[must_use]
+    pub fn online_count(&self) -> usize {
+        self.nodes.values().filter(|n| n.is_online()).count()
+    }
+
+    /// Joins `user` to the overlay (or brings its node back online),
+    /// bootstrapping its routing table through an iterative self-lookup.
+    pub fn join(&mut self, user: UserId, now: SimTime) {
+        if let Some(&id) = self.by_user.get(&user) {
+            self.nodes.get_mut(&id).expect("indexed").set_online(true);
+            return;
+        }
+        let node = Node::new(user);
+        let id = node.id();
+        // Bootstrap through an arbitrary online node (deterministic order).
+        let bootstrap = self
+            .nodes
+            .values()
+            .filter(|n| n.is_online())
+            .map(Node::id)
+            .min();
+        self.by_user.insert(user, id);
+        self.nodes.insert(id, node);
+        if let Some(boot) = bootstrap {
+            self.nodes.get_mut(&id).expect("just inserted").routing_mut().observe(boot);
+            self.nodes.get_mut(&boot).expect("exists").routing_mut().observe(id);
+            let found = self.iterative_find(id, id, now);
+            let me = self.nodes.get_mut(&id).expect("exists");
+            for peer in found {
+                me.routing_mut().observe(peer);
+            }
+            // Bucket refresh (Kademlia §2.3): look up a few well-spread
+            // keys so the distant buckets get populated too — without this,
+            // store and get lookups on large overlays can converge to
+            // disjoint neighbourhoods and lose values.
+            for salt in 0..3u64 {
+                let target = Key::for_content(
+                    &[&user.as_u64().to_be_bytes()[..], &salt.to_be_bytes()[..]].concat(),
+                );
+                let found = self.iterative_find(id, target, now);
+                let me = self.nodes.get_mut(&id).expect("exists");
+                for peer in found {
+                    me.routing_mut().observe(peer);
+                }
+            }
+        }
+    }
+
+    /// Marks `user`'s node offline (session end). Stored values stay on
+    /// disk and reappear when the node rejoins — Kademlia semantics.
+    pub fn leave(&mut self, user: UserId) {
+        if let Some(&id) = self.by_user.get(&user) {
+            self.nodes.get_mut(&id).expect("indexed").set_online(false);
+        }
+    }
+
+    /// Whether `user` is currently online in the overlay.
+    #[must_use]
+    pub fn is_online(&self, user: UserId) -> bool {
+        self.by_user
+            .get(&user)
+            .and_then(|id| self.nodes.get(id))
+            .is_some_and(Node::is_online)
+    }
+
+    /// Stores `data` under `key` at the `replication` closest online nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DhtError`] if `publisher` is unknown/offline or no node
+    /// accepted the value.
+    pub fn store(
+        &mut self,
+        publisher: UserId,
+        key: Key,
+        data: Vec<u8>,
+        now: SimTime,
+    ) -> Result<usize, DhtError> {
+        let origin = self.require_online(publisher)?;
+        let targets = self.iterative_find(origin, key, now);
+        let mut stored = 0;
+        for target in targets.iter().take(self.config.replication) {
+            self.stats.store += 1;
+            if self.message_lost() {
+                self.stats.dropped += 1;
+                continue;
+            }
+            let Some(node) = self.nodes.get_mut(target) else { continue };
+            if !node.is_online() {
+                self.stats.refused += 1;
+                continue;
+            }
+            node.store(
+                key,
+                StoredValue {
+                    data: data.clone(),
+                    publisher,
+                    expires_at: now + self.config.ttl,
+                },
+            );
+            stored += 1;
+        }
+        if stored == 0 {
+            return Err(DhtError::NoReachableNodes);
+        }
+        self.publications.entry(publisher).or_default().push((key, data));
+        Ok(stored)
+    }
+
+    /// Retrieves all live values stored under `key`, deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DhtError`] if `requester` is unknown or offline.
+    pub fn get(
+        &mut self,
+        requester: UserId,
+        key: Key,
+        now: SimTime,
+    ) -> Result<Vec<Vec<u8>>, DhtError> {
+        let origin = self.require_online(requester)?;
+        let targets = self.iterative_find(origin, key, now);
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for target in targets.iter().take(self.config.replication) {
+            self.stats.find_value += 1;
+            if self.message_lost() {
+                self.stats.dropped += 1;
+                continue;
+            }
+            let Some(node) = self.nodes.get(target) else { continue };
+            if !node.is_online() {
+                self.stats.refused += 1;
+                continue;
+            }
+            for value in node.get(&key, now) {
+                if seen.insert(value.data.clone()) {
+                    out.push(value.data.clone());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Republishes everything `user` ever stored, refreshing replicas and
+    /// TTLs (Fig. 2 step 2: "update […] with the regular republication").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DhtError`] when the user is unknown or offline.
+    pub fn republish(&mut self, user: UserId, now: SimTime) -> Result<usize, DhtError> {
+        self.require_online(user)?;
+        let publications = self.publications.get(&user).cloned().unwrap_or_default();
+        // Clear first: store() will re-append.
+        self.publications.insert(user, Vec::new());
+        let mut refreshed = 0;
+        for (key, data) in publications {
+            if self.store(user, key, data, now).is_ok() {
+                refreshed += 1;
+            }
+        }
+        Ok(refreshed)
+    }
+
+    /// Expires stale values on every node; returns how many were dropped.
+    pub fn expire_all(&mut self, now: SimTime) -> usize {
+        self.nodes.values_mut().map(|n| n.expire(now)).sum()
+    }
+
+    /// Read access to a user's node (for assertions and experiments).
+    #[must_use]
+    pub fn node_of(&self, user: UserId) -> Option<&Node> {
+        self.by_user.get(&user).and_then(|id| self.nodes.get(id))
+    }
+
+    fn require_online(&self, user: UserId) -> Result<NodeId, DhtError> {
+        let id = *self.by_user.get(&user).ok_or(DhtError::UnknownUser(user))?;
+        if self.nodes.get(&id).is_some_and(Node::is_online) {
+            Ok(id)
+        } else {
+            Err(DhtError::Offline(user))
+        }
+    }
+
+    fn message_lost(&mut self) -> bool {
+        self.config.message_loss > 0.0 && self.rng.random::<f64>() < self.config.message_loss
+    }
+
+    /// Iterative Kademlia lookup from `origin` toward `key`; returns the
+    /// closest online nodes discovered, nearest first.
+    fn iterative_find(&mut self, origin: NodeId, key: Key, _now: SimTime) -> Vec<NodeId> {
+        let k = self.config.replication.max(crate::routing::BUCKET_SIZE);
+        let mut candidates: Vec<NodeId> = self
+            .nodes
+            .get(&origin)
+            .map(|n| n.routing().closest(&key, k))
+            .unwrap_or_default();
+        // The origin itself is a candidate server for the key.
+        candidates.push(origin);
+        let mut queried: BTreeSet<NodeId> = BTreeSet::new();
+        queried.insert(origin);
+        let mut alive: BTreeSet<NodeId> = BTreeSet::new();
+        alive.insert(origin);
+
+        loop {
+            candidates.sort_by_key(|n| n.distance(&key));
+            candidates.dedup();
+            // Kademlia termination: only the k closest known nodes are
+            // worth querying; when they have all answered, the lookup has
+            // converged (this is what bounds the lookup at O(log n) hops
+            // instead of crawling the whole overlay).
+            let round: Vec<NodeId> = candidates
+                .iter()
+                .take(k)
+                .filter(|n| !queried.contains(n))
+                .take(self.config.lookup_parallelism)
+                .copied()
+                .collect();
+            if round.is_empty() {
+                break;
+            }
+            let mut learned = Vec::new();
+            for target in round {
+                queried.insert(target);
+                self.stats.find_node += 1;
+                if self.message_lost() {
+                    self.stats.dropped += 1;
+                    continue;
+                }
+                let Some(node) = self.nodes.get(&target) else { continue };
+                if !node.is_online() {
+                    self.stats.refused += 1;
+                    // Forget dead peers on the origin's table.
+                    if let Some(o) = self.nodes.get_mut(&origin) {
+                        o.routing_mut().remove(&target);
+                    }
+                    continue;
+                }
+                alive.insert(target);
+                learned.extend(node.routing().closest(&key, k));
+                // The queried node learns about the origin (Kademlia
+                // tables are refreshed by incoming traffic).
+                if let Some(n) = self.nodes.get_mut(&target) {
+                    n.routing_mut().observe(origin);
+                }
+            }
+            if learned.is_empty() {
+                break;
+            }
+            candidates.extend(learned);
+        }
+
+        let mut result: Vec<NodeId> = alive.into_iter().collect();
+        result.sort_by_key(|n| n.distance(&key));
+        result.truncate(k);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(i: u64) -> UserId {
+        UserId::new(i)
+    }
+
+    fn overlay(n: u64) -> Dht {
+        let mut dht = Dht::new(DhtConfig::default());
+        for i in 0..n {
+            dht.join(u(i), SimTime::ZERO);
+        }
+        dht
+    }
+
+    #[test]
+    fn join_builds_routing_tables() {
+        let dht = overlay(20);
+        assert_eq!(dht.len(), 20);
+        assert_eq!(dht.online_count(), 20);
+        // Every late joiner knows at least one peer.
+        for i in 1..20 {
+            assert!(!dht.node_of(u(i)).unwrap().routing().is_empty(), "node {i}");
+        }
+    }
+
+    #[test]
+    fn store_then_get_round_trip() {
+        let mut dht = overlay(30);
+        let key = Key::for_content(b"file-index");
+        let stored = dht.store(u(0), key, b"record".to_vec(), SimTime::ZERO).unwrap();
+        assert!(stored >= 1);
+        let got = dht.get(u(17), key, SimTime::ZERO).unwrap();
+        assert_eq!(got, vec![b"record".to_vec()]);
+    }
+
+    #[test]
+    fn get_unknown_key_is_empty() {
+        let mut dht = overlay(10);
+        let got = dht.get(u(3), Key::for_content(b"nothing"), SimTime::ZERO).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn unknown_and_offline_users_error() {
+        let mut dht = overlay(5);
+        let key = Key::for_content(b"k");
+        assert_eq!(
+            dht.store(u(99), key, vec![], SimTime::ZERO),
+            Err(DhtError::UnknownUser(u(99)))
+        );
+        dht.leave(u(2));
+        assert!(!dht.is_online(u(2)));
+        assert_eq!(dht.get(u(2), key, SimTime::ZERO), Err(DhtError::Offline(u(2))));
+    }
+
+    #[test]
+    fn values_expire_without_republication() {
+        let mut dht = overlay(10);
+        let key = Key::for_content(b"k");
+        dht.store(u(0), key, b"v".to_vec(), SimTime::ZERO).unwrap();
+        let later = SimTime::ZERO + SimDuration::from_hours(25);
+        let got = dht.get(u(1), key, later).unwrap();
+        assert!(got.is_empty(), "TTL passed");
+        assert!(dht.expire_all(later) >= 1);
+    }
+
+    #[test]
+    fn republication_refreshes_ttl() {
+        let mut dht = overlay(10);
+        let key = Key::for_content(b"k");
+        dht.store(u(0), key, b"v".to_vec(), SimTime::ZERO).unwrap();
+        let mid = SimTime::ZERO + SimDuration::from_hours(20);
+        assert_eq!(dht.republish(u(0), mid).unwrap(), 1);
+        let later = SimTime::ZERO + SimDuration::from_hours(30);
+        let got = dht.get(u(1), key, later).unwrap();
+        assert_eq!(got.len(), 1, "refreshed replica still alive");
+    }
+
+    #[test]
+    fn messages_are_counted() {
+        let mut dht = overlay(20);
+        dht.reset_stats();
+        let key = Key::for_content(b"k");
+        dht.store(u(0), key, b"v".to_vec(), SimTime::ZERO).unwrap();
+        let stats = dht.stats();
+        assert!(stats.find_node > 0, "lookup traffic");
+        assert!(stats.store >= 1);
+        assert_eq!(stats.find_value, 0);
+        let _ = dht.get(u(1), key, SimTime::ZERO).unwrap();
+        assert!(dht.stats().find_value >= 1);
+        assert!(dht.stats().total() > stats.total());
+    }
+
+    #[test]
+    fn churn_survivable_with_replication() {
+        let mut dht = overlay(40);
+        let key = Key::for_content(b"k");
+        dht.store(u(0), key, b"v".to_vec(), SimTime::ZERO).unwrap();
+        // Knock a third of the overlay offline.
+        for i in 0..13 {
+            dht.leave(u(i * 3 + 1));
+        }
+        let got = dht.get(u(0), key, SimTime::ZERO).unwrap();
+        // With replication 3 the value usually survives; at minimum the
+        // call must not error and the overlay stays operational.
+        assert!(got.len() <= 1);
+        assert!(dht.online_count() >= 27);
+    }
+
+    #[test]
+    fn rejoin_brings_stored_values_back() {
+        let mut dht = overlay(10);
+        let key = Key::for_content(b"k");
+        dht.store(u(0), key, b"v".to_vec(), SimTime::ZERO).unwrap();
+        // Find a storing node and bounce it.
+        let holder = (0..10)
+            .map(u)
+            .find(|&user| dht.node_of(user).unwrap().stored_len() > 0)
+            .expect("someone stores it");
+        dht.leave(holder);
+        dht.join(holder, SimTime::ZERO);
+        assert!(dht.is_online(holder));
+        assert!(dht.node_of(holder).unwrap().stored_len() > 0, "storage survives churn");
+    }
+
+    #[test]
+    fn message_loss_degrades_but_does_not_crash() {
+        let config = DhtConfig { message_loss: 0.5, seed: 42, ..DhtConfig::default() };
+        let mut dht = Dht::new(config);
+        for i in 0..30 {
+            dht.join(u(i), SimTime::ZERO);
+        }
+        let key = Key::for_content(b"k");
+        // Store may or may not fully replicate; repeated attempts succeed
+        // eventually.
+        let mut stored_any = false;
+        for _ in 0..10 {
+            if dht.store(u(0), key, b"v".to_vec(), SimTime::ZERO).is_ok() {
+                stored_any = true;
+                break;
+            }
+        }
+        assert!(stored_any);
+        assert!(dht.stats().dropped > 0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DhtError::UnknownUser(u(1)).to_string().contains("U1"));
+        assert!(DhtError::Offline(u(2)).to_string().contains("offline"));
+        assert!(DhtError::NoReachableNodes.to_string().contains("reachable"));
+    }
+}

@@ -1,0 +1,50 @@
+//! A Kademlia-style simulated DHT with evaluation co-publication — the
+//! Section 4 substrate of the paper.
+//!
+//! The paper stores each file's index *and the owners' evaluations of it*
+//! at the file's index peers (Figure 2):
+//!
+//! 1. **Publication**: a user publishes
+//!    `EvaluationInfo = <FileID, OwnerID, Evaluation, Signature>` together
+//!    with the file's index — no extra lookups beyond normal publication.
+//! 2. **Update**: regular republication refreshes both.
+//! 3. **Retrieval**: a downloader fetching the owner list receives the
+//!    evaluation array in the same reply.
+//! 4. Steps 4–6 (reputation calculation and service differentiation)
+//!    happen locally, in crate `mdrep`.
+//!
+//! The overlay is simulated: all nodes live in one [`Dht`] value, RPCs are
+//! delivered as function calls, and every message is *counted* (and
+//! possibly dropped or refused by offline nodes), which is what the
+//! DHT-overhead and churn experiments measure.
+//!
+//! # Examples
+//!
+//! ```
+//! use mdrep_dht::{Dht, DhtConfig, Key};
+//! use mdrep_types::{SimTime, UserId};
+//!
+//! let mut dht = Dht::new(DhtConfig::default());
+//! for i in 0..32 {
+//!     dht.join(UserId::new(i), SimTime::ZERO);
+//! }
+//! let key = Key::for_content(b"some file");
+//! dht.store(UserId::new(0), key, b"owner-record".to_vec(), SimTime::ZERO).unwrap();
+//! let values = dht.get(UserId::new(7), key, SimTime::ZERO).unwrap();
+//! assert_eq!(values[0], b"owner-record");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dht;
+mod evaluation;
+mod id;
+mod node;
+mod routing;
+
+pub use dht::{Dht, DhtConfig, DhtError, MessageStats};
+pub use evaluation::{EvaluationInfo, EvaluationPublisher, VerifiedEvaluation};
+pub use id::{Key, NodeId};
+pub use node::{Node, StoredValue};
+pub use routing::RoutingTable;

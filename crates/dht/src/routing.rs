@@ -1,0 +1,169 @@
+//! Per-node k-bucket routing tables.
+
+use crate::id::{Key, NodeId, ID_BYTES};
+
+/// Number of entries per bucket (Kademlia's `k`).
+pub const BUCKET_SIZE: usize = 8;
+
+/// A node's view of the overlay: 160 LRU buckets of known peers.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    own: NodeId,
+    buckets: Vec<Vec<NodeId>>,
+}
+
+impl RoutingTable {
+    /// Creates an empty table for the node with id `own`.
+    #[must_use]
+    pub fn new(own: NodeId) -> Self {
+        Self { own, buckets: vec![Vec::new(); ID_BYTES * 8] }
+    }
+
+    /// The owning node's id.
+    #[must_use]
+    pub fn own_id(&self) -> NodeId {
+        self.own
+    }
+
+    /// Observes a peer: moves it to the back (most-recent) of its bucket,
+    /// inserting if the bucket has room. Full buckets drop the *oldest*
+    /// entry — a simplification of Kademlia's ping-before-evict that keeps
+    /// the simulation deterministic. Returns whether the peer is now in the
+    /// table.
+    pub fn observe(&mut self, peer: NodeId) -> bool {
+        let Some(index) = self.own.bucket_index(&peer) else {
+            return false; // never store ourselves
+        };
+        let bucket = &mut self.buckets[index];
+        if let Some(pos) = bucket.iter().position(|&n| n == peer) {
+            bucket.remove(pos);
+            bucket.push(peer);
+            return true;
+        }
+        if bucket.len() == BUCKET_SIZE {
+            bucket.remove(0);
+        }
+        bucket.push(peer);
+        true
+    }
+
+    /// Removes a peer (e.g. observed offline).
+    pub fn remove(&mut self, peer: &NodeId) {
+        if let Some(index) = self.own.bucket_index(peer) {
+            self.buckets[index].retain(|n| n != peer);
+        }
+    }
+
+    /// The `count` known peers closest to `target`, ordered by XOR
+    /// distance.
+    #[must_use]
+    pub fn closest(&self, target: &Key, count: usize) -> Vec<NodeId> {
+        let mut all: Vec<NodeId> = self.buckets.iter().flatten().copied().collect();
+        all.sort_by_key(|n| n.distance(target));
+        all.truncate(count);
+        all
+    }
+
+    /// Total peers known.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the table knows no peers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(Vec::is_empty)
+    }
+
+    /// Whether `peer` is present.
+    #[must_use]
+    pub fn contains(&self, peer: &NodeId) -> bool {
+        self.own
+            .bucket_index(peer)
+            .is_some_and(|i| self.buckets[i].contains(peer))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdrep_types::UserId;
+
+    fn node(i: u64) -> NodeId {
+        Key::for_user(UserId::new(i))
+    }
+
+    #[test]
+    fn observe_and_contains() {
+        let mut rt = RoutingTable::new(node(0));
+        assert!(rt.is_empty());
+        assert!(rt.observe(node(1)));
+        assert!(rt.contains(&node(1)));
+        assert!(!rt.contains(&node(2)));
+        assert_eq!(rt.len(), 1);
+    }
+
+    #[test]
+    fn never_stores_self() {
+        let mut rt = RoutingTable::new(node(0));
+        assert!(!rt.observe(node(0)));
+        assert!(rt.is_empty());
+    }
+
+    #[test]
+    fn duplicate_observation_keeps_single_entry() {
+        let mut rt = RoutingTable::new(node(0));
+        rt.observe(node(1));
+        rt.observe(node(1));
+        assert_eq!(rt.len(), 1);
+    }
+
+    #[test]
+    fn full_bucket_evicts_oldest() {
+        let own = Key::from_bytes([0; ID_BYTES]);
+        let mut rt = RoutingTable::new(own);
+        // Fill one specific bucket with synthetic ids sharing the top bit.
+        let mut ids = Vec::new();
+        for i in 0..=BUCKET_SIZE as u8 {
+            let mut raw = [0u8; ID_BYTES];
+            raw[0] = 0x80;
+            raw[ID_BYTES - 1] = i + 1;
+            ids.push(Key::from_bytes(raw));
+        }
+        for id in &ids {
+            rt.observe(*id);
+        }
+        assert!(!rt.contains(&ids[0]), "oldest evicted");
+        assert!(rt.contains(&ids[BUCKET_SIZE]), "newest kept");
+        assert_eq!(rt.len(), BUCKET_SIZE);
+    }
+
+    #[test]
+    fn closest_orders_by_distance() {
+        let mut rt = RoutingTable::new(node(0));
+        for i in 1..30 {
+            rt.observe(node(i));
+        }
+        let target = Key::for_content(b"target");
+        let closest = rt.closest(&target, 5);
+        assert_eq!(closest.len(), 5);
+        for pair in closest.windows(2) {
+            assert!(pair[0].distance(&target) <= pair[1].distance(&target));
+        }
+        // The closest list is a subset of known peers.
+        for n in &closest {
+            assert!(rt.contains(n));
+        }
+    }
+
+    #[test]
+    fn remove_deletes_entry() {
+        let mut rt = RoutingTable::new(node(0));
+        rt.observe(node(1));
+        rt.remove(&node(1));
+        assert!(!rt.contains(&node(1)));
+        // Removing an unknown peer is a no-op.
+        rt.remove(&node(9));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the DHT substrate.
+
+use mdrep_crypto::SigningKey;
+use mdrep_dht::{Dht, DhtConfig, EvaluationInfo, Key};
+use mdrep_types::{Evaluation, FileId, SimTime, UserId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bucket_index_is_consistent_with_distance(a in any::<u64>(), b in any::<u64>()) {
+        let ka = Key::for_user(UserId::new(a));
+        let kb = Key::for_user(UserId::new(b));
+        match ka.bucket_index(&kb) {
+            None => prop_assert_eq!(ka, kb),
+            Some(i) => {
+                prop_assert!(i < 160);
+                // Symmetric: XOR distance is symmetric.
+                prop_assert_eq!(kb.bucket_index(&ka), Some(i));
+                // Leading zeros of the distance agree with the index.
+                prop_assert_eq!(ka.distance(&kb).leading_zeros(), 159 - i);
+            }
+        }
+    }
+
+    #[test]
+    fn store_get_round_trip_from_any_node(nodes in 4u64..48,
+                                          publisher in 0u64..48,
+                                          requester in 0u64..48,
+                                          payload in proptest::collection::vec(any::<u8>(), 1..128)) {
+        let publisher = publisher % nodes;
+        let requester = requester % nodes;
+        let mut dht = Dht::new(DhtConfig::default());
+        for i in 0..nodes {
+            dht.join(UserId::new(i), SimTime::ZERO);
+        }
+        let key = Key::for_content(&payload);
+        dht.store(UserId::new(publisher), key, payload.clone(), SimTime::ZERO)
+            .expect("healthy overlay accepts stores");
+        let got = dht.get(UserId::new(requester), key, SimTime::ZERO).expect("online");
+        prop_assert!(got.contains(&payload));
+    }
+
+    #[test]
+    fn evaluation_info_round_trips(file in any::<u64>(), owner in any::<u64>(),
+                                   value in 0.0f64..=1.0, seed in any::<u64>()) {
+        let key = SigningKey::from_seed(seed);
+        let info = EvaluationInfo::signed(
+            FileId::new(file),
+            UserId::new(owner),
+            Evaluation::new(value).expect("in range"),
+            &key,
+        );
+        let decoded = EvaluationInfo::decode(&info.encode()).expect("well-formed");
+        prop_assert_eq!(&decoded, &info);
+        // Corrupting any byte breaks either decoding or the signature.
+        let mut bytes = info.encode();
+        let idx = (seed as usize) % bytes.len();
+        bytes[idx] ^= 0xff;
+        if let Some(corrupted) = EvaluationInfo::decode(&bytes) {
+            let mut registry = mdrep_crypto::KeyRegistry::new();
+            registry.register(UserId::new(owner), seed ^ 1);
+            prop_assert!(!corrupted.verify(&registry));
+        }
+    }
+
+    #[test]
+    fn online_count_tracks_joins_and_leaves(ops in proptest::collection::vec((0u64..24, any::<bool>()), 1..80)) {
+        let mut dht = Dht::new(DhtConfig::default());
+        let mut online = std::collections::HashSet::new();
+        for (user, join) in ops {
+            if join {
+                dht.join(UserId::new(user), SimTime::ZERO);
+                online.insert(user);
+            } else {
+                dht.leave(UserId::new(user));
+                // leave() of an unknown user is a no-op.
+                if online.contains(&user) {
+                    online.remove(&user);
+                }
+            }
+        }
+        prop_assert_eq!(dht.online_count(), online.len());
+        for &u in &online {
+            prop_assert!(dht.is_online(UserId::new(u)));
+        }
+    }
+
+    #[test]
+    fn message_stats_only_grow(nodes in 8u64..32, keys in 1usize..10) {
+        let mut dht = Dht::new(DhtConfig::default());
+        for i in 0..nodes {
+            dht.join(UserId::new(i), SimTime::ZERO);
+        }
+        let mut last_total = dht.stats().total();
+        for k in 0..keys {
+            let key = Key::for_content(&k.to_be_bytes());
+            let _ = dht.store(UserId::new(0), key, vec![1], SimTime::ZERO);
+            let total = dht.stats().total();
+            prop_assert!(total >= last_total);
+            last_total = total;
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Sparse trust-matrix substrate for the multi-dimensional reputation
+//! system.
+//!
+//! Every reputation mechanism in the paper is a linear-algebra statement
+//! about *row-stochastic sparse matrices* over user ids:
+//!
+//! - Equations 3, 5 and 6 row-normalize raw trust scores into the one-step
+//!   matrices `FM`, `DM`, `UM` — [`SparseMatrix::normalized_rows`].
+//! - Equation 7 blends them: `TM = α·FM + β·DM + γ·UM` — [`blend`].
+//! - Equation 8 raises the result to the n-th power: `RM = TM^n` —
+//!   [`SparseMatrix::power`].
+//! - EigenTrust (the baseline) computes the left principal eigenvector of
+//!   the trust matrix — [`principal_eigenvector`].
+//!
+//! The storage is row-major sparse (`BTreeMap` per row), which keeps
+//! iteration deterministic — important for reproducible experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use mdrep_matrix::SparseMatrix;
+//! use mdrep_types::UserId;
+//!
+//! let mut m = SparseMatrix::new();
+//! m.set(UserId::new(0), UserId::new(1), 3.0)?;
+//! m.set(UserId::new(0), UserId::new(2), 1.0)?;
+//! let stochastic = m.normalized_rows();
+//! assert_eq!(stochastic.get(UserId::new(0), UserId::new(1)), 0.75);
+//! assert_eq!(stochastic.get(UserId::new(0), UserId::new(2)), 0.25);
+//! # Ok::<(), mdrep_matrix::MatrixError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eigen;
+mod ops;
+mod sparse;
+mod stats;
+
+pub use eigen::{principal_eigenvector, EigenOptions, EigenResult};
+pub use ops::{blend, BlendError, PowerOptions};
+pub use sparse::{MatrixError, SparseMatrix, SparseVector};
+pub use stats::MatrixStats;

@@ -1,0 +1,365 @@
+//! Matrix-level operations: blending (Equation 7) and powers (Equation 8).
+
+use crate::sparse::{SparseMatrix, SparseVector};
+use mdrep_types::UserId;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`blend`] when the weights are not a convex combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlendError {
+    weights: Vec<f64>,
+}
+
+impl fmt::Display for BlendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "blend weights {:?} must be finite, non-negative, and sum to 1",
+            self.weights
+        )
+    }
+}
+
+impl Error for BlendError {}
+
+/// Equation 7: `TM = Σ wᵢ·Mᵢ` for a convex weight vector (`Σ wᵢ = 1`,
+/// `wᵢ ≥ 0`).
+///
+/// The paper's instance is `TM = α·FM + β·DM + γ·UM`, but the equation "can
+/// be extended easily" to more dimensions — hence the slice API.
+///
+/// # Errors
+///
+/// Returns [`BlendError`] when the weight vector is empty, contains a
+/// negative or non-finite weight, or does not sum to 1 (within `1e-9`).
+///
+/// # Examples
+///
+/// ```
+/// use mdrep_matrix::{blend, SparseMatrix};
+/// use mdrep_types::UserId;
+///
+/// let mut fm = SparseMatrix::new();
+/// fm.set(UserId::new(0), UserId::new(1), 1.0)?;
+/// let mut dm = SparseMatrix::new();
+/// dm.set(UserId::new(0), UserId::new(2), 1.0)?;
+/// let tm = blend(&[(0.7, &fm), (0.3, &dm)]).expect("valid weights");
+/// assert_eq!(tm.get(UserId::new(0), UserId::new(1)), 0.7);
+/// assert_eq!(tm.get(UserId::new(0), UserId::new(2)), 0.3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn blend(parts: &[(f64, &SparseMatrix)]) -> Result<SparseMatrix, BlendError> {
+    let weights: Vec<f64> = parts.iter().map(|(w, _)| *w).collect();
+    let valid = !weights.is_empty()
+        && weights.iter().all(|w| w.is_finite() && *w >= 0.0)
+        && (weights.iter().sum::<f64>() - 1.0).abs() <= 1e-9;
+    if !valid {
+        return Err(BlendError { weights });
+    }
+    let mut out = SparseMatrix::new();
+    for (w, m) in parts {
+        if *w == 0.0 {
+            continue;
+        }
+        out.accumulate(m, *w).expect("scaled non-negative entries are valid");
+    }
+    Ok(out)
+}
+
+/// Options controlling [`SparseMatrix::power`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerOptions {
+    /// Entries below this magnitude are dropped after every multiplication,
+    /// bounding fill-in. `0.0` disables pruning.
+    pub prune_threshold: f64,
+    /// Renormalize rows after pruning so the result stays row-stochastic.
+    pub renormalize: bool,
+}
+
+impl Default for PowerOptions {
+    fn default() -> Self {
+        Self { prune_threshold: 0.0, renormalize: false }
+    }
+}
+
+impl PowerOptions {
+    /// Exact computation: no pruning, no renormalization.
+    #[must_use]
+    pub fn exact() -> Self {
+        Self::default()
+    }
+
+    /// Pruned computation that keeps rows stochastic: entries below
+    /// `threshold` are dropped and rows rescaled after each step.
+    #[must_use]
+    pub fn pruned(threshold: f64) -> Self {
+        Self { prune_threshold: threshold, renormalize: true }
+    }
+}
+
+impl SparseMatrix {
+    /// Sparse matrix product `self · other`.
+    ///
+    /// Complexity is `O(Σ_r nnz(row_r) · avg_nnz(other))`; the row-major
+    /// layout makes each output row a sum of scaled rows of `other`.
+    #[must_use]
+    pub fn multiply(&self, other: &Self) -> Self {
+        let mut out = Self::new();
+        for r in self.row_ids().collect::<Vec<_>>() {
+            let row = self.row(r).expect("row id came from row_ids");
+            let product: SparseVector = other.vector_multiply(row);
+            out.insert_row(r, product);
+        }
+        out
+    }
+
+    /// Sparse matrix product computed across `threads` OS threads (rows of
+    /// `self` are partitioned; each thread multiplies its slice against
+    /// `other`). Produces exactly the same result as
+    /// [`multiply`](Self::multiply); worthwhile from a few tens of
+    /// thousands of non-zeros upward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn multiply_parallel(&self, other: &Self, threads: usize) -> Self {
+        assert!(threads >= 1, "at least one thread is required");
+        let rows: Vec<UserId> = self.row_ids().collect();
+        if threads == 1 || rows.len() < 2 * threads {
+            return self.multiply(other);
+        }
+        let chunk_len = rows.len().div_ceil(threads);
+        let partials: Vec<Vec<(UserId, SparseVector)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = rows
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|&r| {
+                                let row = self.row(r).expect("row id came from row_ids");
+                                (r, other.vector_multiply(row))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+        });
+        let mut out = Self::new();
+        for partial in partials {
+            for (r, product) in partial {
+                out.insert_row(r, product);
+            }
+        }
+        out
+    }
+
+    /// Equation 8: `RM = TM^n` for `n ≥ 1`, with optional pruning between
+    /// steps (see [`PowerOptions`]).
+    ///
+    /// `n = 1` returns a clone — the paper's choice for Maze, where the
+    /// multi-dimensional one-step matrix is already dense enough. Larger `n`
+    /// extends trust along paths: `RM_ij > 0` whenever j is reachable from i
+    /// in at most `n` trust hops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` (the identity over an unbounded id space is not
+    /// representable).
+    #[must_use]
+    pub fn power(&self, n: u32, options: PowerOptions) -> Self {
+        assert!(n >= 1, "matrix power requires n >= 1");
+        let mut acc = self.clone();
+        for _ in 1..n {
+            acc = acc.multiply(self);
+            if options.prune_threshold > 0.0 {
+                acc.prune(options.prune_threshold);
+                if options.renormalize {
+                    acc = acc.normalized_rows();
+                }
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdrep_types::UserId;
+
+    fn u(i: u64) -> UserId {
+        UserId::new(i)
+    }
+
+    /// Builds the 3-user chain 0 → 1 → 2 (row-stochastic).
+    fn chain() -> SparseMatrix {
+        let mut m = SparseMatrix::new();
+        m.set(u(0), u(1), 1.0).unwrap();
+        m.set(u(1), u(2), 1.0).unwrap();
+        m.set(u(2), u(2), 1.0).unwrap();
+        m
+    }
+
+    #[test]
+    fn blend_weighted_sum() {
+        let mut a = SparseMatrix::new();
+        a.set(u(0), u(1), 1.0).unwrap();
+        let mut b = SparseMatrix::new();
+        b.set(u(0), u(1), 0.5).unwrap();
+        b.set(u(1), u(0), 1.0).unwrap();
+        let out = blend(&[(0.4, &a), (0.6, &b)]).unwrap();
+        assert!((out.get(u(0), u(1)) - 0.7).abs() < 1e-12);
+        assert!((out.get(u(1), u(0)) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blend_preserves_row_stochasticity() {
+        // Blending row-stochastic matrices with convex weights stays
+        // row-stochastic when all matrices cover the same rows.
+        let mut a = SparseMatrix::new();
+        a.set(u(0), u(1), 0.5).unwrap();
+        a.set(u(0), u(2), 0.5).unwrap();
+        let mut b = SparseMatrix::new();
+        b.set(u(0), u(2), 1.0).unwrap();
+        let out = blend(&[(0.5, &a), (0.5, &b)]).unwrap();
+        assert!(out.is_row_stochastic(1e-12));
+    }
+
+    #[test]
+    fn blend_rejects_bad_weights() {
+        let m = SparseMatrix::new();
+        assert!(blend(&[]).is_err());
+        assert!(blend(&[(0.5, &m)]).is_err(), "must sum to one");
+        assert!(blend(&[(-0.5, &m), (1.5, &m)]).is_err(), "negative weight");
+        assert!(blend(&[(f64::NAN, &m), (1.0, &m)]).is_err());
+        let err = blend(&[(0.2, &m)]).unwrap_err();
+        assert!(err.to_string().contains("0.2"));
+    }
+
+    #[test]
+    fn blend_with_three_dimensions_matches_equation_seven() {
+        // α·FM + β·DM + γ·UM with hand-computed output.
+        let mut fm = SparseMatrix::new();
+        fm.set(u(0), u(1), 1.0).unwrap();
+        let mut dm = SparseMatrix::new();
+        dm.set(u(0), u(1), 1.0).unwrap();
+        let mut um = SparseMatrix::new();
+        um.set(u(0), u(2), 1.0).unwrap();
+        let tm = blend(&[(0.5, &fm), (0.3, &dm), (0.2, &um)]).unwrap();
+        assert!((tm.get(u(0), u(1)) - 0.8).abs() < 1e-12);
+        assert!((tm.get(u(0), u(2)) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiply_matches_hand_computation() {
+        // A = [[0,1],[1,0]] (swap), A·A = I over the occupied rows.
+        let mut a = SparseMatrix::new();
+        a.set(u(0), u(1), 1.0).unwrap();
+        a.set(u(1), u(0), 1.0).unwrap();
+        let sq = a.multiply(&a);
+        assert_eq!(sq.get(u(0), u(0)), 1.0);
+        assert_eq!(sq.get(u(1), u(1)), 1.0);
+        assert_eq!(sq.get(u(0), u(1)), 0.0);
+    }
+
+    #[test]
+    fn power_one_is_identity_operation() {
+        let m = chain();
+        assert_eq!(m.power(1, PowerOptions::exact()), m);
+    }
+
+    #[test]
+    fn power_extends_reach_along_paths() {
+        let m = chain();
+        // One step: 0 reaches 1 only.
+        assert_eq!(m.get(u(0), u(2)), 0.0);
+        // Two steps: 0 reaches 2 through 1.
+        let m2 = m.power(2, PowerOptions::exact());
+        assert_eq!(m2.get(u(0), u(2)), 1.0);
+        assert_eq!(m2.get(u(0), u(1)), 0.0);
+    }
+
+    #[test]
+    fn power_of_stochastic_matrix_stays_stochastic() {
+        let mut m = SparseMatrix::new();
+        m.set(u(0), u(0), 0.2).unwrap();
+        m.set(u(0), u(1), 0.8).unwrap();
+        m.set(u(1), u(0), 0.6).unwrap();
+        m.set(u(1), u(1), 0.4).unwrap();
+        for n in 1..=5 {
+            assert!(
+                m.power(n, PowerOptions::exact()).is_row_stochastic(1e-9),
+                "power {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_power_stays_stochastic_when_renormalizing() {
+        // A dense-ish random-ish matrix with small entries.
+        let mut m = SparseMatrix::new();
+        for i in 0..8u64 {
+            for j in 0..8u64 {
+                m.set(u(i), u(j), 1.0 + ((i * 7 + j * 3) % 5) as f64).unwrap();
+            }
+        }
+        let m = m.normalized_rows();
+        let p = m.power(3, PowerOptions::pruned(0.05));
+        assert!(p.is_row_stochastic(1e-9));
+        assert!(p.nnz() <= m.power(3, PowerOptions::exact()).nnz());
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 1")]
+    fn power_zero_panics() {
+        let _ = chain().power(0, PowerOptions::exact());
+    }
+
+    #[test]
+    fn parallel_multiply_matches_sequential() {
+        // A pseudo-random matrix large enough to actually split.
+        let mut m = SparseMatrix::new();
+        for i in 0..64u64 {
+            for j in 0..8u64 {
+                let col = (i * 17 + j * 29) % 64;
+                m.set(u(i), u(col), 1.0 + ((i + j) % 7) as f64).unwrap();
+            }
+        }
+        let m = m.normalized_rows();
+        let sequential = m.multiply(&m);
+        for threads in [1, 2, 4, 7] {
+            let parallel = m.multiply_parallel(&m, threads);
+            assert_eq!(parallel.nnz(), sequential.nnz(), "{threads} threads");
+            for (r, c, v) in sequential.iter() {
+                assert!(
+                    (parallel.get(r, c) - v).abs() < 1e-12,
+                    "{threads} threads at ({r}, {c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_multiply_small_input_falls_back() {
+        let m = chain();
+        assert_eq!(m.multiply_parallel(&m, 8), m.multiply(&m));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn parallel_multiply_zero_threads_panics() {
+        let m = chain();
+        let _ = m.multiply_parallel(&m, 0);
+    }
+
+    #[test]
+    fn multiply_empty_is_empty() {
+        let empty = SparseMatrix::new();
+        assert!(empty.multiply(&chain()).is_empty());
+        assert!(chain().multiply(&empty).is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! Density and coverage statistics over trust matrices.
+//!
+//! Figure 1 of the paper reports *request coverage*: the fraction of
+//! download requests for which a direct trust edge exists from uploader to
+//! downloader. These helpers compute that and related densities.
+
+use crate::sparse::SparseMatrix;
+use mdrep_types::UserId;
+
+/// Summary statistics of a sparse trust matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixStats {
+    /// Non-zero entries.
+    pub nnz: usize,
+    /// Rows with at least one entry.
+    pub rows: usize,
+    /// Mean entries per non-empty row.
+    pub mean_row_degree: f64,
+    /// `nnz / (rows · universe)` — fill ratio relative to a user universe.
+    pub density: f64,
+}
+
+impl SparseMatrix {
+    /// Computes summary statistics against a universe of `universe_size`
+    /// users (the denominator of the density).
+    #[must_use]
+    pub fn stats(&self, universe_size: usize) -> MatrixStats {
+        let nnz = self.nnz();
+        let rows = self.row_count();
+        let mean_row_degree = if rows == 0 { 0.0 } else { nnz as f64 / rows as f64 };
+        let cells = (universe_size.max(1) * universe_size.max(1)) as f64;
+        MatrixStats { nnz, rows, mean_row_degree, density: nnz as f64 / cells }
+    }
+
+    /// Fraction of `(from, to)` request pairs covered by a non-zero entry —
+    /// the paper's *request coverage* metric (Figure 1), evaluated against a
+    /// replayed request log.
+    ///
+    /// Returns 0.0 for an empty request list.
+    #[must_use]
+    pub fn request_coverage(&self, requests: &[(UserId, UserId)]) -> f64 {
+        if requests.is_empty() {
+            return 0.0;
+        }
+        let covered = requests.iter().filter(|(a, b)| self.get(*a, *b) > 0.0).count();
+        covered as f64 / requests.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(i: u64) -> UserId {
+        UserId::new(i)
+    }
+
+    #[test]
+    fn stats_of_empty_matrix() {
+        let m = SparseMatrix::new();
+        let s = m.stats(100);
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.mean_row_degree, 0.0);
+        assert_eq!(s.density, 0.0);
+    }
+
+    #[test]
+    fn stats_counts() {
+        let mut m = SparseMatrix::new();
+        m.set(u(0), u(1), 1.0).unwrap();
+        m.set(u(0), u(2), 1.0).unwrap();
+        m.set(u(1), u(2), 1.0).unwrap();
+        let s = m.stats(10);
+        assert_eq!(s.nnz, 3);
+        assert_eq!(s.rows, 2);
+        assert!((s.mean_row_degree - 1.5).abs() < 1e-12);
+        assert!((s.density - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn request_coverage_counts_covered_pairs() {
+        let mut m = SparseMatrix::new();
+        m.set(u(0), u(1), 0.4).unwrap();
+        let requests = vec![(u(0), u(1)), (u(1), u(0)), (u(0), u(2)), (u(0), u(1))];
+        // 2 of 4 requests hit the (0,1) edge.
+        assert!((m.request_coverage(&requests) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn request_coverage_empty_requests() {
+        let m = SparseMatrix::new();
+        assert_eq!(m.request_coverage(&[]), 0.0);
+    }
+}

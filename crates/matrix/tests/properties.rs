@@ -1,0 +1,111 @@
+//! Property-based tests for the sparse-matrix substrate.
+
+use mdrep_matrix::{blend, principal_eigenvector, EigenOptions, PowerOptions, SparseMatrix};
+use mdrep_types::UserId;
+use proptest::prelude::*;
+
+/// Strategy: a small random matrix with entries in (0, 10].
+fn matrix_strategy(max_users: u64) -> impl Strategy<Value = SparseMatrix> {
+    proptest::collection::vec(
+        (0..max_users, 0..max_users, 0.01f64..10.0),
+        0..60,
+    )
+    .prop_map(|triples| {
+        let mut m = SparseMatrix::new();
+        for (r, c, v) in triples {
+            m.set(UserId::new(r), UserId::new(c), v).expect("valid");
+        }
+        m
+    })
+}
+
+proptest! {
+    #[test]
+    fn normalization_is_idempotent(m in matrix_strategy(12)) {
+        let n1 = m.normalized_rows();
+        let n2 = n1.normalized_rows();
+        prop_assert!(n1.is_row_stochastic(1e-9));
+        for (r, c, v) in n1.iter() {
+            prop_assert!((n2.get(r, c) - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn normalized_entries_bounded(m in matrix_strategy(12)) {
+        for (_, _, v) in m.normalized_rows().iter() {
+            prop_assert!(v > 0.0 && v <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn product_of_stochastic_matrices_is_stochastic(m in matrix_strategy(10)) {
+        prop_assume!(!m.is_empty());
+        let n = m.normalized_rows();
+        // n·n is row-substochastic in general (mass can flow to users with
+        // no outgoing row). Rows whose every target has an outgoing row stay
+        // stochastic; every row sum must be in [0, 1].
+        let sq = n.multiply(&n);
+        for r in sq.row_ids() {
+            let sum = sq.row_sum(r);
+            prop_assert!(sum <= 1.0 + 1e-9, "row {r} sums to {sum}");
+            prop_assert!(sum > 0.0);
+        }
+    }
+
+    #[test]
+    fn power_nnz_monotone_under_pruning(m in matrix_strategy(8)) {
+        prop_assume!(!m.is_empty());
+        let n = m.normalized_rows();
+        let exact = n.power(2, PowerOptions::exact());
+        let pruned = n.power(2, PowerOptions::pruned(0.05));
+        prop_assert!(pruned.nnz() <= exact.nnz());
+    }
+
+    #[test]
+    fn blend_entries_are_convex_combinations(a in matrix_strategy(8), b in matrix_strategy(8), w in 0.0f64..=1.0) {
+        let out = blend(&[(w, &a), (1.0 - w, &b)]).expect("convex weights");
+        for (r, c, v) in out.iter() {
+            let expected = w * a.get(r, c) + (1.0 - w) * b.get(r, c);
+            prop_assert!((v - expected).abs() < 1e-9);
+        }
+        // And no entry appears out of nowhere.
+        for (r, c, _) in out.iter() {
+            prop_assert!(a.get(r, c) > 0.0 || b.get(r, c) > 0.0);
+        }
+    }
+
+    #[test]
+    fn eigenvector_mass_is_conserved(m in matrix_strategy(10), pre in 0u64..10) {
+        let n = m.normalized_rows();
+        let r = principal_eigenvector(&n, &[UserId::new(pre)], &EigenOptions::default());
+        let total: f64 = r.ranks.values().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "total {total}");
+        for &v in r.ranks.values() {
+            prop_assert!(v >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn vector_multiply_is_linear(m in matrix_strategy(8), scale in 0.1f64..5.0) {
+        prop_assume!(!m.is_empty());
+        let v: std::collections::BTreeMap<_, _> =
+            m.row_ids().map(|u| (u, 1.0)).collect();
+        let base = m.vector_multiply(&v);
+        let scaled_input: std::collections::BTreeMap<_, _> =
+            v.iter().map(|(&u, &x)| (u, x * scale)).collect();
+        let scaled = m.vector_multiply(&scaled_input);
+        for (u, &val) in &scaled {
+            prop_assert!((val - scale * base[u]).abs() < 1e-9 * scale.max(1.0));
+        }
+    }
+
+    #[test]
+    fn coverage_is_a_fraction(m in matrix_strategy(10),
+                              reqs in proptest::collection::vec((0u64..10, 0u64..10), 0..40)) {
+        let pairs: Vec<_> = reqs.into_iter()
+            .map(|(a, b)| (UserId::new(a), UserId::new(b)))
+            .collect();
+        let cov = m.request_coverage(&pairs);
+        prop_assert!((0.0..=1.0).contains(&cov));
+    }
+}

@@ -1,0 +1,56 @@
+//! Node/community configuration.
+
+use mdrep::{Params, ServicePolicy};
+use mdrep_dht::DhtConfig;
+use mdrep_types::SimDuration;
+
+/// Configuration shared by every peer of a [`Community`](crate::Community).
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Reputation-system parameters (Equations 1–9).
+    pub params: Params,
+    /// Service-differentiation policy (Section 3.4).
+    pub policy: ServicePolicy,
+    /// Weight of the contribution bonus in service decisions (0 disables).
+    pub contribution_weight: f64,
+    /// DHT overlay parameters.
+    pub dht: DhtConfig,
+    /// How often a peer republishes its records during maintenance.
+    pub republish_interval: SimDuration,
+    /// How often a peer recomputes its reputation matrices.
+    pub recompute_interval: SimDuration,
+    /// Divergence threshold of the proactive audit.
+    pub audit_threshold: f64,
+    /// How many peers each maintenance tick audits (round-robin).
+    pub audits_per_tick: usize,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        Self {
+            params: Params::default(),
+            policy: ServicePolicy::default(),
+            contribution_weight: 0.3,
+            dht: DhtConfig::default(),
+            republish_interval: SimDuration::from_hours(12),
+            recompute_interval: SimDuration::from_hours(6),
+            audit_threshold: 0.3,
+            audits_per_tick: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let c = NodeConfig::default();
+        assert!(c.contribution_weight >= 0.0 && c.contribution_weight <= 1.0);
+        assert!(c.republish_interval > SimDuration::ZERO);
+        assert!(c.recompute_interval > SimDuration::ZERO);
+        assert!(c.audit_threshold > 0.0 && c.audit_threshold <= 1.0);
+        assert!(c.audits_per_tick >= 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! A complete P2P client node, composed from every layer of the
+//! reproduction — the "deploy this framework in a real system" the paper
+//! lists as future work, realized over the simulated overlay.
+//!
+//! A [`Community`] owns the shared substrate (the [`mdrep_dht::Dht`]
+//! overlay and the [`mdrep_crypto::KeyRegistry`] standing in for a PKI);
+//! each joined peer is a [`PeerNode`] holding its own signing key, its
+//! personal [`mdrep::ReputationEngine`], and its shared-folder library.
+//! The full pipeline
+//! of Figure 2 runs on every request:
+//!
+//! 1. the downloader retrieves the signed evaluation array from the DHT
+//!    and drops records that fail verification;
+//! 2. Equation 9 + the personal threshold decide whether to download;
+//! 3. an online holder is selected as uploader;
+//! 4. the uploader grants service from its own reputation view plus the
+//!    Section 3.4 contribution bonus;
+//! 5. the transfer is recorded on both sides and the downloader
+//!    co-publishes its own evaluation of the file;
+//! 6. periodic maintenance ([`Community::tick`]) republishes, expires,
+//!    recomputes, and runs proactive audits.
+//!
+//! # Examples
+//!
+//! ```
+//! use mdrep_node::{Community, DownloadOutcome, NodeConfig};
+//! use mdrep_types::{FileId, FileSize, SimTime, UserId};
+//!
+//! let mut community = Community::new(NodeConfig::default());
+//! let (alice, bob) = (UserId::new(0), UserId::new(1));
+//! for i in 0..16 {
+//!     community.join(UserId::new(i), SimTime::ZERO);
+//! }
+//!
+//! // Bob publishes a file; Alice requests it.
+//! community.publish(bob, FileId::new(7), FileSize::from_mib(100), SimTime::ZERO)?;
+//! let outcome = community.request(alice, FileId::new(7), SimTime::ZERO)?;
+//! assert!(matches!(outcome, DownloadOutcome::Completed { uploader, .. } if uploader == bob));
+//! # Ok::<(), mdrep_node::CommunityError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod community;
+mod config;
+mod outcome;
+mod peer;
+
+pub use community::{Community, CommunityError};
+pub use config::NodeConfig;
+pub use outcome::DownloadOutcome;
+pub use peer::PeerNode;

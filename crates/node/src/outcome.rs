@@ -1,0 +1,70 @@
+//! The result of one download request through the full pipeline.
+
+use mdrep::ServiceDecision;
+use mdrep_types::{Evaluation, UserId};
+use std::fmt;
+
+/// What happened to a download request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DownloadOutcome {
+    /// Equation 9 flagged the file as likely fake; the download was skipped.
+    RejectedAsFake {
+        /// The computed file reputation.
+        reputation: Evaluation,
+    },
+    /// No online holder could serve the file.
+    NoSource,
+    /// The transfer completed.
+    Completed {
+        /// The serving peer.
+        uploader: UserId,
+        /// The service the uploader granted.
+        service: ServiceDecision,
+        /// The file reputation the downloader saw beforehand (`None` when
+        /// no reputable evaluator existed — an informed gamble).
+        prior_reputation: Option<Evaluation>,
+    },
+}
+
+impl DownloadOutcome {
+    /// Whether the transfer happened.
+    #[must_use]
+    pub fn is_completed(&self) -> bool {
+        matches!(self, Self::Completed { .. })
+    }
+}
+
+impl fmt::Display for DownloadOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::RejectedAsFake { reputation } => {
+                write!(f, "rejected as fake (R_f = {reputation})")
+            }
+            Self::NoSource => f.write_str("no online source"),
+            Self::Completed { uploader, service, .. } => {
+                write!(f, "completed from {uploader} ({service})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdrep::ServicePolicy;
+
+    #[test]
+    fn display_and_predicates() {
+        let rejected = DownloadOutcome::RejectedAsFake { reputation: Evaluation::WORST };
+        assert!(!rejected.is_completed());
+        assert!(rejected.to_string().contains("rejected"));
+        assert!(DownloadOutcome::NoSource.to_string().contains("no online source"));
+        let completed = DownloadOutcome::Completed {
+            uploader: UserId::new(3),
+            service: ServicePolicy::default().decide_scaled(1.0),
+            prior_reputation: None,
+        };
+        assert!(completed.is_completed());
+        assert!(completed.to_string().contains("U3"));
+    }
+}

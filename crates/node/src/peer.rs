@@ -1,0 +1,161 @@
+//! One peer: identity, personal reputation state, and shared folder.
+
+use mdrep::{ContributionLedger, ReputationEngine};
+use mdrep_crypto::SigningKey;
+use mdrep_types::{FileId, FileSize, SimTime, UserId};
+use std::collections::BTreeMap;
+
+/// A peer's local state inside a [`Community`](crate::Community).
+///
+/// Everything here is *private to the peer* in the real system: its
+/// signing key, its view of everyone's reputation, its contribution
+/// ledger, and the library of files it currently shares.
+#[derive(Debug, Clone)]
+pub struct PeerNode {
+    user: UserId,
+    key: SigningKey,
+    engine: ReputationEngine,
+    ledger: ContributionLedger,
+    library: BTreeMap<FileId, FileSize>,
+    last_recompute: Option<SimTime>,
+    last_republish: Option<SimTime>,
+}
+
+impl PeerNode {
+    pub(crate) fn new(user: UserId, key: SigningKey, engine: ReputationEngine) -> Self {
+        Self {
+            user,
+            key,
+            engine,
+            ledger: ContributionLedger::new(),
+            library: BTreeMap::new(),
+            last_recompute: None,
+            last_republish: None,
+        }
+    }
+
+    /// The peer's id.
+    #[must_use]
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// The peer's signing key (private in the real system; exposed here for
+    /// tests and the community plumbing).
+    #[must_use]
+    pub fn key(&self) -> &SigningKey {
+        &self.key
+    }
+
+    /// The peer's personal reputation engine.
+    #[must_use]
+    pub fn engine(&self) -> &ReputationEngine {
+        &self.engine
+    }
+
+    pub(crate) fn engine_mut(&mut self) -> &mut ReputationEngine {
+        &mut self.engine
+    }
+
+    /// The peer's contribution ledger.
+    #[must_use]
+    pub fn ledger(&self) -> &ContributionLedger {
+        &self.ledger
+    }
+
+    pub(crate) fn ledger_mut(&mut self) -> &mut ContributionLedger {
+        &mut self.ledger
+    }
+
+    /// Files currently in the shared folder.
+    #[must_use]
+    pub fn library(&self) -> &BTreeMap<FileId, FileSize> {
+        &self.library
+    }
+
+    /// Whether the peer currently holds `file`.
+    #[must_use]
+    pub fn holds(&self, file: FileId) -> bool {
+        self.library.contains_key(&file)
+    }
+
+    pub(crate) fn add_to_library(&mut self, file: FileId, size: FileSize) {
+        self.library.insert(file, size);
+    }
+
+    pub(crate) fn remove_from_library(&mut self, file: FileId) -> bool {
+        self.library.remove(&file).is_some()
+    }
+
+    /// Fires on the first call (bootstrap) and then once per `interval`.
+    pub(crate) fn recompute_due(&mut self, now: SimTime, interval: mdrep_types::SimDuration) -> bool {
+        let due = self.last_recompute.is_none_or(|last| now - last >= interval);
+        if due {
+            self.last_recompute = Some(now);
+        }
+        due
+    }
+
+    /// Fires only once an `interval` has elapsed since the last fire
+    /// (publication itself seeds the overlay, so there is no bootstrap).
+    pub(crate) fn republish_due(&mut self, now: SimTime, interval: mdrep_types::SimDuration) -> bool {
+        let due = match self.last_republish {
+            None => now.as_ticks() >= interval.as_ticks(),
+            Some(last) => now - last >= interval,
+        };
+        if due {
+            self.last_republish = Some(now);
+        }
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdrep::Params;
+    use mdrep_types::SimDuration;
+
+    fn peer() -> PeerNode {
+        PeerNode::new(
+            UserId::new(1),
+            SigningKey::from_seed(7),
+            ReputationEngine::new(Params::default()),
+        )
+    }
+
+    #[test]
+    fn library_management() {
+        let mut p = peer();
+        assert!(!p.holds(FileId::new(1)));
+        p.add_to_library(FileId::new(1), FileSize::from_mib(10));
+        assert!(p.holds(FileId::new(1)));
+        assert_eq!(p.library().len(), 1);
+        assert!(p.remove_from_library(FileId::new(1)));
+        assert!(!p.remove_from_library(FileId::new(1)), "second removal is a no-op");
+    }
+
+    #[test]
+    fn maintenance_clocks_fire_on_interval() {
+        let mut p = peer();
+        let interval = SimDuration::from_hours(6);
+        // First recompute always fires (bootstrap).
+        assert!(p.recompute_due(SimTime::ZERO, interval));
+        assert!(!p.recompute_due(SimTime::from_ticks(3600), interval));
+        assert!(p.recompute_due(SimTime::from_ticks(6 * 3600), interval));
+
+        assert!(!p.republish_due(SimTime::from_ticks(3600), interval));
+        assert!(p.republish_due(SimTime::from_ticks(7 * 3600), interval));
+        assert!(!p.republish_due(SimTime::from_ticks(8 * 3600), interval));
+    }
+
+    #[test]
+    fn accessors() {
+        let p = peer();
+        assert_eq!(p.user(), UserId::new(1));
+        let sig = p.key().sign(b"x");
+        assert!(p.key().verify(b"x", &sig));
+        assert!(p.ledger().is_empty());
+        assert!(p.engine().reputation_matrix().is_none());
+    }
+}

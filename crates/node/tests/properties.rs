@@ -1,0 +1,131 @@
+//! Property-based tests of the community pipeline's invariants.
+
+use mdrep_node::{Community, DownloadOutcome, NodeConfig};
+use mdrep_types::{Evaluation, FileId, FileSize, SimDuration, SimTime, UserId};
+use proptest::prelude::*;
+
+/// A random little action script over a fixed community.
+#[derive(Debug, Clone)]
+enum Action {
+    Publish(u64, u64),
+    Request(u64, u64),
+    Vote(u64, u64, bool),
+    Delete(u64, u64),
+    Bounce(u64),
+    Tick,
+}
+
+fn action_strategy(peers: u64, files: u64) -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0..peers, 0..files).prop_map(|(u, f)| Action::Publish(u, f)),
+        (0..peers, 0..files).prop_map(|(u, f)| Action::Request(u, f)),
+        (0..peers, 0..files, any::<bool>()).prop_map(|(u, f, v)| Action::Vote(u, f, v)),
+        (0..peers, 0..files).prop_map(|(u, f)| Action::Delete(u, f)),
+        (0..peers).prop_map(Action::Bounce),
+        Just(Action::Tick),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_scripts_never_break_invariants(
+        actions in proptest::collection::vec(action_strategy(10, 8), 1..60),
+    ) {
+        let peers = 10u64;
+        let mut community = Community::new(NodeConfig::default());
+        for i in 0..peers {
+            community.join(UserId::new(i), SimTime::ZERO);
+        }
+        let mut now = SimTime::ZERO;
+        for action in actions {
+            now += SimDuration::from_mins(10);
+            match action {
+                Action::Publish(u, f) => {
+                    let user = UserId::new(u);
+                    if community.is_online(user) {
+                        community
+                            .publish(user, FileId::new(f), FileSize::from_mib(5), now)
+                            .expect("online publish succeeds");
+                        prop_assert!(community.peer(user).expect("joined").holds(FileId::new(f)));
+                    }
+                }
+                Action::Request(u, f) => {
+                    let user = UserId::new(u);
+                    if community.is_online(user) {
+                        let outcome = community
+                            .request(user, FileId::new(f), now)
+                            .expect("online request never errors");
+                        if let DownloadOutcome::Completed { uploader, service, .. } = outcome {
+                            prop_assert_ne!(uploader, user, "no self-serving");
+                            prop_assert!(service.bandwidth_fraction > 0.0);
+                            prop_assert!(service.bandwidth_fraction <= 1.0);
+                            prop_assert!(
+                                community.peer(user).expect("joined").holds(FileId::new(f))
+                            );
+                        }
+                    }
+                }
+                Action::Vote(u, f, good) => {
+                    let user = UserId::new(u);
+                    if community.is_online(user) {
+                        let value = if good { Evaluation::BEST } else { Evaluation::WORST };
+                        community.vote(user, FileId::new(f), value, now).expect("online vote");
+                    }
+                }
+                Action::Delete(u, f) => {
+                    let user = UserId::new(u);
+                    // Deleting a file the user does not hold errors cleanly.
+                    let holds =
+                        community.peer(user).is_some_and(|p| p.holds(FileId::new(f)));
+                    let result = community.delete(user, FileId::new(f), now);
+                    prop_assert_eq!(result.is_ok(), holds);
+                }
+                Action::Bounce(u) => {
+                    let user = UserId::new(u);
+                    community.leave(user);
+                    prop_assert!(!community.is_online(user));
+                    community.join(user, now);
+                    prop_assert!(community.is_online(user));
+                }
+                Action::Tick => {
+                    let _ = community.tick(now);
+                }
+            }
+        }
+        // The community never loses peers.
+        prop_assert_eq!(community.len(), peers as usize);
+    }
+
+    #[test]
+    fn completed_requests_always_have_online_holders(seed_files in 1u64..6) {
+        let mut community = Community::new(NodeConfig::default());
+        for i in 0..8 {
+            community.join(UserId::new(i), SimTime::ZERO);
+        }
+        for f in 0..seed_files {
+            community
+                .publish(UserId::new(f % 8), FileId::new(f), FileSize::from_mib(1), SimTime::ZERO)
+                .expect("publish");
+        }
+        for f in 0..seed_files {
+            let requester = UserId::new((f + 3) % 8);
+            let outcome = community.request(requester, FileId::new(f), SimTime::ZERO)
+                .expect("online");
+            match outcome {
+                DownloadOutcome::Completed { uploader, .. } => {
+                    prop_assert!(community.is_online(uploader));
+                    prop_assert!(community.peer(uploader).expect("joined").holds(FileId::new(f)));
+                }
+                DownloadOutcome::NoSource => {
+                    // Only possible when the requester is the sole holder.
+                    prop_assert_eq!(requester, UserId::new(f % 8));
+                }
+                DownloadOutcome::RejectedAsFake { .. } => {
+                    prop_assert!(false, "nothing is rated fake in this scenario");
+                }
+            }
+        }
+    }
+}

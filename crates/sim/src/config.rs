@@ -1,0 +1,61 @@
+//! Simulation configuration.
+
+use mdrep::ServicePolicy;
+use mdrep_types::SimDuration;
+
+/// Parameters of the overlay simulation.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Upload slots per peer.
+    pub upload_slots: usize,
+    /// Per-slot upload bandwidth in MiB per simulated second.
+    pub slot_bandwidth_mib_s: f64,
+    /// How often the reputation system recomputes (and the coverage series
+    /// gets a point).
+    pub recompute_interval: SimDuration,
+    /// The service-differentiation policy.
+    pub policy: ServicePolicy,
+    /// Whether service differentiation is applied at all (off = FIFO and
+    /// full bandwidth for everyone — the control condition).
+    pub differentiate_service: bool,
+    /// Weight of the contribution score in the service decision
+    /// (Section 3.4's "voting … can increase a user's reputation"); 0
+    /// disables the contribution bonus entirely.
+    pub contribution_weight: f64,
+    /// Whether downloaders consult the file score and skip likely fakes.
+    pub filter_fakes: bool,
+    /// File-score threshold below which a download is skipped.
+    pub fake_threshold: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            upload_slots: 2,
+            slot_bandwidth_mib_s: 0.25,
+            recompute_interval: SimDuration::from_hours(12),
+            policy: ServicePolicy::default(),
+            differentiate_service: true,
+            contribution_weight: 0.0,
+            filter_fakes: false,
+            fake_threshold: 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SimConfig::default();
+        assert!(c.upload_slots >= 1);
+        assert!(c.slot_bandwidth_mib_s > 0.0);
+        assert!(c.recompute_interval > SimDuration::ZERO);
+        assert!(c.differentiate_service);
+        assert_eq!(c.contribution_weight, 0.0);
+        assert!(!c.filter_fakes);
+        assert!((0.0..=1.0).contains(&c.fake_threshold));
+    }
+}

@@ -1,0 +1,267 @@
+//! Simulation metrics and the final report.
+
+use mdrep_types::{SimTime, UserId};
+use mdrep_workload::Behavior;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregated queueing statistics for one behaviour class.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassStats {
+    /// Requests served.
+    pub served: usize,
+    /// Total wait seconds across requests.
+    pub total_wait_secs: f64,
+    /// Total arrival-to-completion seconds.
+    pub total_completion_secs: f64,
+    /// Total MiB received.
+    pub mib_received: f64,
+    /// Total slowdown (arrival-to-completion over the ideal unthrottled,
+    /// uncontended transfer time) across requests.
+    pub total_slowdown: f64,
+}
+
+impl ClassStats {
+    /// Mean queue wait in seconds (0 for no requests).
+    #[must_use]
+    pub fn mean_wait_secs(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.total_wait_secs / self.served as f64
+        }
+    }
+
+    /// Mean completion time in seconds (0 for no requests).
+    #[must_use]
+    pub fn mean_completion_secs(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.total_completion_secs / self.served as f64
+        }
+    }
+
+    /// Mean slowdown: 1.0 means ideal service, larger means queueing
+    /// and/or bandwidth quota (0 for no requests).
+    #[must_use]
+    pub fn mean_slowdown(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.total_slowdown / self.served as f64
+        }
+    }
+}
+
+/// Fake-file outcome counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FakeStats {
+    /// Requests whose target file was fake.
+    pub fake_requests: usize,
+    /// Fake downloads that actually went through.
+    pub fake_downloads: usize,
+    /// Fake downloads skipped thanks to the file score.
+    pub fakes_avoided: usize,
+    /// Authentic downloads wrongly skipped (false positives).
+    pub authentic_rejected: usize,
+    /// Authentic downloads that went through.
+    pub authentic_downloads: usize,
+}
+
+impl FakeStats {
+    /// Fraction of fake requests that were avoided.
+    #[must_use]
+    pub fn avoidance_rate(&self) -> f64 {
+        if self.fake_requests == 0 {
+            0.0
+        } else {
+            self.fakes_avoided as f64 / self.fake_requests as f64
+        }
+    }
+
+    /// Fraction of authentic requests wrongly rejected.
+    #[must_use]
+    pub fn false_positive_rate(&self) -> f64 {
+        let authentic = self.authentic_rejected + self.authentic_downloads;
+        if authentic == 0 {
+            0.0
+        } else {
+            self.authentic_rejected as f64 / authentic as f64
+        }
+    }
+}
+
+/// One point of the coverage-over-time series (the Figure 1 y-axis).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoveragePoint {
+    /// When the reputation state was recomputed.
+    pub time: SimTime,
+    /// Requests during the following interval.
+    pub requests: usize,
+    /// Fraction of them covered by the trust state at `time`.
+    pub coverage: f64,
+}
+
+/// The simulator's full output.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// The reputation system that produced the report.
+    pub system: &'static str,
+    /// Total download requests replayed.
+    pub requests: usize,
+    /// Per-behaviour-class queueing statistics (whole run).
+    pub class_stats: BTreeMap<String, ClassStats>,
+    /// Per-class statistics restricted to requests arriving in the second
+    /// half of the run, after reputations have warmed up.
+    pub warm_class_stats: BTreeMap<String, ClassStats>,
+    /// Per-downloader statistics (whole run) — used by incentive-feedback
+    /// experiments that correlate individual contribution with service.
+    pub user_stats: BTreeMap<UserId, ClassStats>,
+    /// Fake-file outcomes.
+    pub fakes: FakeStats,
+    /// Coverage series over time.
+    pub coverage_series: Vec<CoveragePoint>,
+}
+
+impl SimReport {
+    /// The stats bucket for a behaviour (creating it on first use).
+    pub(crate) fn class_mut(&mut self, behavior: Behavior) -> &mut ClassStats {
+        self.class_stats.entry(behavior.to_string()).or_default()
+    }
+
+    /// The warmed-up stats bucket for a behaviour.
+    pub(crate) fn warm_class_mut(&mut self, behavior: Behavior) -> &mut ClassStats {
+        self.warm_class_stats.entry(behavior.to_string()).or_default()
+    }
+
+    /// The stats bucket for one downloader.
+    pub(crate) fn user_mut(&mut self, user: UserId) -> &mut ClassStats {
+        self.user_stats.entry(user).or_default()
+    }
+
+    /// Overall coverage: request-weighted mean of the series.
+    #[must_use]
+    pub fn mean_coverage(&self) -> f64 {
+        let total: usize = self.coverage_series.iter().map(|p| p.requests).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.coverage_series
+            .iter()
+            .map(|p| p.coverage * p.requests as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+
+    /// The final coverage point, if any.
+    #[must_use]
+    pub fn final_coverage(&self) -> Option<f64> {
+        self.coverage_series.iter().rev().find(|p| p.requests > 0).map(|p| p.coverage)
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SimReport[{}]: {} requests", self.system, self.requests)?;
+        writeln!(
+            f,
+            "  coverage: mean {:.3}, final {:.3}",
+            self.mean_coverage(),
+            self.final_coverage().unwrap_or(0.0)
+        )?;
+        writeln!(
+            f,
+            "  fakes: {}/{} downloaded, {} avoided ({:.1}% avoidance), {:.1}% false positives",
+            self.fakes.fake_downloads,
+            self.fakes.fake_requests,
+            self.fakes.fakes_avoided,
+            self.fakes.avoidance_rate() * 100.0,
+            self.fakes.false_positive_rate() * 100.0,
+        )?;
+        for (class, stats) in &self.class_stats {
+            writeln!(
+                f,
+                "  {class}: {} served, mean wait {:.0}s, mean completion {:.0}s, {:.0} MiB",
+                stats.served,
+                stats.mean_wait_secs(),
+                stats.mean_completion_secs(),
+                stats.mib_received,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_stats_means() {
+        let s = ClassStats {
+            served: 4,
+            total_wait_secs: 40.0,
+            total_completion_secs: 100.0,
+            mib_received: 8.0,
+            total_slowdown: 12.0,
+        };
+        assert_eq!(s.mean_slowdown(), 3.0);
+        assert_eq!(s.mean_wait_secs(), 10.0);
+        assert_eq!(s.mean_completion_secs(), 25.0);
+        assert_eq!(ClassStats::default().mean_wait_secs(), 0.0);
+    }
+
+    #[test]
+    fn fake_stats_rates() {
+        let f = FakeStats {
+            fake_requests: 10,
+            fake_downloads: 4,
+            fakes_avoided: 6,
+            authentic_rejected: 5,
+            authentic_downloads: 95,
+        };
+        assert!((f.avoidance_rate() - 0.6).abs() < 1e-12);
+        assert!((f.false_positive_rate() - 0.05).abs() < 1e-12);
+        assert_eq!(FakeStats::default().avoidance_rate(), 0.0);
+        assert_eq!(FakeStats::default().false_positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn coverage_aggregation() {
+        let report = SimReport {
+            system: "test",
+            requests: 30,
+            coverage_series: vec![
+                CoveragePoint { time: SimTime::ZERO, requests: 10, coverage: 0.2 },
+                CoveragePoint { time: SimTime::from_ticks(100), requests: 20, coverage: 0.8 },
+                CoveragePoint { time: SimTime::from_ticks(200), requests: 0, coverage: 0.0 },
+            ],
+            ..SimReport::default()
+        };
+        assert!((report.mean_coverage() - 0.6).abs() < 1e-12);
+        assert_eq!(report.final_coverage(), Some(0.8), "empty tail point skipped");
+    }
+
+    #[test]
+    fn empty_report() {
+        let report = SimReport::default();
+        assert_eq!(report.mean_coverage(), 0.0);
+        assert_eq!(report.final_coverage(), None);
+    }
+
+    #[test]
+    fn display_contains_key_numbers() {
+        let mut report = SimReport { system: "x", requests: 2, ..SimReport::default() };
+        *report.class_mut(Behavior::Honest) = ClassStats {
+            served: 2,
+            total_wait_secs: 10.0,
+            total_completion_secs: 20.0,
+            mib_received: 5.0,
+            total_slowdown: 4.0,
+        };
+        let shown = report.to_string();
+        assert!(shown.contains("2 requests"));
+        assert!(shown.contains("honest"));
+    }
+}

@@ -1,0 +1,370 @@
+//! The trace-replay simulation loop.
+
+use crate::config::SimConfig;
+use crate::metrics::{CoveragePoint, SimReport};
+use crate::queue::{Request, Served, UploaderQueue};
+use mdrep::{ContributionLedger, EvaluationStore, OwnerEvaluation, Params};
+use mdrep_baselines::ReputationSystem;
+use mdrep_types::{FileId, SimTime, UserId};
+use mdrep_workload::{Behavior, EventKind, Trace};
+use std::collections::HashMap;
+
+/// Maximum owner evaluations consulted per download decision (the DHT
+/// returns a bounded evaluation array in practice).
+const MAX_OWNER_EVALS: usize = 16;
+
+/// Replays a workload trace through a reputation system with
+/// service-differentiated upload queues.
+pub struct Simulation<S: ReputationSystem> {
+    config: SimConfig,
+    system: S,
+    /// The overlay's published-evaluation state (independent of the
+    /// reputation system under test — evaluations exist in the network
+    /// regardless of how they are weighted).
+    evals: EvaluationStore,
+    eval_params: Params,
+    ledger: ContributionLedger,
+    queues: HashMap<UserId, UploaderQueue>,
+}
+
+impl<S: ReputationSystem> Simulation<S> {
+    /// Creates a simulation over `system`.
+    #[must_use]
+    pub fn new(config: SimConfig, system: S) -> Self {
+        Self {
+            config,
+            system,
+            evals: EvaluationStore::new(),
+            eval_params: Params::default(),
+            ledger: ContributionLedger::new(),
+            queues: HashMap::new(),
+        }
+    }
+
+    /// Replays the whole trace and returns the report. The reputation
+    /// system is recomputed every `recompute_interval`, which also emits
+    /// one coverage point per interval (the Figure 1 series).
+    #[must_use]
+    pub fn run(self, trace: &Trace) -> SimReport {
+        let (report, _) = self.run_into_system(trace);
+        report
+    }
+
+    /// Like [`run`](Self::run) but hands the (final-state) system back for
+    /// further queries.
+    #[must_use]
+    pub fn run_into_system(mut self, trace: &Trace) -> (SimReport, S) {
+        let mut report = SimReport {
+            system: self.system.name(),
+            ..SimReport::default()
+        };
+        let catalog = trace.catalog();
+        let population = trace.population();
+        let mut served_log: Vec<Served> = Vec::new();
+
+        let interval = self.config.recompute_interval;
+        let mut next_recompute = SimTime::ZERO + interval;
+        // Coverage is measured *at request arrival* against the state of
+        // the last periodic recomputation — exactly the question the paper
+        // asks: when the request shows up, can the uploader place the
+        // downloader in its trust relationship?
+        let mut interval_requests = 0usize;
+        let mut interval_covered = 0usize;
+
+        for event in trace.events() {
+            while event.time >= next_recompute {
+                report.coverage_series.push(CoveragePoint {
+                    time: next_recompute,
+                    requests: interval_requests,
+                    coverage: if interval_requests == 0 {
+                        0.0
+                    } else {
+                        interval_covered as f64 / interval_requests as f64
+                    },
+                });
+                interval_requests = 0;
+                interval_covered = 0;
+                self.system.recompute(next_recompute);
+                next_recompute += interval;
+            }
+
+            match event.kind {
+                EventKind::Download { downloader, uploader, file } => {
+                    report.requests += 1;
+                    interval_requests += 1;
+                    if self.system.reputation(downloader, uploader) > 0.0 {
+                        interval_covered += 1;
+                    }
+                    let authentic = catalog.is_authentic(file);
+                    if !authentic {
+                        report.fakes.fake_requests += 1;
+                    }
+
+                    // Fake filtering: consult the owners' published
+                    // evaluations through the system's file score.
+                    if self.config.filter_fakes {
+                        let owner_evals = self.owner_evaluations(file, event.time);
+                        let score = self.system.file_score(
+                            downloader,
+                            file,
+                            &owner_evals,
+                            event.time,
+                        );
+                        if let Some(score) = score {
+                            if score < self.config.fake_threshold {
+                                if authentic {
+                                    report.fakes.authentic_rejected += 1;
+                                } else {
+                                    report.fakes.fakes_avoided += 1;
+                                }
+                                continue; // download skipped entirely
+                            }
+                        }
+                    }
+                    if authentic {
+                        report.fakes.authentic_downloads += 1;
+                    } else {
+                        report.fakes.fake_downloads += 1;
+                    }
+
+                    // Service differentiation at the uploader.
+                    let size_mib = catalog
+                        .file_meta(file)
+                        .map_or(1.0, |m| m.size.as_mib_f64().max(0.001));
+                    let decision = if self.config.differentiate_service {
+                        let r = self.system.relative_reputation(uploader, downloader);
+                        if self.config.contribution_weight > 0.0 {
+                            self.config.policy.decide_with_contribution(
+                                r,
+                                self.ledger.score(downloader),
+                                self.config.contribution_weight,
+                            )
+                        } else {
+                            self.config.policy.decide_scaled(r)
+                        }
+                    } else {
+                        self.config.policy.decide_scaled(1.0)
+                    };
+                    let service_secs = size_mib
+                        / (self.config.slot_bandwidth_mib_s
+                            * decision.bandwidth_fraction.max(f64::MIN_POSITIVE));
+                    let request = Request {
+                        downloader,
+                        arrived: event.time,
+                        priority: SimTime::from_ticks(
+                            event
+                                .time
+                                .as_ticks()
+                                .saturating_sub(decision.queue_offset.as_ticks()),
+                        ),
+                        service_secs,
+                        size_mib,
+                    };
+                    let slots = self.config.upload_slots;
+                    served_log.extend(
+                        self.queues
+                            .entry(uploader)
+                            .or_insert_with(|| UploaderQueue::new(slots))
+                            .arrive(request),
+                    );
+
+                    // Bookkeeping: the transfer happened.
+                    self.evals.record_download(event.time, downloader, file);
+                    self.ledger.record_upload(uploader);
+                    self.system.observe(event, catalog);
+                }
+                EventKind::Publish { user, file } => {
+                    self.evals.record_download(event.time, user, file);
+                    self.system.observe(event, catalog);
+                }
+                EventKind::Delete { user, file } => {
+                    // Quick deletion of a fake is a rewarded contribution.
+                    if !catalog.is_authentic(file) {
+                        let quick = self
+                            .evals
+                            .record(user, file)
+                            .map(|r| {
+                                (event.time - r.downloaded_at())
+                                    <= mdrep_types::SimDuration::from_hours(24)
+                            })
+                            .unwrap_or(false);
+                        if quick {
+                            self.ledger.record_quick_delete(user);
+                        }
+                    }
+                    self.evals.record_delete(event.time, user, file);
+                    self.system.observe(event, catalog);
+                }
+                EventKind::Vote { user, file, value } => {
+                    self.evals.record_vote(event.time, user, file, value);
+                    self.ledger.record_vote(user);
+                    self.system.observe(event, catalog);
+                }
+                EventKind::RankUser { rater, .. } => {
+                    self.ledger.record_rank(rater);
+                    self.system.observe(event, catalog);
+                }
+                EventKind::Whitewash { user } => {
+                    self.evals.remove_user(user);
+                    self.ledger.remove_user(user);
+                    self.system.observe(event, catalog);
+                }
+                _ => self.system.observe(event, catalog),
+            }
+        }
+
+        // Close the final interval.
+        self.system.recompute(next_recompute);
+        if interval_requests > 0 {
+            report.coverage_series.push(CoveragePoint {
+                time: next_recompute,
+                requests: interval_requests,
+                coverage: interval_covered as f64 / interval_requests as f64,
+            });
+        }
+
+        // Drain the queues and attribute completions to behaviour classes.
+        for queue in self.queues.values_mut() {
+            served_log.extend(queue.drain());
+        }
+        let warm_boundary = mdrep_types::SimTime::from_ticks(
+            mdrep_types::SimDuration::from_days(trace.config().days()).as_ticks() / 2,
+        );
+        for served in &served_log {
+            let behavior = population
+                .profile(served.request.downloader)
+                .map_or(Behavior::Honest, |p| p.behavior());
+            let ideal_secs =
+                (served.request.size_mib / self.config.slot_bandwidth_mib_s).max(1.0);
+            let slowdown = served.total().as_ticks() as f64 / ideal_secs;
+            let add = |stats: &mut crate::metrics::ClassStats| {
+                stats.served += 1;
+                stats.total_wait_secs += served.wait().as_ticks() as f64;
+                stats.total_completion_secs += served.total().as_ticks() as f64;
+                stats.mib_received += served.request.size_mib;
+                stats.total_slowdown += slowdown;
+            };
+            add(report.class_mut(behavior));
+            add(report.user_mut(served.request.downloader));
+            if served.request.arrived >= warm_boundary {
+                add(report.warm_class_mut(behavior));
+            }
+        }
+
+        (report, self.system)
+    }
+
+    /// The published evaluations of `file` (bounded, as a DHT reply would
+    /// be). Everyone who ever held the file contributes — a user who
+    /// deleted a fake keeps publishing the resulting low retention-time
+    /// evaluation within the retention interval, which is precisely the
+    /// signal that identifies the fake.
+    fn owner_evaluations(&self, file: FileId, now: SimTime) -> Vec<OwnerEvaluation> {
+        self.evals
+            .evaluators_of(file)
+            .filter_map(|owner| {
+                self.evals
+                    .evaluation(owner, file, now, &self.eval_params)
+                    .map(|e| OwnerEvaluation::new(owner, e))
+            })
+            .take(MAX_OWNER_EVALS)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdrep_baselines::{MultiDimensional, NoReputation, TitForTat};
+    use mdrep_workload::{BehaviorMix, TraceBuilder, WorkloadConfig};
+
+    fn trace(pollution: f64, seed: u64) -> Trace {
+        TraceBuilder::new(
+            WorkloadConfig::builder()
+                .users(60)
+                .titles(60)
+                .days(2)
+                .downloads_per_user_day(5.0)
+                .behavior_mix(BehaviorMix::realistic())
+                .pollution_rate(pollution)
+                .seed(seed)
+                .build()
+                .unwrap(),
+        )
+        .generate()
+    }
+
+    #[test]
+    fn replay_produces_coverage_series() {
+        let t = trace(0.2, 1);
+        let report =
+            Simulation::new(SimConfig::default(), MultiDimensional::new(Params::default()))
+                .run(&t);
+        assert!(report.requests > 0);
+        assert!(!report.coverage_series.is_empty());
+        assert!(report.mean_coverage() > 0.0, "multi-dimensional trust covers something");
+        assert_eq!(report.system, "multi-dimensional");
+    }
+
+    #[test]
+    fn all_requests_get_served_without_filtering() {
+        let t = trace(0.2, 2);
+        let report = Simulation::new(SimConfig::default(), NoReputation::new()).run(&t);
+        let served: usize = report.class_stats.values().map(|s| s.served).sum();
+        assert_eq!(served, report.requests, "no filtering → everything served");
+        assert_eq!(report.fakes.fakes_avoided, 0);
+    }
+
+    #[test]
+    fn filtering_avoids_some_fakes() {
+        let t = trace(0.5, 3);
+        let config = SimConfig { filter_fakes: true, ..SimConfig::default() };
+        let with_filter =
+            Simulation::new(config, MultiDimensional::new(Params::default())).run(&t);
+        let without = Simulation::new(SimConfig::default(), MultiDimensional::new(Params::default()))
+            .run(&t);
+        assert!(
+            with_filter.fakes.fake_downloads <= without.fakes.fake_downloads,
+            "filtering cannot increase fake downloads: {} vs {}",
+            with_filter.fakes.fake_downloads,
+            without.fakes.fake_downloads,
+        );
+    }
+
+    #[test]
+    fn coverage_higher_for_multidimensional_than_tft() {
+        let t = trace(0.2, 4);
+        let md = Simulation::new(SimConfig::default(), MultiDimensional::new(Params::default()))
+            .run(&t);
+        let tft = Simulation::new(SimConfig::default(), TitForTat::new()).run(&t);
+        assert!(
+            md.mean_coverage() > tft.mean_coverage(),
+            "multi-dimensional {} vs tit-for-tat {}",
+            md.mean_coverage(),
+            tft.mean_coverage(),
+        );
+    }
+
+    #[test]
+    fn run_into_system_returns_final_state() {
+        let t = trace(0.2, 5);
+        let (report, system) = Simulation::new(
+            SimConfig::default(),
+            MultiDimensional::new(Params::default()),
+        )
+        .run_into_system(&t);
+        assert!(report.requests > 0);
+        // The returned system holds the final reputation state.
+        assert!(system.engine().reputation_matrix().is_some());
+    }
+
+    #[test]
+    fn service_differentiation_off_means_uniform_service() {
+        let t = trace(0.0, 6);
+        let config = SimConfig { differentiate_service: false, ..SimConfig::default() };
+        let report = Simulation::new(config, MultiDimensional::new(Params::default())).run(&t);
+        // Everything runs at full bandwidth; served counts still add up.
+        let served: usize = report.class_stats.values().map(|s| s.served).sum();
+        assert_eq!(served, report.requests);
+    }
+}

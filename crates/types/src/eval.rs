@@ -1,0 +1,244 @@
+//! Validated evaluation values in `[0, 1]`.
+
+use std::error::Error;
+use std::fmt;
+use std::iter::Sum;
+
+/// Error returned when constructing an [`Evaluation`] from an out-of-range or
+/// non-finite value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvaluationError {
+    value: f64,
+}
+
+impl EvaluationError {
+    /// The rejected raw value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl fmt::Display for EvaluationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation {} is not a finite value in [0, 1]", self.value)
+    }
+}
+
+impl Error for EvaluationError {}
+
+/// A user's opinion of a file (or of another user), mapped into `[0, 1]`.
+///
+/// The paper maps every feedback signal into this range: `1` means *best*
+/// (authentic, high quality), `0` means *worst* (fake). Equation 1 blends an
+/// implicit evaluation (retention time) with an explicit one (a vote):
+/// `E = η·IE + ρ·EE` with `η + ρ = 1` — see [`Evaluation::blend`].
+///
+/// The type guarantees the invariant `0.0 <= value <= 1.0 && value.is_finite()`
+/// at construction, so downstream trust equations never have to re-validate.
+///
+/// # Examples
+///
+/// ```
+/// use mdrep_types::Evaluation;
+///
+/// let implicit = Evaluation::new(0.6)?;
+/// let explicit = Evaluation::new(1.0)?;
+/// // Equation 1 with η = 0.3, ρ = 0.7:
+/// let e = implicit.blend(explicit, 0.3).unwrap();
+/// assert!((e.value() - 0.88).abs() < 1e-12);
+/// # Ok::<(), mdrep_types::EvaluationError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Evaluation(f64);
+
+impl Evaluation {
+    /// The worst possible evaluation (a known fake file).
+    pub const WORST: Self = Self(0.0);
+    /// The best possible evaluation.
+    pub const BEST: Self = Self(1.0);
+    /// A neutral mid-point evaluation.
+    pub const NEUTRAL: Self = Self(0.5);
+
+    /// Creates an evaluation, validating the range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaluationError`] if `value` is not finite or lies outside
+    /// `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, EvaluationError> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(Self(value))
+        } else {
+            Err(EvaluationError { value })
+        }
+    }
+
+    /// Creates an evaluation, clamping any finite value into `[0, 1]`.
+    /// Non-finite input clamps to [`Evaluation::NEUTRAL`].
+    #[must_use]
+    pub fn clamped(value: f64) -> Self {
+        if value.is_nan() {
+            Self::NEUTRAL
+        } else {
+            Self(value.clamp(0.0, 1.0))
+        }
+    }
+
+    /// Returns the raw value in `[0, 1]`.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Absolute distance `|self − other|`, the per-file term of Equation 2.
+    #[must_use]
+    pub fn distance(self, other: Self) -> f64 {
+        (self.0 - other.0).abs()
+    }
+
+    /// Equation 1: blends `self` (the implicit evaluation `IE`) with an
+    /// explicit evaluation `EE` using weight `eta` on the implicit part, i.e.
+    /// `η·IE + (1−η)·EE`.
+    ///
+    /// Returns `None` when `eta` is not a finite weight in `[0, 1]`.
+    #[must_use]
+    pub fn blend(self, explicit: Self, eta: f64) -> Option<Self> {
+        if !eta.is_finite() || !(0.0..=1.0).contains(&eta) {
+            return None;
+        }
+        Some(Self::clamped(eta * self.0 + (1.0 - eta) * explicit.0))
+    }
+
+    /// Returns `true` when this evaluation marks the file as more likely fake
+    /// than authentic under the given decision `threshold`.
+    #[must_use]
+    pub fn is_below(self, threshold: Self) -> bool {
+        self.0 < threshold.0
+    }
+
+    /// Arithmetic mean of an evaluation slice; `None` when empty.
+    #[must_use]
+    pub fn mean(values: &[Self]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let sum: f64 = values.iter().map(|e| e.0).sum();
+        Some(Self::clamped(sum / values.len() as f64))
+    }
+}
+
+impl fmt::Display for Evaluation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Evaluation {
+    type Error = EvaluationError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Self::new(value)
+    }
+}
+
+impl From<Evaluation> for f64 {
+    fn from(e: Evaluation) -> Self {
+        e.value()
+    }
+}
+
+/// Sums raw values; the result may exceed 1.0 and is therefore a plain `f64`.
+impl Sum<Evaluation> for f64 {
+    fn sum<I: Iterator<Item = Evaluation>>(iter: I) -> Self {
+        iter.map(Evaluation::value).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_bounds() {
+        assert_eq!(Evaluation::new(0.0).unwrap(), Evaluation::WORST);
+        assert_eq!(Evaluation::new(1.0).unwrap(), Evaluation::BEST);
+        assert_eq!(Evaluation::new(0.5).unwrap(), Evaluation::NEUTRAL);
+    }
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(Evaluation::new(-0.01).is_err());
+        assert!(Evaluation::new(1.01).is_err());
+        assert!(Evaluation::new(f64::NAN).is_err());
+        assert!(Evaluation::new(f64::INFINITY).is_err());
+        let err = Evaluation::new(2.0).unwrap_err();
+        assert_eq!(err.value(), 2.0);
+        assert!(err.to_string().contains("2"));
+    }
+
+    #[test]
+    fn clamped_saturates() {
+        assert_eq!(Evaluation::clamped(-3.0), Evaluation::WORST);
+        assert_eq!(Evaluation::clamped(42.0), Evaluation::BEST);
+        assert_eq!(Evaluation::clamped(f64::NAN), Evaluation::NEUTRAL);
+        assert_eq!(Evaluation::clamped(0.25).value(), 0.25);
+    }
+
+    #[test]
+    fn distance_is_symmetric_absolute() {
+        let a = Evaluation::new(0.2).unwrap();
+        let b = Evaluation::new(0.9).unwrap();
+        assert!((a.distance(b) - 0.7).abs() < 1e-12);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn blend_matches_equation_one() {
+        let ie = Evaluation::new(0.4).unwrap();
+        let ee = Evaluation::new(0.8).unwrap();
+        // η = 1 keeps the implicit value; η = 0 keeps the explicit one.
+        assert_eq!(ie.blend(ee, 1.0).unwrap(), ie);
+        assert_eq!(ie.blend(ee, 0.0).unwrap(), ee);
+        let mid = ie.blend(ee, 0.5).unwrap();
+        assert!((mid.value() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blend_rejects_bad_weight() {
+        let e = Evaluation::NEUTRAL;
+        assert!(e.blend(e, -0.1).is_none());
+        assert!(e.blend(e, 1.1).is_none());
+        assert!(e.blend(e, f64::NAN).is_none());
+    }
+
+    #[test]
+    fn mean_of_values() {
+        let values = [
+            Evaluation::new(0.0).unwrap(),
+            Evaluation::new(1.0).unwrap(),
+            Evaluation::new(0.5).unwrap(),
+        ];
+        assert_eq!(Evaluation::mean(&values).unwrap(), Evaluation::NEUTRAL);
+        assert_eq!(Evaluation::mean(&[]), None);
+    }
+
+    #[test]
+    fn ordering_and_threshold() {
+        let low = Evaluation::new(0.3).unwrap();
+        let high = Evaluation::new(0.7).unwrap();
+        assert!(low < high);
+        assert!(low.is_below(Evaluation::NEUTRAL));
+        assert!(!high.is_below(Evaluation::NEUTRAL));
+        // Strictly below: equal is not below.
+        assert!(!Evaluation::NEUTRAL.is_below(Evaluation::NEUTRAL));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let values = vec![Evaluation::new(0.25).unwrap(); 4];
+        let total: f64 = values.into_iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

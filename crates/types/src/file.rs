@@ -1,0 +1,200 @@
+//! File attributes: sizes, content hashes, and metadata.
+
+use crate::{FileId, SimTime, UserId};
+use std::fmt;
+
+/// The size of a shared file, in bytes.
+///
+/// Download-volume trust (Equation 4) weighs each download by its file size,
+/// so sizes are first-class values rather than bare integers.
+///
+/// # Examples
+///
+/// ```
+/// use mdrep_types::FileSize;
+///
+/// let s = FileSize::from_mib(700);
+/// assert_eq!(s.as_bytes(), 700 * 1024 * 1024);
+/// assert!(s > FileSize::from_kib(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FileSize(u64);
+
+impl FileSize {
+    /// A zero-byte file.
+    pub const ZERO: Self = Self(0);
+
+    /// Creates a size from raw bytes.
+    #[must_use]
+    pub const fn from_bytes(bytes: u64) -> Self {
+        Self(bytes)
+    }
+
+    /// Creates a size from kibibytes.
+    #[must_use]
+    pub const fn from_kib(kib: u64) -> Self {
+        Self(kib * 1024)
+    }
+
+    /// Creates a size from mebibytes.
+    #[must_use]
+    pub const fn from_mib(mib: u64) -> Self {
+        Self(mib * 1024 * 1024)
+    }
+
+    /// Raw byte count.
+    #[must_use]
+    pub const fn as_bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Size in fractional mebibytes (used as the `S_k` weight in Equation 4).
+    #[must_use]
+    pub fn as_mib_f64(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+}
+
+impl fmt::Display for FileSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1024 * 1024 {
+            write!(f, "{:.1}MiB", self.as_mib_f64())
+        } else if self.0 >= 1024 {
+            write!(f, "{:.1}KiB", self.0 as f64 / 1024.0)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+/// A 256-bit content digest identifying the bytes of a file or message.
+///
+/// The digest itself is computed by `mdrep-crypto`; this type only carries
+/// the value so that lower crates need not depend on the hash implementation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ContentHash([u8; 32]);
+
+impl ContentHash {
+    /// Wraps a raw 32-byte digest.
+    #[must_use]
+    pub const fn from_bytes(bytes: [u8; 32]) -> Self {
+        Self(bytes)
+    }
+
+    /// The raw digest bytes.
+    #[must_use]
+    pub const fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Hex rendering of the digest.
+    #[must_use]
+    pub fn to_hex(&self) -> String {
+        let mut out = String::with_capacity(64);
+        for byte in self.0 {
+            out.push_str(&format!("{byte:02x}"));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ContentHash({}…)", &self.to_hex()[..8])
+    }
+}
+
+impl fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl From<[u8; 32]> for ContentHash {
+    fn from(bytes: [u8; 32]) -> Self {
+        Self::from_bytes(bytes)
+    }
+}
+
+/// Metadata describing a published file.
+///
+/// `authentic` is *ground truth* known only to the workload generator and the
+/// metrics layer; the reputation system never reads it — it must infer
+/// authenticity from evaluations (Equation 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileMeta {
+    /// The file's identifier.
+    pub id: FileId,
+    /// Size in bytes (the `S_k` of Equation 4).
+    pub size: FileSize,
+    /// The user who first published this file.
+    pub publisher: UserId,
+    /// When the file first appeared in the system.
+    pub published_at: SimTime,
+    /// Ground-truth authenticity (true = real content, false = fake/polluted).
+    pub authentic: bool,
+}
+
+impl FileMeta {
+    /// Creates metadata for an authentic file.
+    #[must_use]
+    pub fn authentic(id: FileId, size: FileSize, publisher: UserId, published_at: SimTime) -> Self {
+        Self { id, size, publisher, published_at, authentic: true }
+    }
+
+    /// Creates metadata for a fake (polluted) file.
+    #[must_use]
+    pub fn fake(id: FileId, size: FileSize, publisher: UserId, published_at: SimTime) -> Self {
+        Self { id, size, publisher, published_at, authentic: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_unit_conversions() {
+        assert_eq!(FileSize::from_kib(1).as_bytes(), 1024);
+        assert_eq!(FileSize::from_mib(1), FileSize::from_kib(1024));
+        assert!((FileSize::from_mib(3).as_mib_f64() - 3.0).abs() < 1e-12);
+        assert_eq!(FileSize::ZERO.as_bytes(), 0);
+    }
+
+    #[test]
+    fn size_display_picks_unit() {
+        assert_eq!(FileSize::from_bytes(10).to_string(), "10B");
+        assert_eq!(FileSize::from_kib(2).to_string(), "2.0KiB");
+        assert_eq!(FileSize::from_mib(700).to_string(), "700.0MiB");
+    }
+
+    #[test]
+    fn content_hash_hex_round_trip() {
+        let mut raw = [0u8; 32];
+        raw[0] = 0xab;
+        raw[31] = 0x01;
+        let h = ContentHash::from_bytes(raw);
+        let hex = h.to_hex();
+        assert_eq!(hex.len(), 64);
+        assert!(hex.starts_with("ab"));
+        assert!(hex.ends_with("01"));
+        assert_eq!(h.as_bytes(), &raw);
+        // Debug is abbreviated but non-empty.
+        assert!(format!("{h:?}").contains("ab"));
+    }
+
+    #[test]
+    fn file_meta_constructors_set_ground_truth() {
+        let real = FileMeta::authentic(
+            FileId::new(1),
+            FileSize::from_mib(1),
+            UserId::new(2),
+            SimTime::ZERO,
+        );
+        assert!(real.authentic);
+        let fake =
+            FileMeta::fake(FileId::new(1), FileSize::from_mib(1), UserId::new(2), SimTime::ZERO);
+        assert!(!fake.authentic);
+        assert_eq!(real.id, fake.id);
+    }
+}

@@ -1,0 +1,166 @@
+//! Opaque identifiers for users and files.
+
+use std::fmt;
+
+/// Identifier of a peer (a user) in the file-sharing system.
+///
+/// Ids are dense `u64` indices so that trust matrices can be stored sparsely
+/// and traces can be replayed deterministically.
+///
+/// # Examples
+///
+/// ```
+/// use mdrep_types::UserId;
+///
+/// let u = UserId::new(42);
+/// assert_eq!(u.as_u64(), 42);
+/// assert_eq!(u.to_string(), "U42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct UserId(u64);
+
+impl UserId {
+    /// Creates a user id from its raw index.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw index.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the raw index as a `usize`, for indexing dense tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics on platforms where the id does not fit in `usize` (not possible
+    /// on 64-bit targets).
+    #[must_use]
+    pub fn as_index(self) -> usize {
+        usize::try_from(self.0).expect("user id fits in usize")
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U{}", self.0)
+    }
+}
+
+impl From<u64> for UserId {
+    fn from(raw: u64) -> Self {
+        Self::new(raw)
+    }
+}
+
+impl From<UserId> for u64 {
+    fn from(id: UserId) -> Self {
+        id.as_u64()
+    }
+}
+
+/// Identifier of a shared file (a distinct *title + content* pair).
+///
+/// Two different fakes of the same title are two different [`FileId`]s; the
+/// workload layer models title-level pollution on top of this.
+///
+/// # Examples
+///
+/// ```
+/// use mdrep_types::FileId;
+///
+/// let f = FileId::new(7);
+/// assert_eq!(f.to_string(), "F7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FileId(u64);
+
+impl FileId {
+    /// Creates a file id from its raw index.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw index.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the raw index as a `usize`, for indexing dense tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics on platforms where the id does not fit in `usize` (not possible
+    /// on 64-bit targets).
+    #[must_use]
+    pub fn as_index(self) -> usize {
+        usize::try_from(self.0).expect("file id fits in usize")
+    }
+}
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+impl From<u64> for FileId {
+    fn from(raw: u64) -> Self {
+        Self::new(raw)
+    }
+}
+
+impl From<FileId> for u64 {
+    fn from(id: FileId) -> Self {
+        id.as_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn user_id_round_trip() {
+        let u = UserId::new(123);
+        assert_eq!(u64::from(u), 123);
+        assert_eq!(UserId::from(123u64), u);
+        assert_eq!(u.as_index(), 123usize);
+    }
+
+    #[test]
+    fn file_id_round_trip() {
+        let f = FileId::new(9);
+        assert_eq!(u64::from(f), 9);
+        assert_eq!(FileId::from(9u64), f);
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(UserId::new(0).to_string(), "U0");
+        assert_eq!(FileId::new(10).to_string(), "F10");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(UserId::new(1));
+        set.insert(UserId::new(1));
+        set.insert(UserId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(UserId::new(1) < UserId::new(2));
+        assert!(FileId::new(3) > FileId::new(2));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(UserId::default(), UserId::new(0));
+        assert_eq!(FileId::default(), FileId::new(0));
+    }
+}

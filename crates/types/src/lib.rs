@@ -1,0 +1,45 @@
+//! Core identifiers, validated value types, and simulated time shared by the
+//! whole `mdrep` workspace.
+//!
+//! This crate is the vocabulary layer of the reproduction of *"A
+//! Multi-dimensional Reputation System Combined with Trust and Incentive
+//! Mechanisms in P2P File Sharing Systems"* (ICDCS 2007). Everything in the
+//! higher crates — trust matrices, the DHT, the overlay simulator — speaks in
+//! terms of these types:
+//!
+//! - [`UserId`] and [`FileId`]: opaque dense identifiers for peers and files.
+//! - [`Evaluation`]: a validated opinion value in `[0, 1]` (Equation 1 of the
+//!   paper maps both implicit and explicit feedback into this range).
+//! - [`SimTime`] / [`SimDuration`]: discrete simulated time used by the trace
+//!   generator, the DHT, and the discrete-event simulator.
+//! - [`FileSize`] and [`FileMeta`]: file attributes used by download-volume
+//!   trust (Equation 4 weighs downloads by size) and by the workload model.
+//! - [`ContentHash`]: a 256-bit content digest (computed by `mdrep-crypto`).
+//!
+//! # Examples
+//!
+//! ```
+//! use mdrep_types::{Evaluation, UserId, SimTime, SimDuration};
+//!
+//! let good = Evaluation::new(0.9)?;
+//! let bad = Evaluation::new(0.1)?;
+//! assert!(good > bad);
+//! assert_eq!(good.distance(bad), 0.8);
+//!
+//! let t = SimTime::ZERO + SimDuration::from_hours(5);
+//! assert_eq!(t.as_ticks(), 5 * 3600);
+//! # Ok::<(), mdrep_types::EvaluationError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eval;
+mod file;
+mod id;
+mod time;
+
+pub use eval::{Evaluation, EvaluationError};
+pub use file::{ContentHash, FileMeta, FileSize};
+pub use id::{FileId, UserId};
+pub use time::{SimDuration, SimTime};

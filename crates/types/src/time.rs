@@ -1,0 +1,232 @@
+//! Discrete simulated time.
+//!
+//! One tick is one simulated second. The trace generator, DHT, and overlay
+//! simulator all run on this clock, which keeps experiments deterministic and
+//! independent of wall-clock time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A span of simulated time, in ticks (seconds).
+///
+/// # Examples
+///
+/// ```
+/// use mdrep_types::SimDuration;
+///
+/// let d = SimDuration::from_days(1);
+/// assert_eq!(d.as_ticks(), 86_400);
+/// assert_eq!(d, SimDuration::from_hours(24));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: Self = Self(0);
+
+    /// Creates a duration from raw ticks (seconds).
+    #[must_use]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Self(ticks)
+    }
+
+    /// Creates a duration from simulated seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        Self(secs)
+    }
+
+    /// Creates a duration from simulated minutes.
+    #[must_use]
+    pub const fn from_mins(mins: u64) -> Self {
+        Self(mins * 60)
+    }
+
+    /// Creates a duration from simulated hours.
+    #[must_use]
+    pub const fn from_hours(hours: u64) -> Self {
+        Self(hours * 3600)
+    }
+
+    /// Creates a duration from simulated days.
+    #[must_use]
+    pub const fn from_days(days: u64) -> Self {
+        Self(days * 86_400)
+    }
+
+    /// Raw tick count.
+    #[must_use]
+    pub const fn as_ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Duration expressed in fractional simulated days.
+    #[must_use]
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / 86_400.0
+    }
+
+    /// Saturating multiplication by a scalar.
+    #[must_use]
+    pub fn saturating_mul(self, factor: u64) -> Self {
+        Self(self.0.saturating_mul(factor))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (d, rem) = (self.0 / 86_400, self.0 % 86_400);
+        let (h, rem) = (rem / 3600, rem % 3600);
+        let (m, s) = (rem / 60, rem % 60);
+        write!(f, "{d}d{h:02}h{m:02}m{s:02}s")
+    }
+}
+
+impl Add for SimDuration {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0.saturating_add(rhs.0))
+    }
+}
+
+/// An instant on the simulated clock, in ticks since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use mdrep_types::{SimTime, SimDuration};
+///
+/// let start = SimTime::ZERO;
+/// let later = start + SimDuration::from_mins(90);
+/// assert_eq!(later - start, SimDuration::from_mins(90));
+/// assert!(later.is_after(start));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: Self = Self(0);
+
+    /// Creates an instant from raw ticks.
+    #[must_use]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Self(ticks)
+    }
+
+    /// Raw tick count since simulation start.
+    #[must_use]
+    pub const fn as_ticks(self) -> u64 {
+        self.0
+    }
+
+    /// The duration since an earlier instant, saturating to zero if
+    /// `earlier` is actually later.
+    #[must_use]
+    pub fn since(self, earlier: Self) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Whether this instant is strictly after `other`.
+    #[must_use]
+    pub fn is_after(self, other: Self) -> bool {
+        self.0 > other.0
+    }
+
+    /// Time expressed in fractional simulated days since start.
+    #[must_use]
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / 86_400.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = Self;
+
+    fn add(self, rhs: SimDuration) -> Self {
+        Self(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: Self) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(60), SimDuration::from_mins(1));
+        assert_eq!(SimDuration::from_mins(60), SimDuration::from_hours(1));
+        assert_eq!(SimDuration::from_hours(24), SimDuration::from_days(1));
+        assert_eq!(SimDuration::from_ticks(5).as_ticks(), 5);
+    }
+
+    #[test]
+    fn duration_display_breaks_down_units() {
+        let d = SimDuration::from_days(2)
+            + SimDuration::from_hours(3)
+            + SimDuration::from_mins(4)
+            + SimDuration::from_secs(5);
+        assert_eq!(d.to_string(), "2d03h04m05s");
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_ticks(100);
+        let later = t + SimDuration::from_ticks(50);
+        assert_eq!(later.as_ticks(), 150);
+        assert_eq!(later - t, SimDuration::from_ticks(50));
+        // Saturating: earlier minus later is zero, not underflow.
+        assert_eq!(t - later, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn add_assign_advances_clock() {
+        let mut clock = SimTime::ZERO;
+        clock += SimDuration::from_hours(2);
+        clock += SimDuration::from_hours(1);
+        assert_eq!(clock, SimTime::from_ticks(3 * 3600));
+    }
+
+    #[test]
+    fn saturation_at_the_top() {
+        let top = SimTime::from_ticks(u64::MAX);
+        assert_eq!(top + SimDuration::from_days(1), top);
+        let big = SimDuration::from_ticks(u64::MAX);
+        assert_eq!(big.saturating_mul(2), big);
+    }
+
+    #[test]
+    fn fractional_days() {
+        assert!((SimDuration::from_hours(12).as_days_f64() - 0.5).abs() < 1e-12);
+        assert!((SimTime::from_ticks(86_400).as_days_f64() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_ticks(5).is_after(SimTime::ZERO));
+        assert!(!SimTime::ZERO.is_after(SimTime::ZERO));
+        assert!(SimTime::from_ticks(1) < SimTime::from_ticks(2));
+    }
+}

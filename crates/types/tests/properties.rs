@@ -1,0 +1,69 @@
+//! Property-based tests for the core value types.
+
+use mdrep_types::{Evaluation, FileSize, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn eval_strategy() -> impl Strategy<Value = Evaluation> {
+    (0.0f64..=1.0).prop_map(|v| Evaluation::new(v).expect("in range"))
+}
+
+proptest! {
+    #[test]
+    fn evaluation_new_accepts_exactly_unit_interval(v in -10.0f64..10.0) {
+        let ok = (0.0..=1.0).contains(&v);
+        prop_assert_eq!(Evaluation::new(v).is_ok(), ok);
+    }
+
+    #[test]
+    fn clamped_always_in_range(v in proptest::num::f64::ANY) {
+        let e = Evaluation::clamped(v);
+        prop_assert!((0.0..=1.0).contains(&e.value()));
+    }
+
+    #[test]
+    fn distance_is_a_metric(a in eval_strategy(), b in eval_strategy(), c in eval_strategy()) {
+        // Symmetry, identity, range, triangle inequality.
+        prop_assert_eq!(a.distance(b), b.distance(a));
+        prop_assert_eq!(a.distance(a), 0.0);
+        prop_assert!(a.distance(b) <= 1.0);
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-12);
+    }
+
+    #[test]
+    fn blend_stays_between_inputs(ie in eval_strategy(), ee in eval_strategy(), eta in 0.0f64..=1.0) {
+        let out = ie.blend(ee, eta).expect("valid weight");
+        let lo = ie.value().min(ee.value());
+        let hi = ie.value().max(ee.value());
+        prop_assert!(out.value() >= lo - 1e-12 && out.value() <= hi + 1e-12);
+    }
+
+    #[test]
+    fn mean_is_bounded_by_extremes(values in proptest::collection::vec(eval_strategy(), 1..50)) {
+        let mean = Evaluation::mean(&values).expect("non-empty");
+        let lo = values.iter().map(|e| e.value()).fold(f64::INFINITY, f64::min);
+        let hi = values.iter().map(|e| e.value()).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mean.value() >= lo - 1e-9 && mean.value() <= hi + 1e-9);
+    }
+
+    #[test]
+    fn time_add_then_subtract_round_trips(start in 0u64..1_000_000, delta in 0u64..1_000_000) {
+        let t0 = SimTime::from_ticks(start);
+        let t1 = t0 + SimDuration::from_ticks(delta);
+        prop_assert_eq!(t1 - t0, SimDuration::from_ticks(delta));
+        prop_assert_eq!(t0 - t1, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_addition_is_commutative(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+        let da = SimDuration::from_ticks(a);
+        let db = SimDuration::from_ticks(b);
+        prop_assert_eq!(da + db, db + da);
+    }
+
+    #[test]
+    fn file_size_mib_conversion_consistent(mib in 0u64..10_000) {
+        let s = FileSize::from_mib(mib);
+        prop_assert!((s.as_mib_f64() - mib as f64).abs() < 1e-9);
+        prop_assert_eq!(s.as_bytes(), mib * 1024 * 1024);
+    }
+}

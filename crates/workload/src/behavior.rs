@@ -1,0 +1,323 @@
+//! User behaviour profiles and the population mix.
+
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a colluding clique.
+pub type ColluderGroup = u16;
+
+/// How a simulated user behaves.
+///
+/// The profiles map to the threat and incentive models the paper discusses:
+/// honest sharers vs free-riders (the incentive problem), polluters
+/// publishing fakes and lying in votes (the trust problem), colluder cliques
+/// inflating each other (Section 4.2, attack 4), and whitewashers rejoining
+/// under fresh identities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Behavior {
+    /// Shares real files, votes honestly (with some probability), deletes
+    /// fakes quickly.
+    Honest,
+    /// Downloads but almost never shares or votes.
+    FreeRider,
+    /// Publishes fake copies of popular titles and votes dishonestly
+    /// (praises fakes, disparages authentic files).
+    Polluter,
+    /// Member of clique `group`: behaves like a polluter toward outsiders
+    /// and rates clique members maximally.
+    Colluder(ColluderGroup),
+    /// Behaves like a polluter, then periodically discards its identity and
+    /// rejoins as a fresh user.
+    Whitewasher,
+}
+
+impl Behavior {
+    /// Probability that this user casts an explicit vote after a download.
+    /// (The paper: fewer than 1% of popular KaZaA files are voted on; the
+    /// incentive mechanism is what pushes these numbers up — the simulator
+    /// can scale them via the incentive feedback loop.)
+    #[must_use]
+    pub fn base_vote_probability(self) -> f64 {
+        match self {
+            Self::Honest => 0.25,
+            Self::FreeRider => 0.02,
+            Self::Polluter | Self::Whitewasher => 0.6,
+            Self::Colluder(_) => 0.6,
+        }
+    }
+
+    /// Probability that a cast vote is honest (matches ground truth).
+    #[must_use]
+    pub fn vote_honesty(self) -> f64 {
+        match self {
+            Self::Honest => 0.97,
+            Self::FreeRider => 0.9,
+            Self::Polluter | Self::Whitewasher | Self::Colluder(_) => 0.1,
+        }
+    }
+
+    /// Probability of sharing (staying an uploader for) a downloaded file.
+    #[must_use]
+    pub fn share_probability(self) -> f64 {
+        match self {
+            Self::Honest => 0.9,
+            Self::FreeRider => 0.05,
+            Self::Polluter | Self::Whitewasher => 0.95,
+            Self::Colluder(_) => 0.9,
+        }
+    }
+
+    /// Mean time (in simulated hours) before the user deletes a fake file it
+    /// has discovered. Honest users delete quickly — which the incentive
+    /// mechanism rewards.
+    #[must_use]
+    pub fn fake_deletion_hours(self) -> f64 {
+        match self {
+            Self::Honest => 6.0,
+            Self::FreeRider => 48.0,
+            Self::Polluter | Self::Whitewasher | Self::Colluder(_) => 400.0,
+        }
+    }
+
+    /// Whether the profile publishes fake files.
+    #[must_use]
+    pub fn is_polluting(self) -> bool {
+        matches!(self, Self::Polluter | Self::Colluder(_) | Self::Whitewasher)
+    }
+
+    /// Whether the profile participates in a collusion clique.
+    #[must_use]
+    pub fn colluder_group(self) -> Option<ColluderGroup> {
+        match self {
+            Self::Colluder(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Behavior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Honest => f.write_str("honest"),
+            Self::FreeRider => f.write_str("free-rider"),
+            Self::Polluter => f.write_str("polluter"),
+            Self::Colluder(g) => write!(f, "colluder[{g}]"),
+            Self::Whitewasher => f.write_str("whitewasher"),
+        }
+    }
+}
+
+/// Error returned when a [`BehaviorMix`] does not describe a probability
+/// distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixError {
+    sum: f64,
+}
+
+impl fmt::Display for MixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "behaviour fractions sum to {} instead of at most 1", self.sum)
+    }
+}
+
+impl Error for MixError {}
+
+/// Population fractions per behaviour. The remainder (up to 1.0) is honest.
+///
+/// # Examples
+///
+/// ```
+/// use mdrep_workload::BehaviorMix;
+///
+/// let mix = BehaviorMix::new(0.2, 0.1, 0.05, 0.02)?;
+/// assert!((mix.honest() - 0.63).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BehaviorMix {
+    free_riders: f64,
+    polluters: f64,
+    colluders: f64,
+    whitewashers: f64,
+}
+
+impl BehaviorMix {
+    /// Builds a mix; fractions must be non-negative, finite, and sum to at
+    /// most 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MixError`] otherwise.
+    pub fn new(
+        free_riders: f64,
+        polluters: f64,
+        colluders: f64,
+        whitewashers: f64,
+    ) -> Result<Self, MixError> {
+        let parts = [free_riders, polluters, colluders, whitewashers];
+        let sum: f64 = parts.iter().sum();
+        if parts.iter().any(|p| !p.is_finite() || *p < 0.0) || sum > 1.0 + 1e-12 {
+            return Err(MixError { sum });
+        }
+        Ok(Self { free_riders, polluters, colluders, whitewashers })
+    }
+
+    /// An all-honest population.
+    #[must_use]
+    pub fn all_honest() -> Self {
+        Self { free_riders: 0.0, polluters: 0.0, colluders: 0.0, whitewashers: 0.0 }
+    }
+
+    /// A mix resembling measured P2P systems: 20% free-riders, 8%
+    /// polluters, 4% colluders, 2% whitewashers.
+    #[must_use]
+    pub fn realistic() -> Self {
+        Self { free_riders: 0.20, polluters: 0.08, colluders: 0.04, whitewashers: 0.02 }
+    }
+
+    /// Fraction of free-riders.
+    #[must_use]
+    pub fn free_riders(&self) -> f64 {
+        self.free_riders
+    }
+
+    /// Fraction of polluters.
+    #[must_use]
+    pub fn polluters(&self) -> f64 {
+        self.polluters
+    }
+
+    /// Fraction of colluders.
+    #[must_use]
+    pub fn colluders(&self) -> f64 {
+        self.colluders
+    }
+
+    /// Fraction of whitewashers.
+    #[must_use]
+    pub fn whitewashers(&self) -> f64 {
+        self.whitewashers
+    }
+
+    /// The honest remainder.
+    #[must_use]
+    pub fn honest(&self) -> f64 {
+        (1.0 - self.free_riders - self.polluters - self.colluders - self.whitewashers).max(0.0)
+    }
+
+    /// Assigns a behaviour to the user at `position ∈ [0, 1)` along the
+    /// population (deterministic striping: the first segment free-rides,
+    /// then polluters, colluders, whitewashers, and the rest are honest).
+    /// Colluders are split into cliques of `clique_size`.
+    #[must_use]
+    pub fn assign(&self, position: f64, user_index: usize, clique_size: usize) -> Behavior {
+        let p = position.clamp(0.0, 1.0);
+        let mut edge = self.free_riders;
+        if p < edge {
+            return Behavior::FreeRider;
+        }
+        edge += self.polluters;
+        if p < edge {
+            return Behavior::Polluter;
+        }
+        edge += self.colluders;
+        if p < edge {
+            let group = (user_index / clique_size.max(1)) as ColluderGroup;
+            return Behavior::Colluder(group);
+        }
+        edge += self.whitewashers;
+        if p < edge {
+            return Behavior::Whitewasher;
+        }
+        Behavior::Honest
+    }
+}
+
+impl Default for BehaviorMix {
+    fn default() -> Self {
+        Self::all_honest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_remainder() {
+        let mix = BehaviorMix::new(0.25, 0.25, 0.25, 0.25).unwrap();
+        assert_eq!(mix.honest(), 0.0);
+        let mix = BehaviorMix::all_honest();
+        assert_eq!(mix.honest(), 1.0);
+    }
+
+    #[test]
+    fn mix_rejects_invalid() {
+        assert!(BehaviorMix::new(0.6, 0.6, 0.0, 0.0).is_err());
+        assert!(BehaviorMix::new(-0.1, 0.0, 0.0, 0.0).is_err());
+        assert!(BehaviorMix::new(f64::NAN, 0.0, 0.0, 0.0).is_err());
+        let err = BehaviorMix::new(0.9, 0.9, 0.0, 0.0).unwrap_err();
+        assert!(err.to_string().contains("1.8"));
+    }
+
+    #[test]
+    fn assign_stripes_population() {
+        let mix = BehaviorMix::new(0.2, 0.1, 0.1, 0.1).unwrap();
+        assert_eq!(mix.assign(0.0, 0, 4), Behavior::FreeRider);
+        assert_eq!(mix.assign(0.19, 1, 4), Behavior::FreeRider);
+        assert_eq!(mix.assign(0.25, 2, 4), Behavior::Polluter);
+        assert!(matches!(mix.assign(0.35, 3, 4), Behavior::Colluder(_)));
+        assert_eq!(mix.assign(0.45, 4, 4), Behavior::Whitewasher);
+        assert_eq!(mix.assign(0.99, 5, 4), Behavior::Honest);
+    }
+
+    #[test]
+    fn colluder_cliques_group_by_index() {
+        let mix = BehaviorMix::new(0.0, 0.0, 1.0, 0.0).unwrap();
+        let a = mix.assign(0.5, 0, 3);
+        let b = mix.assign(0.5, 2, 3);
+        let c = mix.assign(0.5, 3, 3);
+        assert_eq!(a.colluder_group(), Some(0));
+        assert_eq!(b.colluder_group(), Some(0));
+        assert_eq!(c.colluder_group(), Some(1));
+    }
+
+    #[test]
+    fn behavior_parameters_are_probabilities() {
+        for b in [
+            Behavior::Honest,
+            Behavior::FreeRider,
+            Behavior::Polluter,
+            Behavior::Colluder(0),
+            Behavior::Whitewasher,
+        ] {
+            assert!((0.0..=1.0).contains(&b.base_vote_probability()), "{b}");
+            assert!((0.0..=1.0).contains(&b.vote_honesty()), "{b}");
+            assert!((0.0..=1.0).contains(&b.share_probability()), "{b}");
+            assert!(b.fake_deletion_hours() > 0.0, "{b}");
+        }
+    }
+
+    #[test]
+    fn honest_users_delete_fakes_faster_than_attackers() {
+        assert!(Behavior::Honest.fake_deletion_hours() < Behavior::FreeRider.fake_deletion_hours());
+        assert!(
+            Behavior::FreeRider.fake_deletion_hours() < Behavior::Polluter.fake_deletion_hours()
+        );
+    }
+
+    #[test]
+    fn polluting_profiles() {
+        assert!(!Behavior::Honest.is_polluting());
+        assert!(!Behavior::FreeRider.is_polluting());
+        assert!(Behavior::Polluter.is_polluting());
+        assert!(Behavior::Colluder(1).is_polluting());
+        assert!(Behavior::Whitewasher.is_polluting());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Behavior::Colluder(3).to_string(), "colluder[3]");
+        assert_eq!(Behavior::Honest.to_string(), "honest");
+    }
+}

@@ -1,0 +1,356 @@
+//! The file catalog: titles, their authentic and fake variants, sizes, and
+//! lifetimes.
+//!
+//! A *title* is what a user searches for ("some movie"); a *file* is a
+//! concrete content variant of it. Pollution means a title has fake variants
+//! alongside the authentic one — exactly the KaZaA situation the paper
+//! cites, where "nearly half of the files of some popular titles are fake".
+
+use crate::config::WorkloadConfig;
+use crate::sampler::LogNormalSampler;
+use crate::users::Population;
+use mdrep_types::{FileId, FileMeta, FileSize, SimDuration, SimTime, UserId};
+use rand::{Rng, RngExt};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a title (popularity rank 0 = most popular).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TitleId(u32);
+
+impl TitleId {
+    /// Creates a title id from its popularity rank.
+    #[must_use]
+    pub const fn new(rank: u32) -> Self {
+        Self(rank)
+    }
+
+    /// The title's popularity rank (0 = most popular).
+    #[must_use]
+    pub const fn rank(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TitleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// One title and its file variants.
+#[derive(Debug, Clone)]
+pub struct Title {
+    id: TitleId,
+    born: SimTime,
+    dies: SimTime,
+    files: Vec<FileId>,
+}
+
+impl Title {
+    /// The title id.
+    #[must_use]
+    pub fn id(&self) -> TitleId {
+        self.id
+    }
+
+    /// When the title entered circulation.
+    #[must_use]
+    pub fn born(&self) -> SimTime {
+        self.born
+    }
+
+    /// When interest in the title dies out (file churn).
+    #[must_use]
+    pub fn dies(&self) -> SimTime {
+        self.dies
+    }
+
+    /// All file variants (authentic first, then fakes).
+    #[must_use]
+    pub fn files(&self) -> &[FileId] {
+        &self.files
+    }
+
+    /// Whether the title is in circulation at `now`.
+    #[must_use]
+    pub fn is_alive(&self, now: SimTime) -> bool {
+        now >= self.born && now < self.dies
+    }
+}
+
+/// The generated catalog: every title and every file variant's metadata.
+///
+/// # Examples
+///
+/// ```
+/// use mdrep_workload::{Catalog, Population, WorkloadConfig};
+/// use rand::SeedableRng;
+///
+/// let config = WorkloadConfig::builder().users(50).titles(100).seed(3).build()?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed());
+/// let population = Population::generate(&config, &mut rng);
+/// let catalog = Catalog::generate(&config, &population, &mut rng);
+/// assert_eq!(catalog.title_count(), 100);
+/// # Ok::<(), mdrep_workload::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    titles: Vec<Title>,
+    meta: HashMap<FileId, FileMeta>,
+    title_of: HashMap<FileId, TitleId>,
+}
+
+impl Catalog {
+    /// Generates a catalog from the configuration.
+    ///
+    /// Every title gets one authentic variant published by a random sharer.
+    /// The most popular `pollution_rate` fraction of titles additionally get
+    /// `fakes_per_polluted_title` fake variants published by polluters (if
+    /// the population has any; otherwise those titles stay clean —
+    /// pollution needs polluters).
+    pub fn generate<R: Rng + ?Sized>(
+        config: &WorkloadConfig,
+        population: &Population,
+        rng: &mut R,
+    ) -> Self {
+        let sizes = LogNormalSampler::new(config.size_mu_log_mib, config.size_sigma_log)
+            .expect("config validated");
+        let sharers = population.sharer_ids();
+        let polluters = population.polluter_ids();
+
+        let polluted_titles = (config.titles as f64 * config.pollution_rate).round() as usize;
+        let mut titles = Vec::with_capacity(config.titles);
+        let mut meta = HashMap::new();
+        let mut title_of = HashMap::new();
+        let mut next_file = 0u64;
+
+        let horizon = SimDuration::from_days(config.days);
+        for rank in 0..config.titles {
+            let id = TitleId::new(rank as u32);
+            // Titles are born throughout the run (staggered arrival), most
+            // popular ones biased earliest so the replay has immediate
+            // traffic, the long tail spread across the whole horizon so the
+            // catalog sustains itself under short title lifetimes.
+            let born_frac =
+                rng.random::<f64>() * 0.9 * (rank as f64 / config.titles as f64).sqrt();
+            let born = SimTime::ZERO
+                + SimDuration::from_ticks((horizon.as_ticks() as f64 * born_frac) as u64);
+            // Exponential lifetime with the configured mean.
+            let life_days = sample_exponential(rng, config.title_lifetime_days);
+            let dies = born + SimDuration::from_ticks((life_days * 86_400.0) as u64);
+
+            let size = FileSize::from_bytes((sizes.sample(rng) * 1024.0 * 1024.0).max(1.0) as u64);
+
+            let mut files = Vec::new();
+            let publisher = choose(rng, &sharers).unwrap_or(UserId::new(0));
+            let authentic_id = FileId::new(next_file);
+            next_file += 1;
+            meta.insert(authentic_id, FileMeta::authentic(authentic_id, size, publisher, born));
+            title_of.insert(authentic_id, id);
+            files.push(authentic_id);
+
+            // The *most popular* titles are the polluted ones — that is where
+            // the copyright-protection pollution the paper cites happens.
+            if rank < polluted_titles && !polluters.is_empty() {
+                for _ in 0..config.fakes_per_polluted_title {
+                    let polluter = choose(rng, &polluters).expect("non-empty");
+                    let fake_id = FileId::new(next_file);
+                    next_file += 1;
+                    meta.insert(fake_id, FileMeta::fake(fake_id, size, polluter, born));
+                    title_of.insert(fake_id, id);
+                    files.push(fake_id);
+                }
+            }
+
+            titles.push(Title { id, born, dies, files });
+        }
+
+        Self { titles, meta, title_of }
+    }
+
+    /// Number of titles.
+    #[must_use]
+    pub fn title_count(&self) -> usize {
+        self.titles.len()
+    }
+
+    /// Number of file variants across all titles.
+    #[must_use]
+    pub fn file_count(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// The title at popularity `rank`.
+    #[must_use]
+    pub fn title(&self, id: TitleId) -> Option<&Title> {
+        self.titles.get(id.rank() as usize)
+    }
+
+    /// Iterates over all titles in rank order.
+    pub fn titles(&self) -> impl Iterator<Item = &Title> {
+        self.titles.iter()
+    }
+
+    /// Metadata of a file variant.
+    #[must_use]
+    pub fn file_meta(&self, file: FileId) -> Option<&FileMeta> {
+        self.meta.get(&file)
+    }
+
+    /// The title a file variant belongs to.
+    #[must_use]
+    pub fn title_of(&self, file: FileId) -> Option<TitleId> {
+        self.title_of.get(&file).copied()
+    }
+
+    /// Ground-truth authenticity of a file (for metrics only).
+    #[must_use]
+    pub fn is_authentic(&self, file: FileId) -> bool {
+        self.meta.get(&file).is_some_and(|m| m.authentic)
+    }
+
+    /// Total number of fake variants in the catalog.
+    #[must_use]
+    pub fn fake_count(&self) -> usize {
+        self.meta.values().filter(|m| !m.authentic).count()
+    }
+}
+
+fn choose<R: Rng + ?Sized, T: Copy>(rng: &mut R, items: &[T]) -> Option<T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(items[rng.random_range(0..items.len())])
+    }
+}
+
+fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = 1.0 - rng.random::<f64>();
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::BehaviorMix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(pollution: f64) -> (WorkloadConfig, Population, Catalog) {
+        let config = WorkloadConfig::builder()
+            .users(60)
+            .titles(50)
+            .days(10)
+            .pollution_rate(pollution)
+            .behavior_mix(BehaviorMix::realistic())
+            .seed(17)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(config.seed());
+        let population = Population::generate(&config, &mut rng);
+        let catalog = Catalog::generate(&config, &population, &mut rng);
+        (config, population, catalog)
+    }
+
+    #[test]
+    fn every_title_has_an_authentic_variant() {
+        let (_, _, catalog) = setup(0.4);
+        for title in catalog.titles() {
+            let authentic = title
+                .files()
+                .iter()
+                .filter(|&&f| catalog.is_authentic(f))
+                .count();
+            assert_eq!(authentic, 1, "title {}", title.id());
+        }
+    }
+
+    #[test]
+    fn pollution_rate_controls_fake_titles() {
+        let (config, _, catalog) = setup(0.4);
+        let polluted = catalog
+            .titles()
+            .filter(|t| t.files().len() > 1)
+            .count();
+        let expected = (config.titles() as f64 * 0.4).round() as usize;
+        assert_eq!(polluted, expected);
+        assert_eq!(catalog.fake_count(), expected * 2);
+    }
+
+    #[test]
+    fn zero_pollution_means_no_fakes() {
+        let (_, _, catalog) = setup(0.0);
+        assert_eq!(catalog.fake_count(), 0);
+        assert_eq!(catalog.file_count(), catalog.title_count());
+    }
+
+    #[test]
+    fn popular_titles_are_the_polluted_ones() {
+        let (_, _, catalog) = setup(0.2);
+        let polluted: Vec<u32> = catalog
+            .titles()
+            .filter(|t| t.files().len() > 1)
+            .map(|t| t.id().rank())
+            .collect();
+        let max_polluted = polluted.iter().max().copied().unwrap_or(0);
+        assert!(max_polluted < 10, "pollution should hit top ranks, got {polluted:?}");
+    }
+
+    #[test]
+    fn fakes_are_published_by_polluters() {
+        let (_, population, catalog) = setup(0.5);
+        for title in catalog.titles() {
+            for &file in title.files() {
+                let m = catalog.file_meta(file).unwrap();
+                if !m.authentic {
+                    assert!(
+                        population.profile(m.publisher).unwrap().behavior().is_polluting(),
+                        "fake {file} published by non-polluter"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookups_are_consistent() {
+        let (_, _, catalog) = setup(0.3);
+        for title in catalog.titles() {
+            for &file in title.files() {
+                assert_eq!(catalog.title_of(file), Some(title.id()));
+                assert_eq!(catalog.file_meta(file).unwrap().id, file);
+            }
+        }
+        assert_eq!(catalog.title_of(FileId::new(999_999)), None);
+        assert!(catalog.file_meta(FileId::new(999_999)).is_none());
+    }
+
+    #[test]
+    fn titles_live_within_the_horizon() {
+        let (_, _, catalog) = setup(0.0);
+        for title in catalog.titles() {
+            assert!(title.dies() > title.born());
+            assert!(title.is_alive(title.born()));
+            assert!(!title.is_alive(title.dies()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_, _, a) = setup(0.3);
+        let (_, _, b) = setup(0.3);
+        assert_eq!(a.file_count(), b.file_count());
+        for (ta, tb) in a.titles().zip(b.titles()) {
+            assert_eq!(ta.files(), tb.files());
+            assert_eq!(ta.born(), tb.born());
+        }
+    }
+
+    #[test]
+    fn title_id_accessors() {
+        let t = TitleId::new(5);
+        assert_eq!(t.rank(), 5);
+        assert_eq!(t.to_string(), "T5");
+    }
+}

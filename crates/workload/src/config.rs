@@ -1,0 +1,450 @@
+//! Workload configuration and its builder.
+
+use crate::behavior::BehaviorMix;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`WorkloadConfigBuilder::build`] for inconsistent
+/// parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid workload configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Parameters of a synthetic workload. Construct through
+/// [`WorkloadConfig::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use mdrep_workload::{BehaviorMix, WorkloadConfig};
+///
+/// let config = WorkloadConfig::builder()
+///     .users(500)
+///     .titles(1000)
+///     .days(30)
+///     .behavior_mix(BehaviorMix::realistic())
+///     .pollution_rate(0.3)
+///     .seed(42)
+///     .build()?;
+/// assert_eq!(config.users(), 500);
+/// # Ok::<(), mdrep_workload::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    pub(crate) users: usize,
+    pub(crate) titles: usize,
+    pub(crate) days: u64,
+    pub(crate) zipf_exponent: f64,
+    pub(crate) downloads_per_user_day: f64,
+    pub(crate) behavior_mix: BehaviorMix,
+    pub(crate) pollution_rate: f64,
+    pub(crate) fakes_per_polluted_title: usize,
+    pub(crate) colluder_clique_size: usize,
+    pub(crate) mean_session_hours: f64,
+    pub(crate) mean_offline_hours: f64,
+    pub(crate) arrival_spread_days: u64,
+    pub(crate) title_lifetime_days: f64,
+    pub(crate) size_mu_log_mib: f64,
+    pub(crate) size_sigma_log: f64,
+    pub(crate) vote_probability_override: Option<f64>,
+    pub(crate) voter_fraction: Option<f64>,
+    pub(crate) friend_probability: f64,
+    pub(crate) seed: u64,
+}
+
+impl WorkloadConfig {
+    /// Starts building a configuration with laptop-scale defaults.
+    #[must_use]
+    pub fn builder() -> WorkloadConfigBuilder {
+        WorkloadConfigBuilder::default()
+    }
+
+    /// Number of users that ever join.
+    #[must_use]
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// Number of distinct titles in the catalog.
+    #[must_use]
+    pub fn titles(&self) -> usize {
+        self.titles
+    }
+
+    /// Simulated duration in days.
+    #[must_use]
+    pub fn days(&self) -> u64 {
+        self.days
+    }
+
+    /// RNG seed; identical seeds regenerate identical traces.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Behaviour mix of the population.
+    #[must_use]
+    pub fn behavior_mix(&self) -> BehaviorMix {
+        self.behavior_mix
+    }
+
+    /// Fraction of titles that have fake copies in circulation.
+    #[must_use]
+    pub fn pollution_rate(&self) -> f64 {
+        self.pollution_rate
+    }
+
+    /// Override of every profile's vote probability (used by the Figure 1
+    /// sweep, where "evaluation coverage k%" fixes the voting rate).
+    #[must_use]
+    pub fn vote_probability_override(&self) -> Option<f64> {
+        self.vote_probability_override
+    }
+
+    /// When set, only this fraction of users are *voters* (vote with their
+    /// profile's probability); the rest never vote. Drives the vote-uptake
+    /// feedback experiments.
+    #[must_use]
+    pub fn voter_fraction(&self) -> Option<f64> {
+        self.voter_fraction
+    }
+
+    /// Whether the user at `index` is a voter under the current
+    /// [`voter_fraction`](Self::voter_fraction) (deterministic striping by
+    /// a multiplicative hash; everyone votes when the fraction is unset).
+    #[must_use]
+    pub fn is_voter(&self, index: usize) -> bool {
+        match self.voter_fraction {
+            None => true,
+            Some(frac) => {
+                let hashed = (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40;
+                (hashed as f64 / (1u64 << 24) as f64) < frac
+            }
+        }
+    }
+}
+
+/// Builder for [`WorkloadConfig`].
+#[derive(Debug, Clone)]
+pub struct WorkloadConfigBuilder {
+    config: WorkloadConfig,
+}
+
+impl Default for WorkloadConfigBuilder {
+    fn default() -> Self {
+        Self {
+            config: WorkloadConfig {
+                users: 200,
+                titles: 400,
+                days: 7,
+                zipf_exponent: 0.8,
+                downloads_per_user_day: 4.0,
+                behavior_mix: BehaviorMix::all_honest(),
+                pollution_rate: 0.0,
+                fakes_per_polluted_title: 2,
+                colluder_clique_size: 5,
+                mean_session_hours: 8.0,
+                mean_offline_hours: 16.0,
+                arrival_spread_days: 2,
+                title_lifetime_days: 20.0,
+                size_mu_log_mib: 1.5,
+                size_sigma_log: 1.2,
+                vote_probability_override: None,
+                voter_fraction: None,
+                friend_probability: 0.01,
+                seed: 0,
+            },
+        }
+    }
+}
+
+impl WorkloadConfigBuilder {
+    /// Sets the user population size.
+    pub fn users(&mut self, users: usize) -> &mut Self {
+        self.config.users = users;
+        self
+    }
+
+    /// Sets the number of titles in the catalog.
+    pub fn titles(&mut self, titles: usize) -> &mut Self {
+        self.config.titles = titles;
+        self
+    }
+
+    /// Sets the simulated duration in days.
+    pub fn days(&mut self, days: u64) -> &mut Self {
+        self.config.days = days;
+        self
+    }
+
+    /// Sets the Zipf popularity exponent (0 = uniform).
+    pub fn zipf_exponent(&mut self, s: f64) -> &mut Self {
+        self.config.zipf_exponent = s;
+        self
+    }
+
+    /// Sets the mean downloads per user per simulated day.
+    pub fn downloads_per_user_day(&mut self, rate: f64) -> &mut Self {
+        self.config.downloads_per_user_day = rate;
+        self
+    }
+
+    /// Sets the behaviour mix.
+    pub fn behavior_mix(&mut self, mix: BehaviorMix) -> &mut Self {
+        self.config.behavior_mix = mix;
+        self
+    }
+
+    /// Sets the fraction of titles with fake copies.
+    pub fn pollution_rate(&mut self, rate: f64) -> &mut Self {
+        self.config.pollution_rate = rate;
+        self
+    }
+
+    /// Sets how many fake variants each polluted title gets.
+    pub fn fakes_per_polluted_title(&mut self, fakes: usize) -> &mut Self {
+        self.config.fakes_per_polluted_title = fakes;
+        self
+    }
+
+    /// Sets the colluder clique size.
+    pub fn colluder_clique_size(&mut self, size: usize) -> &mut Self {
+        self.config.colluder_clique_size = size;
+        self
+    }
+
+    /// Sets mean online-session length in hours.
+    pub fn mean_session_hours(&mut self, hours: f64) -> &mut Self {
+        self.config.mean_session_hours = hours;
+        self
+    }
+
+    /// Sets mean offline-gap length in hours.
+    pub fn mean_offline_hours(&mut self, hours: f64) -> &mut Self {
+        self.config.mean_offline_hours = hours;
+        self
+    }
+
+    /// Sets over how many days new users keep arriving.
+    pub fn arrival_spread_days(&mut self, days: u64) -> &mut Self {
+        self.config.arrival_spread_days = days;
+        self
+    }
+
+    /// Sets the mean title lifetime in days (file churn).
+    pub fn title_lifetime_days(&mut self, days: f64) -> &mut Self {
+        self.config.title_lifetime_days = days;
+        self
+    }
+
+    /// Overrides every profile's explicit-vote probability (the Figure 1
+    /// "evaluation coverage k%" knob). Pass a fraction in `[0, 1]`.
+    pub fn vote_probability(&mut self, p: f64) -> &mut Self {
+        self.config.vote_probability_override = Some(p);
+        self
+    }
+
+    /// Sets the log-normal file-size distribution (location and scale of
+    /// the underlying normal, in log-MiB). `sigma = 0` gives constant
+    /// sizes — useful to control for size variance in service experiments.
+    pub fn size_distribution(&mut self, mu_log_mib: f64, sigma_log: f64) -> &mut Self {
+        self.config.size_mu_log_mib = mu_log_mib;
+        self.config.size_sigma_log = sigma_log;
+        self
+    }
+
+    /// Restricts voting to a fraction of the population (the vote-uptake
+    /// feedback experiments evolve this fraction between epochs).
+    pub fn voter_fraction(&mut self, frac: f64) -> &mut Self {
+        self.config.voter_fraction = Some(frac);
+        self
+    }
+
+    /// Sets the probability that any ordered user pair is a friendship
+    /// (drives user-based trust `UT`).
+    pub fn friend_probability(&mut self, p: f64) -> &mut Self {
+        self.config.friend_probability = p;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when sizes are zero, rates are out of range,
+    /// or durations are non-positive.
+    pub fn build(&self) -> Result<WorkloadConfig, ConfigError> {
+        let c = &self.config;
+        if c.users == 0 {
+            return Err(ConfigError::new("users must be at least 1"));
+        }
+        if c.titles == 0 {
+            return Err(ConfigError::new("titles must be at least 1"));
+        }
+        if c.days == 0 {
+            return Err(ConfigError::new("days must be at least 1"));
+        }
+        if !c.zipf_exponent.is_finite() || c.zipf_exponent < 0.0 {
+            return Err(ConfigError::new("zipf exponent must be finite and non-negative"));
+        }
+        if !c.downloads_per_user_day.is_finite() || c.downloads_per_user_day <= 0.0 {
+            return Err(ConfigError::new("downloads per user-day must be positive"));
+        }
+        if !(0.0..=1.0).contains(&c.pollution_rate) {
+            return Err(ConfigError::new("pollution rate must lie in [0, 1]"));
+        }
+        if c.pollution_rate > 0.0 && c.fakes_per_polluted_title == 0 {
+            return Err(ConfigError::new(
+                "pollution rate is positive but fakes per polluted title is 0",
+            ));
+        }
+        if c.mean_session_hours <= 0.0 || c.mean_offline_hours < 0.0 {
+            return Err(ConfigError::new("session/offline durations must be positive"));
+        }
+        if c.title_lifetime_days <= 0.0 {
+            return Err(ConfigError::new("title lifetime must be positive"));
+        }
+        if !c.size_mu_log_mib.is_finite() || !c.size_sigma_log.is_finite() || c.size_sigma_log < 0.0
+        {
+            return Err(ConfigError::new("file-size distribution parameters must be finite, sigma non-negative"));
+        }
+        if let Some(p) = c.vote_probability_override {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(ConfigError::new("vote probability must lie in [0, 1]"));
+            }
+        }
+        if let Some(frac) = c.voter_fraction {
+            if !(0.0..=1.0).contains(&frac) {
+                return Err(ConfigError::new("voter fraction must lie in [0, 1]"));
+            }
+        }
+        if !(0.0..=1.0).contains(&c.friend_probability) {
+            return Err(ConfigError::new("friend probability must lie in [0, 1]"));
+        }
+        if c.colluder_clique_size == 0 {
+            return Err(ConfigError::new("colluder clique size must be at least 1"));
+        }
+        Ok(c.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_builder_is_valid() {
+        let c = WorkloadConfig::builder().build().unwrap();
+        assert_eq!(c.users(), 200);
+        assert_eq!(c.titles(), 400);
+        assert_eq!(c.days(), 7);
+        assert_eq!(c.seed(), 0);
+        assert_eq!(c.vote_probability_override(), None);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = WorkloadConfig::builder()
+            .users(10)
+            .titles(20)
+            .days(2)
+            .zipf_exponent(1.0)
+            .downloads_per_user_day(1.0)
+            .pollution_rate(0.5)
+            .fakes_per_polluted_title(3)
+            .colluder_clique_size(4)
+            .mean_session_hours(4.0)
+            .mean_offline_hours(8.0)
+            .arrival_spread_days(1)
+            .title_lifetime_days(5.0)
+            .vote_probability(0.2)
+            .friend_probability(0.05)
+            .seed(99)
+            .build()
+            .unwrap();
+        assert_eq!(c.users(), 10);
+        assert_eq!(c.pollution_rate(), 0.5);
+        assert_eq!(c.vote_probability_override(), Some(0.2));
+        assert_eq!(c.seed(), 99);
+    }
+
+    #[test]
+    fn rejects_zero_sizes() {
+        assert!(WorkloadConfig::builder().users(0).build().is_err());
+        assert!(WorkloadConfig::builder().titles(0).build().is_err());
+        assert!(WorkloadConfig::builder().days(0).build().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(WorkloadConfig::builder().pollution_rate(1.5).build().is_err());
+        assert!(WorkloadConfig::builder().pollution_rate(-0.1).build().is_err());
+        assert!(WorkloadConfig::builder().vote_probability(2.0).build().is_err());
+        assert!(WorkloadConfig::builder().downloads_per_user_day(0.0).build().is_err());
+        assert!(WorkloadConfig::builder().zipf_exponent(-1.0).build().is_err());
+        assert!(WorkloadConfig::builder().friend_probability(1.5).build().is_err());
+    }
+
+    #[test]
+    fn rejects_pollution_without_fakes() {
+        assert!(WorkloadConfig::builder()
+            .pollution_rate(0.2)
+            .fakes_per_polluted_title(0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn size_distribution_validation() {
+        assert!(WorkloadConfig::builder().size_distribution(2.0, 0.0).build().is_ok());
+        assert!(WorkloadConfig::builder().size_distribution(f64::NAN, 1.0).build().is_err());
+        assert!(WorkloadConfig::builder().size_distribution(1.0, -0.5).build().is_err());
+    }
+
+    #[test]
+    fn voter_fraction_validation_and_striping() {
+        assert!(WorkloadConfig::builder().voter_fraction(1.5).build().is_err());
+        assert!(WorkloadConfig::builder().voter_fraction(-0.1).build().is_err());
+
+        let all = WorkloadConfig::builder().build().unwrap();
+        assert!(all.is_voter(0) && all.is_voter(123), "unset fraction: everyone votes");
+
+        let none = WorkloadConfig::builder().voter_fraction(0.0).build().unwrap();
+        assert!((0..100).all(|i| !none.is_voter(i)));
+
+        let half = WorkloadConfig::builder().voter_fraction(0.5).build().unwrap();
+        let voters = (0..1000).filter(|&i| half.is_voter(i)).count();
+        assert!((voters as f64 / 1000.0 - 0.5).abs() < 0.07, "got {voters}");
+        // Deterministic.
+        assert_eq!(half.is_voter(7), half.is_voter(7));
+        assert_eq!(half.voter_fraction(), Some(0.5));
+    }
+
+    #[test]
+    fn error_message_is_helpful() {
+        let err = WorkloadConfig::builder().users(0).build().unwrap_err();
+        assert!(err.to_string().contains("users"));
+    }
+}

@@ -1,0 +1,415 @@
+//! Plain-text event logs: save a generated trace to disk and replay it
+//! later (or feed logs produced by a real deployment into the engines).
+//!
+//! The format is line-oriented and versioned; floating evaluations are
+//! stored as exact bit patterns so round-trips are lossless:
+//!
+//! ```text
+//! mdrep-log v1
+//! F <file> <size_bytes> <publisher> <published_at> <authentic 0|1>
+//! J <time> <user>
+//! P <time> <user> <file>
+//! D <time> <downloader> <uploader> <file>
+//! V <time> <user> <file> <evaluation-bits>
+//! X <time> <user> <file>
+//! R <time> <rater> <target> <evaluation-bits>
+//! W <time> <user>
+//! ```
+
+use crate::trace::{EventKind, Trace, TraceEvent};
+use mdrep_types::{Evaluation, FileId, FileMeta, FileSize, SimTime, UserId};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Error produced when parsing an event log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogParseError {
+    line: usize,
+    message: String,
+}
+
+impl LogParseError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        Self { line, message: message.into() }
+    }
+
+    /// 1-based line number of the offending line.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for LogParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event log parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for LogParseError {}
+
+/// A serializable bundle of trace events plus the file metadata needed to
+/// replay them (sizes for Equation 4, ground truth for metrics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventLog {
+    files: Vec<FileMeta>,
+    events: Vec<TraceEvent>,
+}
+
+impl EventLog {
+    /// Extracts the log from a generated trace.
+    #[must_use]
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut files: Vec<FileMeta> = trace
+            .catalog()
+            .titles()
+            .flat_map(|t| t.files())
+            .filter_map(|&f| trace.catalog().file_meta(f).copied())
+            .collect();
+        files.sort_by_key(|m| m.id);
+        Self { files, events: trace.events().to_vec() }
+    }
+
+    /// Builds a log from parts (e.g. a real deployment's records).
+    #[must_use]
+    pub fn new(files: Vec<FileMeta>, events: Vec<TraceEvent>) -> Self {
+        Self { files, events }
+    }
+
+    /// The file metadata table.
+    #[must_use]
+    pub fn files(&self) -> &[FileMeta] {
+        &self.files
+    }
+
+    /// The event stream.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Size lookup for replaying download-volume trust.
+    #[must_use]
+    pub fn size_of(&self, file: FileId) -> Option<FileSize> {
+        self.files.iter().find(|m| m.id == file).map(|m| m.size)
+    }
+
+    /// Writes the log in the v1 text format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors from the writer.
+    pub fn write_to<W: Write>(&self, mut out: W) -> std::io::Result<()> {
+        writeln!(out, "mdrep-log v1")?;
+        for m in &self.files {
+            writeln!(
+                out,
+                "F {} {} {} {} {}",
+                m.id.as_u64(),
+                m.size.as_bytes(),
+                m.publisher.as_u64(),
+                m.published_at.as_ticks(),
+                u8::from(m.authentic),
+            )?;
+        }
+        for e in &self.events {
+            let t = e.time.as_ticks();
+            match e.kind {
+                EventKind::Join { user } => writeln!(out, "J {t} {}", user.as_u64())?,
+                EventKind::Publish { user, file } => {
+                    writeln!(out, "P {t} {} {}", user.as_u64(), file.as_u64())?;
+                }
+                EventKind::Download { downloader, uploader, file } => writeln!(
+                    out,
+                    "D {t} {} {} {}",
+                    downloader.as_u64(),
+                    uploader.as_u64(),
+                    file.as_u64(),
+                )?,
+                EventKind::Vote { user, file, value } => writeln!(
+                    out,
+                    "V {t} {} {} {}",
+                    user.as_u64(),
+                    file.as_u64(),
+                    value.value().to_bits(),
+                )?,
+                EventKind::Delete { user, file } => {
+                    writeln!(out, "X {t} {} {}", user.as_u64(), file.as_u64())?;
+                }
+                EventKind::RankUser { rater, target, value } => writeln!(
+                    out,
+                    "R {t} {} {} {}",
+                    rater.as_u64(),
+                    target.as_u64(),
+                    value.value().to_bits(),
+                )?,
+                EventKind::Whitewash { user } => writeln!(out, "W {t} {}", user.as_u64())?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a v1 log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogParseError`] for a bad header, malformed line, or IO
+    /// failure while reading.
+    pub fn read_from<R: BufRead>(input: R) -> Result<Self, LogParseError> {
+        let mut lines = input.lines().enumerate();
+        let header = lines
+            .next()
+            .ok_or_else(|| LogParseError::new(1, "empty input"))?
+            .1
+            .map_err(|e| LogParseError::new(1, e.to_string()))?;
+        if header.trim() != "mdrep-log v1" {
+            return Err(LogParseError::new(1, format!("unknown header `{header}`")));
+        }
+
+        let mut files = Vec::new();
+        let mut events = Vec::new();
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            let line = line.map_err(|e| LogParseError::new(lineno, e.to_string()))?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_ascii_whitespace().collect();
+            let parse = |s: &str| -> Result<u64, LogParseError> {
+                s.parse()
+                    .map_err(|_| LogParseError::new(lineno, format!("bad number `{s}`")))
+            };
+            let arity = |want: usize| -> Result<(), LogParseError> {
+                if fields.len() == want + 1 {
+                    Ok(())
+                } else {
+                    Err(LogParseError::new(
+                        lineno,
+                        format!("`{}` expects {want} fields, got {}", fields[0], fields.len() - 1),
+                    ))
+                }
+            };
+            let eval = |bits: u64| -> Result<Evaluation, LogParseError> {
+                Evaluation::new(f64::from_bits(bits))
+                    .map_err(|e| LogParseError::new(lineno, e.to_string()))
+            };
+            match fields[0] {
+                "F" => {
+                    arity(5)?;
+                    let meta = FileMeta {
+                        id: FileId::new(parse(fields[1])?),
+                        size: FileSize::from_bytes(parse(fields[2])?),
+                        publisher: UserId::new(parse(fields[3])?),
+                        published_at: SimTime::from_ticks(parse(fields[4])?),
+                        authentic: parse(fields[5])? != 0,
+                    };
+                    files.push(meta);
+                }
+                tag @ ("J" | "W") => {
+                    arity(2)?;
+                    let time = SimTime::from_ticks(parse(fields[1])?);
+                    let user = UserId::new(parse(fields[2])?);
+                    let kind = if tag == "J" {
+                        EventKind::Join { user }
+                    } else {
+                        EventKind::Whitewash { user }
+                    };
+                    events.push(TraceEvent { time, kind });
+                }
+                tag @ ("P" | "X") => {
+                    arity(3)?;
+                    let time = SimTime::from_ticks(parse(fields[1])?);
+                    let user = UserId::new(parse(fields[2])?);
+                    let file = FileId::new(parse(fields[3])?);
+                    let kind = if tag == "P" {
+                        EventKind::Publish { user, file }
+                    } else {
+                        EventKind::Delete { user, file }
+                    };
+                    events.push(TraceEvent { time, kind });
+                }
+                "D" => {
+                    arity(4)?;
+                    events.push(TraceEvent {
+                        time: SimTime::from_ticks(parse(fields[1])?),
+                        kind: EventKind::Download {
+                            downloader: UserId::new(parse(fields[2])?),
+                            uploader: UserId::new(parse(fields[3])?),
+                            file: FileId::new(parse(fields[4])?),
+                        },
+                    });
+                }
+                "V" => {
+                    arity(4)?;
+                    events.push(TraceEvent {
+                        time: SimTime::from_ticks(parse(fields[1])?),
+                        kind: EventKind::Vote {
+                            user: UserId::new(parse(fields[2])?),
+                            file: FileId::new(parse(fields[3])?),
+                            value: eval(parse(fields[4])?)?,
+                        },
+                    });
+                }
+                "R" => {
+                    arity(4)?;
+                    events.push(TraceEvent {
+                        time: SimTime::from_ticks(parse(fields[1])?),
+                        kind: EventKind::RankUser {
+                            rater: UserId::new(parse(fields[2])?),
+                            target: UserId::new(parse(fields[3])?),
+                            value: eval(parse(fields[4])?)?,
+                        },
+                    });
+                }
+                other => {
+                    return Err(LogParseError::new(lineno, format!("unknown tag `{other}`")));
+                }
+            }
+        }
+        Ok(Self { files, events })
+    }
+
+    /// Serializes to a string (convenience over [`write_to`](Self::write_to)).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf).expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("the format is ASCII")
+    }
+
+    /// Parses from a string (convenience over [`read_from`](Self::read_from)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogParseError`] on malformed input.
+    pub fn from_text(text: &str) -> Result<Self, LogParseError> {
+        Self::read_from(text.as_bytes())
+    }
+
+    /// Ground-truth authenticity lookup (for metrics over replayed logs).
+    #[must_use]
+    pub fn is_authentic(&self, file: FileId) -> bool {
+        self.files.iter().any(|m| m.id == file && m.authentic)
+    }
+
+    /// A size table keyed by file id (replayers often want O(1) lookups).
+    #[must_use]
+    pub fn size_table(&self) -> HashMap<FileId, FileSize> {
+        self.files.iter().map(|m| (m.id, m.size)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BehaviorMix, TraceBuilder, WorkloadConfig};
+
+    fn sample_trace() -> Trace {
+        TraceBuilder::new(
+            WorkloadConfig::builder()
+                .users(40)
+                .titles(50)
+                .days(2)
+                .behavior_mix(BehaviorMix::realistic())
+                .pollution_rate(0.3)
+                .seed(77)
+                .build()
+                .unwrap(),
+        )
+        .generate()
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let trace = sample_trace();
+        let log = EventLog::from_trace(&trace);
+        let text = log.to_text();
+        let parsed = EventLog::from_text(&text).unwrap();
+        assert_eq!(parsed, log);
+        assert_eq!(parsed.events().len(), trace.events().len());
+        assert_eq!(parsed.files().len(), trace.catalog().file_count());
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        let e = |time, kind| TraceEvent { time: SimTime::from_ticks(time), kind };
+        let v = Evaluation::new(0.123_456_789).unwrap();
+        let events = vec![
+            e(0, EventKind::Join { user: UserId::new(1) }),
+            e(1, EventKind::Publish { user: UserId::new(1), file: FileId::new(2) }),
+            e(
+                2,
+                EventKind::Download {
+                    downloader: UserId::new(3),
+                    uploader: UserId::new(1),
+                    file: FileId::new(2),
+                },
+            ),
+            e(3, EventKind::Vote { user: UserId::new(3), file: FileId::new(2), value: v }),
+            e(4, EventKind::Delete { user: UserId::new(3), file: FileId::new(2) }),
+            e(
+                5,
+                EventKind::RankUser {
+                    rater: UserId::new(3),
+                    target: UserId::new(1),
+                    value: Evaluation::BEST,
+                },
+            ),
+            e(6, EventKind::Whitewash { user: UserId::new(1) }),
+        ];
+        let files = vec![FileMeta::fake(
+            FileId::new(2),
+            FileSize::from_mib(3),
+            UserId::new(1),
+            SimTime::from_ticks(1),
+        )];
+        let log = EventLog::new(files, events);
+        let parsed = EventLog::from_text(&log.to_text()).unwrap();
+        assert_eq!(parsed, log);
+        // Bit-exact evaluation survival.
+        match parsed.events()[3].kind {
+            EventKind::Vote { value, .. } => assert_eq!(value.value(), 0.123_456_789),
+            ref other => panic!("expected vote, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lookups_work() {
+        let trace = sample_trace();
+        let log = EventLog::from_trace(&trace);
+        let some_file = log.files()[0];
+        assert_eq!(log.size_of(some_file.id), Some(some_file.size));
+        assert_eq!(log.is_authentic(some_file.id), some_file.authentic);
+        assert_eq!(log.size_of(FileId::new(999_999)), None);
+        assert_eq!(log.size_table().len(), log.files().len());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(EventLog::from_text("").is_err());
+        assert!(EventLog::from_text("not-a-log\n").is_err());
+        let bad_tag = "mdrep-log v1\nZ 0 1\n";
+        assert!(EventLog::from_text(bad_tag).unwrap_err().to_string().contains("unknown tag"));
+        let bad_arity = "mdrep-log v1\nJ 0\n";
+        assert!(EventLog::from_text(bad_arity).unwrap_err().line() == 2);
+        let bad_number = "mdrep-log v1\nJ zero 1\n";
+        assert!(EventLog::from_text(bad_number)
+            .unwrap_err()
+            .to_string()
+            .contains("bad number"));
+        // Out-of-range evaluation bits.
+        let bad_eval = format!("mdrep-log v1\nV 0 1 2 {}\n", f64::to_bits(1.5));
+        assert!(EventLog::from_text(&bad_eval).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "mdrep-log v1\n\n# a comment\nJ 0 1\n";
+        let log = EventLog::from_text(text).unwrap();
+        assert_eq!(log.events().len(), 1);
+        assert!(log.files().is_empty());
+    }
+}

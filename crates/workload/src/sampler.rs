@@ -1,0 +1,249 @@
+//! Distribution samplers: Zipf (file popularity) and log-normal (file
+//! sizes), implemented directly so the workspace needs only the base `rand`
+//! crate.
+
+use rand::{Rng, RngExt};
+
+/// Samples ranks `0..n` with probability `∝ 1/(rank+1)^s` — the classic
+/// Zipf law observed for file popularity in P2P measurement studies.
+///
+/// Uses a precomputed CDF with binary search: `O(n)` setup, `O(log n)` per
+/// sample.
+///
+/// # Examples
+///
+/// ```
+/// use mdrep_workload::ZipfSampler;
+/// use rand::SeedableRng;
+///
+/// let zipf = ZipfSampler::new(1000, 0.8).expect("valid parameters");
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    ///
+    /// Returns `None` when `n == 0` or `s` is negative or non-finite.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Option<Self> {
+        if n == 0 || !s.is_finite() || s < 0.0 {
+            return None;
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().expect("n >= 1");
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Some(Self { cdf })
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has no ranks (never true for a constructed one).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= len()`.
+    #[must_use]
+    pub fn pmf(&self, rank: usize) -> f64 {
+        let hi = self.cdf[rank];
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        hi - lo
+    }
+}
+
+/// Samples log-normally distributed positive values — used for file sizes
+/// (most files are a few MiB; a long tail reaches into the GiB range).
+///
+/// Normal deviates come from the Box–Muller transform.
+///
+/// # Examples
+///
+/// ```
+/// use mdrep_workload::LogNormalSampler;
+/// use rand::SeedableRng;
+///
+/// // Median e^3 ≈ 20 (e.g. MiB), heavy right tail.
+/// let sizes = LogNormalSampler::new(3.0, 1.0).expect("valid parameters");
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// assert!(sizes.sample(&mut rng) > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormalSampler {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormalSampler {
+    /// Builds a sampler with location `mu` and scale `sigma` (of the
+    /// underlying normal).
+    ///
+    /// Returns `None` when either parameter is non-finite or `sigma < 0`.
+    #[must_use]
+    pub fn new(mu: f64, sigma: f64) -> Option<Self> {
+        if mu.is_finite() && sigma.is_finite() && sigma >= 0.0 {
+            Some(Self { mu, sigma })
+        } else {
+            None
+        }
+    }
+
+    /// Draws one value `exp(mu + sigma·Z)`, always strictly positive.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: Z = sqrt(-2 ln U1) · cos(2π U2), with U1 in (0, 1].
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+
+    /// The distribution median, `exp(mu)`.
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_rejects_bad_parameters() {
+        assert!(ZipfSampler::new(0, 1.0).is_none());
+        assert!(ZipfSampler::new(10, -1.0).is_none());
+        assert!(ZipfSampler::new(10, f64::NAN).is_none());
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = ZipfSampler::new(50, 0.8).unwrap();
+        let total: f64 = (0..50).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_rank_zero_is_most_popular() {
+        let z = ZipfSampler::new(100, 1.0).unwrap();
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(50));
+        // With s = 1, pmf(0)/pmf(1) = 2.
+        assert!((z.pmf(0) / z.pmf(1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_empirical_frequencies_match_pmf() {
+        let z = ZipfSampler::new(10, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (rank, &count) in counts.iter().enumerate() {
+            let expected = z.pmf(rank);
+            let observed = count as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {rank}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = ZipfSampler::new(4, 0.0).unwrap();
+        for r in 0..4 {
+            assert!((z.pmf(r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = ZipfSampler::new(7, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+        assert_eq!(z.len(), 7);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn lognormal_rejects_bad_parameters() {
+        assert!(LogNormalSampler::new(f64::NAN, 1.0).is_none());
+        assert!(LogNormalSampler::new(0.0, -1.0).is_none());
+        assert!(LogNormalSampler::new(0.0, f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn lognormal_always_positive() {
+        let s = LogNormalSampler::new(0.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            assert!(s.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_median_close_to_exp_mu() {
+        let s = LogNormalSampler::new(3.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut values: Vec<f64> = (0..20_001).map(|_| s.sample(&mut rng)).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = values[10_000];
+        assert!(
+            (median - s.median()).abs() / s.median() < 0.05,
+            "median {median} vs {}",
+            s.median()
+        );
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_constant() {
+        let s = LogNormalSampler::new(2.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert!((s.sample(&mut rng) - 2.0f64.exp()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let z = ZipfSampler::new(100, 0.9).unwrap();
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+}

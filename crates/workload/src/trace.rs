@@ -1,0 +1,712 @@
+//! Trace generation: replaying a synthetic Maze-like download log.
+//!
+//! [`TraceBuilder::generate`] runs a lightweight behavioural simulation and
+//! produces a time-ordered event log — the synthetic stand-in for the
+//! 30-day Maze log the paper replays (see crate docs).
+
+use crate::behavior::Behavior;
+use crate::catalog::Catalog;
+use crate::config::WorkloadConfig;
+use crate::sampler::ZipfSampler;
+use crate::users::Population;
+use mdrep_types::{Evaluation, FileId, SimDuration, SimTime, UserId};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::fmt;
+
+/// What happened at one point of the trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A user joined the system.
+    Join {
+        /// The joining user.
+        user: UserId,
+    },
+    /// A user published (started sharing) a file.
+    Publish {
+        /// The publishing user.
+        user: UserId,
+        /// The published file.
+        file: FileId,
+    },
+    /// A completed download.
+    Download {
+        /// The requesting user.
+        downloader: UserId,
+        /// The serving user.
+        uploader: UserId,
+        /// The transferred file.
+        file: FileId,
+    },
+    /// An explicit vote on a file.
+    Vote {
+        /// The voting user.
+        user: UserId,
+        /// The voted file.
+        file: FileId,
+        /// The vote value (1 = authentic/best, 0 = fake/worst).
+        value: Evaluation,
+    },
+    /// A user removed a file from its shared folder.
+    Delete {
+        /// The deleting user.
+        user: UserId,
+        /// The removed file.
+        file: FileId,
+    },
+    /// An explicit user-to-user rating (friend list = high, blacklist = 0).
+    RankUser {
+        /// The rating user.
+        rater: UserId,
+        /// The rated user.
+        target: UserId,
+        /// The rating value.
+        value: Evaluation,
+    },
+    /// A whitewasher discarded its history and rejoined as "fresh".
+    Whitewash {
+        /// The user resetting its identity.
+        user: UserId,
+    },
+}
+
+/// A timestamped trace event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub time: SimTime,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Whether this is a download event.
+    #[must_use]
+    pub fn is_download(&self) -> bool {
+        matches!(self.kind, EventKind::Download { .. })
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {:?}", self.time, self.kind)
+    }
+}
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TraceStats {
+    /// Total events.
+    pub events: usize,
+    /// Download events.
+    pub downloads: usize,
+    /// Downloads whose file is fake (ground truth).
+    pub fake_downloads: usize,
+    /// Explicit votes.
+    pub votes: usize,
+    /// File deletions.
+    pub deletes: usize,
+    /// User-to-user ratings.
+    pub ranks: usize,
+    /// Distinct (downloader, uploader) pairs seen.
+    pub distinct_pairs: usize,
+}
+
+/// A generated trace: the event log plus the population and catalog that
+/// produced it (kept so consumers can resolve sizes, behaviours, and ground
+/// truth).
+#[derive(Debug, Clone)]
+pub struct Trace {
+    config: WorkloadConfig,
+    population: Population,
+    catalog: Catalog,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// The generating configuration.
+    #[must_use]
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// The user population.
+    #[must_use]
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// The file catalog (sizes, ground-truth authenticity).
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The time-ordered event log.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Iterates over `(time, downloader, uploader, file)` download tuples.
+    pub fn downloads(&self) -> impl Iterator<Item = (SimTime, UserId, UserId, FileId)> + '_ {
+        self.events.iter().filter_map(|e| match e.kind {
+            EventKind::Download { downloader, uploader, file } => {
+                Some((e.time, downloader, uploader, file))
+            }
+            _ => None,
+        })
+    }
+
+    /// The `(downloader, uploader)` request pairs, in order — the input of
+    /// the Figure 1 request-coverage metric.
+    #[must_use]
+    pub fn request_pairs(&self) -> Vec<(UserId, UserId)> {
+        self.downloads().map(|(_, d, u, _)| (d, u)).collect()
+    }
+
+    /// Computes summary statistics.
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        let mut stats = TraceStats { events: self.events.len(), ..TraceStats::default() };
+        let mut pairs = HashSet::new();
+        for e in &self.events {
+            match e.kind {
+                EventKind::Download { downloader, uploader, file } => {
+                    stats.downloads += 1;
+                    if !self.catalog.is_authentic(file) {
+                        stats.fake_downloads += 1;
+                    }
+                    pairs.insert((downloader, uploader));
+                }
+                EventKind::Vote { .. } => stats.votes += 1,
+                EventKind::Delete { .. } => stats.deletes += 1,
+                EventKind::RankUser { .. } => stats.ranks += 1,
+                _ => {}
+            }
+        }
+        stats.distinct_pairs = pairs.len();
+        stats
+    }
+}
+
+/// Generates a [`Trace`] from a [`WorkloadConfig`].
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    config: WorkloadConfig,
+}
+
+/// A deferred action inside the generator (currently only deletions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    user: UserId,
+    file: FileId,
+}
+
+impl TraceBuilder {
+    /// Creates a builder for the given configuration.
+    #[must_use]
+    pub fn new(config: WorkloadConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the behavioural simulation and returns the trace.
+    ///
+    /// The generation is deterministic in the config seed: identical
+    /// configurations produce byte-identical traces.
+    #[must_use]
+    pub fn generate(&self) -> Trace {
+        let config = &self.config;
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x6d64_7265_7031);
+        let population = Population::generate(config, &mut rng);
+        let catalog = Catalog::generate(config, &population, &mut rng);
+
+        let mut events: Vec<TraceEvent> = Vec::new();
+
+        // Joins.
+        for profile in population.iter() {
+            events.push(TraceEvent {
+                time: profile.joined(),
+                kind: EventKind::Join { user: profile.id() },
+            });
+        }
+
+        // Friend-list ratings: emitted when the rater joins.
+        for profile in population.iter() {
+            for &friend in population.friends_of(profile.id()) {
+                events.push(TraceEvent {
+                    time: profile.joined(),
+                    kind: EventKind::RankUser {
+                        rater: profile.id(),
+                        target: friend,
+                        value: Evaluation::BEST,
+                    },
+                });
+            }
+        }
+
+        // Publications at title birth; publishers seed the owner sets.
+        let mut owners: HashMap<FileId, Vec<UserId>> = HashMap::new();
+        for title in catalog.titles() {
+            for &file in title.files() {
+                let meta = catalog.file_meta(file).expect("catalog is consistent");
+                events.push(TraceEvent {
+                    time: meta.published_at,
+                    kind: EventKind::Publish { user: meta.publisher, file },
+                });
+                owners.entry(file).or_default().push(meta.publisher);
+            }
+        }
+
+        // Whitewash resets every ~5 days.
+        for profile in population.iter() {
+            if profile.behavior() == Behavior::Whitewasher {
+                let mut t = profile.joined() + SimDuration::from_days(5);
+                let horizon = SimTime::ZERO + SimDuration::from_days(config.days);
+                while t < horizon {
+                    events.push(TraceEvent { time: t, kind: EventKind::Whitewash { user: profile.id() } });
+                    t += SimDuration::from_days(5);
+                }
+            }
+        }
+
+        // Download timeline: Poisson-ish arrivals at uniform times.
+        let total_downloads = (population.len() as f64
+            * config.downloads_per_user_day
+            * config.days as f64)
+            .round() as usize;
+        let horizon_ticks = SimDuration::from_days(config.days).as_ticks();
+        let mut download_times: Vec<u64> =
+            (0..total_downloads).map(|_| rng.random_range(0..horizon_ticks)).collect();
+        download_times.sort_unstable();
+
+        let zipf = ZipfSampler::new(catalog.title_count(), config.zipf_exponent)
+            .expect("config validated");
+
+        // Online-set cache, refreshed per 5-minute bucket.
+        let mut online_bucket = u64::MAX;
+        let mut online: Vec<UserId> = Vec::new();
+        let mut online_cdf: Vec<f64> = Vec::new();
+
+        let mut pending_deletes: BinaryHeap<Reverse<Scheduled>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        // Files each user currently holds (to avoid duplicate ownership).
+        let mut holdings: HashMap<UserId, HashSet<FileId>> = HashMap::new();
+        for (file, list) in &owners {
+            for &u in list {
+                holdings.entry(u).or_default().insert(*file);
+            }
+        }
+
+        for tick in download_times {
+            let now = SimTime::from_ticks(tick);
+
+            // Apply deletions scheduled before now.
+            while let Some(Reverse(top)) = pending_deletes.peek().copied() {
+                if top.time > now {
+                    break;
+                }
+                pending_deletes.pop();
+                if let Some(list) = owners.get_mut(&top.file) {
+                    if let Some(pos) = list.iter().position(|&u| u == top.user) {
+                        list.swap_remove(pos);
+                        holdings.entry(top.user).or_default().remove(&top.file);
+                        events.push(TraceEvent {
+                            time: top.time,
+                            kind: EventKind::Delete { user: top.user, file: top.file },
+                        });
+                    }
+                }
+            }
+
+            // Refresh the online cache.
+            let bucket = tick / 300;
+            if bucket != online_bucket {
+                online_bucket = bucket;
+                online = population.online_at(now);
+                online_cdf.clear();
+                let mut acc = 0.0;
+                for &u in &online {
+                    acc += population.profile(u).expect("online user exists").activity();
+                    online_cdf.push(acc);
+                }
+            }
+            if online.len() < 2 {
+                continue;
+            }
+
+            // Downloader: activity-weighted draw among online users.
+            let total_w = *online_cdf.last().expect("non-empty");
+            let x = rng.random::<f64>() * total_w;
+            let di = online_cdf.partition_point(|&c| c < x).min(online.len() - 1);
+            let downloader = online[di];
+
+            // Title: Zipf draw, retried a few times until alive.
+            let mut title = None;
+            for _ in 0..8 {
+                let t = catalog
+                    .title(crate::catalog::TitleId::new(zipf.sample(&mut rng) as u32))
+                    .expect("rank in range");
+                if t.is_alive(now) {
+                    title = Some(t);
+                    break;
+                }
+            }
+            let Some(title) = title else { continue };
+
+            // Variant: weighted by online-owner count (fakes spread when
+            // they have many owners), excluding files the downloader holds.
+            let mut candidates: Vec<(FileId, Vec<UserId>)> = Vec::new();
+            for &file in title.files() {
+                if holdings.get(&downloader).is_some_and(|h| h.contains(&file)) {
+                    continue;
+                }
+                let ups: Vec<UserId> = owners
+                    .get(&file)
+                    .map(|list| {
+                        list.iter()
+                            .copied()
+                            .filter(|&u| {
+                                u != downloader
+                                    && population.profile(u).is_some_and(|p| p.is_online(now))
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if !ups.is_empty() {
+                    candidates.push((file, ups));
+                }
+            }
+            if candidates.is_empty() {
+                continue;
+            }
+            let total_owners: usize = candidates.iter().map(|(_, u)| u.len()).sum();
+            let mut pick = rng.random_range(0..total_owners);
+            let (file, uploaders) = candidates
+                .iter()
+                .find(|(_, ups)| {
+                    if pick < ups.len() {
+                        true
+                    } else {
+                        pick -= ups.len();
+                        false
+                    }
+                })
+                .expect("pick < total_owners");
+            let file = *file;
+            let uploader = uploaders[rng.random_range(0..uploaders.len())];
+
+            events.push(TraceEvent {
+                time: now,
+                kind: EventKind::Download { downloader, uploader, file },
+            });
+
+            let behavior = population.profile(downloader).expect("exists").behavior();
+            let authentic = catalog.is_authentic(file);
+
+            // Explicit vote. Absent an explicit override, a bad experience
+            // is reported far more often than a good one (the well-known
+            // negativity bias of feedback systems). A configured voter
+            // fraction silences the non-voter stripe entirely.
+            let vote_p = if !config.is_voter(downloader.as_index()) {
+                0.0
+            } else {
+                match config.vote_probability_override {
+                    Some(p) => p,
+                    None => {
+                        let base = behavior.base_vote_probability();
+                        if !authentic && !behavior.is_polluting() {
+                            (base * 3.0).min(1.0)
+                        } else {
+                            base
+                        }
+                    }
+                }
+            };
+            if rng.random::<f64>() < vote_p {
+                let honest = rng.random::<f64>() < behavior.vote_honesty();
+                let truthful = if authentic { Evaluation::BEST } else { Evaluation::WORST };
+                let value = if honest {
+                    truthful
+                } else {
+                    // A lie: praise fakes, disparage authentic files.
+                    if authentic { Evaluation::WORST } else { Evaluation::BEST }
+                };
+                events.push(TraceEvent { time: now, kind: EventKind::Vote { user: downloader, file, value } });
+            }
+
+            // Experience-based user ratings.
+            if rng.random::<f64>() < 0.1 {
+                let value = match (behavior.colluder_group(), authentic) {
+                    // Colluders always praise clique members; handled via
+                    // friend ranks already — here they praise any polluting
+                    // uploader and disparage honest ones.
+                    (Some(_), _) => {
+                        if population
+                            .profile(uploader)
+                            .is_some_and(|p| p.behavior().is_polluting())
+                        {
+                            Evaluation::BEST
+                        } else {
+                            Evaluation::WORST
+                        }
+                    }
+                    (None, true) => Evaluation::BEST,
+                    (None, false) => Evaluation::WORST,
+                };
+                events.push(TraceEvent {
+                    time: now,
+                    kind: EventKind::RankUser { rater: downloader, target: uploader, value },
+                });
+            }
+
+            // Sharing: the downloader becomes an owner.
+            if rng.random::<f64>() < behavior.share_probability() {
+                owners.entry(file).or_default().push(downloader);
+                holdings.entry(downloader).or_default().insert(file);
+                // Fakes get deleted after discovery; authentic files are
+                // retained long (possibly past the horizon = never deleted).
+                let mean_hours = if authentic {
+                    24.0 * 30.0 // authentic retention: about a month
+                } else {
+                    behavior.fake_deletion_hours()
+                };
+                let delay_hours = sample_exponential(&mut rng, mean_hours);
+                let delete_at = now + SimDuration::from_ticks((delay_hours * 3600.0) as u64);
+                if delete_at < SimTime::ZERO + SimDuration::from_days(config.days) {
+                    seq += 1;
+                    pending_deletes.push(Reverse(Scheduled {
+                        time: delete_at,
+                        seq,
+                        user: downloader,
+                        file,
+                    }));
+                }
+            }
+        }
+
+        // Deterministic order: by time, then by insertion order (stable).
+        events.sort_by_key(|e| e.time);
+
+        Trace { config: config.clone(), population, catalog, events }
+    }
+}
+
+fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = 1.0 - rng.random::<f64>();
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::BehaviorMix;
+
+    fn small_trace(seed: u64, pollution: f64) -> Trace {
+        let config = WorkloadConfig::builder()
+            .users(60)
+            .titles(80)
+            .days(3)
+            .downloads_per_user_day(6.0)
+            .behavior_mix(BehaviorMix::realistic())
+            .pollution_rate(pollution)
+            .seed(seed)
+            .build()
+            .unwrap();
+        TraceBuilder::new(config).generate()
+    }
+
+    #[test]
+    fn trace_is_time_ordered() {
+        let trace = small_trace(1, 0.3);
+        for pair in trace.events().windows(2) {
+            assert!(pair[0].time <= pair[1].time);
+        }
+    }
+
+    #[test]
+    fn trace_has_downloads_and_votes() {
+        let trace = small_trace(2, 0.3);
+        let stats = trace.stats();
+        assert!(stats.downloads > 50, "got {}", stats.downloads);
+        assert!(stats.votes > 0);
+        assert!(stats.ranks > 0);
+        assert!(stats.distinct_pairs > 10);
+    }
+
+    #[test]
+    fn pollution_produces_fake_downloads() {
+        let trace = small_trace(3, 0.5);
+        let stats = trace.stats();
+        assert!(stats.fake_downloads > 0, "stats: {stats:?}");
+        assert!(stats.fake_downloads < stats.downloads);
+    }
+
+    #[test]
+    fn clean_catalog_has_no_fake_downloads() {
+        let config = WorkloadConfig::builder()
+            .users(40)
+            .titles(50)
+            .days(2)
+            .pollution_rate(0.0)
+            .seed(4)
+            .build()
+            .unwrap();
+        let trace = TraceBuilder::new(config).generate();
+        assert_eq!(trace.stats().fake_downloads, 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_trace(7, 0.3);
+        let b = small_trace(7, 0.3);
+        assert_eq!(a.events().len(), b.events().len());
+        for (ea, eb) in a.events().iter().zip(b.events().iter()) {
+            assert_eq!(ea, eb);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small_trace(1, 0.3);
+        let b = small_trace(2, 0.3);
+        assert_ne!(a.events(), b.events());
+    }
+
+    #[test]
+    fn downloads_never_self_serve() {
+        let trace = small_trace(5, 0.3);
+        for (_, d, u, _) in trace.downloads() {
+            assert_ne!(d, u, "self-download");
+        }
+    }
+
+    #[test]
+    fn uploader_owned_the_file_before_serving() {
+        // Every uploader must have published or downloaded the file earlier
+        // (and not deleted it in between).
+        let trace = small_trace(6, 0.4);
+        let mut holders: HashMap<FileId, HashSet<UserId>> = HashMap::new();
+        for e in trace.events() {
+            match e.kind {
+                EventKind::Publish { user, file } => {
+                    holders.entry(file).or_default().insert(user);
+                }
+                EventKind::Download { downloader, uploader, file } => {
+                    assert!(
+                        holders.get(&file).is_some_and(|h| h.contains(&uploader)),
+                        "uploader {uploader} served {file} without holding it"
+                    );
+                    // The downloader may or may not share; insert on observing
+                    // later uploads is handled by this same check, so track
+                    // optimistically.
+                    holders.entry(file).or_default().insert(downloader);
+                }
+                EventKind::Delete { user, file } => {
+                    holders.entry(file).or_default().remove(&user);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn honest_users_vote_honestly_most_of_the_time() {
+        let trace = small_trace(8, 0.5);
+        let mut honest_votes = 0usize;
+        let mut honest_correct = 0usize;
+        for e in trace.events() {
+            if let EventKind::Vote { user, file, value } = e.kind {
+                if trace.population().profile(user).unwrap().behavior() == Behavior::Honest {
+                    honest_votes += 1;
+                    let truth = trace.catalog().is_authentic(file);
+                    let said_authentic = value.value() > 0.5;
+                    if truth == said_authentic {
+                        honest_correct += 1;
+                    }
+                }
+            }
+        }
+        assert!(honest_votes > 0);
+        assert!(
+            honest_correct as f64 / honest_votes as f64 > 0.9,
+            "{honest_correct}/{honest_votes}"
+        );
+    }
+
+    #[test]
+    fn whitewashers_emit_whitewash_events() {
+        let config = WorkloadConfig::builder()
+            .users(50)
+            .titles(30)
+            .days(12)
+            .behavior_mix(BehaviorMix::new(0.0, 0.0, 0.0, 0.3).unwrap())
+            .pollution_rate(0.2)
+            .seed(9)
+            .build()
+            .unwrap();
+        let trace = TraceBuilder::new(config).generate();
+        let count = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Whitewash { .. }))
+            .count();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn vote_probability_override_scales_votes() {
+        let base = WorkloadConfig::builder()
+            .users(60)
+            .titles(60)
+            .days(3)
+            .seed(10)
+            .clone();
+        let none = TraceBuilder::new(base.clone().vote_probability(0.0).build().unwrap())
+            .generate();
+        let all = TraceBuilder::new(base.clone().vote_probability(1.0).build().unwrap())
+            .generate();
+        assert_eq!(none.stats().votes, 0);
+        assert_eq!(all.stats().votes, all.stats().downloads);
+    }
+
+    #[test]
+    fn non_voters_never_vote() {
+        let config = WorkloadConfig::builder()
+            .users(80)
+            .titles(60)
+            .days(3)
+            .voter_fraction(0.3)
+            .pollution_rate(0.2)
+            .behavior_mix(BehaviorMix::realistic())
+            .seed(21)
+            .build()
+            .unwrap();
+        let trace = TraceBuilder::new(config.clone()).generate();
+        let mut votes_seen = 0;
+        for e in trace.events() {
+            if let EventKind::Vote { user, .. } = e.kind {
+                votes_seen += 1;
+                assert!(config.is_voter(user.as_index()), "non-voter {user} voted");
+            }
+        }
+        assert!(votes_seen > 0, "some voters exist and vote");
+    }
+
+    #[test]
+    fn request_pairs_match_downloads() {
+        let trace = small_trace(11, 0.2);
+        assert_eq!(trace.request_pairs().len(), trace.stats().downloads);
+    }
+
+    #[test]
+    fn event_display_is_nonempty() {
+        let trace = small_trace(12, 0.2);
+        let shown = trace.events()[0].to_string();
+        assert!(shown.contains("t+"));
+    }
+}

@@ -1,0 +1,402 @@
+//! The user population: behaviours, arrival, sessions, and friendships.
+
+use crate::behavior::Behavior;
+use crate::config::WorkloadConfig;
+use mdrep_types::{SimDuration, SimTime, UserId};
+use rand::{Rng, RngExt};
+use std::collections::HashMap;
+
+/// One simulated user: behaviour, arrival time, diurnal session window, and
+/// activity weight.
+#[derive(Debug, Clone)]
+pub struct UserProfile {
+    id: UserId,
+    behavior: Behavior,
+    joined: SimTime,
+    session_start_tick: u64,
+    session_len_ticks: u64,
+    activity: f64,
+}
+
+impl UserProfile {
+    /// The user's id.
+    #[must_use]
+    pub fn id(&self) -> UserId {
+        self.id
+    }
+
+    /// The user's behaviour profile.
+    #[must_use]
+    pub fn behavior(&self) -> Behavior {
+        self.behavior
+    }
+
+    /// When the user first joined the system.
+    #[must_use]
+    pub fn joined(&self) -> SimTime {
+        self.joined
+    }
+
+    /// Relative activity weight (heavier users issue more downloads).
+    #[must_use]
+    pub fn activity(&self) -> f64 {
+        self.activity
+    }
+
+    /// Whether the user is online at `now`: joined, and inside the daily
+    /// session window (which may wrap around midnight).
+    #[must_use]
+    pub fn is_online(&self, now: SimTime) -> bool {
+        if now < self.joined {
+            return false;
+        }
+        let tick_of_day = now.as_ticks() % 86_400;
+        let start = self.session_start_tick;
+        let end = (start + self.session_len_ticks) % 86_400;
+        if self.session_len_ticks >= 86_400 {
+            true
+        } else if start <= end {
+            (start..end).contains(&tick_of_day)
+        } else {
+            tick_of_day >= start || tick_of_day < end
+        }
+    }
+}
+
+/// The whole population plus the friendship/blacklist graph.
+///
+/// # Examples
+///
+/// ```
+/// use mdrep_workload::{Population, WorkloadConfig};
+/// use rand::SeedableRng;
+///
+/// let config = WorkloadConfig::builder().users(20).seed(1).build()?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed());
+/// let population = Population::generate(&config, &mut rng);
+/// assert_eq!(population.len(), 20);
+/// # Ok::<(), mdrep_workload::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Population {
+    profiles: Vec<UserProfile>,
+    friends: HashMap<UserId, Vec<UserId>>,
+    sharers: Vec<UserId>,
+    polluters: Vec<UserId>,
+}
+
+impl Population {
+    /// Generates the population: behaviours are striped according to the
+    /// configured mix and then the stripe order is *shuffled by id hash* so
+    /// behaviour does not correlate with arrival order; friendships are
+    /// sampled uniformly among honest users.
+    pub fn generate<R: Rng + ?Sized>(config: &WorkloadConfig, rng: &mut R) -> Self {
+        let n = config.users;
+        let mix = config.behavior_mix;
+
+        // Assign behaviours by position in a shuffled permutation so cliques
+        // stay contiguous (colluders need shared groups) but arrival order
+        // is independent of behaviour.
+        let mut order: Vec<usize> = (0..n).collect();
+        // Fisher–Yates.
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+
+        let arrival_window =
+            SimDuration::from_days(config.arrival_spread_days.min(config.days)).as_ticks().max(1);
+        let mut profiles: Vec<Option<UserProfile>> = vec![None; n];
+        for (slot, &user_index) in order.iter().enumerate() {
+            let position = slot as f64 / n as f64;
+            let behavior = mix.assign(position, slot, config.colluder_clique_size);
+            let id = UserId::new(user_index as u64);
+            let joined = SimTime::from_ticks(rng.random_range(0..arrival_window));
+            let session_start_tick = rng.random_range(0..86_400);
+            let session_hours = sample_exponential(rng, config.mean_session_hours)
+                .clamp(0.5, 24.0);
+            let session_len_ticks = (session_hours * 3600.0) as u64;
+            // Pareto-like activity skew: a few heavy hitters.
+            let activity = (1.0 - rng.random::<f64>()).powf(-0.5);
+            profiles[user_index] = Some(UserProfile {
+                id,
+                behavior,
+                joined,
+                session_start_tick,
+                session_len_ticks,
+                activity,
+            });
+        }
+        let profiles: Vec<UserProfile> =
+            profiles.into_iter().map(|p| p.expect("all slots filled")).collect();
+
+        let mut friends: HashMap<UserId, Vec<UserId>> = HashMap::new();
+        if config.friend_probability > 0.0 && n > 1 {
+            // Expected number of directed friend edges.
+            let expected = (config.friend_probability * (n * (n - 1)) as f64).round() as usize;
+            for _ in 0..expected {
+                let a = rng.random_range(0..n);
+                let b = rng.random_range(0..n);
+                if a != b {
+                    let from = UserId::new(a as u64);
+                    let to = UserId::new(b as u64);
+                    let list = friends.entry(from).or_default();
+                    if !list.contains(&to) {
+                        list.push(to);
+                    }
+                }
+            }
+        }
+        // Colluders befriend their whole clique (the attack's social layer).
+        let mut cliques: HashMap<u16, Vec<UserId>> = HashMap::new();
+        for p in &profiles {
+            if let Some(g) = p.behavior.colluder_group() {
+                cliques.entry(g).or_default().push(p.id);
+            }
+        }
+        for members in cliques.values() {
+            for &a in members {
+                for &b in members {
+                    if a != b {
+                        let list = friends.entry(a).or_default();
+                        if !list.contains(&b) {
+                            list.push(b);
+                        }
+                    }
+                }
+            }
+        }
+
+        let sharers = profiles
+            .iter()
+            .filter(|p| matches!(p.behavior, Behavior::Honest))
+            .map(UserProfile::id)
+            .collect::<Vec<_>>();
+        // If the mix has no honest users at all, fall back to everyone.
+        let sharers = if sharers.is_empty() {
+            profiles.iter().map(UserProfile::id).collect()
+        } else {
+            sharers
+        };
+        let polluters = profiles
+            .iter()
+            .filter(|p| p.behavior.is_polluting())
+            .map(UserProfile::id)
+            .collect();
+
+        Self { profiles, friends, sharers, polluters }
+    }
+
+    /// Number of users.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the population is empty (never true for a generated one).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The profile of `user`, if it exists.
+    #[must_use]
+    pub fn profile(&self, user: UserId) -> Option<&UserProfile> {
+        self.profiles.get(user.as_index())
+    }
+
+    /// Iterates over all profiles in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &UserProfile> {
+        self.profiles.iter()
+    }
+
+    /// Users who publish authentic content (honest sharers).
+    #[must_use]
+    pub fn sharer_ids(&self) -> Vec<UserId> {
+        self.sharers.clone()
+    }
+
+    /// Users with polluting behaviour.
+    #[must_use]
+    pub fn polluter_ids(&self) -> Vec<UserId> {
+        self.polluters.clone()
+    }
+
+    /// The friend list of `user` (directed edges).
+    #[must_use]
+    pub fn friends_of(&self, user: UserId) -> &[UserId] {
+        self.friends.get(&user).map_or(&[], Vec::as_slice)
+    }
+
+    /// Ids of all users online at `now`.
+    #[must_use]
+    pub fn online_at(&self, now: SimTime) -> Vec<UserId> {
+        self.profiles.iter().filter(|p| p.is_online(now)).map(UserProfile::id).collect()
+    }
+
+    /// Members of each colluder clique.
+    #[must_use]
+    pub fn colluder_cliques(&self) -> HashMap<u16, Vec<UserId>> {
+        let mut cliques: HashMap<u16, Vec<UserId>> = HashMap::new();
+        for p in &self.profiles {
+            if let Some(g) = p.behavior.colluder_group() {
+                cliques.entry(g).or_default().push(p.id);
+            }
+        }
+        cliques
+    }
+}
+
+fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = 1.0 - rng.random::<f64>();
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::BehaviorMix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn population(mix: BehaviorMix, users: usize, seed: u64) -> Population {
+        let config = WorkloadConfig::builder()
+            .users(users)
+            .behavior_mix(mix)
+            .friend_probability(0.02)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(config.seed());
+        Population::generate(&config, &mut rng)
+    }
+
+    #[test]
+    fn population_size_matches_config() {
+        let p = population(BehaviorMix::all_honest(), 40, 1);
+        assert_eq!(p.len(), 40);
+        assert!(!p.is_empty());
+        assert_eq!(p.iter().count(), 40);
+    }
+
+    #[test]
+    fn behaviour_fractions_roughly_match_mix() {
+        let mix = BehaviorMix::new(0.3, 0.1, 0.1, 0.0).unwrap();
+        let p = population(mix, 1000, 7);
+        let free_riders =
+            p.iter().filter(|u| u.behavior() == Behavior::FreeRider).count();
+        let polluters = p.iter().filter(|u| u.behavior() == Behavior::Polluter).count();
+        let colluders =
+            p.iter().filter(|u| u.behavior().colluder_group().is_some()).count();
+        assert!((free_riders as f64 / 1000.0 - 0.3).abs() < 0.02, "{free_riders}");
+        assert!((polluters as f64 / 1000.0 - 0.1).abs() < 0.02, "{polluters}");
+        assert!((colluders as f64 / 1000.0 - 0.1).abs() < 0.02, "{colluders}");
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let p = population(BehaviorMix::realistic(), 30, 2);
+        for (i, profile) in p.iter().enumerate() {
+            assert_eq!(profile.id(), UserId::new(i as u64));
+        }
+        assert!(p.profile(UserId::new(29)).is_some());
+        assert!(p.profile(UserId::new(30)).is_none());
+    }
+
+    #[test]
+    fn colluders_befriend_their_clique() {
+        let mix = BehaviorMix::new(0.0, 0.0, 0.5, 0.0).unwrap();
+        let p = population(mix, 40, 3);
+        let cliques = p.colluder_cliques();
+        assert!(!cliques.is_empty());
+        for members in cliques.values() {
+            if members.len() < 2 {
+                continue;
+            }
+            for &a in members {
+                for &b in members {
+                    if a != b {
+                        assert!(p.friends_of(a).contains(&b), "{a} should befriend {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn online_window_wraps_midnight() {
+        let profile = UserProfile {
+            id: UserId::new(0),
+            behavior: Behavior::Honest,
+            joined: SimTime::ZERO,
+            session_start_tick: 82_800, // 23:00
+            session_len_ticks: 7200,    // until 01:00
+            activity: 1.0,
+        };
+        assert!(profile.is_online(SimTime::from_ticks(83_000))); // 23:03
+        assert!(profile.is_online(SimTime::from_ticks(86_400 + 100))); // 00:01
+        assert!(!profile.is_online(SimTime::from_ticks(43_200))); // noon
+    }
+
+    #[test]
+    fn not_online_before_joining() {
+        let p = population(BehaviorMix::all_honest(), 50, 9);
+        for profile in p.iter() {
+            if profile.joined() > SimTime::ZERO {
+                assert!(!profile.is_online(SimTime::ZERO) || profile.joined() == SimTime::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn always_online_when_session_covers_day() {
+        let profile = UserProfile {
+            id: UserId::new(0),
+            behavior: Behavior::Honest,
+            joined: SimTime::ZERO,
+            session_start_tick: 100,
+            session_len_ticks: 86_400,
+            activity: 1.0,
+        };
+        for t in [0u64, 1000, 50_000, 86_399] {
+            assert!(profile.is_online(SimTime::from_ticks(t)), "tick {t}");
+        }
+    }
+
+    #[test]
+    fn sharers_exclude_attackers_when_honest_exist() {
+        let p = population(BehaviorMix::realistic(), 200, 4);
+        for id in p.sharer_ids() {
+            assert_eq!(p.profile(id).unwrap().behavior(), Behavior::Honest);
+        }
+        for id in p.polluter_ids() {
+            assert!(p.profile(id).unwrap().behavior().is_polluting());
+        }
+    }
+
+    #[test]
+    fn all_attacker_population_falls_back_to_everyone_sharing() {
+        let mix = BehaviorMix::new(0.0, 1.0, 0.0, 0.0).unwrap();
+        let p = population(mix, 10, 5);
+        assert_eq!(p.sharer_ids().len(), 10);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = population(BehaviorMix::realistic(), 100, 11);
+        let b = population(BehaviorMix::realistic(), 100, 11);
+        for (pa, pb) in a.iter().zip(b.iter()) {
+            assert_eq!(pa.behavior(), pb.behavior());
+            assert_eq!(pa.joined(), pb.joined());
+        }
+    }
+
+    #[test]
+    fn online_at_returns_only_online_users() {
+        let p = population(BehaviorMix::all_honest(), 50, 12);
+        let now = SimTime::from_ticks(86_400 * 3 + 3600 * 12);
+        for id in p.online_at(now) {
+            assert!(p.profile(id).unwrap().is_online(now));
+        }
+    }
+}

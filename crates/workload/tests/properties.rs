@@ -1,0 +1,104 @@
+//! Property-based tests for the workload generator.
+
+use mdrep_workload::{BehaviorMix, EventKind, EventLog, TraceBuilder, WorkloadConfig};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = WorkloadConfig> {
+    (
+        5usize..60,     // users
+        5usize..60,     // titles
+        1u64..4,        // days
+        0.0f64..0.6,    // pollution
+        0u64..1000,     // seed
+        0.0f64..0.3,    // free riders
+        0.0f64..0.2,    // polluters
+    )
+        .prop_map(|(users, titles, days, pollution, seed, fr, po)| {
+            WorkloadConfig::builder()
+                .users(users)
+                .titles(titles)
+                .days(days)
+                .pollution_rate(pollution)
+                .behavior_mix(BehaviorMix::new(fr, po, 0.05, 0.02).expect("valid mix"))
+                .downloads_per_user_day(3.0)
+                .seed(seed)
+                .build()
+                .expect("valid config")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn traces_are_time_ordered(config in config_strategy()) {
+        let trace = TraceBuilder::new(config).generate();
+        for w in trace.events().windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn downloads_reference_known_entities(config in config_strategy()) {
+        let trace = TraceBuilder::new(config).generate();
+        for (_, d, u, f) in trace.downloads() {
+            prop_assert!(trace.population().profile(d).is_some());
+            prop_assert!(trace.population().profile(u).is_some());
+            prop_assert!(trace.catalog().file_meta(f).is_some());
+            prop_assert_ne!(d, u);
+        }
+    }
+
+    #[test]
+    fn regeneration_is_identical(config in config_strategy()) {
+        let a = TraceBuilder::new(config.clone()).generate();
+        let b = TraceBuilder::new(config).generate();
+        prop_assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    fn event_log_round_trips_any_trace(config in config_strategy()) {
+        let trace = TraceBuilder::new(config).generate();
+        let log = EventLog::from_trace(&trace);
+        let parsed = EventLog::from_text(&log.to_text()).expect("own output parses");
+        prop_assert_eq!(&parsed, &log);
+        prop_assert_eq!(parsed.events(), trace.events());
+    }
+
+    #[test]
+    fn stats_are_internally_consistent(config in config_strategy()) {
+        let trace = TraceBuilder::new(config).generate();
+        let stats = trace.stats();
+        prop_assert!(stats.fake_downloads <= stats.downloads);
+        prop_assert!(stats.distinct_pairs <= stats.downloads);
+        prop_assert!(stats.events >= stats.downloads + stats.votes + stats.deletes);
+        prop_assert_eq!(trace.request_pairs().len(), stats.downloads);
+    }
+
+    #[test]
+    fn votes_follow_downloads_of_that_user(config in config_strategy()) {
+        // A vote on a file only happens at the moment of a download of that
+        // file by the same user (votes are emitted alongside downloads).
+        let trace = TraceBuilder::new(config).generate();
+        let mut last_was_download_of: Option<(mdrep_types::UserId, mdrep_types::FileId)> = None;
+        for e in trace.events() {
+            match e.kind {
+                EventKind::Download { downloader, file, .. } => {
+                    last_was_download_of = Some((downloader, file));
+                }
+                EventKind::Vote { user, file, .. } => {
+                    // The matching download is at the same timestamp; the
+                    // sort is stable so it directly precedes (possibly with
+                    // interleaved rank events, which we tolerate by only
+                    // checking the user downloaded the file at some point).
+                    let downloaded = trace
+                        .downloads()
+                        .any(|(_, d, _, f)| d == user && f == file);
+                    prop_assert!(downloaded, "vote without download: {user} {file}");
+                    let _ = last_was_download_of;
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Attack scenarios from Section 4.2: collusion, whitewashing, and
+//! evaluation-list forgery.
+
+use mdrep_repro::baselines::{EigenTrust, EigenTrustConfig, ReputationSystem};
+use mdrep_repro::core::{Auditor, Params, ReputationEngine};
+use mdrep_repro::types::{Evaluation, FileId, FileSize, SimDuration, SimTime, UserId};
+use mdrep_repro::workload::{BehaviorMix, TraceBuilder, WorkloadConfig};
+
+/// Collusion (attack 4): the clique inflates EigenTrust's global rank but
+/// not honest users' personalized multi-dimensional reputation.
+#[test]
+fn collusion_inflates_eigentrust_not_multidimensional() {
+    let honest: Vec<UserId> = (0..20).map(UserId::new).collect();
+    let clique: Vec<UserId> = (20..30).map(UserId::new).collect();
+    let t = SimTime::ZERO;
+    let size = FileSize::from_mib(10);
+    let mut next = 0u64;
+    let mut file = || {
+        next += 1;
+        FileId::new(next)
+    };
+
+    let mut et = EigenTrust::new(EigenTrustConfig {
+        pretrusted: vec![honest[0]],
+        ..EigenTrustConfig::default()
+    });
+    let mut md = ReputationEngine::new(Params::default());
+
+    // Honest web of trust.
+    for i in 0..honest.len() {
+        for step in 1..=3 {
+            let j = (i + step) % honest.len();
+            if i == j {
+                continue;
+            }
+            let f = file();
+            et.record_transaction(honest[i], honest[j], true);
+            md.observe_download(t, honest[i], honest[j], f, size);
+            md.observe_vote(t, honest[i], f, Evaluation::BEST);
+            md.observe_publish(t, honest[j], f);
+            md.observe_vote(t, honest[j], f, Evaluation::BEST);
+        }
+    }
+    // One genuine serve per colluder links the clique in.
+    for (idx, &c) in clique.iter().enumerate() {
+        let customer = honest[idx % honest.len()];
+        let f = file();
+        et.record_transaction(customer, c, true);
+        md.observe_download(t, customer, c, f, size);
+        md.observe_vote(t, customer, f, Evaluation::BEST);
+    }
+    // Massive intra-clique boosting.
+    for &a in &clique {
+        for &b in &clique {
+            if a == b {
+                continue;
+            }
+            let f = file();
+            for _ in 0..30 {
+                et.record_transaction(a, b, true);
+            }
+            md.observe_download(t, a, b, f, size);
+            md.observe_vote(t, a, f, Evaluation::BEST);
+            md.observe_rank(a, b, Evaluation::BEST);
+        }
+    }
+
+    et.recompute(t);
+    md.recompute(t);
+
+    let mean = |v: Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+    let et_clique = mean(clique.iter().map(|&c| et.reputation(honest[1], c)).collect());
+    let et_honest =
+        mean(honest.iter().skip(1).map(|&h| et.reputation(honest[1], h)).collect());
+    let mut md_clique_values = Vec::new();
+    let mut md_honest_values = Vec::new();
+    for &v in &honest {
+        for &c in &clique {
+            md_clique_values.push(md.reputation(v, c));
+        }
+        for &h in &honest {
+            if h != v {
+                md_honest_values.push(md.reputation(v, h));
+            }
+        }
+    }
+    let md_clique = mean(md_clique_values);
+    let md_honest = mean(md_honest_values);
+
+    let et_inflation = et_clique / et_honest.max(1e-12);
+    let md_inflation = md_clique / md_honest.max(1e-12);
+    assert!(
+        et_inflation > 2.0,
+        "the clique should fool the global eigenvector, inflation {et_inflation:.2}"
+    );
+    assert!(
+        md_inflation < 1.0,
+        "honest users' personalized view must not inflate, got {md_inflation:.2}"
+    );
+    assert!(et_inflation > 3.0 * md_inflation);
+}
+
+/// Whitewashing: discarding an identity also discards its earned service
+/// level — the fresh identity is a stranger again.
+#[test]
+fn whitewashing_resets_to_stranger_service() {
+    let mut md = ReputationEngine::new(Params::default());
+    let (a, b) = (UserId::new(0), UserId::new(1));
+    let t = SimTime::ZERO;
+    for i in 0..5u64 {
+        let f = FileId::new(i);
+        md.observe_download(t, a, b, f, FileSize::from_mib(100));
+        md.observe_vote(t, a, f, Evaluation::BEST);
+    }
+    md.recompute(t);
+    assert!(md.reputation(a, b) > 0.0);
+
+    md.observe_whitewash(b);
+    md.recompute(t);
+    assert_eq!(md.reputation(a, b), 0.0, "fresh identity owns nothing");
+}
+
+/// The audit (attack 3) catches a user who swaps its evaluation list for a
+/// copied one, across a realistic trace.
+#[test]
+fn audit_catches_list_copying_across_trace() {
+    let trace = TraceBuilder::new(
+        WorkloadConfig::builder()
+            .users(60)
+            .titles(80)
+            .days(3)
+            .behavior_mix(BehaviorMix::all_honest())
+            .seed(71)
+            .build()
+            .expect("valid"),
+    )
+    .generate();
+    let mut engine = ReputationEngine::new(Params::default());
+    for event in trace.events() {
+        engine.observe_trace_event(event, trace.catalog());
+    }
+    let end = SimTime::ZERO + SimDuration::from_days(3);
+
+    let mut auditor = Auditor::new(0.3);
+    // Baseline and honest re-examination pass for every active user.
+    let mut audited = 0;
+    for profile in trace.population().iter() {
+        let published = engine.published_evaluations(profile.id(), end);
+        if published.len() < 3 {
+            continue;
+        }
+        audited += 1;
+        assert!(!auditor.audit(end, profile.id(), &published).is_forged());
+        // A short re-examination with naturally drifted (slightly older)
+        // evaluations stays consistent.
+        let earlier = engine
+            .published_evaluations(profile.id(), end + SimDuration::from_hours(12));
+        assert!(
+            !auditor.audit(end, profile.id(), &earlier).is_forged(),
+            "natural drift must pass for {}",
+            profile.id()
+        );
+    }
+    assert!(audited > 10, "enough users to make the test meaningful");
+
+    // Now one user swaps in an inverted (copied) list: caught.
+    let cheater = trace.population().iter().next().expect("non-empty").id();
+    let honest_list = engine.published_evaluations(cheater, end);
+    let inverted: std::collections::BTreeMap<_, _> = honest_list
+        .iter()
+        .map(|(&f, &e)| (f, Evaluation::clamped(1.0 - e.value())))
+        .collect();
+    if inverted.len() >= 3 {
+        let outcome = auditor.audit(end, cheater, &inverted);
+        assert!(outcome.is_forged(), "swap must be caught, got {outcome}");
+        assert_eq!(auditor.forgery_count(cheater), 1);
+    }
+}

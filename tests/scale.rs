@@ -1,0 +1,120 @@
+//! Scale smoke tests: the stack at sizes well above the unit-test scale.
+//! The `#[ignore]`d tests are the heavy tier, run explicitly with
+//! `cargo test --release -- --ignored`.
+
+use mdrep_repro::baselines::{MultiDimensional, ReputationSystem};
+use mdrep_repro::core::Params;
+use mdrep_repro::dht::{Dht, DhtConfig, Key};
+use mdrep_repro::sim::{SimConfig, Simulation};
+use mdrep_repro::types::{SimTime, UserId};
+use mdrep_repro::workload::{BehaviorMix, TraceBuilder, WorkloadConfig};
+
+#[test]
+fn medium_scale_trace_through_the_engine() {
+    // ~800 users, a week — bigger than any unit test, still debug-friendly.
+    let trace = TraceBuilder::new(
+        WorkloadConfig::builder()
+            .users(800)
+            .titles(1600)
+            .days(7)
+            .downloads_per_user_day(2.0)
+            .behavior_mix(BehaviorMix::realistic())
+            .pollution_rate(0.3)
+            .seed(8080)
+            .build()
+            .expect("valid config"),
+    )
+    .generate();
+    assert!(trace.stats().downloads > 5_000);
+
+    let mut system = MultiDimensional::new(Params::default());
+    for event in trace.events() {
+        system.observe(event, trace.catalog());
+    }
+    system.recompute(SimTime::from_ticks(7 * 86_400));
+    let coverage = system.request_coverage(&trace.request_pairs());
+    assert!(coverage > 0.3, "coverage {coverage} at scale");
+}
+
+#[test]
+fn dht_with_512_nodes_stays_logarithmic() {
+    let mut dht = Dht::new(DhtConfig::default());
+    for i in 0..512 {
+        dht.join(UserId::new(i), SimTime::ZERO);
+    }
+    dht.reset_stats();
+    for k in 0..50u64 {
+        dht.store(
+            UserId::new(k % 512),
+            Key::for_content(&k.to_be_bytes()),
+            vec![0u8; 16],
+            SimTime::ZERO,
+        )
+        .expect("healthy overlay");
+    }
+    let per_store = dht.stats().total() as f64 / 50.0;
+    assert!(
+        per_store < 40.0,
+        "store cost must stay logarithmic, got {per_store} msgs/store"
+    );
+    // And the data is retrievable from far away.
+    let got = dht
+        .get(UserId::new(500), Key::for_content(&7u64.to_be_bytes()), SimTime::ZERO)
+        .expect("online");
+    assert_eq!(got.len(), 1);
+}
+
+/// Heavy tier: a Maze-scale-ish replay. ~10⁵ downloads through the full
+/// simulator. Run with `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "heavy: run explicitly with --ignored in release mode"]
+fn large_scale_simulation() {
+    let trace = TraceBuilder::new(
+        WorkloadConfig::builder()
+            .users(3000)
+            .titles(6000)
+            .days(14)
+            .downloads_per_user_day(3.0)
+            .behavior_mix(BehaviorMix::realistic())
+            .pollution_rate(0.3)
+            .seed(31_415)
+            .build()
+            .expect("valid config"),
+    )
+    .generate();
+    assert!(trace.stats().downloads > 80_000);
+    let report =
+        Simulation::new(SimConfig::default(), MultiDimensional::new(Params::default()))
+            .run(&trace);
+    assert_eq!(report.requests, trace.stats().downloads);
+    assert!(report.final_coverage().unwrap_or(0.0) > 0.5);
+}
+
+/// Heavy tier: 4096-node overlay, store/retrieve correctness at scale.
+#[test]
+#[ignore = "heavy: run explicitly with --ignored in release mode"]
+fn dht_4096_nodes() {
+    let mut dht = Dht::new(DhtConfig::default());
+    for i in 0..4096 {
+        dht.join(UserId::new(i), SimTime::ZERO);
+    }
+    for k in 0..200u64 {
+        dht.store(
+            UserId::new(k % 4096),
+            Key::for_content(&k.to_be_bytes()),
+            k.to_be_bytes().to_vec(),
+            SimTime::ZERO,
+        )
+        .expect("healthy overlay");
+    }
+    let mut found = 0;
+    for k in 0..200u64 {
+        let got = dht
+            .get(UserId::new((k * 31) % 4096), Key::for_content(&k.to_be_bytes()), SimTime::ZERO)
+            .expect("online");
+        if got.contains(&k.to_be_bytes().to_vec()) {
+            found += 1;
+        }
+    }
+    assert_eq!(found, 200, "every stored value is retrievable at 4096 nodes");
+}

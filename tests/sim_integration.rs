@@ -1,0 +1,120 @@
+//! Integration of workload × reputation systems × overlay simulator.
+
+use mdrep_repro::baselines::{
+    EigenTrust, EigenTrustConfig, Lip, LipConfig, MultiDimensional, MultiTrustHybrid,
+    NoReputation, TitForTat,
+};
+use mdrep_repro::core::Params;
+use mdrep_repro::sim::{SimConfig, Simulation};
+use mdrep_repro::workload::{BehaviorMix, Trace, TraceBuilder, WorkloadConfig};
+
+fn trace(seed: u64) -> Trace {
+    TraceBuilder::new(
+        WorkloadConfig::builder()
+            .users(80)
+            .titles(100)
+            .days(3)
+            .downloads_per_user_day(5.0)
+            .behavior_mix(BehaviorMix::realistic())
+            .pollution_rate(0.3)
+            .seed(seed)
+            .build()
+            .expect("valid config"),
+    )
+    .generate()
+}
+
+#[test]
+fn every_system_completes_a_replay() {
+    let t = trace(1);
+    let reports = [
+        Simulation::new(SimConfig::default(), NoReputation::new()).run(&t),
+        Simulation::new(SimConfig::default(), TitForTat::new()).run(&t),
+        Simulation::new(SimConfig::default(), EigenTrust::new(EigenTrustConfig::default()))
+            .run(&t),
+        Simulation::new(SimConfig::default(), MultiTrustHybrid::new(2)).run(&t),
+        Simulation::new(SimConfig::default(), Lip::new(LipConfig::default())).run(&t),
+        Simulation::new(SimConfig::default(), MultiDimensional::new(Params::default()))
+            .run(&t),
+    ];
+    for report in &reports {
+        assert_eq!(report.requests, t.stats().downloads, "system {}", report.system);
+        let served: usize = report.class_stats.values().map(|s| s.served).sum();
+        assert_eq!(served, report.requests, "system {}", report.system);
+        assert!(!report.coverage_series.is_empty());
+    }
+    // Names are distinct (the harness relies on them as keys).
+    let mut names: Vec<&str> = reports.iter().map(|r| r.system).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), reports.len());
+}
+
+#[test]
+fn multi_dimensional_covers_more_than_tit_for_tat() {
+    let t = trace(2);
+    let md =
+        Simulation::new(SimConfig::default(), MultiDimensional::new(Params::default())).run(&t);
+    let tft = Simulation::new(SimConfig::default(), TitForTat::new()).run(&t);
+    let none = Simulation::new(SimConfig::default(), NoReputation::new()).run(&t);
+    assert!(md.mean_coverage() > tft.mean_coverage());
+    assert_eq!(none.mean_coverage(), 0.0);
+}
+
+#[test]
+fn filtering_strictly_reduces_fake_downloads_on_polluted_traces() {
+    let t = trace(3);
+    let filter = SimConfig { filter_fakes: true, ..SimConfig::default() };
+    let with = Simulation::new(filter, MultiDimensional::new(Params::default())).run(&t);
+    let without =
+        Simulation::new(SimConfig::default(), MultiDimensional::new(Params::default())).run(&t);
+    assert!(with.fakes.fake_downloads < without.fakes.fake_downloads);
+    assert_eq!(
+        with.fakes.fake_downloads + with.fakes.fakes_avoided,
+        with.fakes.fake_requests,
+        "every fake request is either served or avoided"
+    );
+    assert!(with.fakes.false_positive_rate() < 0.5);
+}
+
+#[test]
+fn coverage_series_times_are_monotone() {
+    let t = trace(4);
+    let report =
+        Simulation::new(SimConfig::default(), MultiDimensional::new(Params::default())).run(&t);
+    for pair in report.coverage_series.windows(2) {
+        assert!(pair[0].time < pair[1].time);
+        assert!((0.0..=1.0).contains(&pair[0].coverage));
+    }
+    let total: usize = report.coverage_series.iter().map(|p| p.requests).sum();
+    assert_eq!(total, report.requests);
+}
+
+#[test]
+fn identical_seeds_give_identical_reports() {
+    let ta = trace(5);
+    let tb = trace(5);
+    let ra =
+        Simulation::new(SimConfig::default(), MultiDimensional::new(Params::default())).run(&ta);
+    let rb =
+        Simulation::new(SimConfig::default(), MultiDimensional::new(Params::default())).run(&tb);
+    assert_eq!(ra.requests, rb.requests);
+    assert_eq!(ra.fakes, rb.fakes);
+    assert_eq!(ra.coverage_series.len(), rb.coverage_series.len());
+    for (a, b) in ra.coverage_series.iter().zip(&rb.coverage_series) {
+        assert_eq!(a.coverage, b.coverage);
+    }
+}
+
+#[test]
+fn warm_stats_are_a_subset_of_full_stats() {
+    let t = trace(6);
+    let report =
+        Simulation::new(SimConfig::default(), MultiDimensional::new(Params::default())).run(&t);
+    for (class, warm) in &report.warm_class_stats {
+        let full = report.class_stats.get(class).expect("warm implies full");
+        assert!(warm.served <= full.served);
+        assert!(warm.total_wait_secs <= full.total_wait_secs + 1e-9);
+        assert!(warm.mib_received <= full.mib_received + 1e-9);
+    }
+}
