@@ -80,7 +80,10 @@ impl EigenTrust {
     /// Panics when the pre-trusted set is empty.
     #[must_use]
     pub fn new(config: EigenTrustConfig) -> Self {
-        assert!(!config.pretrusted.is_empty(), "pre-trusted set must be non-empty");
+        assert!(
+            !config.pretrusted.is_empty(),
+            "pre-trusted set must be non-empty"
+        );
         Self {
             config,
             transactions: HashMap::new(),
@@ -131,7 +134,11 @@ impl ReputationSystem for EigenTrust {
 
     fn observe(&mut self, event: &TraceEvent, _catalog: &Catalog) {
         match event.kind {
-            EventKind::Download { downloader, uploader, file } => {
+            EventKind::Download {
+                downloader,
+                uploader,
+                file,
+            } => {
                 // Without a later vote the transaction counts as
                 // satisfactory; an explicit vote refines it below.
                 self.record_transaction(downloader, uploader, true);
@@ -149,8 +156,10 @@ impl ReputationSystem for EigenTrust {
                 }
             }
             EventKind::Whitewash { user } => {
-                self.transactions.retain(|&(i, j), _| i != user && j != user);
-                self.last_uploader.retain(|&(d, _), &mut u| d != user && u != user);
+                self.transactions
+                    .retain(|&(i, j), _| i != user && j != user);
+                self.last_uploader
+                    .retain(|&(d, _), &mut u| d != user && u != user);
                 self.ranks.remove(&user);
             }
             _ => {}

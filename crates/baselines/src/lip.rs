@@ -25,7 +25,10 @@ pub struct LipConfig {
 
 impl Default for LipConfig {
     fn default() -> Self {
-        Self { lifetime_saturation: SimDuration::from_days(7), min_owners: 3 }
+        Self {
+            lifetime_saturation: SimDuration::from_days(7),
+            min_owners: 3,
+        }
     }
 }
 
@@ -63,7 +66,10 @@ impl Lip {
     /// Creates the system.
     #[must_use]
     pub fn new(config: LipConfig) -> Self {
-        Self { config, stats: HashMap::new() }
+        Self {
+            config,
+            stats: HashMap::new(),
+        }
     }
 
     /// Raw statistics for a file, if observed.
@@ -74,9 +80,8 @@ impl Lip {
             return None;
         }
         let age = now - first;
-        let lifetime_factor = (age.as_ticks() as f64
-            / self.config.lifetime_saturation.as_ticks() as f64)
-            .min(1.0);
+        let lifetime_factor =
+            (age.as_ticks() as f64 / self.config.lifetime_saturation.as_ticks() as f64).min(1.0);
         let survival = 1.0 - s.deletions as f64 / s.acquisitions as f64;
         let raw = lifetime_factor * survival.max(0.0);
         // Small-sample damping toward the neutral 0.5.
@@ -136,7 +141,11 @@ mod tests {
     }
 
     fn catalog() -> Catalog {
-        let config = mdrep_workload::WorkloadConfig::builder().users(2).titles(1).build().unwrap();
+        let config = mdrep_workload::WorkloadConfig::builder()
+            .users(2)
+            .titles(1)
+            .build()
+            .unwrap();
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
         let population = mdrep_workload::Population::generate(&config, &mut rng);
         Catalog::generate(&config, &population, &mut rng)
@@ -146,7 +155,11 @@ mod tests {
         lip.observe(
             &TraceEvent {
                 time: t,
-                kind: EventKind::Download { downloader: u(d), uploader: u(99), file: f(file) },
+                kind: EventKind::Download {
+                    downloader: u(d),
+                    uploader: u(99),
+                    file: f(file),
+                },
             },
             cat,
         );
@@ -154,7 +167,13 @@ mod tests {
 
     fn delete(lip: &mut Lip, cat: &Catalog, t: SimTime, d: u64, file: u64) {
         lip.observe(
-            &TraceEvent { time: t, kind: EventKind::Delete { user: u(d), file: f(file) } },
+            &TraceEvent {
+                time: t,
+                kind: EventKind::Delete {
+                    user: u(d),
+                    file: f(file),
+                },
+            },
             cat,
         );
     }

@@ -27,7 +27,9 @@ impl MultiDimensional {
     /// Wraps a fresh engine with the given parameters.
     #[must_use]
     pub fn new(params: Params) -> Self {
-        Self { engine: ReputationEngine::new(params) }
+        Self {
+            engine: ReputationEngine::new(params),
+        }
     }
 
     /// Wraps an existing engine (e.g. one pre-configured with file-trust
@@ -90,7 +92,9 @@ impl ReputationSystem for MultiDimensional {
         evaluations: &[OwnerEvaluation],
         _now: SimTime,
     ) -> Option<f64> {
-        self.engine.file_reputation(viewer, evaluations).map(|e| e.value())
+        self.engine
+            .file_reputation(viewer, evaluations)
+            .map(|e| e.value())
     }
 }
 
@@ -111,20 +115,33 @@ mod tests {
         engine.recompute(SimTime::ZERO);
 
         // Drive the adapter with equivalent trace events.
-        let config = WorkloadConfig::builder().users(2).titles(1).seed(1).build().unwrap();
+        let config = WorkloadConfig::builder()
+            .users(2)
+            .titles(1)
+            .seed(1)
+            .build()
+            .unwrap();
         let trace = TraceBuilder::new(config).generate();
         let catalog = trace.catalog();
         md.observe(
             &TraceEvent {
                 time: SimTime::ZERO,
-                kind: mdrep_workload::EventKind::Download { downloader: a, uploader: b, file: f },
+                kind: mdrep_workload::EventKind::Download {
+                    downloader: a,
+                    uploader: b,
+                    file: f,
+                },
             },
             catalog,
         );
         md.observe(
             &TraceEvent {
                 time: SimTime::ZERO,
-                kind: mdrep_workload::EventKind::Vote { user: a, file: f, value: Evaluation::BEST },
+                kind: mdrep_workload::EventKind::Vote {
+                    user: a,
+                    file: f,
+                    value: Evaluation::BEST,
+                },
             },
             catalog,
         );
@@ -160,7 +177,9 @@ mod tests {
         );
         md.recompute(SimTime::ZERO);
         let evals = [OwnerEvaluation::new(b, Evaluation::WORST)];
-        let score = md.file_score(a, FileId::new(0), &evals, SimTime::ZERO).unwrap();
+        let score = md
+            .file_score(a, FileId::new(0), &evals, SimTime::ZERO)
+            .unwrap();
         assert_eq!(score, 0.0);
         assert_eq!(md.file_score(b, FileId::new(0), &[], SimTime::ZERO), None);
         assert!(md.engine().components().is_some());

@@ -46,7 +46,11 @@ impl MultiTrustHybrid {
     #[must_use]
     pub fn new(steps: u32) -> Self {
         assert!(steps >= 1, "at least one trust tier is required");
-        Self { steps, volumes: HashMap::new(), rm: None }
+        Self {
+            steps,
+            volumes: HashMap::new(),
+            rm: None,
+        }
     }
 
     /// Records a completed download.
@@ -82,7 +86,11 @@ impl ReputationSystem for MultiTrustHybrid {
 
     fn observe(&mut self, event: &TraceEvent, catalog: &Catalog) {
         match event.kind {
-            EventKind::Download { downloader, uploader, file } => {
+            EventKind::Download {
+                downloader,
+                uploader,
+                file,
+            } => {
                 let size = catalog.file_meta(file).map_or(FileSize::ZERO, |m| m.size);
                 self.record_download(downloader, uploader, size);
             }
@@ -94,7 +102,10 @@ impl ReputationSystem for MultiTrustHybrid {
     }
 
     fn recompute(&mut self, _now: SimTime) {
-        let params = Params::builder().steps(self.steps).build().expect("steps >= 1");
+        let params = Params::builder()
+            .steps(self.steps)
+            .build()
+            .expect("steps >= 1");
         self.rm = Some(ReputationMatrix::compute(&self.one_step(), &params));
     }
 
@@ -163,8 +174,13 @@ mod tests {
             mt.recompute(SimTime::ZERO);
             mt
         };
-        let requests =
-            [(u(0), u(1)), (u(0), u(2)), (u(0), u(3)), (u(1), u(3)), (u(3), u(0))];
+        let requests = [
+            (u(0), u(1)),
+            (u(0), u(2)),
+            (u(0), u(3)),
+            (u(1), u(3)),
+            (u(3), u(0)),
+        ];
         let c1 = build(1).request_coverage(&requests);
         let c3 = build(3).request_coverage(&requests);
         assert!(c3 > c1, "{c3} vs {c1}");
@@ -188,9 +204,14 @@ mod tests {
             OwnerEvaluation::new(u(1), Evaluation::WORST),
             OwnerEvaluation::new(u(7), Evaluation::BEST), // stranger: ignored
         ];
-        let score = mt.file_score(u(0), FileId::new(0), &evals, SimTime::ZERO).unwrap();
+        let score = mt
+            .file_score(u(0), FileId::new(0), &evals, SimTime::ZERO)
+            .unwrap();
         assert_eq!(score, 0.0);
-        assert_eq!(mt.file_score(u(9), FileId::new(0), &evals, SimTime::ZERO), None);
+        assert_eq!(
+            mt.file_score(u(9), FileId::new(0), &evals, SimTime::ZERO),
+            None
+        );
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub trait ReputationSystem {
         if requests.is_empty() {
             return 0.0;
         }
-        let covered = requests.iter().filter(|(i, j)| self.reputation(*i, *j) > 0.0).count();
+        let covered = requests
+            .iter()
+            .filter(|(i, j)| self.reputation(*i, *j) > 0.0)
+            .count();
         covered as f64 / requests.len() as f64
     }
 }

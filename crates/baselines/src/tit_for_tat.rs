@@ -68,7 +68,11 @@ impl ReputationSystem for TitForTat {
 
     fn observe(&mut self, event: &TraceEvent, catalog: &Catalog) {
         match event.kind {
-            EventKind::Download { downloader, uploader, file } => {
+            EventKind::Download {
+                downloader,
+                uploader,
+                file,
+            } => {
                 let size = catalog.file_meta(file).map_or(FileSize::ZERO, |m| m.size);
                 self.record_download(downloader, uploader, size);
             }
@@ -127,7 +131,11 @@ mod tests {
         tft.record_download(u(0), u(1), FileSize::from_mib(100));
         tft.recompute(SimTime::ZERO);
         assert_eq!(tft.reputation(u(0), u(1)), 1.0);
-        assert_eq!(tft.reputation(u(1), u(0)), 0.0, "uploads do not earn trust back");
+        assert_eq!(
+            tft.reputation(u(1), u(0)),
+            0.0,
+            "uploads do not earn trust back"
+        );
         assert_eq!(tft.reputation(u(2), u(1)), 0.0, "others see nothing");
     }
 
@@ -152,7 +160,11 @@ mod tests {
             kind: EventKind::Whitewash { user: u(1) },
         };
         // A catalog is required by the trait; build a tiny one.
-        let config = mdrep_workload::WorkloadConfig::builder().users(2).titles(1).build().unwrap();
+        let config = mdrep_workload::WorkloadConfig::builder()
+            .users(2)
+            .titles(1)
+            .build()
+            .unwrap();
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
         let population = mdrep_workload::Population::generate(&config, &mut rng);
         let catalog = mdrep_workload::Catalog::generate(&config, &population, &mut rng);
@@ -168,9 +180,14 @@ mod tests {
             OwnerEvaluation::new(u(1), Evaluation::BEST),
             OwnerEvaluation::new(u(2), Evaluation::WORST),
         ];
-        let score = tft.file_score(u(0), FileId::new(0), &evals, SimTime::ZERO).unwrap();
+        let score = tft
+            .file_score(u(0), FileId::new(0), &evals, SimTime::ZERO)
+            .unwrap();
         assert!((score - 0.5).abs() < 1e-12);
-        assert_eq!(tft.file_score(u(0), FileId::new(0), &[], SimTime::ZERO), None);
+        assert_eq!(
+            tft.file_score(u(0), FileId::new(0), &[], SimTime::ZERO),
+            None
+        );
     }
 
     #[test]

@@ -3,8 +3,8 @@
 
 use mdrep::Params;
 use mdrep_baselines::{
-    EigenTrust, EigenTrustConfig, Lip, LipConfig, MultiDimensional, MultiTrustHybrid,
-    NoReputation, ReputationSystem, TitForTat,
+    EigenTrust, EigenTrustConfig, Lip, LipConfig, MultiDimensional, MultiTrustHybrid, NoReputation,
+    ReputationSystem, TitForTat,
 };
 use mdrep_types::{SimTime, UserId};
 use mdrep_workload::{BehaviorMix, Trace, TraceBuilder, WorkloadConfig};

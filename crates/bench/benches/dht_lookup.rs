@@ -25,9 +25,12 @@ fn bench_store(c: &mut Criterion) {
             b.iter(|| {
                 counter += 1;
                 let key = Key::for_content(&counter.to_be_bytes());
-                black_box(
-                    dht.store(UserId::new(counter % nodes), key, vec![0u8; 64], SimTime::ZERO),
-                )
+                black_box(dht.store(
+                    UserId::new(counter % nodes),
+                    key,
+                    vec![0u8; 64],
+                    SimTime::ZERO,
+                ))
             });
         });
     }

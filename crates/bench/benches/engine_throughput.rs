@@ -64,6 +64,45 @@ fn bench_recompute(c: &mut Criterion) {
     group.finish();
 }
 
+/// Instrumentation overhead: the ingest + recompute loop with the global
+/// `mdrep-obs` registry recording normally vs. fully disabled (every record
+/// call early-outs on one atomic load). The two means feed `BENCH_obs.json`
+/// and must stay within 2% of each other (see EXPERIMENTS.md).
+fn bench_obs_overhead(c: &mut Criterion) {
+    let trace = trace_of(200, 3);
+    let end = SimTime::from_ticks(3 * 86_400);
+    let run = |trace: &mdrep_workload::Trace| {
+        let mut engine = ReputationEngine::new(Params::default());
+        for event in trace.events() {
+            engine.observe_trace_event(event, trace.catalog());
+        }
+        engine.recompute(end);
+        black_box(engine)
+    };
+
+    let mut group = c.benchmark_group("engine/obs_overhead");
+    group.sample_size(20);
+    mdrep_obs::global().set_enabled(true);
+    group.bench_with_input(
+        BenchmarkId::from_parameter("enabled"),
+        &trace,
+        |b, trace| {
+            b.iter(|| run(trace));
+        },
+    );
+    mdrep_obs::global().set_enabled(false);
+    group.bench_with_input(
+        BenchmarkId::from_parameter("disabled"),
+        &trace,
+        |b, trace| {
+            b.iter(|| run(trace));
+        },
+    );
+    mdrep_obs::global().set_enabled(true);
+    mdrep_obs::global().clear();
+    group.finish();
+}
+
 fn bench_trace_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload/generate_trace");
     group.sample_size(10);
@@ -75,5 +114,11 @@ fn bench_trace_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ingestion, bench_recompute, bench_trace_generation);
+criterion_group!(
+    benches,
+    bench_ingestion,
+    bench_recompute,
+    bench_obs_overhead,
+    bench_trace_generation
+);
 criterion_main!(benches);

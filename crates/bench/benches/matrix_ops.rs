@@ -87,8 +87,9 @@ fn bench_vector_multiply(c: &mut Criterion) {
     let mut group = c.benchmark_group("matrix/vector_multiply");
     for &users in &[1000u64, 5000] {
         let m = random_matrix(users, 8, 6);
-        let v: std::collections::BTreeMap<UserId, f64> =
-            (0..users).map(|i| (UserId::new(i), 1.0 / users as f64)).collect();
+        let v: std::collections::BTreeMap<UserId, f64> = (0..users)
+            .map(|i| (UserId::new(i), 1.0 / users as f64))
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(users), &(m, v), |b, (m, v)| {
             b.iter(|| black_box(m.vector_multiply(v)));
         });

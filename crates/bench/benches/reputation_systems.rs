@@ -39,15 +39,23 @@ fn bench_systems(c: &mut Criterion) {
     let mut group = c.benchmark_group("systems/ingest+recompute");
     group.sample_size(10);
 
-    group.bench_with_input(BenchmarkId::from_parameter("tit-for-tat"), &trace, |b, t| {
-        b.iter(|| black_box(run_system(t, TitForTat::new())));
-    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("tit-for-tat"),
+        &trace,
+        |b, t| {
+            b.iter(|| black_box(run_system(t, TitForTat::new())));
+        },
+    );
     group.bench_with_input(BenchmarkId::from_parameter("eigentrust"), &trace, |b, t| {
         b.iter(|| black_box(run_system(t, EigenTrust::new(EigenTrustConfig::default()))));
     });
-    group.bench_with_input(BenchmarkId::from_parameter("multi-trust-n2"), &trace, |b, t| {
-        b.iter(|| black_box(run_system(t, MultiTrustHybrid::new(2))));
-    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("multi-trust-n2"),
+        &trace,
+        |b, t| {
+            b.iter(|| black_box(run_system(t, MultiTrustHybrid::new(2))));
+        },
+    );
     group.bench_with_input(BenchmarkId::from_parameter("lip"), &trace, |b, t| {
         b.iter(|| black_box(run_system(t, Lip::new(LipConfig::default()))));
     });

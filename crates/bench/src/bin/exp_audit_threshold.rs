@@ -23,7 +23,7 @@ const HONEST: u64 = 200;
 const FORGERS: u64 = 50;
 const FILES_PER_USER: u64 = 12;
 
-fn main() {
+fn experiment() {
     let params = Params::default();
     let mut rng = StdRng::seed_from_u64(0xa0d1);
 
@@ -48,7 +48,12 @@ fn main() {
 
     let mut table = Table::new(
         "Proactive-audit threshold sweep (200 honest, 25 flippers + 25 copiers)",
-        &["threshold", "detect_flip", "detect_copy", "false_accusation"],
+        &[
+            "threshold",
+            "detect_flip",
+            "detect_copy",
+            "false_accusation",
+        ],
     );
 
     for &threshold in &[0.1, 0.2, 0.3, 0.4, 0.5] {
@@ -90,8 +95,10 @@ fn main() {
                 // own files (value-wise — the files differ, the *pattern*
                 // of opinions is what gets copied).
                 let victim = UserId::new(drift_rng.random_range(0..HONEST));
-                let victim_values: Vec<Evaluation> =
-                    store.evaluations_of(victim, t2, &params).into_values().collect();
+                let victim_values: Vec<Evaluation> = store
+                    .evaluations_of(victim, t2, &params)
+                    .into_values()
+                    .collect();
                 for (i, (&file, _)) in current.iter().enumerate() {
                     if let Some(&v) = victim_values.get(i % victim_values.len().max(1)) {
                         drifted.record_vote(t2, user, file, v);
@@ -136,4 +143,9 @@ fn main() {
          reputation weighting itself provides (a copier still earns no DM/UM\n\
          trust, so its copied voice carries little Equation 9 weight)."
     );
+}
+
+fn main() {
+    experiment();
+    mdrep_bench::write_metrics_if_requested();
 }

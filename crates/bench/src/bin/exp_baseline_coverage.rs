@@ -19,7 +19,7 @@ use mdrep_bench::Table;
 use mdrep_sim::{SimConfig, SimReport, Simulation};
 use mdrep_workload::{BehaviorMix, Trace, TraceBuilder, WorkloadConfig};
 
-fn main() {
+fn experiment() {
     let trace = TraceBuilder::new(
         WorkloadConfig::builder()
             .users(1200)
@@ -41,7 +41,12 @@ fn main() {
 
     let mut table = Table::new(
         "Request coverage per reputation system (same trace)",
-        &["system", "mean_coverage", "final_coverage", "blind_fraction"],
+        &[
+            "system",
+            "mean_coverage",
+            "final_coverage",
+            "blind_fraction",
+        ],
     );
 
     let reports: Vec<SimReport> = vec![
@@ -72,4 +77,9 @@ fn main() {
 
 fn run<S: ReputationSystem>(trace: &Trace, system: S) -> SimReport {
     Simulation::new(SimConfig::default(), system).run(trace)
+}
+
+fn main() {
+    experiment();
+    mdrep_bench::write_metrics_if_requested();
 }

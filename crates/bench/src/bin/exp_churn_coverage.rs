@@ -20,7 +20,7 @@ use std::collections::{HashMap, HashSet};
 const DAYS: u64 = 60;
 const EVALUATE_PROBABILITY: f64 = 0.20;
 
-fn main() {
+fn experiment() {
     let base = || -> WorkloadConfigBuilder {
         WorkloadConfig::builder()
             .users(800)
@@ -84,9 +84,9 @@ fn coverage_by_day(trace: &Trace) -> Vec<f64> {
     let mut total = vec![0usize; DAYS as usize + 1];
 
     let maybe = |rng: &mut StdRng,
-                     evaluated: &mut HashMap<UserId, HashSet<FileId>>,
-                     user: UserId,
-                     file: FileId| {
+                 evaluated: &mut HashMap<UserId, HashSet<FileId>>,
+                 user: UserId,
+                 file: FileId| {
         if rng.random::<f64>() < EVALUATE_PROBABILITY {
             evaluated.entry(user).or_default().insert(file);
         }
@@ -95,7 +95,11 @@ fn coverage_by_day(trace: &Trace) -> Vec<f64> {
     for event in trace.events() {
         match event.kind {
             EventKind::Publish { user, file } => maybe(&mut rng, &mut evaluated, user, file),
-            EventKind::Download { downloader, uploader, file } => {
+            EventKind::Download {
+                downloader,
+                uploader,
+                file,
+            } => {
                 let day = (event.time.as_days_f64() as usize).min(DAYS as usize);
                 total[day] += 1;
                 let connected = match (evaluated.get(&downloader), evaluated.get(&uploader)) {
@@ -114,6 +118,17 @@ fn coverage_by_day(trace: &Trace) -> Vec<f64> {
         }
     }
     (0..DAYS as usize)
-        .map(|d| if total[d] == 0 { 0.0 } else { covered[d] as f64 / total[d] as f64 })
+        .map(|d| {
+            if total[d] == 0 {
+                0.0
+            } else {
+                covered[d] as f64 / total[d] as f64
+            }
+        })
         .collect()
+}
+
+fn main() {
+    experiment();
+    mdrep_bench::write_metrics_if_requested();
 }

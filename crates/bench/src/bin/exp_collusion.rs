@@ -22,7 +22,7 @@ use mdrep_types::{Evaluation, FileId, FileSize, SimTime, UserId};
 const HONEST: u64 = 50;
 const INTRA_CLIQUE_TXNS: u64 = 20;
 
-fn main() {
+fn experiment() {
     let mut table = Table::new(
         "Reputation inflation of a colluder clique (honest population: 50)",
         &["clique_size", "eigentrust_inflation", "multidim_inflation"],
@@ -135,9 +135,12 @@ fn run_scenario(clique: u64) -> (f64, f64) {
     let et_colluder = mean(colluders.iter().map(|&c| et_view(c)));
     let et_honest = mean(honest.iter().skip(1).map(|&h| et_view(h)));
 
-    let md_colluder = mean(honest.iter().flat_map(|&v| {
-        colluders.iter().map(move |&c| (v, c))
-    }).map(|(v, c)| md_view(v, c)));
+    let md_colluder = mean(
+        honest
+            .iter()
+            .flat_map(|&v| colluders.iter().map(move |&c| (v, c)))
+            .map(|(v, c)| md_view(v, c)),
+    );
     let md_honest = mean(
         honest
             .iter()
@@ -164,4 +167,9 @@ fn ratio(a: f64, b: f64) -> f64 {
     } else {
         0.0
     }
+}
+
+fn main() {
+    experiment();
+    mdrep_bench::write_metrics_if_requested();
 }

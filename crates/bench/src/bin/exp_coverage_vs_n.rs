@@ -17,7 +17,7 @@ use mdrep_workload::{EventKind, TraceBuilder, WorkloadConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-fn main() {
+fn experiment() {
     let days = 10u64;
     let config = WorkloadConfig::builder()
         .users(400)
@@ -50,7 +50,10 @@ fn main() {
         let mut rng = StdRng::seed_from_u64((k * 1e6) as u64 ^ 0xc0_5e);
         let mut store = EvaluationStore::new();
         for event in trace.events() {
-            if let EventKind::Download { downloader, file, .. } = event.kind {
+            if let EventKind::Download {
+                downloader, file, ..
+            } = event.kind
+            {
                 if rng.random::<f64>() < k {
                     let value = if trace.catalog().is_authentic(file) {
                         mdrep_types::Evaluation::BEST
@@ -86,4 +89,9 @@ fn main() {
         "\npaper claim: dense one-step (k=1.0) needs only n=1; sparse matrices gain\n\
          coverage with every extra step but never catch the dense one-step matrix."
     );
+}
+
+fn main() {
+    experiment();
+    mdrep_bench::write_metrics_if_requested();
 }

@@ -20,7 +20,7 @@ use rand::{RngExt, SeedableRng};
 const NODES: u64 = 128;
 const FILES: u64 = 200;
 
-fn main() {
+fn experiment() {
     publication_overhead();
     churn_availability();
     lookup_scaling();
@@ -30,7 +30,13 @@ fn main() {
 fn publication_overhead() {
     let mut table = Table::new(
         "Publication overhead: evaluation co-published with the index vs separately",
-        &["scheme", "find_node_msgs", "store_msgs", "total_msgs", "msgs_per_file"],
+        &[
+            "scheme",
+            "find_node_msgs",
+            "store_msgs",
+            "total_msgs",
+            "msgs_per_file",
+        ],
     );
 
     for co_publish in [true, false] {
@@ -55,8 +61,13 @@ fn publication_overhead() {
                     .expect("overlay is healthy");
             } else {
                 // Two stores under two keys: index, then evaluation.
-                dht.store(owner, Key::for_file(file), b"index-record".to_vec(), SimTime::ZERO)
-                    .expect("overlay is healthy");
+                dht.store(
+                    owner,
+                    Key::for_file(file),
+                    b"index-record".to_vec(),
+                    SimTime::ZERO,
+                )
+                .expect("overlay is healthy");
                 let eval_key = Key::for_content(&[b"eval".as_slice(), &f.to_be_bytes()].concat());
                 dht.store(owner, eval_key, info.encode(), SimTime::ZERO)
                     .expect("overlay is healthy");
@@ -65,7 +76,12 @@ fn publication_overhead() {
 
         let stats = dht.stats();
         table.row(&[
-            if co_publish { "co-published" } else { "separate-key" }.to_string(),
+            if co_publish {
+                "co-published"
+            } else {
+                "separate-key"
+            }
+            .to_string(),
             stats.find_node.to_string(),
             stats.store.to_string(),
             stats.total().to_string(),
@@ -102,7 +118,14 @@ fn churn_availability() {
                 let owner = UserId::new(f % NODES);
                 let key = registry.key_of(owner).expect("registered").clone();
                 publisher
-                    .publish(&mut dht, &key, owner, FileId::new(f), Evaluation::BEST, SimTime::ZERO)
+                    .publish(
+                        &mut dht,
+                        &key,
+                        owner,
+                        FileId::new(f),
+                        Evaluation::BEST,
+                        SimTime::ZERO,
+                    )
                     .expect("healthy overlay");
             }
 
@@ -177,4 +200,9 @@ fn lookup_scaling() {
         table.row_f64(&[nodes as f64, dht.stats().total() as f64 / ops as f64]);
     }
     table.finish("exp_dht_overhead_scaling");
+}
+
+fn main() {
+    experiment();
+    mdrep_bench::write_metrics_if_requested();
 }

@@ -11,7 +11,7 @@ use mdrep_bench::Table;
 use mdrep_types::{Evaluation, SimTime, UserId};
 use mdrep_workload::{BehaviorMix, Trace, TraceBuilder, WorkloadConfig};
 
-fn main() {
+fn experiment() {
     let trace = TraceBuilder::new(
         WorkloadConfig::builder()
             .users(200)
@@ -26,7 +26,10 @@ fn main() {
     )
     .generate();
     let end = SimTime::from_ticks(5 * 86_400);
-    println!("trace: {} downloads, pollution 0.4", trace.stats().downloads);
+    println!(
+        "trace: {} downloads, pollution 0.4",
+        trace.stats().downloads
+    );
 
     let mut table = Table::new(
         "Equation 2 distance-metric ablation",
@@ -38,7 +41,10 @@ fn main() {
         ("Euclidean", DistanceMetric::Euclidean),
         ("symmetric-KL", DistanceMetric::SymmetricKl),
     ] {
-        let options = FileTrustOptions { metric, ..FileTrustOptions::default() };
+        let options = FileTrustOptions {
+            metric,
+            ..FileTrustOptions::default()
+        };
         let mut engine = ReputationEngine::with_options(Params::default(), options);
         for event in trace.events() {
             engine.observe_trace_event(event, trace.catalog());
@@ -111,11 +117,24 @@ fn fake_f1(trace: &Trace, engine: &ReputationEngine, end: SimTime) -> f64 {
             }
         }
     }
-    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
     if precision + recall == 0.0 {
         0.0
     } else {
         2.0 * precision * recall / (precision + recall)
     }
+}
+
+fn main() {
+    experiment();
+    mdrep_bench::write_metrics_if_requested();
 }

@@ -16,7 +16,7 @@ use mdrep_bench::Table;
 use mdrep_sim::{SimConfig, SimReport, Simulation};
 use mdrep_workload::{BehaviorMix, Trace, TraceBuilder, WorkloadConfig};
 
-fn main() {
+fn experiment() {
     let pollution_rates = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
     let mut table = Table::new(
         "Fake-file identification vs pollution rate",
@@ -32,7 +32,10 @@ fn main() {
 
     for &pollution in &pollution_rates {
         let trace = trace_with(pollution);
-        let filtering = SimConfig { filter_fakes: true, ..SimConfig::default() };
+        let filtering = SimConfig {
+            filter_fakes: true,
+            ..SimConfig::default()
+        };
         let conditions: Vec<SimReport> = vec![
             Simulation::new(SimConfig::default(), NoReputation::new()).run(&trace),
             Simulation::new(filtering.clone(), MultiDimensional::new(Params::default()))
@@ -40,8 +43,7 @@ fn main() {
             Simulation::new(filtering, Lip::new(LipConfig::default())).run(&trace),
         ];
         for report in conditions {
-            let downloaded =
-                report.fakes.fake_downloads + report.fakes.authentic_downloads;
+            let downloaded = report.fakes.fake_downloads + report.fakes.authentic_downloads;
             let fake_share = if downloaded == 0 {
                 0.0
             } else {
@@ -82,4 +84,9 @@ fn trace_with(pollution: f64) -> Trace {
             .expect("valid config"),
     )
     .generate()
+}
+
+fn main() {
+    experiment();
+    mdrep_bench::write_metrics_if_requested();
 }

@@ -21,7 +21,7 @@ const HONEST: u64 = 32;
 const DAYS: u64 = 10;
 const REQUESTS_PER_DAY: usize = 120;
 
-fn main() {
+fn experiment() {
     let mut rng = StdRng::seed_from_u64(1337);
     let mut community = Community::new(NodeConfig::default());
     for i in 0..PEERS {
@@ -47,7 +47,14 @@ fn main() {
 
     let mut table = Table::new(
         "Full node pipeline over 10 days (DHT-verified evaluations on every request)",
-        &["day", "fake_requests", "rejected", "slipped", "honest_rep", "polluter_rep"],
+        &[
+            "day",
+            "fake_requests",
+            "rejected",
+            "slipped",
+            "honest_rep",
+            "polluter_rep",
+        ],
     );
 
     let mut now = SimTime::ZERO;
@@ -127,4 +134,9 @@ fn main() {
 fn community_stats(c: &Community) -> (u64, u64) {
     let stats = c.dht().stats();
     (stats.total(), stats.dropped)
+}
+
+fn main() {
+    experiment();
+    mdrep_bench::write_metrics_if_requested();
 }

@@ -15,7 +15,7 @@ use mdrep_bench::Table;
 use mdrep_types::{SimDuration, SimTime};
 use mdrep_workload::{EventKind, TraceBuilder, WorkloadConfig};
 
-fn main() {
+fn experiment() {
     let days = 20u64;
     let trace = TraceBuilder::new(
         WorkloadConfig::builder()
@@ -82,4 +82,9 @@ fn main() {
          interval keeps nearly all of the coverage that matters (recent traffic)\n\
          while the evaluation store stays a fraction of the unbounded size."
     );
+}
+
+fn main() {
+    experiment();
+    mdrep_bench::write_metrics_if_requested();
 }

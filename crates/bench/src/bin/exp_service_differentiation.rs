@@ -16,7 +16,7 @@ use mdrep_sim::{SimConfig, Simulation};
 use mdrep_types::SimDuration;
 use mdrep_workload::{BehaviorMix, TraceBuilder, WorkloadConfig};
 
-fn main() {
+fn experiment() {
     let trace = TraceBuilder::new(
         WorkloadConfig::builder()
             .users(250)
@@ -30,7 +30,10 @@ fn main() {
             .expect("valid config"),
     )
     .generate();
-    println!("trace: {} downloads over 7 days (congested)", trace.stats().downloads);
+    println!(
+        "trace: {} downloads over 7 days (congested)",
+        trace.stats().downloads
+    );
 
     // A congested overlay with a policy tuned to the observed reputation
     // scale (mean honest relative reputation ≈ 0.14, free-riders ≈ 0.05):
@@ -45,7 +48,10 @@ fn main() {
         contribution_weight: 0.5,
         ..SimConfig::default()
     };
-    let fifo = SimConfig { differentiate_service: false, ..differentiated.clone() };
+    let fifo = SimConfig {
+        differentiate_service: false,
+        ..differentiated.clone()
+    };
 
     // Incentive-oriented parameters: two multi-trust steps so that upload
     // contribution (DM/UM columns) reaches uploaders who never met the
@@ -59,8 +65,7 @@ fn main() {
             .build()
             .expect("valid params")
     };
-    let on = Simulation::new(differentiated, MultiDimensional::new(incentive_params()))
-        .run(&trace);
+    let on = Simulation::new(differentiated, MultiDimensional::new(incentive_params())).run(&trace);
     let off = Simulation::new(fifo, MultiDimensional::new(incentive_params())).run(&trace);
 
     // The interesting numbers come from the warmed-up half of the run —
@@ -101,11 +106,24 @@ fn main() {
     println!(
         "\nwith differentiation ON, free-riders suffer {:.2}x the slowdown of honest\n\
          sharers (OFF ratio: {:.2}x — the gap is the paper's incentive at work)",
-        if honest_on > 0.0 { free_on / honest_on } else { 0.0 },
+        if honest_on > 0.0 {
+            free_on / honest_on
+        } else {
+            0.0
+        },
         {
             let h = slowdown(&off, "honest");
             let f = slowdown(&off, "free-rider");
-            if h > 0.0 { f / h } else { 0.0 }
+            if h > 0.0 {
+                f / h
+            } else {
+                0.0
+            }
         },
     );
+}
+
+fn main() {
+    experiment();
+    mdrep_bench::write_metrics_if_requested();
 }

@@ -26,10 +26,16 @@ const EPOCHS: usize = 8;
 const SEEDS_PER_EPOCH: u64 = 3;
 const INITIAL_VOTER_FRACTION: f64 = 0.10;
 
-fn main() {
+fn experiment() {
     let mut table = Table::new(
         "Voting adoption over epochs (replicator dynamics on inverse slowdown)",
-        &["epoch", "voter_frac_ON", "voter_payoff_ON", "voter_frac_OFF", "voter_payoff_OFF"],
+        &[
+            "epoch",
+            "voter_frac_ON",
+            "voter_payoff_ON",
+            "voter_frac_OFF",
+            "voter_payoff_OFF",
+        ],
     );
 
     let mut frac_on = INITIAL_VOTER_FRACTION;
@@ -64,7 +70,10 @@ fn averaged_epoch(epoch: u64, voter_fraction: f64, differentiate: bool) -> (f64,
         next_sum += next;
         payoff_sum += payoff;
     }
-    (next_sum / SEEDS_PER_EPOCH as f64, payoff_sum / SEEDS_PER_EPOCH as f64)
+    (
+        next_sum / SEEDS_PER_EPOCH as f64,
+        payoff_sum / SEEDS_PER_EPOCH as f64,
+    )
 }
 
 /// Runs one epoch at `voter_fraction`; returns the next fraction and the
@@ -114,7 +123,11 @@ fn epoch_step(epoch: u64, voter_fraction: f64, differentiate: bool) -> (f64, f64
         if profile.behavior() != mdrep_workload::Behavior::Honest || stats.served == 0 {
             continue;
         }
-        let bucket = if config.is_voter(user.as_index()) { &mut voter } else { &mut non_voter };
+        let bucket = if config.is_voter(user.as_index()) {
+            &mut voter
+        } else {
+            &mut non_voter
+        };
         bucket.0 += stats.mean_slowdown();
         bucket.1 += 1;
     }
@@ -133,4 +146,9 @@ fn epoch_step(epoch: u64, voter_fraction: f64, differentiate: bool) -> (f64, f64
     let raw_next = voter_fraction * fv / mean_fitness;
     let next = (0.7 * voter_fraction + 0.3 * raw_next).clamp(0.02, 0.98);
     (next, payoff)
+}
+
+fn main() {
+    experiment();
+    mdrep_bench::write_metrics_if_requested();
 }

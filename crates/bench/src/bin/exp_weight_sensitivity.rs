@@ -13,7 +13,7 @@ use mdrep_bench::Table;
 use mdrep_types::{Evaluation, SimTime, UserId};
 use mdrep_workload::{BehaviorMix, Trace, TraceBuilder, WorkloadConfig};
 
-fn main() {
+fn experiment() {
     let trace = TraceBuilder::new(
         WorkloadConfig::builder()
             .users(200)
@@ -28,7 +28,10 @@ fn main() {
     )
     .generate();
     let end = SimTime::from_ticks(5 * 86_400);
-    println!("trace: {} downloads, pollution 0.4", trace.stats().downloads);
+    println!(
+        "trace: {} downloads, pollution 0.4",
+        trace.stats().downloads
+    );
 
     // Sweep (α, β, γ) on a 0.25-step simplex with fixed η, then η with the
     // default weights.
@@ -140,12 +143,25 @@ fn evaluate(
             }
         }
     }
-    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
         2.0 * precision * recall / (precision + recall)
     };
     (coverage, f1)
+}
+
+fn main() {
+    experiment();
+    mdrep_bench::write_metrics_if_requested();
 }

@@ -27,7 +27,7 @@ struct Condition {
     evaluate_probability: f64,
 }
 
-fn main() {
+fn experiment() {
     let days = 30u64;
     let config = WorkloadConfig::builder()
         .users(1500)
@@ -52,9 +52,18 @@ fn main() {
     );
 
     let conditions = [
-        Condition { label: "cov_5pct", evaluate_probability: 0.05 },
-        Condition { label: "cov_20pct", evaluate_probability: 0.20 },
-        Condition { label: "cov_implicit_100pct", evaluate_probability: 1.0 },
+        Condition {
+            label: "cov_5pct",
+            evaluate_probability: 0.05,
+        },
+        Condition {
+            label: "cov_20pct",
+            evaluate_probability: 0.20,
+        },
+        Condition {
+            label: "cov_implicit_100pct",
+            evaluate_probability: 1.0,
+        },
     ];
 
     let mut per_day: Vec<Vec<f64>> = Vec::new();
@@ -65,7 +74,12 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 1: request coverage vs time (x = day, one series per evaluation coverage)",
-        &["day", conditions[0].label, conditions[1].label, conditions[2].label],
+        &[
+            "day",
+            conditions[0].label,
+            conditions[1].label,
+            conditions[2].label,
+        ],
     );
     for (day, ((a, b), c)) in per_day[0]
         .iter()
@@ -82,7 +96,11 @@ fn main() {
         let half = &series[series.len() / 2..];
         half.iter().sum::<f64>() / half.len() as f64
     };
-    println!("\nsettled coverage (mean of days {}-{}):", days / 2 + 1, days);
+    println!(
+        "\nsettled coverage (mean of days {}-{}):",
+        days / 2 + 1,
+        days
+    );
     for (condition, series) in conditions.iter().zip(&per_day) {
         println!("  {:<22} {:.3}", condition.label, settled(series));
     }
@@ -98,19 +116,25 @@ fn replay(trace: &Trace, evaluate_probability: f64, days: u64) -> Vec<f64> {
     let mut covered = vec![0usize; days as usize + 1];
     let mut total = vec![0usize; days as usize + 1];
 
-    let maybe_evaluate =
-        |rng: &mut StdRng, evaluated: &mut HashMap<UserId, HashSet<FileId>>, user: UserId, file: FileId| {
-            if rng.random::<f64>() < evaluate_probability {
-                evaluated.entry(user).or_default().insert(file);
-            }
-        };
+    let maybe_evaluate = |rng: &mut StdRng,
+                          evaluated: &mut HashMap<UserId, HashSet<FileId>>,
+                          user: UserId,
+                          file: FileId| {
+        if rng.random::<f64>() < evaluate_probability {
+            evaluated.entry(user).or_default().insert(file);
+        }
+    };
 
     for event in trace.events() {
         match event.kind {
             EventKind::Publish { user, file } => {
                 maybe_evaluate(&mut rng, &mut evaluated, user, file);
             }
-            EventKind::Download { downloader, uploader, file } => {
+            EventKind::Download {
+                downloader,
+                uploader,
+                file,
+            } => {
                 let day = (event.time.as_days_f64() as usize).min(days as usize);
                 total[day] += 1;
                 if shares_evaluated_file(&evaluated, downloader, uploader) {
@@ -143,6 +167,15 @@ fn shares_evaluated_file(
     let (Some(sa), Some(sb)) = (evaluated.get(&a), evaluated.get(&b)) else {
         return false;
     };
-    let (small, large) = if sa.len() <= sb.len() { (sa, sb) } else { (sb, sa) };
+    let (small, large) = if sa.len() <= sb.len() {
+        (sa, sb)
+    } else {
+        (sb, sa)
+    };
     small.iter().any(|f| large.contains(f))
+}
+
+fn main() {
+    experiment();
+    mdrep_bench::write_metrics_if_requested();
 }

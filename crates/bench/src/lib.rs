@@ -71,8 +71,11 @@ impl Table {
             .collect();
         println!("{}", header.join("  "));
         for row in &self.rows {
-            let line: Vec<String> =
-                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
             println!("{}", line.join("  "));
         }
     }
@@ -98,6 +101,29 @@ impl Table {
             Ok(path) => println!("(csv: {})", path.display()),
             Err(err) => eprintln!("warning: could not write csv: {err}"),
         }
+    }
+}
+
+/// Honors a `--metrics-out PATH` (or `--metrics-out=PATH`) argument on the
+/// experiment binary's command line: writes the global instrumentation
+/// registry — per-phase `engine.recompute.*` timings, `dht.lookup.*`
+/// counters, `sim.events_per_sec` — as JSON to PATH. Every `exp_*` binary
+/// calls this after its tables, so metrics land next to the CSVs.
+pub fn write_metrics_if_requested() {
+    let mut args = std::env::args().skip(1);
+    let mut path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        if arg == "--metrics-out" {
+            path = args.next();
+        } else if let Some(p) = arg.strip_prefix("--metrics-out=") {
+            path = Some(p.to_string());
+        }
+    }
+    let Some(path) = path else { return };
+    let json = mdrep_obs::global().snapshot().to_json();
+    match fs::write(&path, json) {
+        Ok(()) => println!("(metrics: {path})"),
+        Err(err) => eprintln!("warning: could not write metrics to {path}: {err}"),
     }
 }
 

@@ -13,7 +13,9 @@ pub struct ArgError {
 
 impl ArgError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        Self {
+            message: message.into(),
+        }
     }
 }
 
@@ -113,7 +115,11 @@ impl Arguments {
             }
             i += 2;
         }
-        Ok(Self { command, flags, switches })
+        Ok(Self {
+            command,
+            flags,
+            switches,
+        })
     }
 
     /// The subcommand.
@@ -125,7 +131,10 @@ impl Arguments {
     /// String flag with default.
     #[must_use]
     pub fn get_str(&self, name: &str, default: &str) -> String {
-        self.flags.get(name).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Integer flag with default.
@@ -184,6 +193,11 @@ mdrep — multi-dimensional P2P reputation (ICDCS 2007 reproduction)
 USAGE:
   mdrep <subcommand> [--flag value]…
 
+GLOBAL FLAGS (any subcommand):
+  --metrics-out PATH  write the collected instrumentation registry
+                      (per-phase engine timings, DHT lookup counters,
+                      simulator throughput) as JSON to PATH on exit
+
 SUBCOMMANDS:
   trace       generate a synthetic workload and print its statistics
   simulate    replay the workload through a reputation system
@@ -224,14 +238,35 @@ mod tests {
 
     #[test]
     fn parses_subcommands() {
-        assert_eq!(Arguments::parse(["trace"]).unwrap().command(), Command::Trace);
-        assert_eq!(Arguments::parse(["simulate"]).unwrap().command(), Command::Simulate);
-        assert_eq!(Arguments::parse(["coverage"]).unwrap().command(), Command::Coverage);
-        assert_eq!(Arguments::parse(["fake-check"]).unwrap().command(), Command::FakeCheck);
-        assert_eq!(Arguments::parse(["dht-demo"]).unwrap().command(), Command::DhtDemo);
-        assert_eq!(Arguments::parse(["community"]).unwrap().command(), Command::Community);
+        assert_eq!(
+            Arguments::parse(["trace"]).unwrap().command(),
+            Command::Trace
+        );
+        assert_eq!(
+            Arguments::parse(["simulate"]).unwrap().command(),
+            Command::Simulate
+        );
+        assert_eq!(
+            Arguments::parse(["coverage"]).unwrap().command(),
+            Command::Coverage
+        );
+        assert_eq!(
+            Arguments::parse(["fake-check"]).unwrap().command(),
+            Command::FakeCheck
+        );
+        assert_eq!(
+            Arguments::parse(["dht-demo"]).unwrap().command(),
+            Command::DhtDemo
+        );
+        assert_eq!(
+            Arguments::parse(["community"]).unwrap().command(),
+            Command::Community
+        );
         assert_eq!(Arguments::parse(["help"]).unwrap().command(), Command::Help);
-        assert_eq!(Arguments::parse::<_, &str>([]).unwrap().command(), Command::Help);
+        assert_eq!(
+            Arguments::parse::<_, &str>([]).unwrap().command(),
+            Command::Help
+        );
         assert!(Arguments::parse(["frobnicate"]).is_err());
     }
 
@@ -241,14 +276,22 @@ mod tests {
         assert_eq!(args.get_usize("users", 200).unwrap(), 77);
         assert_eq!(args.get_f64("pollution", 0.3).unwrap(), 0.5);
         assert_eq!(args.get_u64("seed", 42).unwrap(), 42);
-        assert_eq!(args.get_str("system", "multi-dimensional"), "multi-dimensional");
+        assert_eq!(
+            args.get_str("system", "multi-dimensional"),
+            "multi-dimensional"
+        );
     }
 
     #[test]
     fn parses_switches() {
-        let args =
-            Arguments::parse(["simulate", "--filter", "--users", "10", "--no-differentiation"])
-                .unwrap();
+        let args = Arguments::parse([
+            "simulate",
+            "--filter",
+            "--users",
+            "10",
+            "--no-differentiation",
+        ])
+        .unwrap();
         assert!(args.switch("filter"));
         assert!(args.switch("no-differentiation"));
         assert!(!args.switch("contribution"));
@@ -257,8 +300,14 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        assert!(Arguments::parse(["trace", "users", "7"]).is_err(), "missing --");
-        assert!(Arguments::parse(["trace", "--users"]).is_err(), "missing value");
+        assert!(
+            Arguments::parse(["trace", "users", "7"]).is_err(),
+            "missing --"
+        );
+        assert!(
+            Arguments::parse(["trace", "--users"]).is_err(),
+            "missing value"
+        );
         assert!(
             Arguments::parse(["trace", "--users", "1", "--users", "2"]).is_err(),
             "duplicate"
@@ -271,7 +320,14 @@ mod tests {
 
     #[test]
     fn usage_mentions_every_subcommand() {
-        for sub in ["trace", "simulate", "coverage", "fake-check", "dht-demo", "community"] {
+        for sub in [
+            "trace",
+            "simulate",
+            "coverage",
+            "fake-check",
+            "dht-demo",
+            "community",
+        ] {
             assert!(USAGE.contains(sub), "{sub} missing from usage");
         }
     }

@@ -4,8 +4,8 @@
 use crate::args::{ArgError, Arguments, Command, USAGE};
 use mdrep::Params;
 use mdrep_baselines::{
-    EigenTrust, EigenTrustConfig, Lip, LipConfig, MultiDimensional, MultiTrustHybrid,
-    NoReputation, ReputationSystem,
+    EigenTrust, EigenTrustConfig, Lip, LipConfig, MultiDimensional, MultiTrustHybrid, NoReputation,
+    ReputationSystem,
 };
 use mdrep_crypto::KeyRegistry;
 use mdrep_dht::{Dht, DhtConfig, EvaluationPublisher};
@@ -23,7 +23,7 @@ use std::io::Write;
 /// report are propagated as a formatted [`ArgError`] too (they indicate a
 /// closed pipe, not a usage problem, but the caller treats both as exits).
 pub fn run(args: &Arguments, out: &mut dyn Write) -> Result<(), ArgError> {
-    match args.command() {
+    let result = match args.command() {
         Command::Help => write_str(out, USAGE),
         Command::Trace => trace_command(args, out),
         Command::Simulate => simulate_command(args, out),
@@ -31,7 +31,21 @@ pub fn run(args: &Arguments, out: &mut dyn Write) -> Result<(), ArgError> {
         Command::FakeCheck => fake_check_command(args, out),
         Command::DhtDemo => dht_demo_command(args, out),
         Command::Community => community_command(args, out),
+    };
+    write_metrics(args)?;
+    result
+}
+
+/// Honors `--metrics-out PATH`: dumps the global instrumentation registry
+/// as JSON next to whatever the command printed.
+fn write_metrics(args: &Arguments) -> Result<(), ArgError> {
+    let path = args.get_str("metrics-out", "");
+    if path.is_empty() {
+        return Ok(());
     }
+    let json = mdrep_obs::global().snapshot().to_json();
+    std::fs::write(&path, json)
+        .map_err(|e| ArgError::new(format!("cannot write metrics to {path}: {e}")))
 }
 
 fn build_workload(args: &Arguments) -> Result<Trace, ArgError> {
@@ -61,7 +75,9 @@ fn build_system(name: &str) -> Result<Box<dyn ReputationSystem>, ArgError> {
         "lip" => Box::new(Lip::new(LipConfig::default())),
         "multi-dimensional" | "mdrep" => Box::new(MultiDimensional::new(Params::default())),
         other => {
-            return Err(ArgError::new(format!("unknown reputation system `{other}`")));
+            return Err(ArgError::new(format!(
+                "unknown reputation system `{other}`"
+            )));
         }
     })
 }
@@ -73,7 +89,11 @@ fn sim_config(args: &Arguments) -> SimConfig {
     SimConfig {
         filter_fakes: args.switch("filter"),
         differentiate_service: !args.switch("no-differentiation"),
-        contribution_weight: if args.switch("contribution") { 0.5 } else { 0.0 },
+        contribution_weight: if args.switch("contribution") {
+            0.5
+        } else {
+            0.0
+        },
         ..SimConfig::default()
     }
 }
@@ -141,7 +161,10 @@ fn fake_check_command(args: &Arguments, out: &mut dyn Write) -> Result<(), ArgEr
     // Filtering on regardless of the --filter switch: that is the point.
     let trace = build_workload(args)?;
     let system = build_system(&args.get_str("system", "multi-dimensional"))?;
-    let config = SimConfig { filter_fakes: true, ..sim_config(args) };
+    let config = SimConfig {
+        filter_fakes: true,
+        ..sim_config(args)
+    };
     let report = Simulation::new(config, system).run(&trace);
     let text = format!(
         "system: {}\nfake requests:     {}\nfakes avoided:     {} ({:.1}%)\n\
@@ -172,7 +195,13 @@ fn dht_demo_command(args: &Arguments, out: &mut dyn Write) -> Result<(), ArgErro
         .publish(&mut dht, &key, owner, file, Evaluation::BEST, SimTime::ZERO)
         .map_err(|e| ArgError::new(e.to_string()))?;
     let records = publisher
-        .retrieve(&mut dht, &registry, UserId::new(nodes - 1), file, SimTime::ZERO)
+        .retrieve(
+            &mut dht,
+            &registry,
+            UserId::new(nodes - 1),
+            file,
+            SimTime::ZERO,
+        )
         .map_err(|e| ArgError::new(e.to_string()))?;
     let stats = dht.stats();
     let text = format!(
@@ -181,7 +210,11 @@ fn dht_demo_command(args: &Arguments, out: &mut dyn Write) -> Result<(), ArgErro
          messages: {} find_node, {} store, {} find_value\n",
         dht.online_count(),
         records.len(),
-        if records.iter().all(|r| r.valid) { "valid" } else { "INVALID" },
+        if records.iter().all(|r| r.valid) {
+            "valid"
+        } else {
+            "INVALID"
+        },
         stats.find_node,
         stats.store,
         stats.find_value,
@@ -195,7 +228,10 @@ struct MixStream(u64);
 
 impl MixStream {
     fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
         self.0 >> 11
     }
 
@@ -264,7 +300,9 @@ fn community_command(args: &Arguments, out: &mut dyn Write) -> Result<(), ArgErr
             }
         }
         community.tick(now);
-        text.push_str(&format!("{day:>3}  {fake_requests:>13}  {rejected:>8}  {slipped:>7}\n"));
+        text.push_str(&format!(
+            "{day:>3}  {fake_requests:>13}  {rejected:>8}  {slipped:>7}\n"
+        ));
     }
     text.push_str(&format!(
         "dht messages: {} total\n",
@@ -304,7 +342,14 @@ mod tests {
 
     #[test]
     fn simulate_all_systems() {
-        for system in ["none", "tit-for-tat", "eigentrust", "multi-trust", "lip", "mdrep"] {
+        for system in [
+            "none",
+            "tit-for-tat",
+            "eigentrust",
+            "multi-trust",
+            "lip",
+            "mdrep",
+        ] {
             let out = run_capture(&[
                 "simulate", "--users", "25", "--days", "1", "--system", system,
             ]);
@@ -329,7 +374,13 @@ mod tests {
     #[test]
     fn fake_check_reports_rates() {
         let out = run_capture(&[
-            "fake-check", "--users", "30", "--days", "1", "--pollution", "0.5",
+            "fake-check",
+            "--users",
+            "30",
+            "--days",
+            "1",
+            "--pollution",
+            "0.5",
         ]);
         assert!(out.contains("fakes avoided"));
         assert!(out.contains("false positives"));

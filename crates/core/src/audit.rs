@@ -88,7 +88,11 @@ impl Auditor {
             threshold > 0.0 && threshold <= 1.0,
             "audit threshold must lie in (0, 1]"
         );
-        Self { threshold, snapshots: HashMap::new(), flagged: HashMap::new() }
+        Self {
+            threshold,
+            snapshots: HashMap::new(),
+            flagged: HashMap::new(),
+        }
     }
 
     /// Examines `user`'s currently-published evaluations.
@@ -175,7 +179,10 @@ mod tests {
     #[test]
     fn first_audit_is_baseline() {
         let mut a = Auditor::new(0.3);
-        assert_eq!(a.audit(SimTime::ZERO, u(1), &evals(&[(0, 1.0)])), AuditOutcome::Baseline);
+        assert_eq!(
+            a.audit(SimTime::ZERO, u(1), &evals(&[(0, 1.0)])),
+            AuditOutcome::Baseline
+        );
     }
 
     #[test]
@@ -212,7 +219,7 @@ mod tests {
         let mut a = Auditor::new(0.3);
         a.audit(SimTime::ZERO, u(1), &evals(&[(0, 1.0)]));
         a.audit(SimTime::ZERO, u(1), &evals(&[(0, 0.8)])); // consistent, replaces
-        // Compared against 0.8 now, so 0.6 is a 0.2 drift — consistent.
+                                                           // Compared against 0.8 now, so 0.6 is a 0.2 drift — consistent.
         let outcome = a.audit(SimTime::ZERO, u(1), &evals(&[(0, 0.6)]));
         assert!(!outcome.is_forged());
     }
@@ -225,7 +232,10 @@ mod tests {
         assert_eq!(a.forgery_count(u(1)), 1);
         a.clear(u(1));
         assert_eq!(a.forgery_count(u(1)), 0);
-        assert_eq!(a.audit(SimTime::ZERO, u(1), &evals(&[(0, 0.0)])), AuditOutcome::Baseline);
+        assert_eq!(
+            a.audit(SimTime::ZERO, u(1), &evals(&[(0, 0.0)])),
+            AuditOutcome::Baseline
+        );
     }
 
     #[test]
@@ -247,7 +257,9 @@ mod tests {
     #[test]
     fn outcome_display() {
         assert!(AuditOutcome::Baseline.to_string().contains("baseline"));
-        assert!(AuditOutcome::Forged { divergence: 0.9 }.to_string().contains("forged"));
+        assert!(AuditOutcome::Forged { divergence: 0.9 }
+            .to_string()
+            .contains("forged"));
         assert!(AuditOutcome::Consistent { divergence: 0.1 }
             .to_string()
             .contains("consistent"));

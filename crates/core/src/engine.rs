@@ -9,7 +9,9 @@
 
 use crate::audit::{AuditOutcome, Auditor};
 use crate::eval::EvaluationStore;
-use crate::file_reputation::{download_decision, file_reputation, DownloadDecision, OwnerEvaluation};
+use crate::file_reputation::{
+    download_decision, file_reputation, DownloadDecision, OwnerEvaluation,
+};
 use crate::file_trust::{FileTrust, FileTrustOptions};
 use crate::incentive::{ServiceDecision, ServicePolicy};
 use crate::params::Params;
@@ -102,7 +104,8 @@ impl ReputationEngine {
         size: FileSize,
     ) {
         self.evals.record_download(time, downloader, file);
-        self.volume.record_download(downloader, uploader, file, size);
+        self.volume
+            .record_download(downloader, uploader, file, size);
     }
 
     /// Records that `user` published `file` (publication starts a retention
@@ -142,7 +145,11 @@ impl ReputationEngine {
         match event.kind {
             EventKind::Join { .. } => {}
             EventKind::Publish { user, file } => self.observe_publish(event.time, user, file),
-            EventKind::Download { downloader, uploader, file } => {
+            EventKind::Download {
+                downloader,
+                uploader,
+                file,
+            } => {
                 let size = catalog.file_meta(file).map_or(FileSize::ZERO, |m| m.size);
                 self.observe_download(event.time, downloader, uploader, file, size);
             }
@@ -150,7 +157,11 @@ impl ReputationEngine {
                 self.observe_vote(event.time, user, file, value);
             }
             EventKind::Delete { user, file } => self.observe_delete(event.time, user, file),
-            EventKind::RankUser { rater, target, value } => {
+            EventKind::RankUser {
+                rater,
+                target,
+                value,
+            } => {
                 self.observe_rank(rater, target, value);
             }
             EventKind::Whitewash { user } => self.observe_whitewash(user),
@@ -164,15 +175,41 @@ impl ReputationEngine {
     }
 
     /// Rebuilds `FM`, `DM`, `UM`, `TM`, and `RM` from the observations.
+    ///
+    /// Each phase reports its wall time to the global [`mdrep_obs`]
+    /// registry under `engine.recompute.*`, along with `engine.*.nnz` /
+    /// `engine.tm.density` gauges describing the blended matrix.
     pub fn recompute(&mut self, now: SimTime) {
-        let fm = FileTrust::compute_with(&self.evals, now, &self.params, self.file_trust_options)
-            .matrix();
-        let dm = self.volume.matrix(&self.evals, now, &self.params);
-        let um = self.user_trust.matrix();
+        let obs = mdrep_obs::global();
+        let _total = obs.span("engine.recompute.total");
+        obs.counter_inc("engine.recompute.count");
+        let fm = {
+            let _span = obs.span("engine.recompute.fm_build");
+            FileTrust::compute_with(&self.evals, now, &self.params, self.file_trust_options)
+                .matrix()
+        };
+        let dm = {
+            let _span = obs.span("engine.recompute.dm_build");
+            self.volume.matrix(&self.evals, now, &self.params)
+        };
+        let um = {
+            let _span = obs.span("engine.recompute.um_build");
+            self.user_trust.matrix()
+        };
         let w = self.params.weights();
-        let tm = blend(&[(w.alpha(), &fm), (w.beta(), &dm), (w.gamma(), &um)])
-            .expect("validated weights form a convex combination");
-        self.rm = Some(ReputationMatrix::compute(&tm, &self.params));
+        let tm = {
+            let _span = obs.span("engine.recompute.integrate");
+            blend(&[(w.alpha(), &fm), (w.beta(), &dm), (w.gamma(), &um)])
+                .expect("validated weights form a convex combination")
+        };
+        let rows = tm.row_count();
+        obs.gauge_set("engine.tm.nnz", tm.nnz() as f64);
+        if rows > 0 {
+            obs.gauge_set("engine.tm.density", tm.nnz() as f64 / (rows * rows) as f64);
+        }
+        let rm = ReputationMatrix::compute(&tm, &self.params);
+        obs.gauge_set("engine.rm.nnz", rm.matrix().nnz() as f64);
+        self.rm = Some(rm);
         self.components = Some(TrustComponents { fm, dm, um, tm });
     }
 
@@ -244,7 +281,9 @@ impl ReputationEngine {
         evaluations: &[OwnerEvaluation],
     ) -> Option<Evaluation> {
         let trusted = self.trusted_evaluations(evaluations);
-        self.rm.as_ref().and_then(|rm| file_reputation(rm, viewer, &trusted))
+        self.rm
+            .as_ref()
+            .and_then(|rm| file_reputation(rm, viewer, &trusted))
     }
 
     /// The download decision for `viewer` over the supplied evaluations
@@ -299,16 +338,18 @@ impl ReputationEngine {
         match &self.rm {
             _ if self.punished.contains(&requester) => policy.decide_scaled(0.0),
             None => policy.decide_scaled(0.0),
-            Some(rm) => {
-                policy.decide_tiered(rm.tier_of(uploader, requester), rm.steps().max(1))
-            }
+            Some(rm) => policy.decide_tiered(rm.tier_of(uploader, requester), rm.steps().max(1)),
         }
     }
 
     /// The evaluations `user` would publish to the DHT at `now` (Fig. 2
     /// step 1) — also the input the auditor re-examines.
     #[must_use]
-    pub fn published_evaluations(&self, user: UserId, now: SimTime) -> BTreeMap<FileId, Evaluation> {
+    pub fn published_evaluations(
+        &self,
+        user: UserId,
+        now: SimTime,
+    ) -> BTreeMap<FileId, Evaluation> {
         self.evals.evaluations_of(user, now, &self.params)
     }
 
@@ -322,7 +363,9 @@ impl ReputationEngine {
     /// pairs with positive reputation. 0.0 before the first recomputation.
     #[must_use]
     pub fn request_coverage(&self, requests: &[(UserId, UserId)]) -> f64 {
-        self.rm.as_ref().map_or(0.0, |rm| rm.request_coverage(requests))
+        self.rm
+            .as_ref()
+            .map_or(0.0, |rm| rm.request_coverage(requests))
     }
 }
 
@@ -486,8 +529,14 @@ mod tests {
         engine.mark_punished(u(1));
         assert!(engine.is_punished(u(1)));
         assert_eq!(engine.reputation(u(0), u(1)), 0.0, "reputation zeroed");
-        assert!(engine.file_reputation(u(0), &evals).is_none(), "evaluations discarded");
-        assert_eq!(engine.decide_download(u(0), &evals), DownloadDecision::Unknown);
+        assert!(
+            engine.file_reputation(u(0), &evals).is_none(),
+            "evaluations discarded"
+        );
+        assert_eq!(
+            engine.decide_download(u(0), &evals),
+            DownloadDecision::Unknown
+        );
 
         engine.pardon(u(1));
         assert!(!engine.is_punished(u(1)));

@@ -47,30 +47,33 @@ impl EvaluationRecord {
 
     /// The implicit evaluation at `now`, derived from retention time.
     ///
-    /// The discriminating signal is the *held fraction*: how much of the
-    /// time since download the user kept the file (1.0 while still held; a
-    /// quick deletion drives it toward 0). Because a file downloaded five
-    /// minutes ago carries no information either way, the fraction is
-    /// blended with the neutral value 0.5 by an age-confidence ramp that
-    /// saturates at [`Params::retention_saturation`]:
+    /// Two regimes, both saturating at [`Params::retention_saturation`]:
     ///
-    /// `IE = 0.5 + (held_fraction − 0.5) · min(age / saturation, 1)`
-    ///
-    /// So: young files ≈ neutral, long-retained files → 1, files deleted
-    /// shortly after download → 0.
+    /// * **Still held** — retention is an ongoing observation: a file
+    ///   downloaded five minutes ago carries no information either way, so
+    ///   the signal ramps from the neutral value 0.5 toward 1 with age:
+    ///   `IE = 0.5 + 0.5 · min(age / saturation, 1)`.
+    /// * **Deleted** — the observation is over and the verdict is frozen:
+    ///   `IE = min(retention / saturation, 1)`. A quick deletion reads as
+    ///   ≈ 0 (the paper's Eq 4 needs fake downloads to contribute
+    ///   nothing), a deletion after long retention still reads as ≈ 1, and
+    ///   the value no longer drifts with the evaluation time.
     #[must_use]
     pub fn implicit(&self, now: SimTime, params: &Params) -> Evaluation {
-        let now = now.max(self.downloaded_at);
-        let age = (now - self.downloaded_at).as_ticks() as f64;
-        if age <= 0.0 {
-            return Evaluation::NEUTRAL;
-        }
-        let end = self.deleted_at.unwrap_or(now).max(self.downloaded_at);
-        let retention = (end - self.downloaded_at).as_ticks() as f64;
-        let held_fraction = (retention / age).clamp(0.0, 1.0);
         let saturation = params.retention_saturation().as_ticks() as f64;
-        let confidence = (age / saturation).min(1.0);
-        Evaluation::clamped(0.5 + (held_fraction - 0.5) * confidence)
+        match self.deleted_at {
+            Some(deleted_at) => {
+                let end = deleted_at.max(self.downloaded_at);
+                let retention = (end - self.downloaded_at).as_ticks() as f64;
+                Evaluation::clamped((retention / saturation).min(1.0))
+            }
+            None => {
+                let now = now.max(self.downloaded_at);
+                let age = (now - self.downloaded_at).as_ticks() as f64;
+                let confidence = (age / saturation).min(1.0);
+                Evaluation::clamped(0.5 + 0.5 * confidence)
+            }
+        }
     }
 
     /// Equation 1: the integrated evaluation at `now`.
@@ -293,7 +296,9 @@ mod tests {
         store.record_download(SimTime::ZERO, u(1), f(1));
 
         // A still-held file: held fraction 1, confidence age/7d.
-        let t0 = store.evaluation(u(1), f(1), SimTime::ZERO, &params).unwrap();
+        let t0 = store
+            .evaluation(u(1), f(1), SimTime::ZERO, &params)
+            .unwrap();
         assert_eq!(t0, Evaluation::NEUTRAL, "no age, no information");
         let day1 = SimTime::ZERO + SimDuration::from_days(1);
         let day7 = SimTime::ZERO + SimDuration::from_days(7);
@@ -313,12 +318,19 @@ mod tests {
         store.record_download(SimTime::ZERO, u(1), f(1));
         let hour6 = SimTime::ZERO + SimDuration::from_hours(6);
         store.record_delete(hour6, u(1), f(1));
-        // Long after the deletion: full confidence, tiny held fraction.
+        // Contract: deletion freezes the implicit evaluation at
+        // retention/saturation — 6h of the 7-day saturation window — and it
+        // no longer depends on when it is evaluated.
         let later = SimTime::ZERO + SimDuration::from_days(10);
         let e = store.evaluation(u(1), f(1), later, &params).unwrap();
-        let held = 6.0 / (10.0 * 24.0);
-        assert!((e.value() - held).abs() < 1e-9, "got {e}");
+        let frozen = 6.0 / (7.0 * 24.0);
+        assert!((e.value() - frozen).abs() < 1e-9, "got {e}");
         assert!(e.is_below(Evaluation::NEUTRAL));
+        let much_later = SimTime::ZERO + SimDuration::from_days(60);
+        assert_eq!(
+            store.evaluation(u(1), f(1), much_later, &params).unwrap(),
+            e
+        );
     }
 
     #[test]
@@ -331,10 +343,9 @@ mod tests {
         store.record_delete(t1, u(1), f(1));
         store.record_delete(t2, u(1), f(1));
         let e = store.evaluation(u(1), f(1), t2, &params).unwrap();
-        // Held 1h of 20h, confidence 20h/168h.
-        let held_fraction: f64 = 1.0 / 20.0;
-        let confidence = 20.0 / 168.0;
-        let expected = 0.5 + (held_fraction - 0.5) * confidence;
+        // Contract: only the first deletion counts, and it freezes the
+        // implicit evaluation at retention/saturation = 1h/168h.
+        let expected = 1.0 / 168.0;
         assert!((e.value() - expected).abs() < 1e-9, "got {e}");
     }
 
@@ -356,7 +367,9 @@ mod tests {
         let params = Params::default();
         let mut store = EvaluationStore::new();
         store.record_vote(SimTime::ZERO, u(2), f(3), Evaluation::BEST);
-        assert!(store.evaluation(u(2), f(3), SimTime::ZERO, &params).is_some());
+        assert!(store
+            .evaluation(u(2), f(3), SimTime::ZERO, &params)
+            .is_some());
         assert_eq!(store.evaluators_of(f(3)).collect::<Vec<_>>(), vec![u(2)]);
     }
 
@@ -367,7 +380,9 @@ mod tests {
         store.record_download(SimTime::ZERO, u(1), f(1));
         store.record_vote(SimTime::ZERO, u(1), f(1), Evaluation::WORST);
         store.record_vote(SimTime::ZERO, u(1), f(1), Evaluation::BEST);
-        let e = store.evaluation(u(1), f(1), SimTime::ZERO, &params).unwrap();
+        let e = store
+            .evaluation(u(1), f(1), SimTime::ZERO, &params)
+            .unwrap();
         assert_eq!(e, Evaluation::BEST);
     }
 
@@ -440,8 +455,12 @@ mod tests {
     fn empty_store_queries() {
         let params = Params::default();
         let store = EvaluationStore::new();
-        assert!(store.evaluation(u(1), f(1), SimTime::ZERO, &params).is_none());
-        assert!(store.evaluations_of(u(1), SimTime::ZERO, &params).is_empty());
+        assert!(store
+            .evaluation(u(1), f(1), SimTime::ZERO, &params)
+            .is_none());
+        assert!(store
+            .evaluations_of(u(1), SimTime::ZERO, &params)
+            .is_empty());
         assert_eq!(store.evaluators_of(f(1)).count(), 0);
     }
 }

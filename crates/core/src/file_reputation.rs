@@ -97,6 +97,7 @@ pub fn file_reputation(
     viewer: UserId,
     evaluations: &[OwnerEvaluation],
 ) -> Option<Evaluation> {
+    mdrep_obs::global().counter_inc("engine.file_reputation.count");
     let mut weighted = 0.0;
     let mut weight = 0.0;
     for oe in evaluations {
@@ -122,7 +123,7 @@ pub fn download_decision(
     evaluations: &[OwnerEvaluation],
     params: &Params,
 ) -> DownloadDecision {
-    match file_reputation(rm, viewer, evaluations) {
+    let decision = match file_reputation(rm, viewer, evaluations) {
         None => DownloadDecision::Unknown,
         Some(reputation) => {
             if reputation.is_below(params.fake_threshold()) {
@@ -131,7 +132,14 @@ pub fn download_decision(
                 DownloadDecision::Accept { reputation }
             }
         }
-    }
+    };
+    let outcome = match decision {
+        DownloadDecision::Accept { .. } => "engine.decide.accept",
+        DownloadDecision::Reject { .. } => "engine.decide.reject",
+        DownloadDecision::Unknown => "engine.decide.unknown",
+    };
+    mdrep_obs::global().counter_inc(outcome);
+    decision
 }
 
 #[cfg(test)]
@@ -160,8 +168,10 @@ mod tests {
         // RM_01 = 0.75, RM_02 = 0.25; E_1f = 0.8, E_2f = 0.4.
         // R_f = (0.75·0.8 + 0.25·0.4) / 1.0 = 0.7.
         let rm = rm_with(&[(0, 1, 0.75), (0, 2, 0.25)]);
-        let evals =
-            [OwnerEvaluation::new(u(1), e(0.8)), OwnerEvaluation::new(u(2), e(0.4))];
+        let evals = [
+            OwnerEvaluation::new(u(1), e(0.8)),
+            OwnerEvaluation::new(u(2), e(0.4)),
+        ];
         let r = file_reputation(&rm, u(0), &evals).unwrap();
         assert!((r.value() - 0.7).abs() < 1e-12);
     }
@@ -169,8 +179,10 @@ mod tests {
     #[test]
     fn unreputable_evaluators_are_ignored() {
         let rm = rm_with(&[(0, 1, 1.0)]);
-        let evals =
-            [OwnerEvaluation::new(u(1), e(0.9)), OwnerEvaluation::new(u(9), e(0.0))];
+        let evals = [
+            OwnerEvaluation::new(u(1), e(0.9)),
+            OwnerEvaluation::new(u(9), e(0.0)),
+        ];
         let r = file_reputation(&rm, u(0), &evals).unwrap();
         assert!((r.value() - 0.9).abs() < 1e-12);
     }
@@ -195,7 +207,10 @@ mod tests {
             download_decision(&rm, u(0), &bad, &params),
             DownloadDecision::Reject { .. }
         ));
-        assert_eq!(download_decision(&rm, u(0), &none, &params), DownloadDecision::Unknown);
+        assert_eq!(
+            download_decision(&rm, u(0), &none, &params),
+            DownloadDecision::Unknown
+        );
     }
 
     #[test]

@@ -41,9 +41,8 @@ impl DistanceMetric {
             Self::SymmetricKl => {
                 let clamp = |v: f64| v.clamp(1e-6, 1.0 - 1e-6);
                 let (p, q) = (clamp(a.value()), clamp(b.value()));
-                let kl = |p: f64, q: f64| {
-                    p * (p / q).ln() + (1.0 - p) * ((1.0 - p) / (1.0 - q)).ln()
-                };
+                let kl =
+                    |p: f64, q: f64| p * (p / q).ln() + (1.0 - p) * ((1.0 - p) / (1.0 - q)).ln();
                 0.5 * (kl(p, q) + kl(q, p))
             }
         }
@@ -263,22 +262,34 @@ mod tests {
         vote(&mut spiky, u(1), f(1), 0.0);
 
         let params = explicit_params();
-        let opts = FileTrustOptions { metric: DistanceMetric::Euclidean, ..Default::default() };
-        let even_l1 = FileTrust::compute(&even, SimTime::ZERO, &params).raw().get(u(0), u(1));
-        let spiky_l1 = FileTrust::compute(&spiky, SimTime::ZERO, &params).raw().get(u(0), u(1));
+        let opts = FileTrustOptions {
+            metric: DistanceMetric::Euclidean,
+            ..Default::default()
+        };
+        let even_l1 = FileTrust::compute(&even, SimTime::ZERO, &params)
+            .raw()
+            .get(u(0), u(1));
+        let spiky_l1 = FileTrust::compute(&spiky, SimTime::ZERO, &params)
+            .raw()
+            .get(u(0), u(1));
         assert!((even_l1 - spiky_l1).abs() < 1e-12, "same L1 trust");
 
-        let even_eu =
-            FileTrust::compute_with(&even, SimTime::ZERO, &params, opts).raw().get(u(0), u(1));
-        let spiky_eu =
-            FileTrust::compute_with(&spiky, SimTime::ZERO, &params, opts).raw().get(u(0), u(1));
+        let even_eu = FileTrust::compute_with(&even, SimTime::ZERO, &params, opts)
+            .raw()
+            .get(u(0), u(1));
+        let spiky_eu = FileTrust::compute_with(&spiky, SimTime::ZERO, &params, opts)
+            .raw()
+            .get(u(0), u(1));
         assert!(spiky_eu < even_eu, "euclidean punishes the spike");
     }
 
     #[test]
     fn kl_metric_in_range_and_monotone() {
         let params = explicit_params();
-        let opts = FileTrustOptions { metric: DistanceMetric::SymmetricKl, ..Default::default() };
+        let opts = FileTrustOptions {
+            metric: DistanceMetric::SymmetricKl,
+            ..Default::default()
+        };
 
         let mut close = EvaluationStore::new();
         vote(&mut close, u(0), f(0), 0.8);
@@ -290,8 +301,9 @@ mod tests {
         let tc = FileTrust::compute_with(&close, SimTime::ZERO, &params, opts)
             .raw()
             .get(u(0), u(1));
-        let tf =
-            FileTrust::compute_with(&far, SimTime::ZERO, &params, opts).raw().get(u(0), u(1));
+        let tf = FileTrust::compute_with(&far, SimTime::ZERO, &params, opts)
+            .raw()
+            .get(u(0), u(1));
         assert!((0.0..=1.0).contains(&tc));
         assert!((0.0..=1.0).contains(&tf));
         assert!(tc > tf);
@@ -326,6 +338,10 @@ mod tests {
         store.record_download(SimTime::ZERO, u(1), f(0));
         let later = SimTime::ZERO + mdrep_types::SimDuration::from_days(3);
         let t = FileTrust::compute(&store, later, &params);
-        assert_eq!(t.raw().get(u(0), u(1)), 1.0, "same retention → same opinion");
+        assert_eq!(
+            t.raw().get(u(0), u(1)),
+            1.0,
+            "same retention → same opinion"
+        );
     }
 }

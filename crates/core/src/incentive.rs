@@ -94,11 +94,7 @@ impl ServicePolicy {
     /// Panics when `quota_threshold ∉ [0, 1]` or
     /// `min_bandwidth_fraction ∉ (0, 1]`.
     #[must_use]
-    pub fn new(
-        max_offset: SimDuration,
-        quota_threshold: f64,
-        min_bandwidth_fraction: f64,
-    ) -> Self {
+    pub fn new(max_offset: SimDuration, quota_threshold: f64, min_bandwidth_fraction: f64) -> Self {
         assert!(
             (0.0..=1.0).contains(&quota_threshold),
             "quota threshold must lie in [0, 1]"
@@ -107,7 +103,11 @@ impl ServicePolicy {
             min_bandwidth_fraction > 0.0 && min_bandwidth_fraction <= 1.0,
             "minimum bandwidth fraction must lie in (0, 1]"
         );
-        Self { max_offset, quota_threshold, min_bandwidth_fraction }
+        Self {
+            max_offset,
+            quota_threshold,
+            min_bandwidth_fraction,
+        }
     }
 
     /// The maximum queue jump.
@@ -120,16 +120,22 @@ impl ServicePolicy {
     /// `r ∈ [0, 1]` (1 = the uploader's most-trusted peer).
     #[must_use]
     pub fn decide_scaled(&self, r: f64) -> ServiceDecision {
-        let r = if r.is_finite() { r.clamp(0.0, 1.0) } else { 0.0 };
-        let queue_offset =
-            SimDuration::from_ticks((self.max_offset.as_ticks() as f64 * r) as u64);
+        let r = if r.is_finite() {
+            r.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let queue_offset = SimDuration::from_ticks((self.max_offset.as_ticks() as f64 * r) as u64);
         let bandwidth_fraction = if r >= self.quota_threshold {
             1.0
         } else {
             let span = 1.0 - self.min_bandwidth_fraction;
             self.min_bandwidth_fraction + span * (r / self.quota_threshold.max(f64::MIN_POSITIVE))
         };
-        ServiceDecision { queue_offset, bandwidth_fraction }
+        ServiceDecision {
+            queue_offset,
+            bandwidth_fraction,
+        }
     }
 
     /// Blends the relative reputation with a [contribution
@@ -263,7 +269,11 @@ mod tests {
         let half = policy.decide(&rm, u(0), u(2));
         let stranger = policy.decide(&rm, u(0), u(9));
 
-        assert_eq!(best.queue_offset, policy.max_offset(), "row max maps to r = 1");
+        assert_eq!(
+            best.queue_offset,
+            policy.max_offset(),
+            "row max maps to r = 1"
+        );
         assert_eq!(
             half.queue_offset,
             SimDuration::from_ticks(policy.max_offset().as_ticks() / 2)
@@ -305,10 +315,34 @@ mod tests {
     fn tiered_decision_orders_by_level_then_value() {
         use crate::reputation::TrustTier;
         let policy = ServicePolicy::default();
-        let t1_low = policy.decide_tiered(Some(TrustTier { level: 1, value: 0.1 }), 3);
-        let t1_high = policy.decide_tiered(Some(TrustTier { level: 1, value: 0.9 }), 3);
-        let t2_high = policy.decide_tiered(Some(TrustTier { level: 2, value: 0.9 }), 3);
-        let t3 = policy.decide_tiered(Some(TrustTier { level: 3, value: 0.9 }), 3);
+        let t1_low = policy.decide_tiered(
+            Some(TrustTier {
+                level: 1,
+                value: 0.1,
+            }),
+            3,
+        );
+        let t1_high = policy.decide_tiered(
+            Some(TrustTier {
+                level: 1,
+                value: 0.9,
+            }),
+            3,
+        );
+        let t2_high = policy.decide_tiered(
+            Some(TrustTier {
+                level: 2,
+                value: 0.9,
+            }),
+            3,
+        );
+        let t3 = policy.decide_tiered(
+            Some(TrustTier {
+                level: 3,
+                value: 0.9,
+            }),
+            3,
+        );
         let none = policy.decide_tiered(None, 3);
         // Any tier-1 beats any tier-2 beats any tier-3 beats strangers.
         assert!(t1_low.queue_offset > t2_high.queue_offset);
@@ -324,8 +358,20 @@ mod tests {
         use crate::reputation::TrustTier;
         let policy = ServicePolicy::default();
         // A tier deeper than max_tiers is treated as the deepest band.
-        let deep = policy.decide_tiered(Some(TrustTier { level: 9, value: 0.5 }), 3);
-        let deepest = policy.decide_tiered(Some(TrustTier { level: 3, value: 0.5 }), 3);
+        let deep = policy.decide_tiered(
+            Some(TrustTier {
+                level: 9,
+                value: 0.5,
+            }),
+            3,
+        );
+        let deepest = policy.decide_tiered(
+            Some(TrustTier {
+                level: 3,
+                value: 0.5,
+            }),
+            3,
+        );
         assert_eq!(deep, deepest);
     }
 

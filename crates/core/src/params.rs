@@ -12,7 +12,9 @@ pub struct ParamsError {
 
 impl ParamsError {
     fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        Self {
+            message: message.into(),
+        }
     }
 }
 
@@ -87,7 +89,11 @@ impl Default for Weights {
     /// `α = 0.5, β = 0.3, γ = 0.2` (file similarity carries the most signal,
     /// per the paper's emphasis on the file dimension).
     fn default() -> Self {
-        Self { alpha: 0.5, beta: 0.3, gamma: 0.2 }
+        Self {
+            alpha: 0.5,
+            beta: 0.3,
+            gamma: 0.2,
+        }
     }
 }
 
@@ -108,7 +114,9 @@ impl Params {
     /// Starts building a parameter set from the defaults.
     #[must_use]
     pub fn builder() -> ParamsBuilder {
-        ParamsBuilder { params: Self::default() }
+        ParamsBuilder {
+            params: Self::default(),
+        }
     }
 
     /// Equation 1's `η`: weight of the implicit evaluation when an explicit
@@ -240,7 +248,9 @@ impl ParamsBuilder {
             return Err(ParamsError::new("evaluation interval must be positive"));
         }
         if !p.prune_threshold.is_finite() || p.prune_threshold < 0.0 {
-            return Err(ParamsError::new("prune threshold must be finite and non-negative"));
+            return Err(ParamsError::new(
+                "prune threshold must be finite and non-negative",
+            ));
         }
         Ok(p.clone())
     }

@@ -64,15 +64,20 @@ impl ReputationMatrix {
         let mut tiers = Vec::with_capacity(n as usize);
         tiers.push(tm.clone());
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let obs = mdrep_obs::global();
         for _ in 1..n {
             let prev = tiers.last().expect("non-empty");
             // Large products fan out across cores; small ones stay serial.
-            let mut next = if prev.nnz() > 20_000 && threads > 1 {
-                prev.multiply_parallel(tm, threads)
-            } else {
-                prev.multiply(tm)
+            let mut next = {
+                let _span = obs.span("engine.recompute.matrix_power");
+                if prev.nnz() > 20_000 && threads > 1 {
+                    prev.multiply_parallel(tm, threads)
+                } else {
+                    prev.multiply(tm)
+                }
             };
             if params.prune_threshold() > 0.0 {
+                let _span = obs.span("engine.recompute.normalize");
                 next.prune(params.prune_threshold());
                 next = next.normalized_rows();
             }
@@ -113,7 +118,10 @@ impl ReputationMatrix {
         for (idx, tier) in self.tiers.iter().enumerate() {
             let v = tier.get(i, j);
             if v > 0.0 {
-                return Some(TrustTier { level: idx as u32 + 1, value: v });
+                return Some(TrustTier {
+                    level: idx as u32 + 1,
+                    value: v,
+                });
             }
         }
         None
@@ -180,7 +188,10 @@ mod tests {
 
     #[test]
     fn tier_display() {
-        let t = TrustTier { level: 2, value: 0.25 };
+        let t = TrustTier {
+            level: 2,
+            value: 0.25,
+        };
         assert_eq!(t.to_string(), "tier 2 (0.2500)");
     }
 
@@ -203,7 +214,11 @@ mod tests {
         tm.set(u(0), u(2), 0.01).unwrap();
         tm.set(u(1), u(3), 1.0).unwrap();
         tm.set(u(2), u(4), 1.0).unwrap();
-        let p = Params::builder().steps(2).prune_threshold(0.05).build().unwrap();
+        let p = Params::builder()
+            .steps(2)
+            .prune_threshold(0.05)
+            .build()
+            .unwrap();
         let rm = ReputationMatrix::compute(&tm, &p);
         assert_eq!(rm.reputation(u(0), u(4)), 0.0, "weak path pruned");
         assert!(rm.reputation(u(0), u(3)) > 0.9);

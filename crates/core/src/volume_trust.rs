@@ -114,7 +114,10 @@ mod tests {
 
     /// Store + params where votes are taken verbatim (η = 0).
     fn setup() -> (EvaluationStore, Params) {
-        (EvaluationStore::new(), Params::builder().eta(0.0).build().unwrap())
+        (
+            EvaluationStore::new(),
+            Params::builder().eta(0.0).build().unwrap(),
+        )
     }
 
     #[test]
@@ -176,7 +179,11 @@ mod tests {
         let week = SimTime::ZERO + SimDuration::from_days(7);
         let vd = vt.raw(&evals, week, &params);
         let expected = (1.0 / (7.0 * 24.0)) * 100.0; // held 1h of 7 days
-        assert!((vd.get(u(0), u(1)) - expected).abs() < 1e-6, "got {}", vd.get(u(0), u(1)));
+        assert!(
+            (vd.get(u(0), u(1)) - expected).abs() < 1e-6,
+            "got {}",
+            vd.get(u(0), u(1))
+        );
     }
 
     #[test]

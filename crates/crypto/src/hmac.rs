@@ -97,7 +97,10 @@ mod tests {
             "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe",
         );
         // Test case 6: key larger than the block size.
-        let mac = HmacSha256::mac(&[0xaa; 131], b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let mac = HmacSha256::mac(
+            &[0xaa; 131],
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             mac.to_hex(),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54",

@@ -65,7 +65,9 @@ impl SigningKey {
         let mut h = Sha256::new();
         h.update(b"mdrep/signing-key/v1");
         h.update(&seed.to_be_bytes());
-        Self { secret: h.finalize().into_bytes() }
+        Self {
+            secret: h.finalize().into_bytes(),
+        }
     }
 
     /// Signs a message.
@@ -147,7 +149,9 @@ impl KeyRegistry {
     /// Unregistered users always fail verification.
     #[must_use]
     pub fn verify(&self, user: UserId, message: &[u8], signature: &Signature) -> bool {
-        self.keys.get(&user).is_some_and(|k| k.verify(message, signature))
+        self.keys
+            .get(&user)
+            .is_some_and(|k| k.verify(message, signature))
     }
 
     /// Number of registered users.

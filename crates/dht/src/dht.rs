@@ -160,8 +160,16 @@ impl Dht {
         self.by_user.insert(user, id);
         self.nodes.insert(id, node);
         if let Some(boot) = bootstrap {
-            self.nodes.get_mut(&id).expect("just inserted").routing_mut().observe(boot);
-            self.nodes.get_mut(&boot).expect("exists").routing_mut().observe(id);
+            self.nodes
+                .get_mut(&id)
+                .expect("just inserted")
+                .routing_mut()
+                .observe(boot);
+            self.nodes
+                .get_mut(&boot)
+                .expect("exists")
+                .routing_mut()
+                .observe(id);
             let found = self.iterative_find(id, id, now);
             let me = self.nodes.get_mut(&id).expect("exists");
             for peer in found {
@@ -214,6 +222,7 @@ impl Dht {
         data: Vec<u8>,
         now: SimTime,
     ) -> Result<usize, DhtError> {
+        mdrep_obs::global().counter_inc("dht.store.count");
         let origin = self.require_online(publisher)?;
         let targets = self.iterative_find(origin, key, now);
         let mut stored = 0;
@@ -223,7 +232,9 @@ impl Dht {
                 self.stats.dropped += 1;
                 continue;
             }
-            let Some(node) = self.nodes.get_mut(target) else { continue };
+            let Some(node) = self.nodes.get_mut(target) else {
+                continue;
+            };
             if !node.is_online() {
                 self.stats.refused += 1;
                 continue;
@@ -241,7 +252,10 @@ impl Dht {
         if stored == 0 {
             return Err(DhtError::NoReachableNodes);
         }
-        self.publications.entry(publisher).or_default().push((key, data));
+        self.publications
+            .entry(publisher)
+            .or_default()
+            .push((key, data));
         Ok(stored)
     }
 
@@ -256,6 +270,7 @@ impl Dht {
         key: Key,
         now: SimTime,
     ) -> Result<Vec<Vec<u8>>, DhtError> {
+        mdrep_obs::global().counter_inc("dht.get.count");
         let origin = self.require_online(requester)?;
         let targets = self.iterative_find(origin, key, now);
         let mut seen = BTreeSet::new();
@@ -266,7 +281,9 @@ impl Dht {
                 self.stats.dropped += 1;
                 continue;
             }
-            let Some(node) = self.nodes.get(target) else { continue };
+            let Some(node) = self.nodes.get(target) else {
+                continue;
+            };
             if !node.is_online() {
                 self.stats.refused += 1;
                 continue;
@@ -326,7 +343,16 @@ impl Dht {
 
     /// Iterative Kademlia lookup from `origin` toward `key`; returns the
     /// closest online nodes discovered, nearest first.
+    ///
+    /// Reports `dht.lookup.count`, per-round `dht.lookup.hops`, and
+    /// `dht.lookup.timeouts` (lost or refused queries) to the global
+    /// [`mdrep_obs`] registry.
     fn iterative_find(&mut self, origin: NodeId, key: Key, _now: SimTime) -> Vec<NodeId> {
+        let obs = mdrep_obs::global();
+        let _span = obs.span("dht.lookup.time");
+        obs.counter_inc("dht.lookup.count");
+        let mut hops = 0u64;
+        let mut timeouts = 0u64;
         let k = self.config.replication.max(crate::routing::BUCKET_SIZE);
         let mut candidates: Vec<NodeId> = self
             .nodes
@@ -357,17 +383,22 @@ impl Dht {
             if round.is_empty() {
                 break;
             }
+            hops += 1;
             let mut learned = Vec::new();
             for target in round {
                 queried.insert(target);
                 self.stats.find_node += 1;
                 if self.message_lost() {
                     self.stats.dropped += 1;
+                    timeouts += 1;
                     continue;
                 }
-                let Some(node) = self.nodes.get(&target) else { continue };
+                let Some(node) = self.nodes.get(&target) else {
+                    continue;
+                };
                 if !node.is_online() {
                     self.stats.refused += 1;
+                    timeouts += 1;
                     // Forget dead peers on the origin's table.
                     if let Some(o) = self.nodes.get_mut(&origin) {
                         o.routing_mut().remove(&target);
@@ -387,6 +418,10 @@ impl Dht {
             }
             candidates.extend(learned);
         }
+
+        obs.counter_add("dht.lookup.hops", hops);
+        obs.counter_add("dht.lookup.timeouts", timeouts);
+        obs.histogram_record("dht.lookup.hops_per_lookup", hops as f64);
 
         let mut result: Vec<NodeId> = alive.into_iter().collect();
         result.sort_by_key(|n| n.distance(&key));
@@ -426,7 +461,9 @@ mod tests {
     fn store_then_get_round_trip() {
         let mut dht = overlay(30);
         let key = Key::for_content(b"file-index");
-        let stored = dht.store(u(0), key, b"record".to_vec(), SimTime::ZERO).unwrap();
+        let stored = dht
+            .store(u(0), key, b"record".to_vec(), SimTime::ZERO)
+            .unwrap();
         assert!(stored >= 1);
         let got = dht.get(u(17), key, SimTime::ZERO).unwrap();
         assert_eq!(got, vec![b"record".to_vec()]);
@@ -435,7 +472,9 @@ mod tests {
     #[test]
     fn get_unknown_key_is_empty() {
         let mut dht = overlay(10);
-        let got = dht.get(u(3), Key::for_content(b"nothing"), SimTime::ZERO).unwrap();
+        let got = dht
+            .get(u(3), Key::for_content(b"nothing"), SimTime::ZERO)
+            .unwrap();
         assert!(got.is_empty());
     }
 
@@ -449,7 +488,10 @@ mod tests {
         );
         dht.leave(u(2));
         assert!(!dht.is_online(u(2)));
-        assert_eq!(dht.get(u(2), key, SimTime::ZERO), Err(DhtError::Offline(u(2))));
+        assert_eq!(
+            dht.get(u(2), key, SimTime::ZERO),
+            Err(DhtError::Offline(u(2)))
+        );
     }
 
     #[test]
@@ -519,12 +561,19 @@ mod tests {
         dht.leave(holder);
         dht.join(holder, SimTime::ZERO);
         assert!(dht.is_online(holder));
-        assert!(dht.node_of(holder).unwrap().stored_len() > 0, "storage survives churn");
+        assert!(
+            dht.node_of(holder).unwrap().stored_len() > 0,
+            "storage survives churn"
+        );
     }
 
     #[test]
     fn message_loss_degrades_but_does_not_crash() {
-        let config = DhtConfig { message_loss: 0.5, seed: 42, ..DhtConfig::default() };
+        let config = DhtConfig {
+            message_loss: 0.5,
+            seed: 42,
+            ..DhtConfig::default()
+        };
         let mut dht = Dht::new(config);
         for i in 0..30 {
             dht.join(u(i), SimTime::ZERO);

@@ -26,7 +26,12 @@ impl EvaluationInfo {
     #[must_use]
     pub fn signed(file: FileId, owner: UserId, evaluation: Evaluation, key: &SigningKey) -> Self {
         let signature = key.sign(&Self::message_bytes(file, owner, evaluation));
-        Self { file, owner, evaluation, signature }
+        Self {
+            file,
+            owner,
+            evaluation,
+            signature,
+        }
     }
 
     /// Verifies the signature against the registry.
@@ -60,7 +65,12 @@ impl EvaluationInfo {
         let value = f64::from_bits(u64::from_be_bytes(bytes[16..24].try_into().ok()?));
         let evaluation = Evaluation::new(value).ok()?;
         let signature = Signature::from_bytes(bytes[24..56].try_into().ok()?);
-        Some(Self { file, owner, evaluation, signature })
+        Some(Self {
+            file,
+            owner,
+            evaluation,
+            signature,
+        })
     }
 
     fn message_bytes(file: FileId, owner: UserId, evaluation: Evaluation) -> Vec<u8> {
@@ -74,7 +84,11 @@ impl EvaluationInfo {
 
 impl fmt::Display for EvaluationInfo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} rates {} at {}", self.owner, self.file, self.evaluation)
+        write!(
+            f,
+            "{} rates {} at {}",
+            self.owner, self.file, self.evaluation
+        )
     }
 }
 
@@ -223,7 +237,10 @@ mod tests {
         let info = EvaluationInfo::signed(f(0), u(1), Evaluation::BEST, &key);
         assert!(info.verify(&registry));
         // Claiming someone else's identity fails.
-        let forged = EvaluationInfo { owner: u(2), ..info.clone() };
+        let forged = EvaluationInfo {
+            owner: u(2),
+            ..info.clone()
+        };
         registry.register(u(2), 10);
         assert!(!forged.verify(&registry));
     }
@@ -233,7 +250,10 @@ mod tests {
         let mut registry = KeyRegistry::new();
         let key = registry.register(u(1), 9);
         let info = EvaluationInfo::signed(f(0), u(1), Evaluation::BEST, &key);
-        let tampered = EvaluationInfo { evaluation: Evaluation::WORST, ..info };
+        let tampered = EvaluationInfo {
+            evaluation: Evaluation::WORST,
+            ..info
+        };
         assert!(!tampered.verify(&registry));
     }
 
@@ -243,9 +263,18 @@ mod tests {
         let publisher = EvaluationPublisher::new();
         let key = registry.key_of(u(1)).unwrap().clone();
         publisher
-            .publish(&mut dht, &key, u(1), f(5), Evaluation::new(0.9).unwrap(), SimTime::ZERO)
+            .publish(
+                &mut dht,
+                &key,
+                u(1),
+                f(5),
+                Evaluation::new(0.9).unwrap(),
+                SimTime::ZERO,
+            )
             .unwrap();
-        let records = publisher.retrieve(&mut dht, &registry, u(7), f(5), SimTime::ZERO).unwrap();
+        let records = publisher
+            .retrieve(&mut dht, &registry, u(7), f(5), SimTime::ZERO)
+            .unwrap();
         assert_eq!(records.len(), 1);
         assert!(records[0].valid);
         assert_eq!(records[0].info.owner, u(1));
@@ -262,7 +291,9 @@ mod tests {
                 .publish(&mut dht, &key, u(i), f(5), Evaluation::BEST, SimTime::ZERO)
                 .unwrap();
         }
-        let records = publisher.retrieve(&mut dht, &registry, u(9), f(5), SimTime::ZERO).unwrap();
+        let records = publisher
+            .retrieve(&mut dht, &registry, u(9), f(5), SimTime::ZERO)
+            .unwrap();
         assert_eq!(records.len(), 3);
         assert!(records.iter().all(|r| r.valid));
     }
@@ -275,8 +306,11 @@ mod tests {
         // decodes but fails verification.
         let key2 = registry.key_of(u(2)).unwrap().clone();
         let forged = EvaluationInfo::signed(f(5), u(1), Evaluation::BEST, &key2);
-        dht.store(u(2), Key::for_file(f(5)), forged.encode(), SimTime::ZERO).unwrap();
-        let records = publisher.retrieve(&mut dht, &registry, u(9), f(5), SimTime::ZERO).unwrap();
+        dht.store(u(2), Key::for_file(f(5)), forged.encode(), SimTime::ZERO)
+            .unwrap();
+        let records = publisher
+            .retrieve(&mut dht, &registry, u(9), f(5), SimTime::ZERO)
+            .unwrap();
         assert_eq!(records.len(), 1);
         assert!(!records[0].valid, "forgery detected");
     }
@@ -284,9 +318,17 @@ mod tests {
     #[test]
     fn garbage_values_are_dropped() {
         let (mut dht, registry) = setup(20);
-        dht.store(u(1), Key::for_file(f(5)), b"garbage".to_vec(), SimTime::ZERO).unwrap();
+        dht.store(
+            u(1),
+            Key::for_file(f(5)),
+            b"garbage".to_vec(),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let publisher = EvaluationPublisher::new();
-        let records = publisher.retrieve(&mut dht, &registry, u(9), f(5), SimTime::ZERO).unwrap();
+        let records = publisher
+            .retrieve(&mut dht, &registry, u(9), f(5), SimTime::ZERO)
+            .unwrap();
         assert!(records.is_empty());
     }
 }

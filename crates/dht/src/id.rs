@@ -91,7 +91,11 @@ impl Key {
 
 impl fmt::Debug for Key {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Key({:02x}{:02x}{:02x}{:02x}…)", self.0[0], self.0[1], self.0[2], self.0[3])
+        write!(
+            f,
+            "Key({:02x}{:02x}{:02x}{:02x}…)",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
     }
 }
 
@@ -140,8 +144,11 @@ mod tests {
     fn derivation_is_deterministic_and_distinct() {
         assert_eq!(Key::for_user(UserId::new(1)), Key::for_user(UserId::new(1)));
         assert_ne!(Key::for_user(UserId::new(1)), Key::for_user(UserId::new(2)));
-        assert_ne!(Key::for_user(UserId::new(1)), Key::for_file(FileId::new(1)),
-            "domain separation keeps user and file spaces apart");
+        assert_ne!(
+            Key::for_user(UserId::new(1)),
+            Key::for_file(FileId::new(1)),
+            "domain separation keeps user and file spaces apart"
+        );
         assert_ne!(Key::for_content(b"a"), Key::for_content(b"b"));
     }
 

@@ -30,7 +30,12 @@ impl Node {
     #[must_use]
     pub fn new(user: UserId) -> Self {
         let id = Key::for_user(user);
-        Self { user, routing: RoutingTable::new(id), storage: HashMap::new(), online: true }
+        Self {
+            user,
+            routing: RoutingTable::new(id),
+            storage: HashMap::new(),
+            online: true,
+        }
     }
 
     /// The owning user.
@@ -98,7 +103,9 @@ impl Node {
 
     /// Iterates over every stored (key, value) pair (for republication).
     pub fn stored(&self) -> impl Iterator<Item = (&Key, &StoredValue)> {
-        self.storage.iter().flat_map(|(k, vs)| vs.iter().map(move |v| (k, v)))
+        self.storage
+            .iter()
+            .flat_map(|(k, vs)| vs.iter().map(move |v| (k, v)))
     }
 
     /// Number of stored values.
@@ -136,7 +143,10 @@ mod tests {
         let mut node = Node::new(UserId::new(1));
         let key = Key::for_content(b"k");
         node.store(key, value(2, b"old", 100));
-        assert!(node.get(&key, SimTime::from_ticks(100)).is_empty(), "expiry is exclusive");
+        assert!(
+            node.get(&key, SimTime::from_ticks(100)).is_empty(),
+            "expiry is exclusive"
+        );
         assert_eq!(node.expire(SimTime::from_ticks(100)), 1);
         assert_eq!(node.stored_len(), 0);
     }

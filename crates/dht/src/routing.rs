@@ -16,7 +16,10 @@ impl RoutingTable {
     /// Creates an empty table for the node with id `own`.
     #[must_use]
     pub fn new(own: NodeId) -> Self {
-        Self { own, buckets: vec![Vec::new(); ID_BYTES * 8] }
+        Self {
+            own,
+            buckets: vec![Vec::new(); ID_BYTES * 8],
+        }
     }
 
     /// The owning node's id.

@@ -22,7 +22,11 @@ pub struct EigenOptions {
 
 impl Default for EigenOptions {
     fn default() -> Self {
-        Self { damping: 0.15, epsilon: 1e-9, max_iterations: 200 }
+        Self {
+            damping: 0.15,
+            epsilon: 1e-9,
+            max_iterations: 200,
+        }
     }
 }
 
@@ -115,11 +119,21 @@ pub fn principal_eigenvector(
         residual = l1_delta(&t, &next);
         t = next;
         if residual <= options.epsilon {
-            return EigenResult { ranks: t, iterations, residual, converged: true };
+            return EigenResult {
+                ranks: t,
+                iterations,
+                residual,
+                converged: true,
+            };
         }
     }
 
-    EigenResult { ranks: t, iterations, residual, converged: false }
+    EigenResult {
+        ranks: t,
+        iterations,
+        residual,
+        converged: false,
+    }
 }
 
 fn l1_delta(a: &SparseVector, b: &SparseVector) -> f64 {
@@ -184,7 +198,10 @@ mod tests {
         let r = principal_eigenvector(&m.normalized_rows(), &[u(5)], &EigenOptions::default());
         let rank0 = r.ranks[&u(0)];
         for i in 1..10u64 {
-            assert!(rank0 > r.ranks.get(&u(i)).copied().unwrap_or(0.0), "user {i}");
+            assert!(
+                rank0 > r.ranks.get(&u(i)).copied().unwrap_or(0.0),
+                "user {i}"
+            );
         }
     }
 
@@ -192,7 +209,10 @@ mod tests {
     fn damping_one_returns_pretrusted_distribution() {
         let mut m = SparseMatrix::new();
         m.set(u(0), u(1), 1.0).unwrap();
-        let opts = EigenOptions { damping: 1.0, ..EigenOptions::default() };
+        let opts = EigenOptions {
+            damping: 1.0,
+            ..EigenOptions::default()
+        };
         let r = principal_eigenvector(&m, &[u(0), u(1)], &opts);
         assert!(r.converged);
         assert!((r.ranks[&u(0)] - 0.5).abs() < 1e-9);
@@ -214,7 +234,11 @@ mod tests {
         let mut m = SparseMatrix::new();
         m.set(u(0), u(1), 1.0).unwrap();
         m.set(u(1), u(0), 1.0).unwrap();
-        let opts = EigenOptions { max_iterations: 1, epsilon: 0.0, ..EigenOptions::default() };
+        let opts = EigenOptions {
+            max_iterations: 1,
+            epsilon: 0.0,
+            ..EigenOptions::default()
+        };
         let r = principal_eigenvector(&m, &[u(0)], &opts);
         assert_eq!(r.iterations, 1);
         assert!(!r.converged);
@@ -232,7 +256,10 @@ mod tests {
     #[should_panic(expected = "damping")]
     fn invalid_damping_panics() {
         let m = SparseMatrix::new();
-        let opts = EigenOptions { damping: 1.5, ..EigenOptions::default() };
+        let opts = EigenOptions {
+            damping: 1.5,
+            ..EigenOptions::default()
+        };
         let _ = principal_eigenvector(&m, &[u(0)], &opts);
     }
 }

@@ -62,7 +62,8 @@ pub fn blend(parts: &[(f64, &SparseMatrix)]) -> Result<SparseMatrix, BlendError>
         if *w == 0.0 {
             continue;
         }
-        out.accumulate(m, *w).expect("scaled non-negative entries are valid");
+        out.accumulate(m, *w)
+            .expect("scaled non-negative entries are valid");
     }
     Ok(out)
 }
@@ -79,7 +80,10 @@ pub struct PowerOptions {
 
 impl Default for PowerOptions {
     fn default() -> Self {
-        Self { prune_threshold: 0.0, renormalize: false }
+        Self {
+            prune_threshold: 0.0,
+            renormalize: false,
+        }
     }
 }
 
@@ -94,7 +98,10 @@ impl PowerOptions {
     /// `threshold` are dropped and rows rescaled after each step.
     #[must_use]
     pub fn pruned(threshold: f64) -> Self {
-        Self { prune_threshold: threshold, renormalize: true }
+        Self {
+            prune_threshold: threshold,
+            renormalize: true,
+        }
     }
 }
 
@@ -146,7 +153,10 @@ impl SparseMatrix {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
         });
         let mut out = Self::new();
         for partial in partials {
@@ -304,7 +314,8 @@ mod tests {
         let mut m = SparseMatrix::new();
         for i in 0..8u64 {
             for j in 0..8u64 {
-                m.set(u(i), u(j), 1.0 + ((i * 7 + j * 3) % 5) as f64).unwrap();
+                m.set(u(i), u(j), 1.0 + ((i * 7 + j * 3) % 5) as f64)
+                    .unwrap();
             }
         }
         let m = m.normalized_rows();

@@ -90,7 +90,11 @@ impl SparseMatrix {
     /// Returns entry `(row, col)`, with missing entries reading as `0.0`.
     #[must_use]
     pub fn get(&self, row: UserId, col: UserId) -> f64 {
-        self.rows.get(&row).and_then(|r| r.get(&col)).copied().unwrap_or(0.0)
+        self.rows
+            .get(&row)
+            .and_then(|r| r.get(&col))
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Returns the sparse row for `row`, if it has any entries.
@@ -244,7 +248,12 @@ impl Extend<(UserId, UserId, f64)> for SparseMatrix {
 
 impl fmt::Display for SparseMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "SparseMatrix[{} rows, {} nnz]", self.row_count(), self.nnz())?;
+        writeln!(
+            f,
+            "SparseMatrix[{} rows, {} nnz]",
+            self.row_count(),
+            self.nnz()
+        )?;
         for (r, c, v) in self.iter().take(16) {
             writeln!(f, "  ({r}, {c}) = {v:.4}")?;
         }
@@ -368,8 +377,9 @@ mod tests {
 
     #[test]
     fn from_iterator_sums_duplicates() {
-        let m: SparseMatrix =
-            [(u(0), u(1), 0.5), (u(0), u(1), 0.25), (u(1), u(2), 1.0)].into_iter().collect();
+        let m: SparseMatrix = [(u(0), u(1), 0.5), (u(0), u(1), 0.25), (u(1), u(2), 1.0)]
+            .into_iter()
+            .collect();
         assert_eq!(m.get(u(0), u(1)), 0.75);
         assert_eq!(m.nnz(), 2);
     }

@@ -27,9 +27,18 @@ impl SparseMatrix {
     pub fn stats(&self, universe_size: usize) -> MatrixStats {
         let nnz = self.nnz();
         let rows = self.row_count();
-        let mean_row_degree = if rows == 0 { 0.0 } else { nnz as f64 / rows as f64 };
+        let mean_row_degree = if rows == 0 {
+            0.0
+        } else {
+            nnz as f64 / rows as f64
+        };
         let cells = (universe_size.max(1) * universe_size.max(1)) as f64;
-        MatrixStats { nnz, rows, mean_row_degree, density: nnz as f64 / cells }
+        MatrixStats {
+            nnz,
+            rows,
+            mean_row_degree,
+            density: nnz as f64 / cells,
+        }
     }
 
     /// Fraction of `(from, to)` request pairs covered by a non-zero entry —
@@ -42,7 +51,10 @@ impl SparseMatrix {
         if requests.is_empty() {
             return 0.0;
         }
-        let covered = requests.iter().filter(|(a, b)| self.get(*a, *b) > 0.0).count();
+        let covered = requests
+            .iter()
+            .filter(|(a, b)| self.get(*a, *b) > 0.0)
+            .count();
         covered as f64 / requests.len() as f64
     }
 }

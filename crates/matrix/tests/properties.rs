@@ -6,17 +6,15 @@ use proptest::prelude::*;
 
 /// Strategy: a small random matrix with entries in (0, 10].
 fn matrix_strategy(max_users: u64) -> impl Strategy<Value = SparseMatrix> {
-    proptest::collection::vec(
-        (0..max_users, 0..max_users, 0.01f64..10.0),
-        0..60,
+    proptest::collection::vec((0..max_users, 0..max_users, 0.01f64..10.0), 0..60).prop_map(
+        |triples| {
+            let mut m = SparseMatrix::new();
+            for (r, c, v) in triples {
+                m.set(UserId::new(r), UserId::new(c), v).expect("valid");
+            }
+            m
+        },
     )
-    .prop_map(|triples| {
-        let mut m = SparseMatrix::new();
-        for (r, c, v) in triples {
-            m.set(UserId::new(r), UserId::new(c), v).expect("valid");
-        }
-        m
-    })
 }
 
 proptest! {

@@ -137,7 +137,10 @@ impl Community {
         size: FileSize,
         now: SimTime,
     ) -> Result<(), CommunityError> {
-        let peer = self.peers.get_mut(&user).ok_or(CommunityError::UnknownUser(user))?;
+        let peer = self
+            .peers
+            .get_mut(&user)
+            .ok_or(CommunityError::UnknownUser(user))?;
         peer.engine_mut().observe_publish(now, user, file);
         peer.add_to_library(file, size);
         self.file_sizes.insert(file, size);
@@ -158,7 +161,10 @@ impl Community {
         value: Evaluation,
         now: SimTime,
     ) -> Result<(), CommunityError> {
-        let peer = self.peers.get_mut(&user).ok_or(CommunityError::UnknownUser(user))?;
+        let peer = self
+            .peers
+            .get_mut(&user)
+            .ok_or(CommunityError::UnknownUser(user))?;
         peer.engine_mut().observe_vote(now, user, file, value);
         peer.ledger_mut().record_vote(user);
         self.republish_evaluation(user, file, now)
@@ -175,7 +181,10 @@ impl Community {
         target: UserId,
         value: Evaluation,
     ) -> Result<(), CommunityError> {
-        let peer = self.peers.get_mut(&rater).ok_or(CommunityError::UnknownUser(rater))?;
+        let peer = self
+            .peers
+            .get_mut(&rater)
+            .ok_or(CommunityError::UnknownUser(rater))?;
         peer.engine_mut().observe_rank(rater, target, value);
         peer.ledger_mut().record_rank(rater);
         Ok(())
@@ -195,7 +204,10 @@ impl Community {
         file: FileId,
         now: SimTime,
     ) -> Result<(), CommunityError> {
-        let peer = self.peers.get_mut(&user).ok_or(CommunityError::UnknownUser(user))?;
+        let peer = self
+            .peers
+            .get_mut(&user)
+            .ok_or(CommunityError::UnknownUser(user))?;
         if !peer.remove_from_library(file) {
             return Err(CommunityError::NotInLibrary(user, file));
         }
@@ -228,7 +240,8 @@ impl Community {
 
         // Step 3: fetch the signed evaluation array; drop forgeries.
         let records =
-            self.publisher.retrieve(&mut self.dht, &self.registry, downloader, file, now)?;
+            self.publisher
+                .retrieve(&mut self.dht, &self.registry, downloader, file, now)?;
         let evaluations: Vec<OwnerEvaluation> = records
             .iter()
             .filter(|r| r.valid)
@@ -271,7 +284,11 @@ impl Community {
         };
 
         // Step 6: the uploader grants service.
-        let size = self.file_sizes.get(&file).copied().unwrap_or(FileSize::ZERO);
+        let size = self
+            .file_sizes
+            .get(&file)
+            .copied()
+            .unwrap_or(FileSize::ZERO);
         let uploader_peer = self.peers.get(&uploader).expect("holder is a peer");
         let relative = relative_reputation(uploader_peer.engine(), uploader, downloader);
         let service = if self.config.contribution_weight > 0.0 {
@@ -287,7 +304,8 @@ impl Community {
         // The transfer happens: both sides record it.
         {
             let peer = self.peers.get_mut(&downloader).expect("checked above");
-            peer.engine_mut().observe_download(now, downloader, uploader, file, size);
+            peer.engine_mut()
+                .observe_download(now, downloader, uploader, file, size);
             peer.add_to_library(file, size);
         }
         {
@@ -298,7 +316,11 @@ impl Community {
         // evaluation of the file.
         let _ = self.republish_evaluation(downloader, file, now);
 
-        Ok(DownloadOutcome::Completed { uploader, service, prior_reputation: prior })
+        Ok(DownloadOutcome::Completed {
+            uploader,
+            service,
+            prior_reputation: prior,
+        })
     }
 
     /// Whitewashes `user`: the old identity leaves for good and a *fresh*
@@ -315,7 +337,12 @@ impl Community {
         }
         self.dht.leave(user);
         let fresh = UserId::new(
-            self.peers.keys().map(|u| u.as_u64()).max().expect("non-empty") + 1,
+            self.peers
+                .keys()
+                .map(|u| u.as_u64())
+                .max()
+                .expect("non-empty")
+                + 1,
         );
         self.join(fresh, now);
         Ok(fresh)
@@ -381,7 +408,10 @@ impl Community {
         file: FileId,
         now: SimTime,
     ) -> Result<(), CommunityError> {
-        let peer = self.peers.get(&user).ok_or(CommunityError::UnknownUser(user))?;
+        let peer = self
+            .peers
+            .get(&user)
+            .ok_or(CommunityError::UnknownUser(user))?;
         let evaluation = peer
             .engine()
             .evaluations()
@@ -436,26 +466,34 @@ mod tests {
     #[test]
     fn publish_then_request_completes() {
         let mut c = community(16);
-        c.publish(u(1), f(7), FileSize::from_mib(50), SimTime::ZERO).unwrap();
+        c.publish(u(1), f(7), FileSize::from_mib(50), SimTime::ZERO)
+            .unwrap();
         let outcome = c.request(u(5), f(7), SimTime::ZERO).unwrap();
         match outcome {
             DownloadOutcome::Completed { uploader, .. } => assert_eq!(uploader, u(1)),
             other => panic!("expected completion, got {other}"),
         }
-        assert!(c.peer(u(5)).unwrap().holds(f(7)), "downloader now holds the file");
+        assert!(
+            c.peer(u(5)).unwrap().holds(f(7)),
+            "downloader now holds the file"
+        );
         assert_eq!(c.peer(u(1)).unwrap().ledger().contribution(u(1)).uploads, 1);
     }
 
     #[test]
     fn request_unknown_file_has_no_source() {
         let mut c = community(8);
-        assert_eq!(c.request(u(2), f(9), SimTime::ZERO).unwrap(), DownloadOutcome::NoSource);
+        assert_eq!(
+            c.request(u(2), f(9), SimTime::ZERO).unwrap(),
+            DownloadOutcome::NoSource
+        );
     }
 
     #[test]
     fn downloads_spread_through_new_holders() {
         let mut c = community(16);
-        c.publish(u(1), f(7), FileSize::from_mib(10), SimTime::ZERO).unwrap();
+        c.publish(u(1), f(7), FileSize::from_mib(10), SimTime::ZERO)
+            .unwrap();
         assert!(c.request(u(5), f(7), SimTime::ZERO).unwrap().is_completed());
         // The original publisher goes dark; the new holder can serve.
         c.leave(u(1));
@@ -472,12 +510,17 @@ mod tests {
         let polluter = u(1);
         let victim = u(5);
         let judge = u(9);
-        c.publish(polluter, f(7), FileSize::from_mib(10), SimTime::ZERO).unwrap();
+        c.publish(polluter, f(7), FileSize::from_mib(10), SimTime::ZERO)
+            .unwrap();
 
         // The victim downloads it, discovers the fake, votes it down, and
         // deletes it; the judge trusts the victim (friend list).
-        assert!(c.request(victim, f(7), SimTime::ZERO).unwrap().is_completed());
-        c.vote(victim, f(7), Evaluation::WORST, SimTime::ZERO).unwrap();
+        assert!(c
+            .request(victim, f(7), SimTime::ZERO)
+            .unwrap()
+            .is_completed());
+        c.vote(victim, f(7), Evaluation::WORST, SimTime::ZERO)
+            .unwrap();
         c.delete(victim, f(7), SimTime::ZERO).unwrap();
         c.rank(judge, victim, Evaluation::BEST).unwrap();
         // The judge recomputes so the friendship takes effect.
@@ -501,19 +544,25 @@ mod tests {
         );
         c.leave(u(2));
         assert!(!c.is_online(u(2)));
-        assert_eq!(c.request(u(2), f(1), SimTime::ZERO), Err(CommunityError::Offline(u(2))));
+        assert_eq!(
+            c.request(u(2), f(1), SimTime::ZERO),
+            Err(CommunityError::Offline(u(2)))
+        );
         assert_eq!(
             c.delete(u(3), f(1), SimTime::ZERO),
             Err(CommunityError::NotInLibrary(u(3), f(1)))
         );
         // Errors render.
-        assert!(CommunityError::Offline(u(2)).to_string().contains("offline"));
+        assert!(CommunityError::Offline(u(2))
+            .to_string()
+            .contains("offline"));
     }
 
     #[test]
     fn tick_republishes_and_keeps_evaluations_alive() {
         let mut c = community(12);
-        c.publish(u(1), f(3), FileSize::from_mib(5), SimTime::ZERO).unwrap();
+        c.publish(u(1), f(3), FileSize::from_mib(5), SimTime::ZERO)
+            .unwrap();
         // Run maintenance past the TTL: the evaluation must survive thanks
         // to republication at each tick interval.
         let mut now = SimTime::ZERO;
@@ -531,8 +580,10 @@ mod tests {
         let cheat = u(1);
         // Build an evaluation history.
         for i in 0..4u64 {
-            c.publish(cheat, f(10 + i), FileSize::from_mib(1), SimTime::ZERO).unwrap();
-            c.vote(cheat, f(10 + i), Evaluation::BEST, SimTime::ZERO).unwrap();
+            c.publish(cheat, f(10 + i), FileSize::from_mib(1), SimTime::ZERO)
+                .unwrap();
+            c.vote(cheat, f(10 + i), Evaluation::BEST, SimTime::ZERO)
+                .unwrap();
         }
         // Several ticks take baselines of everyone.
         let mut now = SimTime::ZERO;
@@ -561,13 +612,20 @@ mod tests {
         let trusted = u(3);
         let stranger = u(7);
         // Both hold the file; the viewer has good history with `trusted`.
-        c.publish(trusted, f(5), FileSize::from_mib(10), SimTime::ZERO).unwrap();
-        c.publish(stranger, f(5), FileSize::from_mib(10), SimTime::ZERO).unwrap();
+        c.publish(trusted, f(5), FileSize::from_mib(10), SimTime::ZERO)
+            .unwrap();
+        c.publish(stranger, f(5), FileSize::from_mib(10), SimTime::ZERO)
+            .unwrap();
         for i in 0..3u64 {
             let earlier = f(100 + i);
-            c.publish(trusted, earlier, FileSize::from_mib(5), SimTime::ZERO).unwrap();
-            assert!(c.request(viewer, earlier, SimTime::ZERO).unwrap().is_completed());
-            c.vote(viewer, earlier, Evaluation::BEST, SimTime::ZERO).unwrap();
+            c.publish(trusted, earlier, FileSize::from_mib(5), SimTime::ZERO)
+                .unwrap();
+            assert!(c
+                .request(viewer, earlier, SimTime::ZERO)
+                .unwrap()
+                .is_completed());
+            c.vote(viewer, earlier, Evaluation::BEST, SimTime::ZERO)
+                .unwrap();
         }
         c.tick(SimTime::ZERO);
         match c.request(viewer, f(5), SimTime::ZERO).unwrap() {
@@ -581,9 +639,13 @@ mod tests {
     #[test]
     fn rejoin_restores_service() {
         let mut c = community(8);
-        c.publish(u(1), f(2), FileSize::from_mib(1), SimTime::ZERO).unwrap();
+        c.publish(u(1), f(2), FileSize::from_mib(1), SimTime::ZERO)
+            .unwrap();
         c.leave(u(1));
-        assert_eq!(c.request(u(3), f(2), SimTime::ZERO).unwrap(), DownloadOutcome::NoSource);
+        assert_eq!(
+            c.request(u(3), f(2), SimTime::ZERO).unwrap(),
+            DownloadOutcome::NoSource
+        );
         c.join(u(1), SimTime::ZERO);
         assert!(c.request(u(3), f(2), SimTime::ZERO).unwrap().is_completed());
         assert_eq!(c.len(), 8, "rejoin does not duplicate the peer");

@@ -41,7 +41,9 @@ impl fmt::Display for DownloadOutcome {
                 write!(f, "rejected as fake (R_f = {reputation})")
             }
             Self::NoSource => f.write_str("no online source"),
-            Self::Completed { uploader, service, .. } => {
+            Self::Completed {
+                uploader, service, ..
+            } => {
                 write!(f, "completed from {uploader} ({service})")
             }
         }
@@ -55,10 +57,14 @@ mod tests {
 
     #[test]
     fn display_and_predicates() {
-        let rejected = DownloadOutcome::RejectedAsFake { reputation: Evaluation::WORST };
+        let rejected = DownloadOutcome::RejectedAsFake {
+            reputation: Evaluation::WORST,
+        };
         assert!(!rejected.is_completed());
         assert!(rejected.to_string().contains("rejected"));
-        assert!(DownloadOutcome::NoSource.to_string().contains("no online source"));
+        assert!(DownloadOutcome::NoSource
+            .to_string()
+            .contains("no online source"));
         let completed = DownloadOutcome::Completed {
             uploader: UserId::new(3),
             service: ServicePolicy::default().decide_scaled(1.0),

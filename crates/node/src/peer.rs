@@ -88,8 +88,14 @@ impl PeerNode {
     }
 
     /// Fires on the first call (bootstrap) and then once per `interval`.
-    pub(crate) fn recompute_due(&mut self, now: SimTime, interval: mdrep_types::SimDuration) -> bool {
-        let due = self.last_recompute.is_none_or(|last| now - last >= interval);
+    pub(crate) fn recompute_due(
+        &mut self,
+        now: SimTime,
+        interval: mdrep_types::SimDuration,
+    ) -> bool {
+        let due = self
+            .last_recompute
+            .is_none_or(|last| now - last >= interval);
         if due {
             self.last_recompute = Some(now);
         }
@@ -98,7 +104,11 @@ impl PeerNode {
 
     /// Fires only once an `interval` has elapsed since the last fire
     /// (publication itself seeds the overlay, so there is no bootstrap).
-    pub(crate) fn republish_due(&mut self, now: SimTime, interval: mdrep_types::SimDuration) -> bool {
+    pub(crate) fn republish_due(
+        &mut self,
+        now: SimTime,
+        interval: mdrep_types::SimDuration,
+    ) -> bool {
         let due = match self.last_republish {
             None => now.as_ticks() >= interval.as_ticks(),
             Some(last) => now - last >= interval,
@@ -132,7 +142,10 @@ mod tests {
         assert!(p.holds(FileId::new(1)));
         assert_eq!(p.library().len(), 1);
         assert!(p.remove_from_library(FileId::new(1)));
-        assert!(!p.remove_from_library(FileId::new(1)), "second removal is a no-op");
+        assert!(
+            !p.remove_from_library(FileId::new(1)),
+            "second removal is a no-op"
+        );
     }
 
     #[test]

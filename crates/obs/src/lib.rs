@@ -1,0 +1,679 @@
+//! Zero-dependency instrumentation for the mdrep workspace.
+//!
+//! The crate provides a [`Registry`] of four metric kinds, all addressed by
+//! dotted lowercase names (`component.operation.metric`):
+//!
+//! * **Counters** — monotonically increasing `u64` values that saturate
+//!   instead of wrapping ([`Registry::counter_add`]).
+//! * **Gauges** — last-write-wins `f64` values ([`Registry::gauge_set`]).
+//! * **Timers** — aggregated durations (count/total/min/max) fed either by
+//!   RAII [`Span`] guards ([`Registry::span`]) or directly
+//!   ([`Registry::record_duration`]).
+//! * **Histograms** — fixed upper-bound buckets plus an implicit `+inf`
+//!   overflow bucket ([`Registry::histogram_record`]).
+//!
+//! A snapshot of the registry renders to an aligned text table
+//! ([`Snapshot::render_text`]) or machine-readable JSON
+//! ([`Snapshot::to_json`]); the bundled [`json`] module parses the latter
+//! back for round-trip checks. The process-wide [`global`] registry is what
+//! the engine, simulator, and DHT hot paths feed; disabling it
+//! ([`Registry::set_enabled`]) turns every record call into an atomic load
+//! and an early return.
+//!
+//! # Examples
+//!
+//! ```
+//! use mdrep_obs::Registry;
+//! use std::time::Duration;
+//!
+//! let registry = Registry::new();
+//! registry.counter_add("dht.lookup.count", 1);
+//! registry.gauge_set("engine.tm.density", 0.25);
+//! registry.record_duration("engine.recompute.total", Duration::from_millis(12));
+//! {
+//!     let _span = registry.span("engine.recompute.fm_build");
+//!     // ... timed work ...
+//! }
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("dht.lookup.count"), Some(1));
+//! assert!(snap.to_json().contains("engine.recompute.fm_build"));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod json;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Aggregated statistics for one named timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimerStats {
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Sum of all recorded durations, in nanoseconds (saturating).
+    pub total_ns: u64,
+    /// Shortest recorded duration, in nanoseconds.
+    pub min_ns: u64,
+    /// Longest recorded duration, in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl TimerStats {
+    /// Mean duration in nanoseconds (0 when nothing was recorded).
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    fn record(&mut self, ns: u64) {
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count = self.count.saturating_add(1);
+        self.total_ns = self.total_ns.saturating_add(ns);
+    }
+}
+
+/// A fixed-bucket histogram: `counts[i]` tallies samples `<= bounds[i]`,
+/// with one extra overflow bucket for everything larger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramStats {
+    /// Sorted inclusive upper bounds of the finite buckets.
+    pub bounds: Vec<f64>,
+    /// One count per finite bucket, plus the trailing `+inf` bucket
+    /// (`counts.len() == bounds.len() + 1`).
+    pub counts: Vec<u64>,
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+}
+
+impl HistogramStats {
+    fn with_bounds(mut bounds: Vec<f64>) -> Self {
+        bounds.retain(|b| !b.is_nan());
+        bounds.sort_by(|a, b| a.partial_cmp(b).expect("no NaN bounds"));
+        bounds.dedup();
+        let counts = vec![0; bounds.len() + 1];
+        Self {
+            bounds,
+            counts,
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    fn record(&mut self, value: f64) {
+        // First bucket whose inclusive upper bound admits the value; NaN
+        // falls through every comparison into the overflow bucket.
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] = self.counts[idx].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum += value;
+    }
+}
+
+/// Default histogram bucket bounds (powers of ten around "fractions to
+/// thousands"), used when a histogram is recorded without prior
+/// registration via [`Registry::histogram_with_bounds`].
+pub const DEFAULT_BUCKETS: [f64; 8] = [0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1_000.0, 10_000.0];
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    timers: BTreeMap<String, TimerStats>,
+    histograms: BTreeMap<String, HistogramStats>,
+}
+
+/// A thread-safe collection of named metrics.
+///
+/// All mutation goes through `&self`; a single mutex guards the maps, and
+/// an atomic `enabled` flag short-circuits every record call when the
+/// registry is switched off, so instrumentation left in hot paths costs one
+/// relaxed load when disabled.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// A fresh, enabled registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            enabled: AtomicBool::new(true),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// A fresh registry that starts disabled (every record call is a no-op
+    /// until [`Registry::set_enabled`] turns it on).
+    #[must_use]
+    pub fn disabled() -> Self {
+        let registry = Self::new();
+        registry.set_enabled(false);
+        registry
+    }
+
+    /// Turns recording on or off. Disabling does not clear existing data.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether record calls currently take effect.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Adds `delta` to the named counter, saturating at `u64::MAX`.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        let slot = entry_or_default(&mut inner.counters, name);
+        *slot = slot.saturating_add(delta);
+    }
+
+    /// Increments the named counter by one.
+    pub fn counter_inc(&self, name: &str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        match inner.gauges.get_mut(name) {
+            Some(slot) => *slot = value,
+            None => {
+                inner.gauges.insert(name.to_owned(), value);
+            }
+        }
+    }
+
+    /// Registers a histogram with explicit inclusive upper bounds (an
+    /// overflow bucket is always appended). Re-registering an existing
+    /// histogram keeps the recorded data and its original bounds.
+    pub fn histogram_with_bounds(&self, name: &str, bounds: &[f64]) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        if !inner.histograms.contains_key(name) {
+            inner.histograms.insert(
+                name.to_owned(),
+                HistogramStats::with_bounds(bounds.to_vec()),
+            );
+        }
+    }
+
+    /// Records one sample into the named histogram, creating it with
+    /// [`DEFAULT_BUCKETS`] on first use.
+    pub fn histogram_record(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        if let Some(h) = inner.histograms.get_mut(name) {
+            h.record(value);
+        } else {
+            let mut h = HistogramStats::with_bounds(DEFAULT_BUCKETS.to_vec());
+            h.record(value);
+            inner.histograms.insert(name.to_owned(), h);
+        }
+    }
+
+    /// Records one duration into the named timer.
+    pub fn record_duration(&self, name: &str, duration: Duration) {
+        if !self.is_enabled() {
+            return;
+        }
+        let ns = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+        let mut inner = self.lock();
+        if let Some(t) = inner.timers.get_mut(name) {
+            t.record(ns);
+        } else {
+            let mut t = TimerStats::default();
+            t.record(ns);
+            inner.timers.insert(name.to_owned(), t);
+        }
+    }
+
+    /// Starts an RAII span: the elapsed wall time between this call and the
+    /// guard's drop is recorded into the named timer. When the registry is
+    /// disabled at construction, the guard records nothing on drop.
+    #[must_use]
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        Span {
+            registry: self,
+            name,
+            start: self.is_enabled().then(Instant::now),
+        }
+    }
+
+    /// A point-in-time copy of every metric.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            timers: inner.timers.clone(),
+            histograms: inner.histograms.clone(),
+        }
+    }
+
+    /// Drops every recorded metric (the enabled flag is unchanged).
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        *inner = Inner::default();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned mutex only means another thread panicked mid-record;
+        // the maps are still structurally sound, so keep going.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+fn entry_or_default<'m, V: Default>(map: &'m mut BTreeMap<String, V>, name: &str) -> &'m mut V {
+    if !map.contains_key(name) {
+        map.insert(name.to_owned(), V::default());
+    }
+    map.get_mut(name).expect("just inserted")
+}
+
+/// RAII timer guard produced by [`Registry::span`].
+///
+/// Dropping the guard records the elapsed time. [`Span::elapsed`] exposes
+/// the running value for callers that also want it as a gauge.
+#[derive(Debug)]
+pub struct Span<'r> {
+    registry: &'r Registry,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span<'_> {
+    /// Wall time since the span started (zero when the registry was
+    /// disabled at construction).
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.map_or(Duration::ZERO, |s| s.elapsed())
+    }
+
+    /// The timer name this span records into.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.registry.record_duration(self.name, start.elapsed());
+        }
+    }
+}
+
+/// The process-wide registry fed by the engine, simulator, and DHT.
+///
+/// Enabled by default; call `global().set_enabled(false)` to turn the
+/// built-in instrumentation into near-free no-ops.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// An immutable copy of a registry's contents, able to render itself.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Timer aggregates by name.
+    pub timers: BTreeMap<String, TimerStats>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramStats>,
+}
+
+impl Snapshot {
+    /// Value of a counter, if recorded.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Value of a gauge, if recorded.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Aggregates of a timer, if recorded.
+    #[must_use]
+    pub fn timer(&self, name: &str) -> Option<&TimerStats> {
+        self.timers.get(name)
+    }
+
+    /// A histogram, if recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramStats> {
+        self.histograms.get(name)
+    }
+
+    /// Whether nothing at all was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.timers.is_empty()
+            && self.histograms.is_empty()
+    }
+
+    /// An aligned, human-readable rendering (also the `Display` output).
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        self.to_string()
+    }
+
+    /// Machine-readable JSON: one object per metric kind, names as keys.
+    /// Non-finite gauge values are encoded as the strings `"NaN"`,
+    /// `"inf"`, and `"-inf"` so the output stays valid JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_entries(&mut out, self.counters.iter(), |out, v| {
+            out.push_str(&v.to_string());
+        });
+        out.push_str("},\n  \"gauges\": {");
+        push_entries(&mut out, self.gauges.iter(), |out, v| {
+            push_json_f64(out, *v)
+        });
+        out.push_str("},\n  \"timers\": {");
+        push_entries(&mut out, self.timers.iter(), |out, t| {
+            out.push_str(&format!(
+                "{{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"mean_ns\": ",
+                t.count, t.total_ns, t.min_ns, t.max_ns
+            ));
+            push_json_f64(out, t.mean_ns());
+            out.push('}');
+        });
+        out.push_str("},\n  \"histograms\": {");
+        push_entries(&mut out, self.histograms.iter(), |out, h| {
+            out.push_str("{\"bounds\": [");
+            for (i, b) in h.bounds.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                push_json_f64(out, *b);
+            }
+            out.push_str("], \"counts\": [");
+            for (i, c) in h.counts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push_str(&format!("], \"count\": {}, \"sum\": ", h.count));
+            push_json_f64(out, h.sum);
+            out.push('}');
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+fn push_entries<'a, V: 'a>(
+    out: &mut String,
+    entries: impl ExactSizeIterator<Item = (&'a String, &'a V)>,
+    mut write_value: impl FnMut(&mut String, &V),
+) {
+    let len = entries.len();
+    for (i, (name, value)) in entries.enumerate() {
+        out.push_str("\n    ");
+        push_json_string(out, name);
+        out.push_str(": ");
+        write_value(out, value);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if len > 0 {
+        out.push_str("\n  ");
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if v == f64::INFINITY {
+        out.push_str("\"inf\"");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("\"-inf\"");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        // Integral values print without an exponent but keep a `.0` so the
+        // kind survives a round-trip.
+        out.push_str(&format!("{v:.1}"));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return writeln!(f, "(no metrics recorded)");
+        }
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.timers.keys())
+            .chain(self.histograms.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(0);
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (name, value) in &self.counters {
+                writeln!(f, "  {name:<width$}  {value}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "gauges:")?;
+            for (name, value) in &self.gauges {
+                writeln!(f, "  {name:<width$}  {value}")?;
+            }
+        }
+        if !self.timers.is_empty() {
+            writeln!(f, "timers:")?;
+            for (name, t) in &self.timers {
+                writeln!(
+                    f,
+                    "  {name:<width$}  n={} mean={} min={} max={} total={}",
+                    t.count,
+                    format_ns(t.mean_ns()),
+                    format_ns(t.min_ns as f64),
+                    format_ns(t.max_ns as f64),
+                    format_ns(t.total_ns as f64),
+                )?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(f, "histograms:")?;
+            for (name, h) in &self.histograms {
+                write!(
+                    f,
+                    "  {name:<width$}  n={} sum={:.3} buckets=[",
+                    h.count, h.sum
+                )?;
+                for (i, c) in h.counts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    let label = h
+                        .bounds
+                        .get(i)
+                        .map_or_else(|| "+inf".to_owned(), |b| format!("{b}"));
+                    write!(f, "≤{label}:{c}")?;
+                }
+                writeln!(f, "]")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let r = Registry::new();
+        r.counter_inc("a.count");
+        r.counter_add("a.count", 4);
+        r.gauge_set("g", 1.5);
+        r.gauge_set("g", 2.5);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a.count"), Some(5));
+        assert_eq!(s.gauge("g"), Some(2.5));
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = Registry::disabled();
+        r.counter_inc("c");
+        r.gauge_set("g", 1.0);
+        r.record_duration("t", Duration::from_millis(1));
+        r.histogram_record("h", 0.5);
+        drop(r.span("s"));
+        assert!(r.snapshot().is_empty());
+        // Re-enabling resumes recording on the same registry.
+        r.set_enabled(true);
+        r.counter_inc("c");
+        assert_eq!(r.snapshot().counter("c"), Some(1));
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let r = Registry::new();
+        {
+            let span = r.span("work");
+            std::thread::sleep(Duration::from_millis(2));
+            assert!(span.elapsed() >= Duration::from_millis(2));
+        }
+        let s = r.snapshot();
+        let t = s.timer("work").expect("recorded");
+        assert_eq!(t.count, 1);
+        assert!(t.total_ns >= 2_000_000, "got {}", t.total_ns);
+        assert_eq!(t.min_ns, t.max_ns);
+    }
+
+    #[test]
+    fn timer_min_max_mean() {
+        let r = Registry::new();
+        r.record_duration("t", Duration::from_nanos(100));
+        r.record_duration("t", Duration::from_nanos(300));
+        let s = r.snapshot();
+        let t = s.timer("t").unwrap();
+        assert_eq!(
+            (t.count, t.min_ns, t.max_ns, t.total_ns),
+            (2, 100, 300, 400)
+        );
+        assert!((t.mean_ns() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_rendering_mentions_every_metric() {
+        let r = Registry::new();
+        r.counter_inc("c.count");
+        r.gauge_set("g.value", 0.5);
+        r.record_duration("t.time", Duration::from_micros(3));
+        r.histogram_record("h.dist", 2.0);
+        let text = r.snapshot().render_text();
+        for name in ["c.count", "g.value", "t.time", "h.dist"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        assert!(Registry::new()
+            .snapshot()
+            .render_text()
+            .contains("no metrics"));
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        global().counter_add("obs.test.global", 2);
+        assert!(global().snapshot().counter("obs.test.global").unwrap_or(0) >= 2);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_enabled_state() {
+        let r = Registry::new();
+        r.counter_inc("c");
+        r.clear();
+        assert!(r.snapshot().is_empty());
+        assert!(r.is_enabled());
+    }
+}

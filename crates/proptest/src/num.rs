@@ -1,0 +1,39 @@
+//! Numeric "any value" strategies (`proptest::num::f64::ANY`).
+
+/// `f64` strategies.
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Every `f64`, including NaN, infinities, signed zero, and subnormals
+    /// — the shim biases toward special values, then falls back to random
+    /// bit patterns (which cover the full exponent range).
+    #[derive(Debug, Clone, Copy)]
+    pub struct F64Any;
+
+    /// The full-`f64` strategy.
+    pub const ANY: F64Any = F64Any;
+
+    pub(crate) fn sample_any(rng: &mut TestRng) -> f64 {
+        match rng.below(16) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            4 => -0.0,
+            5 => f64::MAX,
+            6 => f64::MIN,
+            7 => f64::MIN_POSITIVE,
+            // Random bit patterns: uniform over representations, not values.
+            _ => f64::from_bits(rng.next_u64()),
+        }
+    }
+
+    impl Strategy for F64Any {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            sample_any(rng)
+        }
+    }
+}

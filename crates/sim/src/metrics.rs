@@ -22,7 +22,11 @@ pub struct ClassStats {
 }
 
 impl ClassStats {
-    /// Mean queue wait in seconds (0 for no requests).
+    /// Mean queue wait in seconds.
+    ///
+    /// Contract: with no served requests the mean is defined as `0.0`, not
+    /// `NaN`, so downstream aggregation (CSV columns, plots, comparisons)
+    /// never has to special-case an empty class.
     #[must_use]
     pub fn mean_wait_secs(&self) -> f64 {
         if self.served == 0 {
@@ -32,7 +36,8 @@ impl ClassStats {
         }
     }
 
-    /// Mean completion time in seconds (0 for no requests).
+    /// Mean completion time in seconds (`0.0` for no requests — see
+    /// [`mean_wait_secs`](Self::mean_wait_secs) for the contract).
     #[must_use]
     pub fn mean_completion_secs(&self) -> f64 {
         if self.served == 0 {
@@ -43,7 +48,8 @@ impl ClassStats {
     }
 
     /// Mean slowdown: 1.0 means ideal service, larger means queueing
-    /// and/or bandwidth quota (0 for no requests).
+    /// and/or bandwidth quota (`0.0` for no requests — see
+    /// [`mean_wait_secs`](Self::mean_wait_secs) for the contract).
     #[must_use]
     pub fn mean_slowdown(&self) -> f64 {
         if self.served == 0 {
@@ -71,6 +77,10 @@ pub struct FakeStats {
 
 impl FakeStats {
     /// Fraction of fake requests that were avoided.
+    ///
+    /// Contract: with no fake requests at all the rate is defined as
+    /// `0.0`, not `NaN` — "nothing to avoid" reads as zero avoidance so
+    /// the value stays plottable and comparable.
     #[must_use]
     pub fn avoidance_rate(&self) -> f64 {
         if self.fake_requests == 0 {
@@ -80,7 +90,9 @@ impl FakeStats {
         }
     }
 
-    /// Fraction of authentic requests wrongly rejected.
+    /// Fraction of authentic requests wrongly rejected (`0.0` when no
+    /// authentic requests were seen — see
+    /// [`avoidance_rate`](Self::avoidance_rate) for the contract).
     #[must_use]
     pub fn false_positive_rate(&self) -> f64 {
         let authentic = self.authentic_rejected + self.authentic_downloads;
@@ -122,6 +134,12 @@ pub struct SimReport {
     pub fakes: FakeStats,
     /// Coverage series over time.
     pub coverage_series: Vec<CoveragePoint>,
+    /// Trace events replayed through the event loop.
+    pub events_processed: u64,
+    /// Event-loop throughput: events replayed per wall-clock second.
+    pub events_per_sec: f64,
+    /// Largest pending-queue depth observed at any uploader.
+    pub max_queue_depth: usize,
 }
 
 impl SimReport {
@@ -132,7 +150,9 @@ impl SimReport {
 
     /// The warmed-up stats bucket for a behaviour.
     pub(crate) fn warm_class_mut(&mut self, behavior: Behavior) -> &mut ClassStats {
-        self.warm_class_stats.entry(behavior.to_string()).or_default()
+        self.warm_class_stats
+            .entry(behavior.to_string())
+            .or_default()
     }
 
     /// The stats bucket for one downloader.
@@ -157,13 +177,22 @@ impl SimReport {
     /// The final coverage point, if any.
     #[must_use]
     pub fn final_coverage(&self) -> Option<f64> {
-        self.coverage_series.iter().rev().find(|p| p.requests > 0).map(|p| p.coverage)
+        self.coverage_series
+            .iter()
+            .rev()
+            .find(|p| p.requests > 0)
+            .map(|p| p.coverage)
     }
 }
 
 impl fmt::Display for SimReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "SimReport[{}]: {} requests", self.system, self.requests)?;
+        writeln!(
+            f,
+            "  throughput: {} events at {:.0} events/s, max queue depth {}",
+            self.events_processed, self.events_per_sec, self.max_queue_depth
+        )?;
         writeln!(
             f,
             "  coverage: mean {:.3}, final {:.3}",
@@ -179,15 +208,30 @@ impl fmt::Display for SimReport {
             self.fakes.avoidance_rate() * 100.0,
             self.fakes.false_positive_rate() * 100.0,
         )?;
-        for (class, stats) in &self.class_stats {
+        if !self.class_stats.is_empty() {
+            let width = self
+                .class_stats
+                .keys()
+                .map(String::len)
+                .max()
+                .unwrap_or(0)
+                .max(5);
             writeln!(
                 f,
-                "  {class}: {} served, mean wait {:.0}s, mean completion {:.0}s, {:.0} MiB",
-                stats.served,
-                stats.mean_wait_secs(),
-                stats.mean_completion_secs(),
-                stats.mib_received,
+                "  {:<width$}  {:>7}  {:>10}  {:>12}  {:>9}  {:>10}",
+                "class", "served", "wait (s)", "compl (s)", "slowdown", "MiB"
             )?;
+            for (class, stats) in &self.class_stats {
+                writeln!(
+                    f,
+                    "  {class:<width$}  {:>7}  {:>10.0}  {:>12.0}  {:>9.2}  {:>10.0}",
+                    stats.served,
+                    stats.mean_wait_secs(),
+                    stats.mean_completion_secs(),
+                    stats.mean_slowdown(),
+                    stats.mib_received,
+                )?;
+            }
         }
         Ok(())
     }
@@ -233,14 +277,30 @@ mod tests {
             system: "test",
             requests: 30,
             coverage_series: vec![
-                CoveragePoint { time: SimTime::ZERO, requests: 10, coverage: 0.2 },
-                CoveragePoint { time: SimTime::from_ticks(100), requests: 20, coverage: 0.8 },
-                CoveragePoint { time: SimTime::from_ticks(200), requests: 0, coverage: 0.0 },
+                CoveragePoint {
+                    time: SimTime::ZERO,
+                    requests: 10,
+                    coverage: 0.2,
+                },
+                CoveragePoint {
+                    time: SimTime::from_ticks(100),
+                    requests: 20,
+                    coverage: 0.8,
+                },
+                CoveragePoint {
+                    time: SimTime::from_ticks(200),
+                    requests: 0,
+                    coverage: 0.0,
+                },
             ],
             ..SimReport::default()
         };
         assert!((report.mean_coverage() - 0.6).abs() < 1e-12);
-        assert_eq!(report.final_coverage(), Some(0.8), "empty tail point skipped");
+        assert_eq!(
+            report.final_coverage(),
+            Some(0.8),
+            "empty tail point skipped"
+        );
     }
 
     #[test]
@@ -251,8 +311,62 @@ mod tests {
     }
 
     #[test]
+    fn empty_inputs_yield_zero_not_nan() {
+        // Pin the documented contract: every mean/rate helper returns a
+        // finite 0.0 on empty input so reports stay aggregatable.
+        let empty_class = ClassStats::default();
+        assert_eq!(empty_class.mean_wait_secs(), 0.0);
+        assert_eq!(empty_class.mean_completion_secs(), 0.0);
+        assert_eq!(empty_class.mean_slowdown(), 0.0);
+        let empty_fakes = FakeStats::default();
+        assert_eq!(empty_fakes.avoidance_rate(), 0.0);
+        assert_eq!(empty_fakes.false_positive_rate(), 0.0);
+        assert_eq!(SimReport::default().mean_coverage(), 0.0);
+        for v in [
+            empty_class.mean_wait_secs(),
+            empty_class.mean_slowdown(),
+            empty_fakes.avoidance_rate(),
+        ] {
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn display_renders_throughput_and_class_table() {
+        let mut report = SimReport {
+            system: "x",
+            requests: 3,
+            events_processed: 120,
+            events_per_sec: 4000.0,
+            max_queue_depth: 7,
+            ..SimReport::default()
+        };
+        *report.class_mut(Behavior::Honest) = ClassStats {
+            served: 2,
+            total_wait_secs: 10.0,
+            total_completion_secs: 20.0,
+            mib_received: 5.0,
+            total_slowdown: 4.0,
+        };
+        *report.class_mut(Behavior::FreeRider) = ClassStats::default();
+        let shown = report.to_string();
+        assert!(shown.contains("120 events"), "{shown}");
+        assert!(shown.contains("4000 events/s"), "{shown}");
+        assert!(shown.contains("max queue depth 7"), "{shown}");
+        // Table header plus one aligned row per class.
+        assert!(shown.contains("class"), "{shown}");
+        assert!(shown.contains("slowdown"), "{shown}");
+        assert!(shown.contains("honest"), "{shown}");
+        assert!(shown.contains("free-rider"), "{shown}");
+    }
+
+    #[test]
     fn display_contains_key_numbers() {
-        let mut report = SimReport { system: "x", requests: 2, ..SimReport::default() };
+        let mut report = SimReport {
+            system: "x",
+            requests: 2,
+            ..SimReport::default()
+        };
         *report.class_mut(Behavior::Honest) = ClassStats {
             served: 2,
             total_wait_secs: 10.0,

@@ -90,7 +90,10 @@ impl UploaderQueue {
     #[must_use]
     pub fn new(slots: usize) -> Self {
         assert!(slots >= 1, "an uploader needs at least one slot");
-        Self { slots: vec![SimTime::ZERO; slots], pending: BinaryHeap::new() }
+        Self {
+            slots: vec![SimTime::ZERO; slots],
+            pending: BinaryHeap::new(),
+        }
     }
 
     /// Number of requests waiting (not yet started).
@@ -111,18 +114,23 @@ impl UploaderQueue {
     /// priority order. Requests can only start once arrived.
     pub fn dispatch(&mut self, now: SimTime) -> Vec<Served> {
         let mut served = Vec::new();
-        while let Some((slot_idx, &free_at)) =
-            self.slots.iter().enumerate().min_by_key(|(_, &t)| t)
+        while let Some((slot_idx, &free_at)) = self.slots.iter().enumerate().min_by_key(|(_, &t)| t)
         {
             if free_at > now {
                 break; // every slot is busy past `now`
             }
-            let Some(Pending(request)) = self.pending.pop() else { break };
+            let Some(Pending(request)) = self.pending.pop() else {
+                break;
+            };
             let started = free_at.max(request.arrived);
             let finished =
                 started + SimDuration::from_ticks(request.service_secs.ceil().max(1.0) as u64);
             self.slots[slot_idx] = finished;
-            served.push(Served { request, started, finished });
+            served.push(Served {
+                request,
+                started,
+                finished,
+            });
         }
         served
     }

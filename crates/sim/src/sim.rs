@@ -54,6 +54,9 @@ impl<S: ReputationSystem> Simulation<S> {
     /// further queries.
     #[must_use]
     pub fn run_into_system(mut self, trace: &Trace) -> (SimReport, S) {
+        let obs = mdrep_obs::global();
+        let _run_span = obs.span("sim.run.total");
+        let wall_start = std::time::Instant::now();
         let mut report = SimReport {
             system: self.system.name(),
             ..SimReport::default()
@@ -72,6 +75,7 @@ impl<S: ReputationSystem> Simulation<S> {
         let mut interval_covered = 0usize;
 
         for event in trace.events() {
+            report.events_processed += 1;
             while event.time >= next_recompute {
                 report.coverage_series.push(CoveragePoint {
                     time: next_recompute,
@@ -89,7 +93,11 @@ impl<S: ReputationSystem> Simulation<S> {
             }
 
             match event.kind {
-                EventKind::Download { downloader, uploader, file } => {
+                EventKind::Download {
+                    downloader,
+                    uploader,
+                    file,
+                } => {
                     report.requests += 1;
                     interval_requests += 1;
                     if self.system.reputation(downloader, uploader) > 0.0 {
@@ -104,12 +112,9 @@ impl<S: ReputationSystem> Simulation<S> {
                     // evaluations through the system's file score.
                     if self.config.filter_fakes {
                         let owner_evals = self.owner_evaluations(file, event.time);
-                        let score = self.system.file_score(
-                            downloader,
-                            file,
-                            &owner_evals,
-                            event.time,
-                        );
+                        let score =
+                            self.system
+                                .file_score(downloader, file, &owner_evals, event.time);
                         if let Some(score) = score {
                             if score < self.config.fake_threshold {
                                 if authentic {
@@ -161,12 +166,12 @@ impl<S: ReputationSystem> Simulation<S> {
                         size_mib,
                     };
                     let slots = self.config.upload_slots;
-                    served_log.extend(
-                        self.queues
-                            .entry(uploader)
-                            .or_insert_with(|| UploaderQueue::new(slots))
-                            .arrive(request),
-                    );
+                    let queue = self
+                        .queues
+                        .entry(uploader)
+                        .or_insert_with(|| UploaderQueue::new(slots));
+                    served_log.extend(queue.arrive(request));
+                    report.max_queue_depth = report.max_queue_depth.max(queue.pending_len());
 
                     // Bookkeeping: the transfer happened.
                     self.evals.record_download(event.time, downloader, file);
@@ -234,8 +239,7 @@ impl<S: ReputationSystem> Simulation<S> {
             let behavior = population
                 .profile(served.request.downloader)
                 .map_or(Behavior::Honest, |p| p.behavior());
-            let ideal_secs =
-                (served.request.size_mib / self.config.slot_bandwidth_mib_s).max(1.0);
+            let ideal_secs = (served.request.size_mib / self.config.slot_bandwidth_mib_s).max(1.0);
             let slowdown = served.total().as_ticks() as f64 / ideal_secs;
             let add = |stats: &mut crate::metrics::ClassStats| {
                 stats.served += 1;
@@ -250,6 +254,17 @@ impl<S: ReputationSystem> Simulation<S> {
                 add(report.warm_class_mut(behavior));
             }
         }
+
+        // Event-loop throughput: wall-clock rate of the replay itself.
+        let wall_secs = wall_start.elapsed().as_secs_f64();
+        report.events_per_sec = if wall_secs > 0.0 {
+            report.events_processed as f64 / wall_secs
+        } else {
+            0.0
+        };
+        obs.counter_add("sim.events.count", report.events_processed);
+        obs.gauge_set("sim.events_per_sec", report.events_per_sec);
+        obs.gauge_set("sim.max_queue_depth", report.max_queue_depth as f64);
 
         (report, self.system)
     }
@@ -297,12 +312,17 @@ mod tests {
     #[test]
     fn replay_produces_coverage_series() {
         let t = trace(0.2, 1);
-        let report =
-            Simulation::new(SimConfig::default(), MultiDimensional::new(Params::default()))
-                .run(&t);
+        let report = Simulation::new(
+            SimConfig::default(),
+            MultiDimensional::new(Params::default()),
+        )
+        .run(&t);
         assert!(report.requests > 0);
         assert!(!report.coverage_series.is_empty());
-        assert!(report.mean_coverage() > 0.0, "multi-dimensional trust covers something");
+        assert!(
+            report.mean_coverage() > 0.0,
+            "multi-dimensional trust covers something"
+        );
         assert_eq!(report.system, "multi-dimensional");
     }
 
@@ -318,11 +338,16 @@ mod tests {
     #[test]
     fn filtering_avoids_some_fakes() {
         let t = trace(0.5, 3);
-        let config = SimConfig { filter_fakes: true, ..SimConfig::default() };
-        let with_filter =
-            Simulation::new(config, MultiDimensional::new(Params::default())).run(&t);
-        let without = Simulation::new(SimConfig::default(), MultiDimensional::new(Params::default()))
-            .run(&t);
+        let config = SimConfig {
+            filter_fakes: true,
+            ..SimConfig::default()
+        };
+        let with_filter = Simulation::new(config, MultiDimensional::new(Params::default())).run(&t);
+        let without = Simulation::new(
+            SimConfig::default(),
+            MultiDimensional::new(Params::default()),
+        )
+        .run(&t);
         assert!(
             with_filter.fakes.fake_downloads <= without.fakes.fake_downloads,
             "filtering cannot increase fake downloads: {} vs {}",
@@ -334,8 +359,11 @@ mod tests {
     #[test]
     fn coverage_higher_for_multidimensional_than_tft() {
         let t = trace(0.2, 4);
-        let md = Simulation::new(SimConfig::default(), MultiDimensional::new(Params::default()))
-            .run(&t);
+        let md = Simulation::new(
+            SimConfig::default(),
+            MultiDimensional::new(Params::default()),
+        )
+        .run(&t);
         let tft = Simulation::new(SimConfig::default(), TitForTat::new()).run(&t);
         assert!(
             md.mean_coverage() > tft.mean_coverage(),
@@ -361,7 +389,10 @@ mod tests {
     #[test]
     fn service_differentiation_off_means_uniform_service() {
         let t = trace(0.0, 6);
-        let config = SimConfig { differentiate_service: false, ..SimConfig::default() };
+        let config = SimConfig {
+            differentiate_service: false,
+            ..SimConfig::default()
+        };
         let report = Simulation::new(config, MultiDimensional::new(Params::default())).run(&t);
         // Everything runs at full bandwidth; served counts still add up.
         let served: usize = report.class_stats.values().map(|s| s.served).sum();

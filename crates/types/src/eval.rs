@@ -21,7 +21,11 @@ impl EvaluationError {
 
 impl fmt::Display for EvaluationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "evaluation {} is not a finite value in [0, 1]", self.value)
+        write!(
+            f,
+            "evaluation {} is not a finite value in [0, 1]",
+            self.value
+        )
     }
 }
 

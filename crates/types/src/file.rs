@@ -139,13 +139,25 @@ impl FileMeta {
     /// Creates metadata for an authentic file.
     #[must_use]
     pub fn authentic(id: FileId, size: FileSize, publisher: UserId, published_at: SimTime) -> Self {
-        Self { id, size, publisher, published_at, authentic: true }
+        Self {
+            id,
+            size,
+            publisher,
+            published_at,
+            authentic: true,
+        }
     }
 
     /// Creates metadata for a fake (polluted) file.
     #[must_use]
     pub fn fake(id: FileId, size: FileSize, publisher: UserId, published_at: SimTime) -> Self {
-        Self { id, size, publisher, published_at, authentic: false }
+        Self {
+            id,
+            size,
+            publisher,
+            published_at,
+            authentic: false,
+        }
     }
 }
 
@@ -192,8 +204,12 @@ mod tests {
             SimTime::ZERO,
         );
         assert!(real.authentic);
-        let fake =
-            FileMeta::fake(FileId::new(1), FileSize::from_mib(1), UserId::new(2), SimTime::ZERO);
+        let fake = FileMeta::fake(
+            FileId::new(1),
+            FileSize::from_mib(1),
+            UserId::new(2),
+            SimTime::ZERO,
+        );
         assert!(!fake.authentic);
         assert_eq!(real.id, fake.id);
     }

@@ -116,7 +116,11 @@ pub struct MixError {
 
 impl fmt::Display for MixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "behaviour fractions sum to {} instead of at most 1", self.sum)
+        write!(
+            f,
+            "behaviour fractions sum to {} instead of at most 1",
+            self.sum
+        )
     }
 }
 
@@ -159,20 +163,35 @@ impl BehaviorMix {
         if parts.iter().any(|p| !p.is_finite() || *p < 0.0) || sum > 1.0 + 1e-12 {
             return Err(MixError { sum });
         }
-        Ok(Self { free_riders, polluters, colluders, whitewashers })
+        Ok(Self {
+            free_riders,
+            polluters,
+            colluders,
+            whitewashers,
+        })
     }
 
     /// An all-honest population.
     #[must_use]
     pub fn all_honest() -> Self {
-        Self { free_riders: 0.0, polluters: 0.0, colluders: 0.0, whitewashers: 0.0 }
+        Self {
+            free_riders: 0.0,
+            polluters: 0.0,
+            colluders: 0.0,
+            whitewashers: 0.0,
+        }
     }
 
     /// A mix resembling measured P2P systems: 20% free-riders, 8%
     /// polluters, 4% colluders, 2% whitewashers.
     #[must_use]
     pub fn realistic() -> Self {
-        Self { free_riders: 0.20, polluters: 0.08, colluders: 0.04, whitewashers: 0.02 }
+        Self {
+            free_riders: 0.20,
+            polluters: 0.08,
+            colluders: 0.04,
+            whitewashers: 0.02,
+        }
     }
 
     /// Fraction of free-riders.

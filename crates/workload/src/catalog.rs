@@ -132,8 +132,7 @@ impl Catalog {
             // popular ones biased earliest so the replay has immediate
             // traffic, the long tail spread across the whole horizon so the
             // catalog sustains itself under short title lifetimes.
-            let born_frac =
-                rng.random::<f64>() * 0.9 * (rank as f64 / config.titles as f64).sqrt();
+            let born_frac = rng.random::<f64>() * 0.9 * (rank as f64 / config.titles as f64).sqrt();
             let born = SimTime::ZERO
                 + SimDuration::from_ticks((horizon.as_ticks() as f64 * born_frac) as u64);
             // Exponential lifetime with the configured mean.
@@ -146,7 +145,10 @@ impl Catalog {
             let publisher = choose(rng, &sharers).unwrap_or(UserId::new(0));
             let authentic_id = FileId::new(next_file);
             next_file += 1;
-            meta.insert(authentic_id, FileMeta::authentic(authentic_id, size, publisher, born));
+            meta.insert(
+                authentic_id,
+                FileMeta::authentic(authentic_id, size, publisher, born),
+            );
             title_of.insert(authentic_id, id);
             files.push(authentic_id);
 
@@ -163,10 +165,19 @@ impl Catalog {
                 }
             }
 
-            titles.push(Title { id, born, dies, files });
+            titles.push(Title {
+                id,
+                born,
+                dies,
+                files,
+            });
         }
 
-        Self { titles, meta, title_of }
+        Self {
+            titles,
+            meta,
+            title_of,
+        }
     }
 
     /// Number of titles.
@@ -269,10 +280,7 @@ mod tests {
     #[test]
     fn pollution_rate_controls_fake_titles() {
         let (config, _, catalog) = setup(0.4);
-        let polluted = catalog
-            .titles()
-            .filter(|t| t.files().len() > 1)
-            .count();
+        let polluted = catalog.titles().filter(|t| t.files().len() > 1).count();
         let expected = (config.titles() as f64 * 0.4).round() as usize;
         assert_eq!(polluted, expected);
         assert_eq!(catalog.fake_count(), expected * 2);
@@ -294,7 +302,10 @@ mod tests {
             .map(|t| t.id().rank())
             .collect();
         let max_polluted = polluted.iter().max().copied().unwrap_or(0);
-        assert!(max_polluted < 10, "pollution should hit top ranks, got {polluted:?}");
+        assert!(
+            max_polluted < 10,
+            "pollution should hit top ranks, got {polluted:?}"
+        );
     }
 
     #[test]
@@ -305,7 +316,11 @@ mod tests {
                 let m = catalog.file_meta(file).unwrap();
                 if !m.authentic {
                     assert!(
-                        population.profile(m.publisher).unwrap().behavior().is_polluting(),
+                        population
+                            .profile(m.publisher)
+                            .unwrap()
+                            .behavior()
+                            .is_polluting(),
                         "fake {file} published by non-polluter"
                     );
                 }

@@ -13,7 +13,9 @@ pub struct ConfigError {
 
 impl ConfigError {
     fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        Self {
+            message: message.into(),
+        }
     }
 }
 
@@ -307,7 +309,9 @@ impl WorkloadConfigBuilder {
             return Err(ConfigError::new("days must be at least 1"));
         }
         if !c.zipf_exponent.is_finite() || c.zipf_exponent < 0.0 {
-            return Err(ConfigError::new("zipf exponent must be finite and non-negative"));
+            return Err(ConfigError::new(
+                "zipf exponent must be finite and non-negative",
+            ));
         }
         if !c.downloads_per_user_day.is_finite() || c.downloads_per_user_day <= 0.0 {
             return Err(ConfigError::new("downloads per user-day must be positive"));
@@ -321,14 +325,18 @@ impl WorkloadConfigBuilder {
             ));
         }
         if c.mean_session_hours <= 0.0 || c.mean_offline_hours < 0.0 {
-            return Err(ConfigError::new("session/offline durations must be positive"));
+            return Err(ConfigError::new(
+                "session/offline durations must be positive",
+            ));
         }
         if c.title_lifetime_days <= 0.0 {
             return Err(ConfigError::new("title lifetime must be positive"));
         }
         if !c.size_mu_log_mib.is_finite() || !c.size_sigma_log.is_finite() || c.size_sigma_log < 0.0
         {
-            return Err(ConfigError::new("file-size distribution parameters must be finite, sigma non-negative"));
+            return Err(ConfigError::new(
+                "file-size distribution parameters must be finite, sigma non-negative",
+            ));
         }
         if let Some(p) = c.vote_probability_override {
             if !(0.0..=1.0).contains(&p) {
@@ -399,12 +407,30 @@ mod tests {
 
     #[test]
     fn rejects_bad_rates() {
-        assert!(WorkloadConfig::builder().pollution_rate(1.5).build().is_err());
-        assert!(WorkloadConfig::builder().pollution_rate(-0.1).build().is_err());
-        assert!(WorkloadConfig::builder().vote_probability(2.0).build().is_err());
-        assert!(WorkloadConfig::builder().downloads_per_user_day(0.0).build().is_err());
-        assert!(WorkloadConfig::builder().zipf_exponent(-1.0).build().is_err());
-        assert!(WorkloadConfig::builder().friend_probability(1.5).build().is_err());
+        assert!(WorkloadConfig::builder()
+            .pollution_rate(1.5)
+            .build()
+            .is_err());
+        assert!(WorkloadConfig::builder()
+            .pollution_rate(-0.1)
+            .build()
+            .is_err());
+        assert!(WorkloadConfig::builder()
+            .vote_probability(2.0)
+            .build()
+            .is_err());
+        assert!(WorkloadConfig::builder()
+            .downloads_per_user_day(0.0)
+            .build()
+            .is_err());
+        assert!(WorkloadConfig::builder()
+            .zipf_exponent(-1.0)
+            .build()
+            .is_err());
+        assert!(WorkloadConfig::builder()
+            .friend_probability(1.5)
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -418,23 +444,47 @@ mod tests {
 
     #[test]
     fn size_distribution_validation() {
-        assert!(WorkloadConfig::builder().size_distribution(2.0, 0.0).build().is_ok());
-        assert!(WorkloadConfig::builder().size_distribution(f64::NAN, 1.0).build().is_err());
-        assert!(WorkloadConfig::builder().size_distribution(1.0, -0.5).build().is_err());
+        assert!(WorkloadConfig::builder()
+            .size_distribution(2.0, 0.0)
+            .build()
+            .is_ok());
+        assert!(WorkloadConfig::builder()
+            .size_distribution(f64::NAN, 1.0)
+            .build()
+            .is_err());
+        assert!(WorkloadConfig::builder()
+            .size_distribution(1.0, -0.5)
+            .build()
+            .is_err());
     }
 
     #[test]
     fn voter_fraction_validation_and_striping() {
-        assert!(WorkloadConfig::builder().voter_fraction(1.5).build().is_err());
-        assert!(WorkloadConfig::builder().voter_fraction(-0.1).build().is_err());
+        assert!(WorkloadConfig::builder()
+            .voter_fraction(1.5)
+            .build()
+            .is_err());
+        assert!(WorkloadConfig::builder()
+            .voter_fraction(-0.1)
+            .build()
+            .is_err());
 
         let all = WorkloadConfig::builder().build().unwrap();
-        assert!(all.is_voter(0) && all.is_voter(123), "unset fraction: everyone votes");
+        assert!(
+            all.is_voter(0) && all.is_voter(123),
+            "unset fraction: everyone votes"
+        );
 
-        let none = WorkloadConfig::builder().voter_fraction(0.0).build().unwrap();
+        let none = WorkloadConfig::builder()
+            .voter_fraction(0.0)
+            .build()
+            .unwrap();
         assert!((0..100).all(|i| !none.is_voter(i)));
 
-        let half = WorkloadConfig::builder().voter_fraction(0.5).build().unwrap();
+        let half = WorkloadConfig::builder()
+            .voter_fraction(0.5)
+            .build()
+            .unwrap();
         let voters = (0..1000).filter(|&i| half.is_voter(i)).count();
         assert!((voters as f64 / 1000.0 - 0.5).abs() < 0.07, "got {voters}");
         // Deterministic.

@@ -32,7 +32,10 @@ pub struct LogParseError {
 
 impl LogParseError {
     fn new(line: usize, message: impl Into<String>) -> Self {
-        Self { line, message: message.into() }
+        Self {
+            line,
+            message: message.into(),
+        }
     }
 
     /// 1-based line number of the offending line.
@@ -44,7 +47,11 @@ impl LogParseError {
 
 impl fmt::Display for LogParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "event log parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "event log parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -69,7 +76,10 @@ impl EventLog {
             .filter_map(|&f| trace.catalog().file_meta(f).copied())
             .collect();
         files.sort_by_key(|m| m.id);
-        Self { files, events: trace.events().to_vec() }
+        Self {
+            files,
+            events: trace.events().to_vec(),
+        }
     }
 
     /// Builds a log from parts (e.g. a real deployment's records).
@@ -121,7 +131,11 @@ impl EventLog {
                 EventKind::Publish { user, file } => {
                     writeln!(out, "P {t} {} {}", user.as_u64(), file.as_u64())?;
                 }
-                EventKind::Download { downloader, uploader, file } => writeln!(
+                EventKind::Download {
+                    downloader,
+                    uploader,
+                    file,
+                } => writeln!(
                     out,
                     "D {t} {} {} {}",
                     downloader.as_u64(),
@@ -138,7 +152,11 @@ impl EventLog {
                 EventKind::Delete { user, file } => {
                     writeln!(out, "X {t} {} {}", user.as_u64(), file.as_u64())?;
                 }
-                EventKind::RankUser { rater, target, value } => writeln!(
+                EventKind::RankUser {
+                    rater,
+                    target,
+                    value,
+                } => writeln!(
                     out,
                     "R {t} {} {} {}",
                     rater.as_u64(),
@@ -188,7 +206,11 @@ impl EventLog {
                 } else {
                     Err(LogParseError::new(
                         lineno,
-                        format!("`{}` expects {want} fields, got {}", fields[0], fields.len() - 1),
+                        format!(
+                            "`{}` expects {want} fields, got {}",
+                            fields[0],
+                            fields.len() - 1
+                        ),
                     ))
                 }
             };
@@ -276,7 +298,8 @@ impl EventLog {
     #[must_use]
     pub fn to_text(&self) -> String {
         let mut buf = Vec::new();
-        self.write_to(&mut buf).expect("writing to a Vec cannot fail");
+        self.write_to(&mut buf)
+            .expect("writing to a Vec cannot fail");
         String::from_utf8(buf).expect("the format is ASCII")
     }
 
@@ -335,11 +358,25 @@ mod tests {
 
     #[test]
     fn every_event_kind_round_trips() {
-        let e = |time, kind| TraceEvent { time: SimTime::from_ticks(time), kind };
+        let e = |time, kind| TraceEvent {
+            time: SimTime::from_ticks(time),
+            kind,
+        };
         let v = Evaluation::new(0.123_456_789).unwrap();
         let events = vec![
-            e(0, EventKind::Join { user: UserId::new(1) }),
-            e(1, EventKind::Publish { user: UserId::new(1), file: FileId::new(2) }),
+            e(
+                0,
+                EventKind::Join {
+                    user: UserId::new(1),
+                },
+            ),
+            e(
+                1,
+                EventKind::Publish {
+                    user: UserId::new(1),
+                    file: FileId::new(2),
+                },
+            ),
             e(
                 2,
                 EventKind::Download {
@@ -348,8 +385,21 @@ mod tests {
                     file: FileId::new(2),
                 },
             ),
-            e(3, EventKind::Vote { user: UserId::new(3), file: FileId::new(2), value: v }),
-            e(4, EventKind::Delete { user: UserId::new(3), file: FileId::new(2) }),
+            e(
+                3,
+                EventKind::Vote {
+                    user: UserId::new(3),
+                    file: FileId::new(2),
+                    value: v,
+                },
+            ),
+            e(
+                4,
+                EventKind::Delete {
+                    user: UserId::new(3),
+                    file: FileId::new(2),
+                },
+            ),
             e(
                 5,
                 EventKind::RankUser {
@@ -358,7 +408,12 @@ mod tests {
                     value: Evaluation::BEST,
                 },
             ),
-            e(6, EventKind::Whitewash { user: UserId::new(1) }),
+            e(
+                6,
+                EventKind::Whitewash {
+                    user: UserId::new(1),
+                },
+            ),
         ];
         let files = vec![FileMeta::fake(
             FileId::new(2),
@@ -392,7 +447,10 @@ mod tests {
         assert!(EventLog::from_text("").is_err());
         assert!(EventLog::from_text("not-a-log\n").is_err());
         let bad_tag = "mdrep-log v1\nZ 0 1\n";
-        assert!(EventLog::from_text(bad_tag).unwrap_err().to_string().contains("unknown tag"));
+        assert!(EventLog::from_text(bad_tag)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown tag"));
         let bad_arity = "mdrep-log v1\nJ 0\n";
         assert!(EventLog::from_text(bad_arity).unwrap_err().line() == 2);
         let bad_number = "mdrep-log v1\nJ zero 1\n";

@@ -153,9 +153,11 @@ impl Trace {
     /// Iterates over `(time, downloader, uploader, file)` download tuples.
     pub fn downloads(&self) -> impl Iterator<Item = (SimTime, UserId, UserId, FileId)> + '_ {
         self.events.iter().filter_map(|e| match e.kind {
-            EventKind::Download { downloader, uploader, file } => {
-                Some((e.time, downloader, uploader, file))
-            }
+            EventKind::Download {
+                downloader,
+                uploader,
+                file,
+            } => Some((e.time, downloader, uploader, file)),
             _ => None,
         })
     }
@@ -170,11 +172,18 @@ impl Trace {
     /// Computes summary statistics.
     #[must_use]
     pub fn stats(&self) -> TraceStats {
-        let mut stats = TraceStats { events: self.events.len(), ..TraceStats::default() };
+        let mut stats = TraceStats {
+            events: self.events.len(),
+            ..TraceStats::default()
+        };
         let mut pairs = HashSet::new();
         for e in &self.events {
             match e.kind {
-                EventKind::Download { downloader, uploader, file } => {
+                EventKind::Download {
+                    downloader,
+                    uploader,
+                    file,
+                } => {
                     stats.downloads += 1;
                     if !self.catalog.is_authentic(file) {
                         stats.fake_downloads += 1;
@@ -256,7 +265,10 @@ impl TraceBuilder {
                 let meta = catalog.file_meta(file).expect("catalog is consistent");
                 events.push(TraceEvent {
                     time: meta.published_at,
-                    kind: EventKind::Publish { user: meta.publisher, file },
+                    kind: EventKind::Publish {
+                        user: meta.publisher,
+                        file,
+                    },
                 });
                 owners.entry(file).or_default().push(meta.publisher);
             }
@@ -268,20 +280,23 @@ impl TraceBuilder {
                 let mut t = profile.joined() + SimDuration::from_days(5);
                 let horizon = SimTime::ZERO + SimDuration::from_days(config.days);
                 while t < horizon {
-                    events.push(TraceEvent { time: t, kind: EventKind::Whitewash { user: profile.id() } });
+                    events.push(TraceEvent {
+                        time: t,
+                        kind: EventKind::Whitewash { user: profile.id() },
+                    });
                     t += SimDuration::from_days(5);
                 }
             }
         }
 
         // Download timeline: Poisson-ish arrivals at uniform times.
-        let total_downloads = (population.len() as f64
-            * config.downloads_per_user_day
-            * config.days as f64)
-            .round() as usize;
+        let total_downloads =
+            (population.len() as f64 * config.downloads_per_user_day * config.days as f64).round()
+                as usize;
         let horizon_ticks = SimDuration::from_days(config.days).as_ticks();
-        let mut download_times: Vec<u64> =
-            (0..total_downloads).map(|_| rng.random_range(0..horizon_ticks)).collect();
+        let mut download_times: Vec<u64> = (0..total_downloads)
+            .map(|_| rng.random_range(0..horizon_ticks))
+            .collect();
         download_times.sort_unstable();
 
         let zipf = ZipfSampler::new(catalog.title_count(), config.zipf_exponent)
@@ -311,16 +326,24 @@ impl TraceBuilder {
                     break;
                 }
                 pending_deletes.pop();
+                // The copy may or may not have been shared; drop it from the
+                // owner list if it was, and emit the delete either way (a
+                // stale schedule for a since-removed holding is skipped).
+                if !holdings.entry(top.user).or_default().remove(&top.file) {
+                    continue;
+                }
                 if let Some(list) = owners.get_mut(&top.file) {
                     if let Some(pos) = list.iter().position(|&u| u == top.user) {
                         list.swap_remove(pos);
-                        holdings.entry(top.user).or_default().remove(&top.file);
-                        events.push(TraceEvent {
-                            time: top.time,
-                            kind: EventKind::Delete { user: top.user, file: top.file },
-                        });
                     }
                 }
+                events.push(TraceEvent {
+                    time: top.time,
+                    kind: EventKind::Delete {
+                        user: top.user,
+                        file: top.file,
+                    },
+                });
             }
 
             // Refresh the online cache.
@@ -331,7 +354,10 @@ impl TraceBuilder {
                 online_cdf.clear();
                 let mut acc = 0.0;
                 for &u in &online {
-                    acc += population.profile(u).expect("online user exists").activity();
+                    acc += population
+                        .profile(u)
+                        .expect("online user exists")
+                        .activity();
                     online_cdf.push(acc);
                 }
             }
@@ -402,7 +428,11 @@ impl TraceBuilder {
 
             events.push(TraceEvent {
                 time: now,
-                kind: EventKind::Download { downloader, uploader, file },
+                kind: EventKind::Download {
+                    downloader,
+                    uploader,
+                    file,
+                },
             });
 
             let behavior = population.profile(downloader).expect("exists").behavior();
@@ -429,14 +459,29 @@ impl TraceBuilder {
             };
             if rng.random::<f64>() < vote_p {
                 let honest = rng.random::<f64>() < behavior.vote_honesty();
-                let truthful = if authentic { Evaluation::BEST } else { Evaluation::WORST };
+                let truthful = if authentic {
+                    Evaluation::BEST
+                } else {
+                    Evaluation::WORST
+                };
                 let value = if honest {
                     truthful
                 } else {
                     // A lie: praise fakes, disparage authentic files.
-                    if authentic { Evaluation::WORST } else { Evaluation::BEST }
+                    if authentic {
+                        Evaluation::WORST
+                    } else {
+                        Evaluation::BEST
+                    }
                 };
-                events.push(TraceEvent { time: now, kind: EventKind::Vote { user: downloader, file, value } });
+                events.push(TraceEvent {
+                    time: now,
+                    kind: EventKind::Vote {
+                        user: downloader,
+                        file,
+                        value,
+                    },
+                });
             }
 
             // Experience-based user ratings.
@@ -460,39 +505,53 @@ impl TraceBuilder {
                 };
                 events.push(TraceEvent {
                     time: now,
-                    kind: EventKind::RankUser { rater: downloader, target: uploader, value },
+                    kind: EventKind::RankUser {
+                        rater: downloader,
+                        target: uploader,
+                        value,
+                    },
                 });
             }
 
-            // Sharing: the downloader becomes an owner.
+            // The downloader now holds the file; sharing additionally makes
+            // them an uploader for it.
+            holdings.entry(downloader).or_default().insert(file);
             if rng.random::<f64>() < behavior.share_probability() {
                 owners.entry(file).or_default().push(downloader);
-                holdings.entry(downloader).or_default().insert(file);
-                // Fakes get deleted after discovery; authentic files are
-                // retained long (possibly past the horizon = never deleted).
-                let mean_hours = if authentic {
-                    24.0 * 30.0 // authentic retention: about a month
-                } else {
-                    behavior.fake_deletion_hours()
-                };
-                let delay_hours = sample_exponential(&mut rng, mean_hours);
-                let delete_at = now + SimDuration::from_ticks((delay_hours * 3600.0) as u64);
-                if delete_at < SimTime::ZERO + SimDuration::from_days(config.days) {
-                    seq += 1;
-                    pending_deletes.push(Reverse(Scheduled {
-                        time: delete_at,
-                        seq,
-                        user: downloader,
-                        file,
-                    }));
-                }
+            }
+            // Fakes get deleted after discovery *whether or not the copy was
+            // shared* — a user who finds a fake discards it either way, and
+            // the retention-based implicit evaluation (Eq 1/4) must see that
+            // deletion or every unshared fake would count as an endorsement.
+            // Authentic files are retained long (possibly past the horizon =
+            // never deleted).
+            let mean_hours = if authentic {
+                24.0 * 30.0 // authentic retention: about a month
+            } else {
+                behavior.fake_deletion_hours()
+            };
+            let delay_hours = sample_exponential(&mut rng, mean_hours);
+            let delete_at = now + SimDuration::from_ticks((delay_hours * 3600.0) as u64);
+            if delete_at < SimTime::ZERO + SimDuration::from_days(config.days) {
+                seq += 1;
+                pending_deletes.push(Reverse(Scheduled {
+                    time: delete_at,
+                    seq,
+                    user: downloader,
+                    file,
+                }));
             }
         }
 
         // Deterministic order: by time, then by insertion order (stable).
         events.sort_by_key(|e| e.time);
 
-        Trace { config: config.clone(), population, catalog, events }
+        Trace {
+            config: config.clone(),
+            population,
+            catalog,
+            events,
+        }
     }
 }
 
@@ -596,7 +655,11 @@ mod tests {
                 EventKind::Publish { user, file } => {
                     holders.entry(file).or_default().insert(user);
                 }
-                EventKind::Download { downloader, uploader, file } => {
+                EventKind::Download {
+                    downloader,
+                    uploader,
+                    file,
+                } => {
                     assert!(
                         holders.get(&file).is_some_and(|h| h.contains(&uploader)),
                         "uploader {uploader} served {file} without holding it"
@@ -666,10 +729,9 @@ mod tests {
             .days(3)
             .seed(10)
             .clone();
-        let none = TraceBuilder::new(base.clone().vote_probability(0.0).build().unwrap())
-            .generate();
-        let all = TraceBuilder::new(base.clone().vote_probability(1.0).build().unwrap())
-            .generate();
+        let none =
+            TraceBuilder::new(base.clone().vote_probability(0.0).build().unwrap()).generate();
+        let all = TraceBuilder::new(base.clone().vote_probability(1.0).build().unwrap()).generate();
         assert_eq!(none.stats().votes, 0);
         assert_eq!(all.stats().votes, all.stats().downloads);
     }

@@ -104,8 +104,9 @@ impl Population {
             order.swap(i, j);
         }
 
-        let arrival_window =
-            SimDuration::from_days(config.arrival_spread_days.min(config.days)).as_ticks().max(1);
+        let arrival_window = SimDuration::from_days(config.arrival_spread_days.min(config.days))
+            .as_ticks()
+            .max(1);
         let mut profiles: Vec<Option<UserProfile>> = vec![None; n];
         for (slot, &user_index) in order.iter().enumerate() {
             let position = slot as f64 / n as f64;
@@ -113,8 +114,7 @@ impl Population {
             let id = UserId::new(user_index as u64);
             let joined = SimTime::from_ticks(rng.random_range(0..arrival_window));
             let session_start_tick = rng.random_range(0..86_400);
-            let session_hours = sample_exponential(rng, config.mean_session_hours)
-                .clamp(0.5, 24.0);
+            let session_hours = sample_exponential(rng, config.mean_session_hours).clamp(0.5, 24.0);
             let session_len_ticks = (session_hours * 3600.0) as u64;
             // Pareto-like activity skew: a few heavy hitters.
             let activity = (1.0 - rng.random::<f64>()).powf(-0.5);
@@ -127,8 +127,10 @@ impl Population {
                 activity,
             });
         }
-        let profiles: Vec<UserProfile> =
-            profiles.into_iter().map(|p| p.expect("all slots filled")).collect();
+        let profiles: Vec<UserProfile> = profiles
+            .into_iter()
+            .map(|p| p.expect("all slots filled"))
+            .collect();
 
         let mut friends: HashMap<UserId, Vec<UserId>> = HashMap::new();
         if config.friend_probability > 0.0 && n > 1 {
@@ -184,7 +186,12 @@ impl Population {
             .map(UserProfile::id)
             .collect();
 
-        Self { profiles, friends, sharers, polluters }
+        Self {
+            profiles,
+            friends,
+            sharers,
+            polluters,
+        }
     }
 
     /// Number of users.
@@ -231,7 +238,11 @@ impl Population {
     /// Ids of all users online at `now`.
     #[must_use]
     pub fn online_at(&self, now: SimTime) -> Vec<UserId> {
-        self.profiles.iter().filter(|p| p.is_online(now)).map(UserProfile::id).collect()
+        self.profiles
+            .iter()
+            .filter(|p| p.is_online(now))
+            .map(UserProfile::id)
+            .collect()
     }
 
     /// Members of each colluder clique.
@@ -283,14 +294,30 @@ mod tests {
     fn behaviour_fractions_roughly_match_mix() {
         let mix = BehaviorMix::new(0.3, 0.1, 0.1, 0.0).unwrap();
         let p = population(mix, 1000, 7);
-        let free_riders =
-            p.iter().filter(|u| u.behavior() == Behavior::FreeRider).count();
-        let polluters = p.iter().filter(|u| u.behavior() == Behavior::Polluter).count();
-        let colluders =
-            p.iter().filter(|u| u.behavior().colluder_group().is_some()).count();
-        assert!((free_riders as f64 / 1000.0 - 0.3).abs() < 0.02, "{free_riders}");
-        assert!((polluters as f64 / 1000.0 - 0.1).abs() < 0.02, "{polluters}");
-        assert!((colluders as f64 / 1000.0 - 0.1).abs() < 0.02, "{colluders}");
+        let free_riders = p
+            .iter()
+            .filter(|u| u.behavior() == Behavior::FreeRider)
+            .count();
+        let polluters = p
+            .iter()
+            .filter(|u| u.behavior() == Behavior::Polluter)
+            .count();
+        let colluders = p
+            .iter()
+            .filter(|u| u.behavior().colluder_group().is_some())
+            .count();
+        assert!(
+            (free_riders as f64 / 1000.0 - 0.3).abs() < 0.02,
+            "{free_riders}"
+        );
+        assert!(
+            (polluters as f64 / 1000.0 - 0.1).abs() < 0.02,
+            "{polluters}"
+        );
+        assert!(
+            (colluders as f64 / 1000.0 - 0.1).abs() < 0.02,
+            "{colluders}"
+        );
     }
 
     #[test]

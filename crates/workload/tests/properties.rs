@@ -5,13 +5,13 @@ use proptest::prelude::*;
 
 fn config_strategy() -> impl Strategy<Value = WorkloadConfig> {
     (
-        5usize..60,     // users
-        5usize..60,     // titles
-        1u64..4,        // days
-        0.0f64..0.6,    // pollution
-        0u64..1000,     // seed
-        0.0f64..0.3,    // free riders
-        0.0f64..0.2,    // polluters
+        5usize..60,  // users
+        5usize..60,  // titles
+        1u64..4,     // days
+        0.0f64..0.6, // pollution
+        0u64..1000,  // seed
+        0.0f64..0.3, // free riders
+        0.0f64..0.2, // polluters
     )
         .prop_map(|(users, titles, days, pollution, seed, fr, po)| {
             WorkloadConfig::builder()

@@ -56,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cheater = subjects[0];
     let current = engine.published_evaluations(cheater, later);
     for (&file, &value) in &current {
-        let flipped = if value.value() >= 0.5 { Evaluation::WORST } else { Evaluation::BEST };
+        let flipped = if value.value() >= 0.5 {
+            Evaluation::WORST
+        } else {
+            Evaluation::BEST
+        };
         engine.observe_vote(later, cheater, file, flipped);
     }
     let outcome = engine.audit_user(&mut auditor, cheater, later);

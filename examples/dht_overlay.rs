@@ -33,7 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let publisher = EvaluationPublisher::new();
     let file = FileId::new(77);
-    let (u1, u2, u3, u4) = (UserId::new(1), UserId::new(2), UserId::new(3), UserId::new(4));
+    let (u1, u2, u3, u4) = (
+        UserId::new(1),
+        UserId::new(2),
+        UserId::new(3),
+        UserId::new(4),
+    );
 
     // Step 1 — publication: three owners co-publish signed evaluations.
     for (user, value) in [(u1, 1.0), (u2, 0.9), (u3, 0.1)] {
@@ -57,9 +62,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Step 3 — retrieval: u4 fetches the evaluation array before deciding
     // whether to download.
     let records = publisher.retrieve(&mut dht, &registry, u4, file, t20h)?;
-    println!("step 3: {u4} retrieved {} signed evaluation(s)", records.len());
+    println!(
+        "step 3: {u4} retrieved {} signed evaluation(s)",
+        records.len()
+    );
     for r in &records {
-        println!("        {} (signature {})", r.info, if r.valid { "ok" } else { "BAD" });
+        println!(
+            "        {} (signature {})",
+            r.info,
+            if r.valid { "ok" } else { "BAD" }
+        );
     }
 
     // Security check (attack 1): a forged record claiming to be u1 fails

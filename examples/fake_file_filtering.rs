@@ -33,14 +33,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace.catalog().fake_count(),
     );
 
-    let filtering = SimConfig { filter_fakes: true, ..SimConfig::default() };
+    let filtering = SimConfig {
+        filter_fakes: true,
+        ..SimConfig::default()
+    };
 
     // Condition 1: no reputation system (the control).
     let blind = Simulation::new(SimConfig::default(), NoReputation::new()).run(&trace);
 
     // Condition 2: the paper's system with Equation 9 filtering.
-    let md = Simulation::new(filtering.clone(), MultiDimensional::new(Params::default()))
-        .run(&trace);
+    let md =
+        Simulation::new(filtering.clone(), MultiDimensional::new(Params::default())).run(&trace);
 
     // Condition 3: LIP's lifetime-and-popularity filter.
     let lip = Simulation::new(filtering, Lip::new(LipConfig::default())).run(&trace);

@@ -85,8 +85,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let judge = UserId::new(0);
     let engine = community.peer(judge).expect("joined").engine();
     let mean = |range: std::ops::Range<u64>| {
-        let values: Vec<f64> =
-            range.clone().map(|i| engine.reputation(judge, UserId::new(i))).collect();
+        let values: Vec<f64> = range
+            .clone()
+            .map(|i| engine.reputation(judge, UserId::new(i)))
+            .collect();
         values.iter().sum::<f64>() / values.len() as f64
     };
     println!(

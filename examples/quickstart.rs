@@ -112,13 +112,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
             }
         }
-        if count == 0 { 0.0 } else { total / count as f64 }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
     };
     let honest_rep = mean_rep(|b| b == mdrep_repro::workload::Behavior::Honest);
     let polluter_rep = mean_rep(|b| b.is_polluting());
-    println!(
-        "mean reputation honest→honest {honest_rep:.4} vs honest→polluter {polluter_rep:.4}"
-    );
+    println!("mean reputation honest→honest {honest_rep:.4} vs honest→polluter {polluter_rep:.4}");
 
     let eval_check = Evaluation::new(0.5)?;
     assert!(eval_check.value() > 0.0);

@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let log = EventLog::from_trace(&trace);
     let path = std::env::temp_dir().join("mdrep-replay-example.log");
     log.write_to(std::io::BufWriter::new(std::fs::File::create(&path)?))?;
-    println!("exported {} events to {}", log.events().len(), path.display());
+    println!(
+        "exported {} events to {}",
+        log.events().len(),
+        path.display()
+    );
 
     // 2. Read it back — from here on, only the log file is used.
     let parsed = EventLog::read_from(std::io::BufReader::new(std::fs::File::open(&path)?))?;
@@ -38,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match event.kind {
             EventKind::Join { .. } => {}
             EventKind::Publish { user, file } => engine.observe_publish(event.time, user, file),
-            EventKind::Download { downloader, uploader, file } => {
+            EventKind::Download {
+                downloader,
+                uploader,
+                file,
+            } => {
                 let size = sizes.get(&file).copied().unwrap_or(FileSize::ZERO);
                 engine.observe_download(event.time, downloader, uploader, file, size);
             }
@@ -46,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 engine.observe_vote(event.time, user, file, value);
             }
             EventKind::Delete { user, file } => engine.observe_delete(event.time, user, file),
-            EventKind::RankUser { rater, target, value } => {
+            EventKind::RankUser {
+                rater,
+                target,
+                value,
+            } => {
                 engine.observe_rank(rater, target, value);
             }
             EventKind::Whitewash { user } => engine.observe_whitewash(user),
@@ -60,7 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .events()
         .iter()
         .filter_map(|e| match e.kind {
-            EventKind::Download { downloader, uploader, .. } => Some((downloader, uploader)),
+            EventKind::Download {
+                downloader,
+                uploader,
+                ..
+            } => Some((downloader, uploader)),
             _ => None,
         })
         .collect();

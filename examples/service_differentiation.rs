@@ -26,14 +26,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .seed(11)
         .build()?;
     let trace = TraceBuilder::new(config).generate();
-    println!("workload: {} downloads over 5 days\n", trace.stats().downloads);
+    println!(
+        "workload: {} downloads over 5 days\n",
+        trace.stats().downloads
+    );
 
     let differentiated = SimConfig {
         upload_slots: 1,
         slot_bandwidth_mib_s: 0.1,
         ..SimConfig::default()
     };
-    let fifo = SimConfig { differentiate_service: false, ..differentiated.clone() };
+    let fifo = SimConfig {
+        differentiate_service: false,
+        ..differentiated.clone()
+    };
 
     let with_incentive =
         Simulation::new(differentiated, MultiDimensional::new(Params::default())).run(&trace);
@@ -57,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or(0.0);
     println!(
         "\nwith the incentive on, free-riders wait {:.2}x as long as honest sharers",
-        if honest_on > 0.0 { free_on / honest_on } else { 0.0 },
+        if honest_on > 0.0 {
+            free_on / honest_on
+        } else {
+            0.0
+        },
     );
     Ok(())
 }

@@ -69,9 +69,19 @@ fn collusion_inflates_eigentrust_not_multidimensional() {
     md.recompute(t);
 
     let mean = |v: Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
-    let et_clique = mean(clique.iter().map(|&c| et.reputation(honest[1], c)).collect());
-    let et_honest =
-        mean(honest.iter().skip(1).map(|&h| et.reputation(honest[1], h)).collect());
+    let et_clique = mean(
+        clique
+            .iter()
+            .map(|&c| et.reputation(honest[1], c))
+            .collect(),
+    );
+    let et_honest = mean(
+        honest
+            .iter()
+            .skip(1)
+            .map(|&h| et.reputation(honest[1], h))
+            .collect(),
+    );
     let mut md_clique_values = Vec::new();
     let mut md_honest_values = Vec::new();
     for &v in &honest {
@@ -153,8 +163,7 @@ fn audit_catches_list_copying_across_trace() {
         assert!(!auditor.audit(end, profile.id(), &published).is_forged());
         // A short re-examination with naturally drifted (slightly older)
         // evaluations stays consistent.
-        let earlier = engine
-            .published_evaluations(profile.id(), end + SimDuration::from_hours(12));
+        let earlier = engine.published_evaluations(profile.id(), end + SimDuration::from_hours(12));
         assert!(
             !auditor.audit(end, profile.id(), &earlier).is_forged(),
             "natural drift must pass for {}",

@@ -8,7 +8,11 @@ use mdrep_repro::dht::{Dht, DhtConfig, EvaluationInfo, EvaluationPublisher, Key}
 use mdrep_repro::types::{Evaluation, FileId, FileSize, SimDuration, SimTime, UserId};
 
 fn overlay(n: u64, loss: f64, seed: u64) -> (Dht, KeyRegistry) {
-    let mut dht = Dht::new(DhtConfig { message_loss: loss, seed, ..DhtConfig::default() });
+    let mut dht = Dht::new(DhtConfig {
+        message_loss: loss,
+        seed,
+        ..DhtConfig::default()
+    });
     let mut registry = KeyRegistry::new();
     for i in 0..n {
         dht.join(UserId::new(i), SimTime::ZERO);
@@ -26,7 +30,10 @@ fn figure_two_pipeline_end_to_end() {
 
     // Owners publish signed evaluations (step 1).
     for (owner, value) in [(1u64, 0.9), (2, 0.8), (3, 0.2)] {
-        let key = registry.key_of(UserId::new(owner)).expect("registered").clone();
+        let key = registry
+            .key_of(UserId::new(owner))
+            .expect("registered")
+            .clone();
         publisher
             .publish(
                 &mut dht,
@@ -40,16 +47,22 @@ fn figure_two_pipeline_end_to_end() {
     }
 
     // The viewer retrieves and verifies them (step 3).
-    let records =
-        publisher.retrieve(&mut dht, &registry, viewer, file, SimTime::ZERO).expect("online");
+    let records = publisher
+        .retrieve(&mut dht, &registry, viewer, file, SimTime::ZERO)
+        .expect("online");
     assert_eq!(records.len(), 3);
     assert!(records.iter().all(|r| r.valid));
 
     // The viewer computes the file's reputation from its own trust (steps
     // 4–5): here it trusts owner 1 fully and nobody else.
     let mut engine = ReputationEngine::new(Params::default());
-    engine.observe_download(SimTime::ZERO, viewer, UserId::new(1), FileId::new(99),
-        FileSize::from_mib(10));
+    engine.observe_download(
+        SimTime::ZERO,
+        viewer,
+        UserId::new(1),
+        FileId::new(99),
+        FileSize::from_mib(10),
+    );
     engine.observe_vote(SimTime::ZERO, viewer, FileId::new(99), Evaluation::BEST);
     engine.recompute(SimTime::ZERO);
 
@@ -58,8 +71,13 @@ fn figure_two_pipeline_end_to_end() {
         .filter(|r| r.valid)
         .map(|r| OwnerEvaluation::new(r.info.owner, r.info.evaluation))
         .collect();
-    let rep = engine.file_reputation(viewer, &evals).expect("owner 1 is reputable");
-    assert!((rep.value() - 0.9).abs() < 1e-9, "only owner 1 counts: {rep}");
+    let rep = engine
+        .file_reputation(viewer, &evals)
+        .expect("owner 1 is reputable");
+    assert!(
+        (rep.value() - 0.9).abs() < 1e-9,
+        "only owner 1 counts: {rep}"
+    );
 }
 
 #[test]
@@ -71,8 +89,13 @@ fn forged_records_never_verify() {
     // Attacker 5 forges a record in user 1's name with its own key.
     let attacker_key = registry.key_of(UserId::new(5)).expect("registered").clone();
     let forged = EvaluationInfo::signed(file, UserId::new(1), Evaluation::BEST, &attacker_key);
-    dht.store(UserId::new(5), Key::for_file(file), forged.encode(), SimTime::ZERO)
-        .expect("store succeeds");
+    dht.store(
+        UserId::new(5),
+        Key::for_file(file),
+        forged.encode(),
+        SimTime::ZERO,
+    )
+    .expect("store succeeds");
 
     let records = publisher
         .retrieve(&mut dht, &registry, UserId::new(2), file, SimTime::ZERO)
@@ -92,7 +115,14 @@ fn lossy_network_still_converges_with_retries() {
     let mut published = false;
     for _ in 0..20 {
         if publisher
-            .publish(&mut dht, &key, UserId::new(0), file, Evaluation::BEST, SimTime::ZERO)
+            .publish(
+                &mut dht,
+                &key,
+                UserId::new(0),
+                file,
+                Evaluation::BEST,
+                SimTime::ZERO,
+            )
             .is_ok()
         {
             published = true;
@@ -123,7 +153,14 @@ fn mass_churn_darkens_unreplicated_evaluations() {
     let key = registry.key_of(UserId::new(0)).expect("registered").clone();
     for f in 0..30u64 {
         publisher
-            .publish(&mut dht, &key, UserId::new(0), FileId::new(f), Evaluation::BEST, SimTime::ZERO)
+            .publish(
+                &mut dht,
+                &key,
+                UserId::new(0),
+                FileId::new(f),
+                Evaluation::BEST,
+                SimTime::ZERO,
+            )
             .expect("store succeeds");
     }
     // Everyone except one asker and the publisher leaves.
@@ -133,20 +170,36 @@ fn mass_churn_darkens_unreplicated_evaluations() {
     let mut found = 0;
     for f in 0..30u64 {
         let records = publisher
-            .retrieve(&mut dht, &registry, UserId::new(1), FileId::new(f), SimTime::ZERO)
+            .retrieve(
+                &mut dht,
+                &registry,
+                UserId::new(1),
+                FileId::new(f),
+                SimTime::ZERO,
+            )
             .expect("asker online");
         if !records.is_empty() {
             found += 1;
         }
     }
-    assert!(found < 30, "mass churn must lose some replicas (found {found})");
+    assert!(
+        found < 30,
+        "mass churn must lose some replicas (found {found})"
+    );
 
     // Republication by the (online) publisher restores availability.
-    dht.republish(UserId::new(0), SimTime::ZERO).expect("publisher online");
+    dht.republish(UserId::new(0), SimTime::ZERO)
+        .expect("publisher online");
     let mut after = 0;
     for f in 0..30u64 {
         let records = publisher
-            .retrieve(&mut dht, &registry, UserId::new(1), FileId::new(f), SimTime::ZERO)
+            .retrieve(
+                &mut dht,
+                &registry,
+                UserId::new(1),
+                FileId::new(f),
+                SimTime::ZERO,
+            )
             .expect("asker online");
         if !records.is_empty() {
             after += 1;
@@ -163,7 +216,14 @@ fn ttl_expiry_then_republish_cycle() {
     let key = registry.key_of(UserId::new(3)).expect("registered").clone();
     let file = FileId::new(2);
     publisher
-        .publish(&mut dht, &key, UserId::new(3), file, Evaluation::BEST, SimTime::ZERO)
+        .publish(
+            &mut dht,
+            &key,
+            UserId::new(3),
+            file,
+            Evaluation::BEST,
+            SimTime::ZERO,
+        )
         .expect("store succeeds");
 
     let after_ttl = SimTime::ZERO + SimDuration::from_hours(25);
@@ -172,7 +232,8 @@ fn ttl_expiry_then_republish_cycle() {
         .expect("online");
     assert!(gone.is_empty(), "TTL expired");
 
-    dht.republish(UserId::new(3), after_ttl).expect("publisher online");
+    dht.republish(UserId::new(3), after_ttl)
+        .expect("publisher online");
     let back = publisher
         .retrieve(&mut dht, &registry, UserId::new(4), file, after_ttl)
         .expect("online");

@@ -32,7 +32,10 @@ fn build() -> (Trace, ReputationEngine, SimTime) {
 fn coverage_is_substantial_with_implicit_evaluations() {
     let (trace, engine, _) = build();
     let coverage = engine.request_coverage(&trace.request_pairs());
-    assert!(coverage > 0.5, "implicit evaluations should cover most requests, got {coverage}");
+    assert!(
+        coverage > 0.5,
+        "implicit evaluations should cover most requests, got {coverage}"
+    );
 }
 
 #[test]
@@ -134,7 +137,10 @@ fn expiry_shrinks_the_store_and_coverage() {
     assert!(dropped > 0);
     engine.recompute(far);
     let after = engine.request_coverage(&trace.request_pairs());
-    assert!(after < before, "coverage must fall after expiry: {after} vs {before}");
+    assert!(
+        after < before,
+        "coverage must fall after expiry: {after} vs {before}"
+    );
 }
 
 #[test]
@@ -165,7 +171,11 @@ fn honest_observers_rank_polluters_below_honest_peers() {
     engine.recompute(SimTime::ZERO + SimDuration::from_days(10));
     let mut honest_sum = (0.0, 0usize);
     let mut polluter_sum = (0.0, 0usize);
-    for viewer in trace.population().iter().filter(|p| p.behavior() == Behavior::Honest) {
+    for viewer in trace
+        .population()
+        .iter()
+        .filter(|p| p.behavior() == Behavior::Honest)
+    {
         for target in trace.population().iter() {
             if viewer.id() == target.id() {
                 continue;

@@ -39,7 +39,11 @@ fn log_replay_is_equivalent_to_direct_feeding() {
             EventKind::Publish { user, file } => {
                 replayed.observe_publish(event.time, user, file);
             }
-            EventKind::Download { downloader, uploader, file } => {
+            EventKind::Download {
+                downloader,
+                uploader,
+                file,
+            } => {
                 let size = sizes.get(&file).copied().unwrap_or(FileSize::ZERO);
                 replayed.observe_download(event.time, downloader, uploader, file, size);
             }
@@ -47,7 +51,11 @@ fn log_replay_is_equivalent_to_direct_feeding() {
                 replayed.observe_vote(event.time, user, file, value);
             }
             EventKind::Delete { user, file } => replayed.observe_delete(event.time, user, file),
-            EventKind::RankUser { rater, target, value } => {
+            EventKind::RankUser {
+                rater,
+                target,
+                value,
+            } => {
                 replayed.observe_rank(rater, target, value);
             }
             EventKind::Whitewash { user } => replayed.observe_whitewash(user),

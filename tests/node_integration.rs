@@ -24,7 +24,8 @@ fn contributors_earn_better_service_than_strangers() {
     // The contributor serves the uploader several good files and votes.
     for i in 0..6u64 {
         let file = FileId::new(i);
-        c.publish(contributor, file, FileSize::from_mib(30), now).unwrap();
+        c.publish(contributor, file, FileSize::from_mib(30), now)
+            .unwrap();
         now += SimDuration::from_hours(2);
         let outcome = c.request(uploader, file, now).unwrap();
         assert!(outcome.is_completed());
@@ -35,7 +36,8 @@ fn contributors_earn_better_service_than_strangers() {
 
     // Both now request a file the uploader publishes.
     let hot = FileId::new(100);
-    c.publish(uploader, hot, FileSize::from_mib(30), now).unwrap();
+    c.publish(uploader, hot, FileSize::from_mib(30), now)
+        .unwrap();
     let (svc_contrib, svc_stranger) = match (
         c.request(contributor, hot, now).unwrap(),
         c.request(stranger, hot, now).unwrap(),
@@ -59,7 +61,8 @@ fn community_learns_to_reject_a_polluted_file() {
     let polluter = UserId::new(15);
     let fake = FileId::new(50);
     let mut now = SimTime::ZERO;
-    c.publish(polluter, fake, FileSize::from_mib(10), now).unwrap();
+    c.publish(polluter, fake, FileSize::from_mib(10), now)
+        .unwrap();
 
     // A few victims download, discover, vote down, delete; everyone
     // befriends the victims through good experiences elsewhere.
@@ -103,7 +106,11 @@ fn whitewashing_forfeits_everything() {
         c.vote(observer, file, Evaluation::BEST, now).unwrap();
     }
     c.tick(now);
-    let before = c.peer(observer).unwrap().engine().reputation(observer, cheat);
+    let before = c
+        .peer(observer)
+        .unwrap()
+        .engine()
+        .reputation(observer, cheat);
     assert!(before > 0.0);
     let old_score = c.peer(cheat).unwrap().ledger().score(cheat);
     assert!(old_score > 0.0);
@@ -117,7 +124,10 @@ fn whitewashing_forfeits_everything() {
     assert!(fresh_peer.library().is_empty());
     assert_eq!(fresh_peer.ledger().score(fresh), 0.0);
     assert_eq!(
-        c.peer(observer).unwrap().engine().reputation(observer, fresh),
+        c.peer(observer)
+            .unwrap()
+            .engine()
+            .reputation(observer, fresh),
         0.0,
         "nobody knows the fresh identity"
     );
@@ -128,7 +138,8 @@ fn ttl_survival_under_maintenance_and_churn() {
     let mut c = community(24);
     let mut now = SimTime::ZERO;
     for i in 0..8u64 {
-        c.publish(UserId::new(i), FileId::new(i), FileSize::from_mib(5), now).unwrap();
+        c.publish(UserId::new(i), FileId::new(i), FileSize::from_mib(5), now)
+            .unwrap();
     }
     // Two days of 6-hour maintenance ticks with rolling churn.
     for round in 0..8u64 {
@@ -141,21 +152,35 @@ fn ttl_survival_under_maintenance_and_churn() {
     let asker = UserId::new(12);
     let mut served = 0;
     for i in 0..8u64 {
-        if c.request(asker, FileId::new(i), now).unwrap().is_completed() {
+        if c.request(asker, FileId::new(i), now)
+            .unwrap()
+            .is_completed()
+        {
             served += 1;
         }
     }
-    assert!(served >= 6, "republishing keeps the catalog alive, served {served}/8");
+    assert!(
+        served >= 6,
+        "republishing keeps the catalog alive, served {served}/8"
+    );
 }
 
 #[test]
 fn dht_message_accounting_is_visible() {
     let mut c = community(12);
     let before = c.dht().stats().total();
-    c.publish(UserId::new(1), FileId::new(1), FileSize::from_mib(1), SimTime::ZERO).unwrap();
+    c.publish(
+        UserId::new(1),
+        FileId::new(1),
+        FileSize::from_mib(1),
+        SimTime::ZERO,
+    )
+    .unwrap();
     let after_publish = c.dht().stats().total();
     assert!(after_publish > before);
-    let _ = c.request(UserId::new(2), FileId::new(1), SimTime::ZERO).unwrap();
+    let _ = c
+        .request(UserId::new(2), FileId::new(1), SimTime::ZERO)
+        .unwrap();
     assert!(c.dht().stats().total() > after_publish);
     assert!(c.dht().stats().find_value >= 1);
 }

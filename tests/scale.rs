@@ -59,7 +59,11 @@ fn dht_with_512_nodes_stays_logarithmic() {
     );
     // And the data is retrievable from far away.
     let got = dht
-        .get(UserId::new(500), Key::for_content(&7u64.to_be_bytes()), SimTime::ZERO)
+        .get(
+            UserId::new(500),
+            Key::for_content(&7u64.to_be_bytes()),
+            SimTime::ZERO,
+        )
         .expect("online");
     assert_eq!(got.len(), 1);
 }
@@ -83,9 +87,11 @@ fn large_scale_simulation() {
     )
     .generate();
     assert!(trace.stats().downloads > 80_000);
-    let report =
-        Simulation::new(SimConfig::default(), MultiDimensional::new(Params::default()))
-            .run(&trace);
+    let report = Simulation::new(
+        SimConfig::default(),
+        MultiDimensional::new(Params::default()),
+    )
+    .run(&trace);
     assert_eq!(report.requests, trace.stats().downloads);
     assert!(report.final_coverage().unwrap_or(0.0) > 0.5);
 }
@@ -110,11 +116,18 @@ fn dht_4096_nodes() {
     let mut found = 0;
     for k in 0..200u64 {
         let got = dht
-            .get(UserId::new((k * 31) % 4096), Key::for_content(&k.to_be_bytes()), SimTime::ZERO)
+            .get(
+                UserId::new((k * 31) % 4096),
+                Key::for_content(&k.to_be_bytes()),
+                SimTime::ZERO,
+            )
             .expect("online");
         if got.contains(&k.to_be_bytes().to_vec()) {
             found += 1;
         }
     }
-    assert_eq!(found, 200, "every stored value is retrievable at 4096 nodes");
+    assert_eq!(
+        found, 200,
+        "every stored value is retrievable at 4096 nodes"
+    );
 }

@@ -1,8 +1,8 @@
 //! Integration of workload × reputation systems × overlay simulator.
 
 use mdrep_repro::baselines::{
-    EigenTrust, EigenTrustConfig, Lip, LipConfig, MultiDimensional, MultiTrustHybrid,
-    NoReputation, TitForTat,
+    EigenTrust, EigenTrustConfig, Lip, LipConfig, MultiDimensional, MultiTrustHybrid, NoReputation,
+    TitForTat,
 };
 use mdrep_repro::core::Params;
 use mdrep_repro::sim::{SimConfig, Simulation};
@@ -30,15 +30,26 @@ fn every_system_completes_a_replay() {
     let reports = [
         Simulation::new(SimConfig::default(), NoReputation::new()).run(&t),
         Simulation::new(SimConfig::default(), TitForTat::new()).run(&t),
-        Simulation::new(SimConfig::default(), EigenTrust::new(EigenTrustConfig::default()))
-            .run(&t),
+        Simulation::new(
+            SimConfig::default(),
+            EigenTrust::new(EigenTrustConfig::default()),
+        )
+        .run(&t),
         Simulation::new(SimConfig::default(), MultiTrustHybrid::new(2)).run(&t),
         Simulation::new(SimConfig::default(), Lip::new(LipConfig::default())).run(&t),
-        Simulation::new(SimConfig::default(), MultiDimensional::new(Params::default()))
-            .run(&t),
+        Simulation::new(
+            SimConfig::default(),
+            MultiDimensional::new(Params::default()),
+        )
+        .run(&t),
     ];
     for report in &reports {
-        assert_eq!(report.requests, t.stats().downloads, "system {}", report.system);
+        assert_eq!(
+            report.requests,
+            t.stats().downloads,
+            "system {}",
+            report.system
+        );
         let served: usize = report.class_stats.values().map(|s| s.served).sum();
         assert_eq!(served, report.requests, "system {}", report.system);
         assert!(!report.coverage_series.is_empty());
@@ -53,8 +64,11 @@ fn every_system_completes_a_replay() {
 #[test]
 fn multi_dimensional_covers_more_than_tit_for_tat() {
     let t = trace(2);
-    let md =
-        Simulation::new(SimConfig::default(), MultiDimensional::new(Params::default())).run(&t);
+    let md = Simulation::new(
+        SimConfig::default(),
+        MultiDimensional::new(Params::default()),
+    )
+    .run(&t);
     let tft = Simulation::new(SimConfig::default(), TitForTat::new()).run(&t);
     let none = Simulation::new(SimConfig::default(), NoReputation::new()).run(&t);
     assert!(md.mean_coverage() > tft.mean_coverage());
@@ -64,10 +78,16 @@ fn multi_dimensional_covers_more_than_tit_for_tat() {
 #[test]
 fn filtering_strictly_reduces_fake_downloads_on_polluted_traces() {
     let t = trace(3);
-    let filter = SimConfig { filter_fakes: true, ..SimConfig::default() };
+    let filter = SimConfig {
+        filter_fakes: true,
+        ..SimConfig::default()
+    };
     let with = Simulation::new(filter, MultiDimensional::new(Params::default())).run(&t);
-    let without =
-        Simulation::new(SimConfig::default(), MultiDimensional::new(Params::default())).run(&t);
+    let without = Simulation::new(
+        SimConfig::default(),
+        MultiDimensional::new(Params::default()),
+    )
+    .run(&t);
     assert!(with.fakes.fake_downloads < without.fakes.fake_downloads);
     assert_eq!(
         with.fakes.fake_downloads + with.fakes.fakes_avoided,
@@ -80,8 +100,11 @@ fn filtering_strictly_reduces_fake_downloads_on_polluted_traces() {
 #[test]
 fn coverage_series_times_are_monotone() {
     let t = trace(4);
-    let report =
-        Simulation::new(SimConfig::default(), MultiDimensional::new(Params::default())).run(&t);
+    let report = Simulation::new(
+        SimConfig::default(),
+        MultiDimensional::new(Params::default()),
+    )
+    .run(&t);
     for pair in report.coverage_series.windows(2) {
         assert!(pair[0].time < pair[1].time);
         assert!((0.0..=1.0).contains(&pair[0].coverage));
@@ -94,10 +117,16 @@ fn coverage_series_times_are_monotone() {
 fn identical_seeds_give_identical_reports() {
     let ta = trace(5);
     let tb = trace(5);
-    let ra =
-        Simulation::new(SimConfig::default(), MultiDimensional::new(Params::default())).run(&ta);
-    let rb =
-        Simulation::new(SimConfig::default(), MultiDimensional::new(Params::default())).run(&tb);
+    let ra = Simulation::new(
+        SimConfig::default(),
+        MultiDimensional::new(Params::default()),
+    )
+    .run(&ta);
+    let rb = Simulation::new(
+        SimConfig::default(),
+        MultiDimensional::new(Params::default()),
+    )
+    .run(&tb);
     assert_eq!(ra.requests, rb.requests);
     assert_eq!(ra.fakes, rb.fakes);
     assert_eq!(ra.coverage_series.len(), rb.coverage_series.len());
@@ -109,8 +138,11 @@ fn identical_seeds_give_identical_reports() {
 #[test]
 fn warm_stats_are_a_subset_of_full_stats() {
     let t = trace(6);
-    let report =
-        Simulation::new(SimConfig::default(), MultiDimensional::new(Params::default())).run(&t);
+    let report = Simulation::new(
+        SimConfig::default(),
+        MultiDimensional::new(Params::default()),
+    )
+    .run(&t);
     for (class, warm) in &report.warm_class_stats {
         let full = report.class_stats.get(class).expect("warm implies full");
         assert!(warm.served <= full.served);
