@@ -1,0 +1,117 @@
+//! Incremental vs. full recompute on a large overlay.
+//!
+//! The scenario CI gates on: a 2000-user engine in steady state, with ~1%
+//! of rows invalidated by fresh events since the last recompute. The
+//! dirty-row path must beat a from-scratch rebuild by a wide margin (the
+//! `BENCH_incremental.json` baseline asserts ≥ 5×) while producing
+//! bit-identical matrices — the equivalence is checked in the setup here
+//! and property-tested in `mdrep`'s suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdrep::{Params, RecomputeMode, ReputationEngine};
+use mdrep_types::{Evaluation, FileId, SimTime, UserId};
+use mdrep_workload::{BehaviorMix, TraceBuilder, WorkloadConfig};
+use std::hint::black_box;
+
+const USERS: usize = 2000;
+/// Fraction of rows dirtied between recomputes.
+const DIRTY_FRACTION: f64 = 0.01;
+
+/// A steady-state engine: full trace ingested, matrices computed, then a
+/// 1%-of-users burst of fresh events at the same timestamp (so retention
+/// drift does not dirty extra rows and the measurement isolates the event
+/// dirt itself).
+fn dirty_engine() -> (ReputationEngine, SimTime) {
+    let trace = TraceBuilder::new(
+        WorkloadConfig::builder()
+            .users(USERS)
+            .titles(USERS * 2)
+            .days(2)
+            .behavior_mix(BehaviorMix::realistic())
+            .pollution_rate(0.3)
+            .seed(9)
+            .build()
+            .expect("valid config"),
+    )
+    .generate();
+    let mut engine = ReputationEngine::new(Params::default());
+    for event in trace.events() {
+        engine.observe_trace_event(event, trace.catalog());
+    }
+    let end = SimTime::from_ticks(2 * 86_400);
+    engine.recompute(end);
+
+    // Each touched user votes on a fresh (unshared) file and re-ranks a
+    // neighbor: FM, DM and UM rows all go dirty, but no co-evaluator
+    // fan-out inflates the dirty set past the target fraction.
+    let burst = ((USERS as f64 * DIRTY_FRACTION) as usize).max(1);
+    for i in 0..burst {
+        let user = UserId::new(i as u64 * 97 % USERS as u64);
+        let file = FileId::new(1_000_000 + i as u64);
+        engine.observe_vote(end, user, file, Evaluation::BEST);
+        engine.observe_rank(
+            user,
+            UserId::new((i as u64 + 1) % USERS as u64),
+            Evaluation::BEST,
+        );
+    }
+    (engine, end)
+}
+
+fn bench_incremental_vs_full(c: &mut Criterion) {
+    let (engine, end) = dirty_engine();
+    assert!(
+        engine.pending_dirty_rows() <= USERS * 3 / 100,
+        "dirty set stayed near the target fraction: {}",
+        engine.pending_dirty_rows()
+    );
+
+    // Sanity: the incremental path engages and matches the batch result.
+    {
+        let mut inc = engine.clone();
+        inc.recompute(end);
+        assert_eq!(inc.last_recompute_mode(), Some(RecomputeMode::Incremental));
+        let mut full = engine.clone();
+        full.full_rebuild(end);
+        assert_eq!(
+            inc.reputation_matrix().unwrap().matrix(),
+            full.reputation_matrix().unwrap().matrix(),
+            "incremental and full recompute diverged"
+        );
+    }
+
+    let mut group = c.benchmark_group("engine/incremental_2000");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::from_parameter("dirty_1pct"),
+        &engine,
+        |b, engine| {
+            b.iter_batched(
+                || engine.clone(),
+                |mut e| {
+                    e.recompute(end);
+                    black_box(e)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("full_rebuild"),
+        &engine,
+        |b, engine| {
+            b.iter_batched(
+                || engine.clone(),
+                |mut e| {
+                    e.full_rebuild(end);
+                    black_box(e)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_vs_full);
+criterion_main!(benches);

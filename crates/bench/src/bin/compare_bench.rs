@@ -1,0 +1,308 @@
+//! Gate benchmark results against a checked-in baseline.
+//!
+//! The bench binaries write flat JSON digests (`{"group/name": mean_ns}`)
+//! via the criterion shim's `--metrics-out`. This tool compares such a
+//! digest against a baseline in two modes:
+//!
+//! ```text
+//! compare_bench BASELINE.json CURRENT.json [--tolerance 0.10] [--absolute]
+//! compare_bench CURRENT.json --ratio NUM_KEY DEN_KEY --min 5.0
+//! ```
+//!
+//! The first mode fails (exit 1) when any benchmark regressed by more than
+//! the tolerance. Because CI runners and the machine that produced the
+//! baseline differ in raw speed, the default comparison is **median
+//! normalized**: every `current/baseline` ratio is divided by the median
+//! ratio across all shared keys, so a uniformly slower machine cancels out
+//! and only *relative* regressions trip the gate. `--absolute` skips the
+//! normalization (for same-machine comparisons).
+//!
+//! The second mode asserts a ratio between two keys of one digest — e.g.
+//! that a full rebuild costs at least 5× an incremental recompute — which
+//! is machine-independent by construction.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("compare_bench: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let (files, opts) = parse_args(args)?;
+    match opts.ratio {
+        Some((num, den)) => {
+            let [current] = files.as_slice() else {
+                return Err("--ratio mode takes exactly one digest file".into());
+            };
+            let digest = load_digest(current)?;
+            check_ratio(&digest, &num, &den, opts.min.unwrap_or(1.0))
+        }
+        None => {
+            let [baseline, current] = files.as_slice() else {
+                return Err("usage: compare_bench BASELINE.json CURRENT.json".into());
+            };
+            let base = load_digest(baseline)?;
+            let cur = load_digest(current)?;
+            check_regressions(&base, &cur, opts.tolerance, opts.absolute)
+        }
+    }
+}
+
+struct Options {
+    tolerance: f64,
+    absolute: bool,
+    ratio: Option<(String, String)>,
+    min: Option<f64>,
+}
+
+fn parse_args(args: &[String]) -> Result<(Vec<String>, Options), String> {
+    let mut files = Vec::new();
+    let mut opts = Options {
+        tolerance: 0.10,
+        absolute: false,
+        ratio: None,
+        min: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let v = it.next().ok_or("--tolerance needs a value")?;
+                opts.tolerance = v.parse().map_err(|_| format!("bad tolerance: {v}"))?;
+            }
+            "--absolute" => opts.absolute = true,
+            "--ratio" => {
+                let num = it.next().ok_or("--ratio needs NUM_KEY DEN_KEY")?;
+                let den = it.next().ok_or("--ratio needs NUM_KEY DEN_KEY")?;
+                opts.ratio = Some((num.clone(), den.clone()));
+            }
+            "--min" => {
+                let v = it.next().ok_or("--min needs a value")?;
+                opts.min = Some(v.parse().map_err(|_| format!("bad min: {v}"))?);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag: {other}"));
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    Ok((files, opts))
+}
+
+fn load_digest(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let digest = parse_flat_json(&body).map_err(|e| format!("{path}: {e}"))?;
+    if digest.is_empty() {
+        return Err(format!("{path}: no benchmark entries"));
+    }
+    Ok(digest)
+}
+
+/// Parses the flat `{"key": number, ...}` JSON the criterion shim and the
+/// obs registry emit. Not a general JSON parser: nested objects and arrays
+/// are rejected, which is exactly right for a gate that should fail loudly
+/// on unexpected input.
+fn parse_flat_json(body: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    let trimmed = body.trim();
+    let inner = trimmed
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("not a JSON object")?;
+    for raw_line in inner.split(',') {
+        let line = raw_line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("bad entry: {line}"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted key: {key}"))?;
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("non-numeric value for {key}: {}", value.trim()))?;
+        out.insert(key.to_string(), value);
+    }
+    Ok(out)
+}
+
+fn check_ratio(
+    digest: &BTreeMap<String, f64>,
+    num: &str,
+    den: &str,
+    min: f64,
+) -> Result<String, String> {
+    let numerator = *digest
+        .get(num)
+        .ok_or_else(|| format!("missing key: {num}"))?;
+    let denominator = *digest
+        .get(den)
+        .ok_or_else(|| format!("missing key: {den}"))?;
+    if denominator <= 0.0 {
+        return Err(format!("non-positive denominator for {den}: {denominator}"));
+    }
+    let ratio = numerator / denominator;
+    if ratio < min {
+        return Err(format!(
+            "ratio {num} / {den} = {ratio:.2}, below required minimum {min:.2}"
+        ));
+    }
+    Ok(format!(
+        "ratio {num} / {den} = {ratio:.2} (>= {min:.2}) — ok"
+    ))
+}
+
+fn check_regressions(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    tolerance: f64,
+    absolute: bool,
+) -> Result<String, String> {
+    let mut ratios: Vec<(String, f64)> = baseline
+        .iter()
+        .filter_map(|(key, &base)| {
+            let cur = *current.get(key)?;
+            (base > 0.0).then(|| (key.clone(), cur / base))
+        })
+        .collect();
+    if ratios.is_empty() {
+        return Err("baseline and current share no benchmark keys".into());
+    }
+    let scale = if absolute { 1.0 } else { median(&ratios) };
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    for (key, ratio) in &mut ratios {
+        let normalized = *ratio / scale;
+        let verdict = if normalized > 1.0 + tolerance {
+            failures.push(key.clone());
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        lines.push(format!("{key:<56} {normalized:>6.3}x  {verdict}"));
+    }
+    let header = format!(
+        "{} benchmarks, machine-speed scale {scale:.3}, tolerance {:.0}%",
+        ratios.len(),
+        tolerance * 100.0
+    );
+    let report = format!("{header}\n{}", lines.join("\n"));
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(format!("{report}\nregressions: {}", failures.join(", ")))
+    }
+}
+
+/// Median of the ratio values (mean of the middle two for even counts).
+fn median(ratios: &[(String, f64)]) -> f64 {
+    let mut values: Vec<f64> = ratios.iter().map(|(_, r)| *r).collect();
+    values.sort_by(|a, b| a.total_cmp(b));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn parses_shim_output() {
+        let body = "{\n  \"engine/a\": 120.5,\n  \"engine/b\": 90\n}\n";
+        let d = parse_flat_json(body).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d["engine/a"], 120.5);
+    }
+
+    #[test]
+    fn rejects_nested_json() {
+        assert!(parse_flat_json("{\"a\": {\"b\": 1}}").is_err());
+        assert!(parse_flat_json("[1, 2]").is_err());
+    }
+
+    #[test]
+    fn ratio_mode_enforces_minimum() {
+        let d = digest(&[("full", 1000.0), ("inc", 100.0)]);
+        assert!(check_ratio(&d, "full", "inc", 5.0).is_ok());
+        assert!(check_ratio(&d, "full", "inc", 20.0).is_err());
+        assert!(check_ratio(&d, "missing", "inc", 1.0).is_err());
+    }
+
+    #[test]
+    fn median_normalization_cancels_machine_speed() {
+        let base = digest(&[("a", 100.0), ("b", 200.0), ("c", 300.0)]);
+        // Every benchmark 2x slower — a slower machine, not a regression.
+        let cur = digest(&[("a", 200.0), ("b", 400.0), ("c", 600.0)]);
+        assert!(check_regressions(&base, &cur, 0.10, false).is_ok());
+        // In absolute mode the same digest is a 2x regression.
+        assert!(check_regressions(&base, &cur, 0.10, true).is_err());
+    }
+
+    #[test]
+    fn relative_regression_still_trips() {
+        let base = digest(&[("a", 100.0), ("b", 200.0), ("c", 300.0)]);
+        // Machine 2x slower AND benchmark c regressed another 50%.
+        let cur = digest(&[("a", 200.0), ("b", 400.0), ("c", 900.0)]);
+        let err = check_regressions(&base, &cur, 0.10, false).unwrap_err();
+        assert!(err.contains("regressions: c"), "{err}");
+    }
+
+    #[test]
+    fn disjoint_digests_error() {
+        let base = digest(&[("a", 100.0)]);
+        let cur = digest(&[("b", 100.0)]);
+        assert!(check_regressions(&base, &cur, 0.10, false).is_err());
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let (files, opts) = parse_args(&[
+            "base.json".into(),
+            "cur.json".into(),
+            "--tolerance".into(),
+            "0.2".into(),
+        ])
+        .unwrap();
+        assert_eq!(files, vec!["base.json", "cur.json"]);
+        assert_eq!(opts.tolerance, 0.2);
+        assert!(!opts.absolute);
+
+        let (_, opts) = parse_args(&[
+            "cur.json".into(),
+            "--ratio".into(),
+            "full".into(),
+            "inc".into(),
+            "--min".into(),
+            "5".into(),
+        ])
+        .unwrap();
+        assert_eq!(opts.ratio, Some(("full".into(), "inc".into())));
+        assert_eq!(opts.min, Some(5.0));
+
+        assert!(parse_args(&["--bogus".into()]).is_err());
+    }
+}

@@ -12,16 +12,16 @@ use crate::eval::EvaluationStore;
 use crate::file_reputation::{
     download_decision, file_reputation, DownloadDecision, OwnerEvaluation,
 };
-use crate::file_trust::{FileTrust, FileTrustOptions};
+use crate::file_trust::{FileTrustOptions, FileTrustState};
 use crate::incentive::{ServiceDecision, ServicePolicy};
 use crate::params::Params;
 use crate::reputation::ReputationMatrix;
 use crate::user_trust::UserTrust;
 use crate::volume_trust::VolumeTrust;
-use mdrep_matrix::{blend, SparseMatrix};
+use mdrep_matrix::{blend_parallel, blend_row, build_rows_parallel, normalized_row, SparseMatrix};
 use mdrep_types::{Evaluation, FileId, FileSize, SimTime, UserId};
 use mdrep_workload::{Catalog, EventKind, TraceEvent};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// The one-step matrices of the last recomputation, kept for inspection and
 /// experiments.
@@ -37,7 +37,34 @@ pub struct TrustComponents {
     pub tm: SparseMatrix,
 }
 
+/// How a [`ReputationEngine::recompute`] call actually ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecomputeMode {
+    /// Batch rebuild of every matrix (first recompute, incremental path
+    /// disabled, or an explicit [`ReputationEngine::full_rebuild`]).
+    Full,
+    /// Only the dirty rows were rebuilt, renormalized, and re-blended.
+    Incremental,
+    /// The dirty fraction exceeded
+    /// [`Params::incremental_threshold`](crate::Params::incremental_threshold),
+    /// so the engine fell back to a batch rebuild.
+    FallbackFull,
+}
+
 /// The multi-dimensional reputation engine (see crate docs for the model).
+///
+/// # Incremental recompute
+///
+/// Every `observe_*` entry point records which matrix rows it invalidated:
+/// an event on file `f` dirties the `FM` rows of *all* current evaluators
+/// of `f` (any pair among them can change), the actor's `DM` row, and — for
+/// rankings — the rater's `UM` row. [`recompute`](Self::recompute) then
+/// rebuilds only those rows in place, renormalizes them, re-blends the
+/// affected `TM` rows, and patches `RM`, producing bit-identical results to
+/// the batch path. When the dirty fraction exceeds
+/// [`Params::incremental_threshold`](crate::Params::incremental_threshold)
+/// it falls back to the batch rebuild automatically;
+/// [`full_rebuild`](Self::full_rebuild) forces one.
 ///
 /// # Examples
 ///
@@ -59,9 +86,18 @@ pub struct ReputationEngine {
     evals: EvaluationStore,
     volume: VolumeTrust,
     user_trust: UserTrust,
+    file_trust: FileTrustState,
+    /// Files whose evaluation set changed since the last recompute. Kept as
+    /// files rather than expanded to evaluator rows eagerly: a popular file
+    /// has many co-evaluators, and expanding once per recompute instead of
+    /// once per event keeps ingestion O(log n) per event.
+    dirty_files: BTreeSet<FileId>,
     rm: Option<ReputationMatrix>,
     components: Option<TrustComponents>,
     punished: HashSet<UserId>,
+    last_recompute: Option<SimTime>,
+    last_mode: Option<RecomputeMode>,
+    last_dirty_rows: usize,
 }
 
 impl ReputationEngine {
@@ -81,9 +117,14 @@ impl ReputationEngine {
             evals: EvaluationStore::new(),
             volume: VolumeTrust::new(),
             user_trust: UserTrust::new(),
+            file_trust: FileTrustState::new(),
+            dirty_files: BTreeSet::new(),
             rm: None,
             components: None,
             punished: HashSet::new(),
+            last_recompute: None,
+            last_mode: None,
+            last_dirty_rows: 0,
         }
     }
 
@@ -91,6 +132,34 @@ impl ReputationEngine {
     #[must_use]
     pub fn params(&self) -> &Params {
         &self.params
+    }
+
+    /// Whether dirty-row bookkeeping is worth the per-event cost: with a
+    /// zero threshold every recompute is a batch rebuild anyway.
+    fn dirty_tracking_enabled(&self) -> bool {
+        self.params.incremental_threshold() > 0.0
+    }
+
+    /// Notes that an evaluation change on `file` invalidated `FM` rows: all
+    /// of its *current* evaluators. A pair of them can change directly
+    /// (shared-file distance) or through the evaluator-cap prefix, and a
+    /// pair with at least one evaluator outside this set is untouched by
+    /// the event — the invariant the dirty-row rebuild relies on. The
+    /// expansion to evaluator rows is deferred to
+    /// [`expand_dirty_files`](Self::expand_dirty_files) at recompute time;
+    /// evaluator sets only grow between recomputes (shrinking paths —
+    /// expiry, whitewash — dirty the affected rows themselves), so the
+    /// deferred expansion reaches every row the per-event one would have.
+    fn dirty_file_coevaluators(&mut self, file: FileId) {
+        self.dirty_files.insert(file);
+    }
+
+    /// Folds the deferred per-file dirt into the `FM` dirty-row set.
+    fn expand_dirty_files(&mut self) {
+        for file in std::mem::take(&mut self.dirty_files) {
+            self.file_trust
+                .mark_dirty_many(self.evals.evaluators_of(file));
+        }
     }
 
     /// Records a completed download (starts the retention clock and adds
@@ -106,22 +175,39 @@ impl ReputationEngine {
         self.evals.record_download(time, downloader, file);
         self.volume
             .record_download(downloader, uploader, file, size);
+        if self.dirty_tracking_enabled() {
+            self.dirty_file_coevaluators(file);
+        }
     }
 
     /// Records that `user` published `file` (publication starts a retention
     /// record too — the publisher holds the file).
     pub fn observe_publish(&mut self, time: SimTime, user: UserId, file: FileId) {
         self.evals.record_download(time, user, file);
+        if self.dirty_tracking_enabled() {
+            // Publication resets the retention clock, which can change the
+            // user's own download-volume row too.
+            self.volume.mark_dirty(user);
+            self.dirty_file_coevaluators(file);
+        }
     }
 
     /// Records an explicit vote.
     pub fn observe_vote(&mut self, time: SimTime, user: UserId, file: FileId, value: Evaluation) {
         self.evals.record_vote(time, user, file, value);
+        if self.dirty_tracking_enabled() {
+            self.volume.mark_dirty(user);
+            self.dirty_file_coevaluators(file);
+        }
     }
 
     /// Records a file deletion (freezes the retention clock).
     pub fn observe_delete(&mut self, time: SimTime, user: UserId, file: FileId) {
         self.evals.record_delete(time, user, file);
+        if self.dirty_tracking_enabled() {
+            self.volume.mark_dirty(user);
+            self.dirty_file_coevaluators(file);
+        }
     }
 
     /// Records a user-to-user rating.
@@ -133,6 +219,16 @@ impl ReputationEngine {
     /// what makes whitewashing unprofitable — the fresh identity also has
     /// zero reputation and gets stranger-level service.
     pub fn observe_whitewash(&mut self, user: UserId) {
+        if self.dirty_tracking_enabled() {
+            // Every co-evaluator of the user's files can gain a pair (cap
+            // prefixes shift) …
+            let files: Vec<FileId> = self.evals.files_of(user).collect();
+            for file in files {
+                self.dirty_file_coevaluators(file);
+            }
+            // … and every existing FT partner loses one.
+            self.file_trust.mark_user_removed(user);
+        }
         self.evals.remove_user(user);
         self.volume.remove_user(user);
         self.user_trust.remove_user(user);
@@ -171,46 +267,278 @@ impl ReputationEngine {
     /// Drops evaluations older than the configured interval. Returns how
     /// many records were expired.
     pub fn expire(&mut self, now: SimTime) -> usize {
-        self.evals.expire(now, &self.params)
+        let dropped = self.evals.expire_detailed(now, &self.params);
+        if self.dirty_tracking_enabled() {
+            for &(user, file) in &dropped {
+                self.volume.mark_dirty(user);
+                self.file_trust.mark_dirty(user);
+                // The record is already gone, so this reaches exactly the
+                // *remaining* evaluators whose pairs with `user` must drop.
+                self.dirty_file_coevaluators(file);
+            }
+        }
+        dropped.len()
     }
 
-    /// Rebuilds `FM`, `DM`, `UM`, `TM`, and `RM` from the observations.
+    /// Rebuilds `FM`, `DM`, `UM`, `TM`, and `RM` from the observations —
+    /// incrementally when the dirty-row fraction is below
+    /// [`Params::incremental_threshold`](crate::Params::incremental_threshold),
+    /// batch otherwise. Both paths produce bit-identical matrices.
     ///
     /// Each phase reports its wall time to the global [`mdrep_obs`]
     /// registry under `engine.recompute.*`, along with `engine.*.nnz` /
-    /// `engine.tm.density` gauges describing the blended matrix.
+    /// `engine.tm.density` gauges, the `engine.recompute.dirty_rows` gauge,
+    /// and an `engine.recompute.mode.*` counter recording which path ran.
     pub fn recompute(&mut self, now: SimTime) {
+        self.recompute_inner(now, false);
+    }
+
+    /// Forces a batch rebuild of every matrix, regardless of dirty state —
+    /// the escape hatch (and the reference the equivalence tests compare
+    /// the incremental path against).
+    pub fn full_rebuild(&mut self, now: SimTime) {
+        self.recompute_inner(now, true);
+    }
+
+    fn recompute_inner(&mut self, now: SimTime, force_full: bool) {
         let obs = mdrep_obs::global();
         let _total = obs.span("engine.recompute.total");
         obs.counter_inc("engine.recompute.count");
+
+        let mode = self.plan_mode(now, force_full);
+        self.last_dirty_rows = self.pending_dirty_rows();
+        obs.gauge_set("engine.recompute.dirty_rows", self.last_dirty_rows as f64);
+        match mode {
+            RecomputeMode::Incremental => self.rebuild_incremental(now),
+            RecomputeMode::Full | RecomputeMode::FallbackFull => self.rebuild_full(now),
+        }
+        obs.counter_inc(match mode {
+            RecomputeMode::Full => "engine.recompute.mode.full",
+            RecomputeMode::Incremental => "engine.recompute.mode.incremental",
+            RecomputeMode::FallbackFull => "engine.recompute.mode.fallback",
+        });
+        self.last_recompute = Some(now);
+        self.last_mode = Some(mode);
+    }
+
+    /// Decides the recompute mode and, when the clock moved, folds the
+    /// time-drift dirt in: users whose implicit evaluations were still
+    /// ramping at the previous recompute have changed rows even without new
+    /// events, so they (and their co-evaluators) join the dirty sets.
+    fn plan_mode(&mut self, now: SimTime, force_full: bool) -> RecomputeMode {
+        let threshold = self.params.incremental_threshold();
+        if force_full || threshold <= 0.0 || self.components.is_none() || self.rm.is_none() {
+            return RecomputeMode::Full;
+        }
+        self.expand_dirty_files();
+        let total = self
+            .evals
+            .user_count()
+            .max(self.volume.row_count())
+            .max(self.user_trust.row_count())
+            .max(1);
+        // The dirty-row union can span users from all three stores, so at
+        // threshold 1.0 the budget is unbounded: incremental always wins.
+        let budget = if threshold >= 1.0 {
+            f64::INFINITY
+        } else {
+            threshold * total as f64
+        };
+        if let Some(last) = self.last_recompute {
+            if now != last {
+                let drifting = self
+                    .evals
+                    .users_with_unsaturated_records(last, self.params.retention_saturation());
+                if drifting.len() as f64 > budget {
+                    // Don't pay for the co-evaluator expansion when the
+                    // drifting users alone already bust the budget.
+                    return RecomputeMode::FallbackFull;
+                }
+                for user in drifting {
+                    self.volume.mark_dirty(user);
+                    self.file_trust.mark_dirty(user);
+                    let files: Vec<FileId> = self.evals.files_of(user).collect();
+                    for file in files {
+                        self.dirty_file_coevaluators(file);
+                    }
+                }
+            }
+        }
+        if self.pending_dirty_rows() as f64 > budget {
+            RecomputeMode::FallbackFull
+        } else {
+            RecomputeMode::Incremental
+        }
+    }
+
+    /// The batch path: rebuild every matrix from the stores (rows built and
+    /// blended across [`Params::threads`](crate::Params::threads) workers)
+    /// and clear all dirty state.
+    fn rebuild_full(&mut self, now: SimTime) {
+        let obs = mdrep_obs::global();
+        let threads = self.params.effective_threads();
+        self.dirty_files.clear();
         let fm = {
             let _span = obs.span("engine.recompute.fm_build");
-            FileTrust::compute_with(&self.evals, now, &self.params, self.file_trust_options)
-                .matrix()
+            self.file_trust
+                .full_rebuild(&self.evals, now, &self.params, self.file_trust_options);
+            self.file_trust.raw().normalized_rows_parallel(threads)
         };
         let dm = {
             let _span = obs.span("engine.recompute.dm_build");
-            self.volume.matrix(&self.evals, now, &self.params)
+            self.volume.clear_dirty();
+            self.volume
+                .matrix_parallel(&self.evals, now, &self.params, threads)
         };
         let um = {
             let _span = obs.span("engine.recompute.um_build");
+            self.user_trust.clear_dirty();
             self.user_trust.matrix()
         };
         let w = self.params.weights();
         let tm = {
             let _span = obs.span("engine.recompute.integrate");
-            blend(&[(w.alpha(), &fm), (w.beta(), &dm), (w.gamma(), &um)])
-                .expect("validated weights form a convex combination")
+            blend_parallel(
+                &[(w.alpha(), &fm), (w.beta(), &dm), (w.gamma(), &um)],
+                threads,
+            )
+            .expect("validated weights form a convex combination")
         };
+        let rm = ReputationMatrix::compute(&tm, &self.params);
+        Self::record_matrix_gauges(&tm, &rm);
+        self.rm = Some(rm);
+        self.components = Some(TrustComponents { fm, dm, um, tm });
+    }
+
+    /// The dirty-row path: recompute only invalidated rows in place. Every
+    /// per-row computation (pair accumulation, volume sums, normalization,
+    /// blending) goes through the same helpers as the batch path, in the
+    /// same order, so the patched matrices are bit-identical to a rebuild.
+    fn rebuild_incremental(&mut self, now: SimTime) {
+        let obs = mdrep_obs::global();
+        let threads = self.params.effective_threads();
+        let mut comps = self
+            .components
+            .take()
+            .expect("incremental mode requires prior components");
+        let mut rm = self
+            .rm
+            .take()
+            .expect("incremental mode requires a prior RM");
+
+        let fm_dirty = {
+            let _span = obs.span("engine.recompute.fm_build");
+            let dirty = self.file_trust.apply_dirty(
+                &self.evals,
+                now,
+                &self.params,
+                self.file_trust_options,
+            );
+            let ft = self.file_trust.raw();
+            let rebuilt = build_rows_parallel(&dirty, threads, |u| {
+                ft.row(u).and_then(normalized_row).unwrap_or_default()
+            });
+            for (u, row) in rebuilt {
+                comps.fm.set_row(u, row).expect("normalized rows are valid");
+            }
+            dirty
+        };
+        let dm_dirty = {
+            let _span = obs.span("engine.recompute.dm_build");
+            let dirty = self.volume.take_dirty();
+            let (volume, evals, params) = (&self.volume, &self.evals, &self.params);
+            let rebuilt = build_rows_parallel(&dirty, threads, |u| {
+                normalized_row(&volume.vd_row(u, evals, now, params)).unwrap_or_default()
+            });
+            for (u, row) in rebuilt {
+                comps.dm.set_row(u, row).expect("normalized rows are valid");
+            }
+            dirty
+        };
+        let um_dirty = {
+            let _span = obs.span("engine.recompute.um_build");
+            let dirty = self.user_trust.take_dirty();
+            for &u in &dirty {
+                let row = normalized_row(&self.user_trust.ut_row(u)).unwrap_or_default();
+                comps.um.set_row(u, row).expect("normalized rows are valid");
+            }
+            dirty
+        };
+
+        {
+            let _span = obs.span("engine.recompute.integrate");
+            let mut union: Vec<UserId> = Vec::with_capacity(fm_dirty.len() + dm_dirty.len());
+            union.extend(fm_dirty);
+            union.extend(dm_dirty);
+            union.extend(um_dirty);
+            union.sort_unstable();
+            union.dedup();
+            let w = self.params.weights();
+            let parts = [
+                (w.alpha(), &comps.fm),
+                (w.beta(), &comps.dm),
+                (w.gamma(), &comps.um),
+            ];
+            let rebuilt = build_rows_parallel(&union, threads, |u| blend_row(&parts, u));
+            if self.params.steps() == 1 {
+                // RM = TM: patch both from the same blended rows.
+                for (u, row) in rebuilt {
+                    comps
+                        .tm
+                        .set_row(u, row.clone())
+                        .expect("blended rows are valid");
+                    rm.set_one_step_row(u, row);
+                }
+            } else {
+                for (u, row) in rebuilt {
+                    comps.tm.set_row(u, row).expect("blended rows are valid");
+                }
+                // The power dominates the cost anyway; recompute it from
+                // the incrementally maintained TM.
+                rm = ReputationMatrix::compute(&comps.tm, &self.params);
+            }
+        }
+        Self::record_matrix_gauges(&comps.tm, &rm);
+        self.rm = Some(rm);
+        self.components = Some(comps);
+    }
+
+    fn record_matrix_gauges(tm: &SparseMatrix, rm: &ReputationMatrix) {
+        let obs = mdrep_obs::global();
         let rows = tm.row_count();
         obs.gauge_set("engine.tm.nnz", tm.nnz() as f64);
         if rows > 0 {
             obs.gauge_set("engine.tm.density", tm.nnz() as f64 / (rows * rows) as f64);
         }
-        let rm = ReputationMatrix::compute(&tm, &self.params);
         obs.gauge_set("engine.rm.nnz", rm.matrix().nnz() as f64);
-        self.rm = Some(rm);
-        self.components = Some(TrustComponents { fm, dm, um, tm });
+    }
+
+    /// How the last [`recompute`](Self::recompute) ran; `None` before the
+    /// first one.
+    #[must_use]
+    pub fn last_recompute_mode(&self) -> Option<RecomputeMode> {
+        self.last_mode
+    }
+
+    /// How many rows the last recompute treated as dirty (the union across
+    /// the `FM`, `DM`, and `UM` dirty sets, including time drift).
+    #[must_use]
+    pub fn last_dirty_rows(&self) -> usize {
+        self.last_dirty_rows
+    }
+
+    /// Rows currently marked dirty and awaiting the next recompute: the
+    /// union across the three dirty sets plus the co-evaluators of files
+    /// touched since the last recompute (time drift not yet folded in).
+    #[must_use]
+    pub fn pending_dirty_rows(&self) -> usize {
+        let mut union: BTreeSet<UserId> = self.file_trust.dirty().collect();
+        union.extend(self.volume.dirty());
+        union.extend(self.user_trust.dirty());
+        for &file in &self.dirty_files {
+            union.extend(self.evals.evaluators_of(file));
+        }
+        union.len()
     }
 
     /// `RM_ij` from the last [`recompute`](Self::recompute); 0 before the
@@ -585,6 +913,211 @@ mod tests {
         engine.mark_punished(u(1));
         let punished = engine.service_tiered(u(0), u(1), &policy);
         assert_eq!(punished.queue_offset, stranger.queue_offset);
+    }
+
+    /// Asserts the two engines expose bit-identical matrices.
+    fn assert_engines_match(incremental: &ReputationEngine, full: &ReputationEngine) {
+        let ci = incremental.components().expect("recomputed");
+        let cf = full.components().expect("recomputed");
+        assert_eq!(ci.fm, cf.fm, "FM diverged");
+        assert_eq!(ci.dm, cf.dm, "DM diverged");
+        assert_eq!(ci.um, cf.um, "UM diverged");
+        assert_eq!(ci.tm, cf.tm, "TM diverged");
+        assert_eq!(
+            incremental.reputation_matrix().unwrap().matrix(),
+            full.reputation_matrix().unwrap().matrix(),
+            "RM diverged"
+        );
+    }
+
+    #[test]
+    fn incremental_recompute_matches_full_rebuild_on_trace() {
+        let config = WorkloadConfig::builder()
+            .users(60)
+            .titles(40)
+            .days(3)
+            .behavior_mix(BehaviorMix::realistic())
+            .pollution_rate(0.2)
+            .seed(11)
+            .build()
+            .unwrap();
+        let trace = TraceBuilder::new(config).generate();
+        let params = Params::builder()
+            .incremental_threshold(1.0)
+            .build()
+            .unwrap();
+        let mut engine = ReputationEngine::new(params);
+        let events: Vec<_> = trace.events().to_vec();
+
+        // Interleave recomputes with ingestion: first one is Full, the
+        // rest run incrementally (threshold 1.0 never falls back).
+        let end = SimTime::ZERO + SimDuration::from_days(3);
+        for (idx, chunk) in events.chunks(events.len() / 4 + 1).enumerate() {
+            for event in chunk {
+                engine.observe_trace_event(event, trace.catalog());
+            }
+            let at = chunk.last().map_or(end, |e| e.time);
+            engine.recompute(at);
+            let expected = if idx == 0 {
+                RecomputeMode::Full
+            } else {
+                RecomputeMode::Incremental
+            };
+            assert_eq!(engine.last_recompute_mode(), Some(expected), "chunk {idx}");
+        }
+        engine.recompute(end);
+
+        let mut reference = engine.clone();
+        reference.full_rebuild(end);
+        assert_eq!(reference.last_recompute_mode(), Some(RecomputeMode::Full));
+        assert_engines_match(&engine, &reference);
+    }
+
+    #[test]
+    fn incremental_handles_whitewash_and_expiry() {
+        let params = Params::builder()
+            .incremental_threshold(1.0)
+            .evaluation_interval(SimDuration::from_days(4))
+            .build()
+            .unwrap();
+        let mut engine = ReputationEngine::new(params);
+        for i in 0..6 {
+            engine.observe_vote(SimTime::ZERO, u(i), f(i % 3), Evaluation::new(0.8).unwrap());
+            engine.observe_download(
+                SimTime::ZERO,
+                u(i),
+                u((i + 1) % 6),
+                f(i % 3),
+                FileSize::from_mib(50),
+            );
+        }
+        engine.recompute(SimTime::ZERO);
+
+        let day2 = SimTime::ZERO + SimDuration::from_days(2);
+        engine.observe_vote(day2, u(0), f(0), Evaluation::WORST);
+        engine.observe_whitewash(u(3));
+        engine.recompute(day2);
+        assert_eq!(
+            engine.last_recompute_mode(),
+            Some(RecomputeMode::Incremental)
+        );
+
+        let day6 = SimTime::ZERO + SimDuration::from_days(6);
+        assert!(engine.expire(day6) > 0, "old records expire");
+        engine.recompute(day6);
+
+        let mut reference = engine.clone();
+        reference.full_rebuild(day6);
+        assert_engines_match(&engine, &reference);
+    }
+
+    #[test]
+    fn dirty_fraction_triggers_fallback() {
+        let params = Params::builder()
+            .incremental_threshold(0.05)
+            .build()
+            .unwrap();
+        let mut engine = ReputationEngine::new(params);
+        for i in 0..20 {
+            engine.observe_rank(u(i), u((i + 1) % 20), Evaluation::BEST);
+        }
+        engine.recompute(SimTime::ZERO);
+        assert_eq!(engine.last_recompute_mode(), Some(RecomputeMode::Full));
+
+        // One dirty row out of 20 stays under the 5% threshold.
+        engine.observe_rank(u(0), u(5), Evaluation::BEST);
+        engine.recompute(SimTime::ZERO);
+        assert_eq!(
+            engine.last_recompute_mode(),
+            Some(RecomputeMode::Incremental)
+        );
+        assert_eq!(engine.last_dirty_rows(), 1);
+
+        // Ten dirty rows bust it → automatic fallback to batch.
+        for i in 0..10 {
+            engine.observe_rank(u(i), u(15), Evaluation::new(0.7).unwrap());
+        }
+        engine.recompute(SimTime::ZERO);
+        assert_eq!(
+            engine.last_recompute_mode(),
+            Some(RecomputeMode::FallbackFull)
+        );
+        assert_eq!(engine.last_dirty_rows(), 10);
+    }
+
+    #[test]
+    fn zero_threshold_disables_incremental_path() {
+        let params = Params::builder()
+            .incremental_threshold(0.0)
+            .build()
+            .unwrap();
+        let mut engine = ReputationEngine::new(params);
+        engine.observe_rank(u(0), u(1), Evaluation::BEST);
+        engine.recompute(SimTime::ZERO);
+        engine.observe_rank(u(1), u(0), Evaluation::BEST);
+        engine.recompute(SimTime::ZERO);
+        assert_eq!(engine.last_recompute_mode(), Some(RecomputeMode::Full));
+    }
+
+    #[test]
+    fn events_dirty_coevaluator_rows() {
+        let params = Params::builder()
+            .incremental_threshold(1.0)
+            .build()
+            .unwrap();
+        let mut engine = ReputationEngine::new(params);
+        engine.observe_vote(SimTime::ZERO, u(0), f(0), Evaluation::BEST);
+        engine.observe_vote(SimTime::ZERO, u(1), f(0), Evaluation::BEST);
+        engine.observe_vote(SimTime::ZERO, u(2), f(9), Evaluation::BEST);
+        engine.recompute(SimTime::ZERO);
+        assert_eq!(engine.pending_dirty_rows(), 0, "recompute drains dirt");
+
+        // User 1 re-votes file 0: its own row AND co-evaluator 0's row are
+        // invalidated — but not user 2, who shares no file. The expansion
+        // from file to evaluator rows is deferred until recompute.
+        engine.observe_vote(SimTime::ZERO, u(1), f(0), Evaluation::WORST);
+        assert!(engine.file_trust.dirty().next().is_none(), "deferred");
+        assert_eq!(engine.pending_dirty_rows(), 2);
+        engine.recompute(SimTime::ZERO);
+        assert_eq!(engine.last_dirty_rows(), 2);
+        assert_eq!(
+            engine.last_recompute_mode(),
+            Some(RecomputeMode::Incremental)
+        );
+    }
+
+    #[test]
+    fn time_drift_dirties_unsaturated_users() {
+        let params = Params::builder()
+            .incremental_threshold(1.0)
+            .build()
+            .unwrap();
+        let mut engine = ReputationEngine::new(params);
+        let day2 = SimTime::ZERO + SimDuration::from_days(2);
+        engine.observe_download(SimTime::ZERO, u(0), u(1), f(0), FileSize::from_mib(80));
+        engine.observe_download(day2, u(0), u(2), f(1), FileSize::from_mib(80));
+        engine.recompute(day2);
+        // The day-2 record has zero retention so far: all trust goes to u(1).
+        let r0 = engine.reputation(u(0), u(1));
+        assert!(r0 > 0.0);
+
+        // A day later, with zero new events, the younger record has accrued
+        // retention: the incremental recompute must pick the drift up anyway.
+        let day3 = SimTime::ZERO + SimDuration::from_days(3);
+        engine.recompute(day3);
+        assert_eq!(
+            engine.last_recompute_mode(),
+            Some(RecomputeMode::Incremental)
+        );
+        assert!(engine.last_dirty_rows() >= 1);
+        assert!(
+            engine.reputation(u(0), u(1)) < r0,
+            "u(2)'s share grows, diluting u(1)"
+        );
+        assert!(engine.reputation(u(0), u(2)) > 0.0);
+        let mut reference = engine.clone();
+        reference.full_rebuild(day3);
+        assert_engines_match(&engine, &reference);
     }
 
     #[test]

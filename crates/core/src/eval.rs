@@ -14,7 +14,7 @@
 //! blends the two: `E = η·IE + ρ·EE`.
 
 use crate::params::Params;
-use mdrep_types::{Evaluation, FileId, SimTime, UserId};
+use mdrep_types::{Evaluation, FileId, SimDuration, SimTime, UserId};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Everything known about one user's interaction with one file.
@@ -111,7 +111,14 @@ impl EvaluationRecord {
 #[derive(Debug, Clone, Default)]
 pub struct EvaluationStore {
     records: HashMap<UserId, BTreeMap<FileId, EvaluationRecord>>,
-    evaluators: HashMap<FileId, BTreeSet<UserId>>,
+    /// Inverted index, ordered so [`files`](Self::files) iterates in
+    /// ascending file order — the batch and dirty-row trust builders rely on
+    /// this shared order to accumulate pair distances bit-identically.
+    evaluators: BTreeMap<FileId, BTreeSet<UserId>>,
+    /// Conservative per-user maximum record-creation time, feeding the
+    /// time-dirtying rule: a user whose newest record had not yet saturated
+    /// at the previous recompute still has drifting implicit evaluations.
+    latest_start: HashMap<UserId, SimTime>,
 }
 
 impl EvaluationStore {
@@ -132,6 +139,7 @@ impl EvaluationStore {
         };
         self.records.entry(user).or_default().insert(file, record);
         self.evaluators.entry(file).or_default().insert(user);
+        self.touch_latest_start(user, time);
     }
 
     /// Records that `user` deleted `file` at `time`. Ignored when no
@@ -163,10 +171,17 @@ impl EvaluationStore {
         entry.vote = Some(value);
         entry.last_activity = time;
         self.evaluators.entry(file).or_default().insert(user);
+        self.touch_latest_start(user, time);
+    }
+
+    fn touch_latest_start(&mut self, user: UserId, time: SimTime) {
+        let entry = self.latest_start.entry(user).or_insert(time);
+        *entry = (*entry).max(time);
     }
 
     /// Forgets everything about `user` (whitewash handling).
     pub fn remove_user(&mut self, user: UserId) {
+        self.latest_start.remove(&user);
         if let Some(files) = self.records.remove(&user) {
             for file in files.keys() {
                 if let Some(set) = self.evaluators.get_mut(file) {
@@ -183,29 +198,34 @@ impl EvaluationStore {
     /// interval (Section 4.3: evaluations are only preserved within an
     /// interval). Returns how many records were dropped.
     pub fn expire(&mut self, now: SimTime, params: &Params) -> usize {
+        self.expire_detailed(now, params).len()
+    }
+
+    /// [`expire`](Self::expire), but reports exactly which `(user, file)`
+    /// records were dropped — the dirty-row recompute needs them to dirty
+    /// the expired users and the remaining co-evaluators of those files.
+    pub fn expire_detailed(&mut self, now: SimTime, params: &Params) -> Vec<(UserId, FileId)> {
         let cutoff = params.evaluation_interval();
-        let mut dropped = 0;
         let mut emptied_files: Vec<(UserId, FileId)> = Vec::new();
         for (&user, files) in &mut self.records {
             files.retain(|&file, r| {
                 let fresh = (now - r.last_activity) <= cutoff;
                 if !fresh {
-                    dropped += 1;
                     emptied_files.push((user, file));
                 }
                 fresh
             });
         }
         self.records.retain(|_, files| !files.is_empty());
-        for (user, file) in emptied_files {
-            if let Some(set) = self.evaluators.get_mut(&file) {
-                set.remove(&user);
+        for (user, file) in &emptied_files {
+            if let Some(set) = self.evaluators.get_mut(file) {
+                set.remove(user);
                 if set.is_empty() {
-                    self.evaluators.remove(&file);
+                    self.evaluators.remove(file);
                 }
             }
         }
-        dropped
+        emptied_files
     }
 
     /// The record for `(user, file)`, if any.
@@ -257,6 +277,41 @@ impl EvaluationStore {
     /// Iterates over all users with at least one record.
     pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
         self.records.keys().copied()
+    }
+
+    /// Number of users with at least one record.
+    #[must_use]
+    pub fn user_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// The files `user` currently holds a record for, in ascending order.
+    pub fn files_of(&self, user: UserId) -> impl Iterator<Item = FileId> + '_ {
+        self.records
+            .get(&user)
+            .into_iter()
+            .flat_map(|files| files.keys().copied())
+    }
+
+    /// Users whose implicit evaluations were still drifting at `at`: their
+    /// newest record was created less than `saturation` before `at`, so at
+    /// least one still-held record had not yet reached the frozen value 1.
+    ///
+    /// The tracker keeps the *maximum* record-creation time per user and is
+    /// never decreased by deletions or expiry, so this may over-report
+    /// (extra rows are recomputed to the same values) but never
+    /// under-reports.
+    #[must_use]
+    pub fn users_with_unsaturated_records(
+        &self,
+        at: SimTime,
+        saturation: SimDuration,
+    ) -> Vec<UserId> {
+        self.latest_start
+            .iter()
+            .filter(|&(user, &start)| self.records.contains_key(user) && start + saturation > at)
+            .map(|(&user, _)| user)
+            .collect()
     }
 
     /// Iterates over all files with at least one evaluator.
@@ -449,6 +504,66 @@ mod tests {
         assert_eq!(evals.len(), 2);
         assert_eq!(store.len(), 2);
         assert_eq!(store.users().count(), 1);
+    }
+
+    #[test]
+    fn expire_detailed_reports_dropped_pairs() {
+        let params = Params::builder()
+            .evaluation_interval(SimDuration::from_days(5))
+            .build()
+            .unwrap();
+        let mut store = EvaluationStore::new();
+        store.record_download(SimTime::ZERO, u(1), f(1));
+        store.record_download(SimTime::ZERO, u(2), f(1));
+        let day3 = SimTime::ZERO + SimDuration::from_days(3);
+        store.record_download(day3, u(1), f(2));
+        let day7 = SimTime::ZERO + SimDuration::from_days(7);
+        let mut dropped = store.expire_detailed(day7, &params);
+        dropped.sort();
+        assert_eq!(dropped, vec![(u(1), f(1)), (u(2), f(1))]);
+        assert_eq!(store.files_of(u(1)).collect::<Vec<_>>(), vec![f(2)]);
+        assert_eq!(store.user_count(), 1, "user 2 fully expired");
+    }
+
+    #[test]
+    fn unsaturated_tracking_follows_newest_record() {
+        let params = Params::default(); // saturation: 7 days
+        let saturation = params.retention_saturation();
+        let mut store = EvaluationStore::new();
+        store.record_download(SimTime::ZERO, u(1), f(1));
+        let day3 = SimTime::ZERO + SimDuration::from_days(3);
+        let day8 = SimTime::ZERO + SimDuration::from_days(8);
+        assert_eq!(
+            store.users_with_unsaturated_records(day3, saturation),
+            vec![u(1)],
+            "record still ramping at day 3"
+        );
+        assert!(
+            store
+                .users_with_unsaturated_records(day8, saturation)
+                .is_empty(),
+            "saturated after a week"
+        );
+        // A fresh vote on a new file restarts the drift window.
+        store.record_vote(day8, u(1), f(2), Evaluation::BEST);
+        assert_eq!(
+            store.users_with_unsaturated_records(day8, saturation),
+            vec![u(1)]
+        );
+        store.remove_user(u(1));
+        assert!(store
+            .users_with_unsaturated_records(day8, saturation)
+            .is_empty());
+    }
+
+    #[test]
+    fn files_iterate_in_ascending_order() {
+        let mut store = EvaluationStore::new();
+        store.record_download(SimTime::ZERO, u(1), f(9));
+        store.record_download(SimTime::ZERO, u(1), f(2));
+        store.record_download(SimTime::ZERO, u(2), f(5));
+        let files: Vec<FileId> = store.files().collect();
+        assert_eq!(files, vec![f(2), f(5), f(9)]);
     }
 
     #[test]

@@ -108,6 +108,8 @@ pub struct Params {
     pub(crate) evaluation_interval: SimDuration,
     pub(crate) fake_threshold: Evaluation,
     pub(crate) prune_threshold: f64,
+    pub(crate) threads: usize,
+    pub(crate) incremental_threshold: f64,
 }
 
 impl Params {
@@ -162,6 +164,32 @@ impl Params {
     pub fn prune_threshold(&self) -> f64 {
         self.prune_threshold
     }
+
+    /// Worker threads for parallel matrix builds: `0` (the default) picks
+    /// the machine's available parallelism at use time.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The thread count to actually use: [`threads`](Self::threads), with
+    /// `0` resolved to the machine's available parallelism.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        }
+    }
+
+    /// Dirty-row fraction above which an incremental recompute falls back
+    /// to a full rebuild. `0.0` disables the incremental path entirely;
+    /// `1.0` always stays incremental.
+    #[must_use]
+    pub fn incremental_threshold(&self) -> f64 {
+        self.incremental_threshold
+    }
 }
 
 impl Default for Params {
@@ -174,6 +202,8 @@ impl Default for Params {
             evaluation_interval: SimDuration::from_days(30),
             fake_threshold: Evaluation::NEUTRAL,
             prune_threshold: 0.0,
+            threads: 0,
+            incremental_threshold: 0.25,
         }
     }
 }
@@ -227,6 +257,19 @@ impl ParamsBuilder {
         self
     }
 
+    /// Sets the worker-thread count for parallel matrix builds (`0` = auto).
+    pub fn threads(&mut self, threads: usize) -> &mut Self {
+        self.params.threads = threads;
+        self
+    }
+
+    /// Sets the dirty-fraction fallback threshold of the incremental
+    /// recompute (`0.0` disables the incremental path).
+    pub fn incremental_threshold(&mut self, t: f64) -> &mut Self {
+        self.params.incremental_threshold = t;
+        self
+    }
+
     /// Validates and returns the parameters.
     ///
     /// # Errors
@@ -251,6 +294,9 @@ impl ParamsBuilder {
             return Err(ParamsError::new(
                 "prune threshold must be finite and non-negative",
             ));
+        }
+        if !p.incremental_threshold.is_finite() || !(0.0..=1.0).contains(&p.incremental_threshold) {
+            return Err(ParamsError::new("incremental threshold must lie in [0, 1]"));
         }
         Ok(p.clone())
     }
@@ -303,6 +349,28 @@ mod tests {
             .build()
             .is_err());
         assert!(Params::builder().prune_threshold(-1.0).build().is_err());
+        assert!(Params::builder()
+            .incremental_threshold(-0.1)
+            .build()
+            .is_err());
+        assert!(Params::builder()
+            .incremental_threshold(1.5)
+            .build()
+            .is_err());
+        assert!(Params::builder()
+            .incremental_threshold(f64::NAN)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn thread_knob_resolves() {
+        let auto = Params::default();
+        assert_eq!(auto.threads(), 0);
+        assert!(auto.effective_threads() >= 1, "auto resolves to >= 1");
+        let pinned = Params::builder().threads(3).build().unwrap();
+        assert_eq!(pinned.effective_threads(), 3);
+        assert!((pinned.incremental_threshold() - 0.25).abs() < 1e-12);
     }
 
     #[test]

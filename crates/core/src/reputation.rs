@@ -63,7 +63,7 @@ impl ReputationMatrix {
         let n = params.steps();
         let mut tiers = Vec::with_capacity(n as usize);
         tiers.push(tm.clone());
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = params.effective_threads();
         let obs = mdrep_obs::global();
         for _ in 1..n {
             let prev = tiers.last().expect("non-empty");
@@ -90,6 +90,21 @@ impl ReputationMatrix {
     #[must_use]
     pub fn matrix(&self) -> &SparseMatrix {
         self.tiers.last().expect("at least one tier")
+    }
+
+    /// Patches one row of a single-step (`n = 1`) matrix in place — the
+    /// dirty-row recompute path, where `RM` *is* `TM` and only changed rows
+    /// need rewriting. An empty `values` removes the row.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when more than one tier exists; multi-step matrices
+    /// must be recomputed from the patched `TM` instead.
+    pub(crate) fn set_one_step_row(&mut self, row: UserId, values: SparseVector) {
+        debug_assert_eq!(self.tiers.len(), 1, "row patching requires n = 1");
+        let tier = self.tiers.first_mut().expect("at least one tier");
+        tier.set_row(row, values)
+            .expect("patched rows come from validated matrices");
     }
 
     /// Number of computed tiers (`n`).

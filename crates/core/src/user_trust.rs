@@ -5,9 +5,9 @@
 //! ordered pair is kept as `UT_ij`, and row-normalization yields the
 //! one-step matrix `UM` (Equation 6).
 
-use mdrep_matrix::SparseMatrix;
+use mdrep_matrix::{normalized_row, SparseMatrix, SparseVector};
 use mdrep_types::{Evaluation, UserId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Accumulates user-to-user ratings and computes `UT`/`UM`.
 ///
@@ -27,7 +27,11 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct UserTrust {
-    ratings: HashMap<(UserId, UserId), Evaluation>,
+    /// `rater → target → rating`, row-major so a single rater's `UM` row
+    /// can be rebuilt without touching the rest.
+    ratings: BTreeMap<UserId, BTreeMap<UserId, Evaluation>>,
+    /// Raters whose `UM` row must be rebuilt.
+    dirty: BTreeSet<UserId>,
 }
 
 impl UserTrust {
@@ -41,7 +45,8 @@ impl UserTrust {
     /// Self-ratings are ignored (they would let users seed their own rows).
     pub fn rate(&mut self, rater: UserId, target: UserId, value: Evaluation) {
         if rater != target {
-            self.ratings.insert((rater, target), value);
+            self.ratings.entry(rater).or_default().insert(target, value);
+            self.dirty.insert(rater);
         }
     }
 
@@ -58,18 +63,56 @@ impl UserTrust {
     /// The current rating of `target` by `rater`, if any.
     #[must_use]
     pub fn rating(&self, rater: UserId, target: UserId) -> Option<Evaluation> {
-        self.ratings.get(&(rater, target)).copied()
+        self.ratings
+            .get(&rater)
+            .and_then(|r| r.get(&target))
+            .copied()
     }
 
     /// Forgets every rating involving `user` — both the ratings it gave and
-    /// the ones it received (whitewash handling).
+    /// the ones it received (whitewash handling). Dirties `user` plus every
+    /// rater that had rated it.
     pub fn remove_user(&mut self, user: UserId) {
-        self.ratings.retain(|&(r, t), _| r != user && t != user);
+        self.ratings.remove(&user);
+        for (&rater, targets) in &mut self.ratings {
+            if targets.remove(&user).is_some() {
+                self.dirty.insert(rater);
+            }
+        }
+        self.ratings.retain(|_, targets| !targets.is_empty());
+        self.dirty.insert(user);
+    }
+
+    /// Number of currently dirty rows.
+    #[must_use]
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// The currently dirty rows, in ascending order.
+    pub fn dirty(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.dirty.iter().copied()
+    }
+
+    /// Drains the dirty set, returning the rows to rebuild (ascending).
+    pub fn take_dirty(&mut self) -> Vec<UserId> {
+        std::mem::take(&mut self.dirty).into_iter().collect()
+    }
+
+    /// Clears the dirty set (after a full rebuild).
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
     }
 
     /// Number of stored ratings.
     #[must_use]
     pub fn len(&self) -> usize {
+        self.ratings.values().map(BTreeMap::len).sum()
+    }
+
+    /// Number of raters with at least one stored rating.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
         self.ratings.len()
     }
 
@@ -79,16 +122,30 @@ impl UserTrust {
         self.ratings.is_empty()
     }
 
-    /// The raw `UT` matrix. Zero ratings (blacklist entries) are absent
-    /// from the sparse form — exactly their Equation 6 semantics, since a
-    /// zero contributes nothing to the normalized row.
+    /// One row of the raw `UT` matrix: `rater`'s positive ratings. Zero
+    /// ratings (blacklist entries) are absent from the sparse form —
+    /// exactly their Equation 6 semantics, since a zero contributes nothing
+    /// to the normalized row. Shared by the batch and dirty-row paths.
+    #[must_use]
+    pub fn ut_row(&self, rater: UserId) -> SparseVector {
+        self.ratings
+            .get(&rater)
+            .map(|targets| {
+                targets
+                    .iter()
+                    .filter(|(_, v)| v.value() > 0.0)
+                    .map(|(&t, v)| (t, v.value()))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The raw `UT` matrix.
     #[must_use]
     pub fn raw(&self) -> SparseMatrix {
         let mut ut = SparseMatrix::new();
-        for (&(rater, target), &value) in &self.ratings {
-            if value.value() > 0.0 {
-                ut.set(rater, target, value.value()).expect("in [0,1]");
-            }
+        for &rater in self.ratings.keys() {
+            ut.set_row(rater, self.ut_row(rater)).expect("in [0,1]");
         }
         ut
     }
@@ -96,7 +153,13 @@ impl UserTrust {
     /// Equation 6: the row-normalized one-step matrix `UM`.
     #[must_use]
     pub fn matrix(&self) -> SparseMatrix {
-        self.raw().normalized_rows()
+        let mut um = SparseMatrix::new();
+        for &rater in self.ratings.keys() {
+            if let Some(row) = normalized_row(&self.ut_row(rater)) {
+                um.set_row(rater, row).expect("normalized rows are valid");
+            }
+        }
+        um
     }
 }
 
@@ -172,6 +235,35 @@ mod tests {
         ut.remove_user(u(1));
         assert_eq!(ut.len(), 1);
         assert!(ut.rating(u(2), u(0)).is_some());
+    }
+
+    #[test]
+    fn dirty_tracking_follows_ratings_and_removals() {
+        let mut ut = UserTrust::new();
+        ut.rate(u(0), u(1), Evaluation::BEST);
+        ut.rate(u(2), u(1), Evaluation::BEST);
+        assert_eq!(ut.take_dirty(), vec![u(0), u(2)]);
+        assert_eq!(ut.dirty_len(), 0);
+
+        // Removing a rated user dirties every rater that pointed at it.
+        ut.remove_user(u(1));
+        assert_eq!(ut.take_dirty(), vec![u(0), u(1), u(2)]);
+        assert_eq!(ut.row_count(), 0);
+
+        ut.rate(u(0), u(0), Evaluation::BEST);
+        assert_eq!(ut.dirty_len(), 0, "ignored self-rating does not dirty");
+    }
+
+    #[test]
+    fn ut_row_matches_matrix_row() {
+        let mut ut = UserTrust::new();
+        ut.rate(u(0), u(1), Evaluation::new(0.6).unwrap());
+        ut.rate(u(0), u(2), Evaluation::new(0.2).unwrap());
+        ut.add_blacklist(u(0), u(3));
+        let row = ut.ut_row(u(0));
+        assert_eq!(row.len(), 2, "blacklist entry absent");
+        let um = ut.matrix();
+        assert_eq!(um.row(u(0)), normalized_row(&row).as_ref());
     }
 
     #[test]

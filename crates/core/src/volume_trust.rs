@@ -9,9 +9,9 @@
 
 use crate::eval::EvaluationStore;
 use crate::params::Params;
-use mdrep_matrix::SparseMatrix;
+use mdrep_matrix::{build_rows_parallel, normalized_row, SparseMatrix, SparseVector};
 use mdrep_types::{FileId, FileSize, SimTime, UserId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Accumulates download records and computes `VD`/`DM`.
 ///
@@ -37,8 +37,14 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct VolumeTrust {
-    /// `(downloader, uploader) → [(file, size)]`.
-    downloads: HashMap<(UserId, UserId), Vec<(FileId, FileSize)>>,
+    /// `downloader → uploader → [(file, size)]`, row-major so a single
+    /// downloader's `VD` row can be rebuilt without touching the rest.
+    downloads: BTreeMap<UserId, BTreeMap<UserId, Vec<(FileId, FileSize)>>>,
+    /// Downloaders whose `VD`/`DM` row must be rebuilt. A row depends only
+    /// on the downloader's own evaluations and download log, so events only
+    /// ever dirty single rows (plus, on user removal, every downloader that
+    /// had the removed user as an uploader).
+    dirty: BTreeSet<UserId>,
 }
 
 impl VolumeTrust {
@@ -57,20 +63,93 @@ impl VolumeTrust {
         size: FileSize,
     ) {
         self.downloads
-            .entry((downloader, uploader))
+            .entry(downloader)
+            .or_default()
+            .entry(uploader)
             .or_default()
             .push((file, size));
+        self.dirty.insert(downloader);
     }
 
-    /// Forgets everything involving `user` (whitewash handling).
+    /// Forgets everything involving `user` (whitewash handling). Dirties
+    /// `user` and every downloader that had `user` as an uploader.
     pub fn remove_user(&mut self, user: UserId) {
-        self.downloads.retain(|&(d, u), _| d != user && u != user);
+        self.downloads.remove(&user);
+        for (&downloader, uploads) in &mut self.downloads {
+            if uploads.remove(&user).is_some() {
+                self.dirty.insert(downloader);
+            }
+        }
+        self.downloads.retain(|_, uploads| !uploads.is_empty());
+        self.dirty.insert(user);
+    }
+
+    /// Marks `downloader`'s row as needing a rebuild (the engine calls this
+    /// when the downloader's evaluations change — votes, deletions, drift).
+    pub fn mark_dirty(&mut self, downloader: UserId) {
+        self.dirty.insert(downloader);
+    }
+
+    /// Number of currently dirty rows.
+    #[must_use]
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// The currently dirty rows, in ascending order.
+    pub fn dirty(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.dirty.iter().copied()
+    }
+
+    /// Drains the dirty set, returning the rows to rebuild (ascending).
+    pub fn take_dirty(&mut self) -> Vec<UserId> {
+        std::mem::take(&mut self.dirty).into_iter().collect()
+    }
+
+    /// Clears the dirty set (after a full rebuild).
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
     }
 
     /// Number of recorded download edges (distinct user pairs).
     #[must_use]
     pub fn pair_count(&self) -> usize {
+        self.downloads.values().map(BTreeMap::len).sum()
+    }
+
+    /// Number of downloaders with at least one recorded download.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
         self.downloads.len()
+    }
+
+    /// One row of Equation 4: `downloader`'s valid download volume per
+    /// uploader at `now`. Shared by the batch and dirty-row paths so both
+    /// accumulate in the same order (uploaders ascending, files in download
+    /// order) and produce bit-identical rows.
+    #[must_use]
+    pub fn vd_row(
+        &self,
+        downloader: UserId,
+        evals: &EvaluationStore,
+        now: SimTime,
+        params: &Params,
+    ) -> SparseVector {
+        let mut row = SparseVector::new();
+        if let Some(uploads) = self.downloads.get(&downloader) {
+            for (&uploader, files) in uploads {
+                let mut volume = 0.0;
+                for &(file, size) in files {
+                    if let Some(e) = evals.evaluation(downloader, file, now, params) {
+                        volume += e.value() * size.as_mib_f64();
+                    }
+                }
+                if volume > 0.0 {
+                    row.insert(uploader, volume);
+                }
+            }
+        }
+        row
     }
 
     /// Equation 4: the raw `VD` matrix at `now`. File sizes enter in MiB so
@@ -79,16 +158,9 @@ impl VolumeTrust {
     #[must_use]
     pub fn raw(&self, evals: &EvaluationStore, now: SimTime, params: &Params) -> SparseMatrix {
         let mut vd = SparseMatrix::new();
-        for (&(downloader, uploader), files) in &self.downloads {
-            let mut volume = 0.0;
-            for &(file, size) in files {
-                if let Some(e) = evals.evaluation(downloader, file, now, params) {
-                    volume += e.value() * size.as_mib_f64();
-                }
-            }
-            if volume > 0.0 {
-                vd.set(downloader, uploader, volume).expect("non-negative");
-            }
+        for &downloader in self.downloads.keys() {
+            vd.set_row(downloader, self.vd_row(downloader, evals, now, params))
+                .expect("volumes are finite and non-negative");
         }
         vd
     }
@@ -96,7 +168,28 @@ impl VolumeTrust {
     /// Equation 5: the row-normalized one-step matrix `DM`.
     #[must_use]
     pub fn matrix(&self, evals: &EvaluationStore, now: SimTime, params: &Params) -> SparseMatrix {
-        self.raw(evals, now, params).normalized_rows()
+        self.matrix_parallel(evals, now, params, 1)
+    }
+
+    /// [`matrix`](Self::matrix) built across `threads` OS threads (rows are
+    /// independent, so any thread count yields the identical matrix).
+    #[must_use]
+    pub fn matrix_parallel(
+        &self,
+        evals: &EvaluationStore,
+        now: SimTime,
+        params: &Params,
+        threads: usize,
+    ) -> SparseMatrix {
+        let rows: Vec<UserId> = self.downloads.keys().copied().collect();
+        let built = build_rows_parallel(&rows, threads, |r| {
+            normalized_row(&self.vd_row(r, evals, now, params)).unwrap_or_default()
+        });
+        let mut dm = SparseMatrix::new();
+        for (r, row) in built {
+            dm.set_row(r, row).expect("normalized rows are valid");
+        }
+        dm
     }
 }
 
@@ -210,6 +303,48 @@ mod tests {
         vt.record_download(u(0), u(1), f(0), FileSize::from_mib(10));
         let vd = vt.raw(&evals, SimTime::ZERO, &params);
         assert!((vd.get(u(0), u(1)) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dirty_tracking_follows_events() {
+        let mut vt = VolumeTrust::new();
+        vt.record_download(u(0), u(1), f(0), FileSize::from_mib(10));
+        assert_eq!(vt.take_dirty(), vec![u(0)]);
+        assert_eq!(vt.dirty_len(), 0);
+
+        vt.record_download(u(2), u(1), f(1), FileSize::from_mib(10));
+        vt.mark_dirty(u(0)); // e.g. user 0 voted on a file
+        assert_eq!(vt.take_dirty(), vec![u(0), u(2)]);
+
+        // Removing uploader 1 dirties both downloaders that used it.
+        vt.remove_user(u(1));
+        assert_eq!(vt.take_dirty(), vec![u(0), u(1), u(2)]);
+        assert_eq!(vt.row_count(), 0, "rows left empty are dropped");
+    }
+
+    #[test]
+    fn vd_row_and_parallel_matrix_match_batch() {
+        let (mut evals, params) = setup();
+        let mut vt = VolumeTrust::new();
+        for i in 0..20u64 {
+            let file = f(i);
+            evals.record_download(SimTime::ZERO, u(i % 5), file);
+            evals.record_vote(
+                SimTime::ZERO,
+                u(i % 5),
+                file,
+                Evaluation::new(0.3 + 0.03 * i as f64).unwrap(),
+            );
+            vt.record_download(u(i % 5), u(10 + i % 3), file, FileSize::from_mib(5 + i));
+        }
+        let serial = vt.matrix(&evals, SimTime::ZERO, &params);
+        let parallel = vt.matrix_parallel(&evals, SimTime::ZERO, &params, 4);
+        assert_eq!(serial, parallel);
+        for r in serial.row_ids() {
+            let row = vt.vd_row(r, &evals, SimTime::ZERO, &params);
+            let normalized = mdrep_matrix::normalized_row(&row).unwrap();
+            assert_eq!(serial.row(r), Some(&normalized), "shared row helper");
+        }
     }
 
     #[test]

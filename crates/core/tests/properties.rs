@@ -5,7 +5,7 @@ use mdrep::{
     ReputationMatrix, ServicePolicy, UserTrust, Weights,
 };
 use mdrep_matrix::SparseMatrix;
-use mdrep_types::{Evaluation, FileId, FileSize, SimTime, UserId};
+use mdrep_types::{Evaluation, FileId, FileSize, SimDuration, SimTime, UserId};
 use proptest::prelude::*;
 
 fn eval_strategy() -> impl Strategy<Value = Evaluation> {
@@ -103,6 +103,60 @@ proptest! {
         for (i, _, v) in rm.matrix().iter() {
             prop_assert!(v >= 0.0);
             prop_assert!(rm.matrix().row_sum(i) <= 1.0 + 1e-9);
+        }
+    }
+
+    /// The tentpole invariant: an arbitrary interleaving of events and
+    /// incremental recomputes leaves the engine in exactly the state a
+    /// from-scratch rebuild of the same history produces. Kinds 0–4 are
+    /// events (download, vote, delete, rank, whitewash), 5 recomputes at
+    /// the current time, 6 advances the clock six hours and recomputes —
+    /// so retention drift, expiring saturation windows, and user removal
+    /// all get exercised mid-stream.
+    #[test]
+    fn incremental_recompute_equals_full_rebuild(
+        ops in proptest::collection::vec(
+            (0u8..7, 0u64..8, 0u64..8, 0u64..10, eval_strategy()), 1..80),
+    ) {
+        // Threshold 1.0: the incremental path never falls back, so every
+        // mid-stream recompute exercises the dirty-row machinery.
+        let params = Params::builder()
+            .incremental_threshold(1.0)
+            .build()
+            .expect("valid");
+        let mut engine = ReputationEngine::new(params);
+        let mut now = SimTime::ZERO;
+        for &(kind, a, b, f, v) in &ops {
+            let (user, other, file) = (UserId::new(a), UserId::new(b), FileId::new(f));
+            match kind {
+                0 if a != b => engine.observe_download(
+                    now, user, other, file, FileSize::from_mib(1 + a * 40),
+                ),
+                1 => engine.observe_vote(now, user, file, v),
+                2 => engine.observe_delete(now, user, file),
+                3 => engine.observe_rank(user, other, v),
+                4 => engine.observe_whitewash(user),
+                5 => engine.recompute(now),
+                6 => {
+                    now += SimDuration::from_hours(6);
+                    engine.recompute(now);
+                }
+                _ => {}
+            }
+        }
+        engine.recompute(now);
+
+        let mut reference = engine.clone();
+        reference.full_rebuild(now);
+        let incremental = engine.reputation_matrix().expect("computed").matrix();
+        let full = reference.reputation_matrix().expect("computed").matrix();
+        for (i, j, v) in incremental.iter() {
+            prop_assert!((full.get(i, j) - v).abs() <= 1e-12,
+                "RM[{i}, {j}]: incremental {v} vs full {}", full.get(i, j));
+        }
+        for (i, j, v) in full.iter() {
+            prop_assert!((incremental.get(i, j) - v).abs() <= 1e-12,
+                "RM[{i}, {j}]: full {v} vs incremental {}", incremental.get(i, j));
         }
     }
 

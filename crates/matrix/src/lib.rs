@@ -39,6 +39,6 @@ mod sparse;
 mod stats;
 
 pub use eigen::{principal_eigenvector, EigenOptions, EigenResult};
-pub use ops::{blend, BlendError, PowerOptions};
-pub use sparse::{MatrixError, SparseMatrix, SparseVector};
+pub use ops::{blend, blend_parallel, blend_row, build_rows_parallel, BlendError, PowerOptions};
+pub use sparse::{normalized_row, MatrixError, SparseMatrix, SparseVector};
 pub use stats::MatrixStats;

@@ -50,22 +50,109 @@ impl Error for BlendError {}
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn blend(parts: &[(f64, &SparseMatrix)]) -> Result<SparseMatrix, BlendError> {
+    blend_parallel(parts, 1)
+}
+
+/// Validates that `parts` carries a convex weight vector.
+fn validate_blend_weights(parts: &[(f64, &SparseMatrix)]) -> Result<(), BlendError> {
     let weights: Vec<f64> = parts.iter().map(|(w, _)| *w).collect();
     let valid = !weights.is_empty()
         && weights.iter().all(|w| w.is_finite() && *w >= 0.0)
         && (weights.iter().sum::<f64>() - 1.0).abs() <= 1e-9;
-    if !valid {
-        return Err(BlendError { weights });
+    if valid {
+        Ok(())
+    } else {
+        Err(BlendError { weights })
     }
-    let mut out = SparseMatrix::new();
+}
+
+/// One row of Equation 7: `out_r = Σ wᵢ·Mᵢ[r]`, accumulated in `parts`
+/// order so a row blended here is bit-identical to the same row of
+/// [`blend`]. Weights are *not* validated — this is the inner loop shared
+/// by the batch and dirty-row paths; validate once at the call boundary.
+#[must_use]
+pub fn blend_row(parts: &[(f64, &SparseMatrix)], row: UserId) -> SparseVector {
+    let mut out = SparseVector::new();
     for (w, m) in parts {
         if *w == 0.0 {
             continue;
         }
-        out.accumulate(m, *w)
-            .expect("scaled non-negative entries are valid");
+        if let Some(cols) = m.row(row) {
+            for (&c, &v) in cols {
+                *out.entry(c).or_insert(0.0) += w * v;
+            }
+        }
+    }
+    out.retain(|_, v| *v != 0.0);
+    out
+}
+
+/// Equation 7 computed across `threads` OS threads: the union of row ids is
+/// partitioned and each thread blends its slice row-by-row (the same
+/// scoped-thread pattern as [`SparseMatrix::multiply_parallel`]). Produces
+/// exactly the same matrix as [`blend`].
+///
+/// # Errors
+///
+/// Returns [`BlendError`] under the same conditions as [`blend`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn blend_parallel(
+    parts: &[(f64, &SparseMatrix)],
+    threads: usize,
+) -> Result<SparseMatrix, BlendError> {
+    assert!(threads >= 1, "at least one thread is required");
+    validate_blend_weights(parts)?;
+    let rows: Vec<UserId> = {
+        let mut ids: Vec<UserId> = parts.iter().flat_map(|(_, m)| m.row_ids()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    };
+    let built = build_rows_parallel(&rows, threads, |r| blend_row(parts, r));
+    let mut out = SparseMatrix::new();
+    for (r, row) in built {
+        out.insert_row(r, row);
     }
     Ok(out)
+}
+
+/// Row-partitioned parallel row construction: evaluates `f` for every id in
+/// `rows` across `threads` scoped OS threads and returns the `(id, row)`
+/// pairs in the order of `rows`. Rows are computed independently, so the
+/// output is identical to the serial loop for any thread count — this is
+/// the building block behind the parallel one-step matrix builds.
+///
+/// Small inputs (fewer than two rows per thread) fall back to the serial
+/// loop, like [`SparseMatrix::multiply_parallel`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+#[must_use]
+pub fn build_rows_parallel<F>(rows: &[UserId], threads: usize, f: F) -> Vec<(UserId, SparseVector)>
+where
+    F: Fn(UserId) -> SparseVector + Sync,
+{
+    assert!(threads >= 1, "at least one thread is required");
+    if threads == 1 || rows.len() < 2 * threads {
+        return rows.iter().map(|&r| (r, f(r))).collect();
+    }
+    let chunk_len = rows.len().div_ceil(threads);
+    let f = &f;
+    let partials: Vec<Vec<(UserId, SparseVector)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = rows
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(|&r| (r, f(r))).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    partials.into_iter().flatten().collect()
 }
 
 /// Options controlling [`SparseMatrix::power`].
@@ -163,6 +250,32 @@ impl SparseMatrix {
             for (r, product) in partial {
                 out.insert_row(r, product);
             }
+        }
+        out
+    }
+
+    /// [`normalized_rows`](Self::normalized_rows) computed across `threads`
+    /// OS threads via [`build_rows_parallel`]; identical output for any
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn normalized_rows_parallel(&self, threads: usize) -> Self {
+        assert!(threads >= 1, "at least one thread is required");
+        if threads == 1 {
+            return self.normalized_rows();
+        }
+        let rows: Vec<UserId> = self.row_ids().collect();
+        let built = build_rows_parallel(&rows, threads, |r| {
+            self.row(r)
+                .and_then(crate::sparse::normalized_row)
+                .unwrap_or_default()
+        });
+        let mut out = Self::new();
+        for (r, row) in built {
+            out.insert_row(r, row);
         }
         out
     }
@@ -365,6 +478,67 @@ mod tests {
     fn parallel_multiply_zero_threads_panics() {
         let m = chain();
         let _ = m.multiply_parallel(&m, 0);
+    }
+
+    #[test]
+    fn blend_parallel_matches_serial() {
+        let mut a = SparseMatrix::new();
+        let mut b = SparseMatrix::new();
+        for i in 0..64u64 {
+            a.set(u(i), u((i * 13) % 64), 1.0 + (i % 5) as f64).unwrap();
+            b.set(u((i + 7) % 64), u(i), 0.5 + (i % 3) as f64).unwrap();
+        }
+        let a = a.normalized_rows();
+        let b = b.normalized_rows();
+        let serial = blend(&[(0.6, &a), (0.4, &b)]).unwrap();
+        for threads in [1, 2, 4, 7] {
+            let parallel = blend_parallel(&[(0.6, &a), (0.4, &b)], threads).unwrap();
+            assert_eq!(parallel, serial, "{threads} threads");
+        }
+        assert!(blend_parallel(&[(0.5, &a)], 4).is_err(), "weights checked");
+    }
+
+    #[test]
+    fn blend_row_matches_blend() {
+        let mut a = SparseMatrix::new();
+        a.set(u(0), u(1), 0.5).unwrap();
+        a.set(u(0), u(2), 0.5).unwrap();
+        let mut b = SparseMatrix::new();
+        b.set(u(0), u(2), 1.0).unwrap();
+        let whole = blend(&[(0.5, &a), (0.5, &b)]).unwrap();
+        let row = blend_row(&[(0.5, &a), (0.5, &b)], u(0));
+        assert_eq!(whole.row(u(0)).unwrap(), &row);
+        assert!(blend_row(&[(0.5, &a), (0.5, &b)], u(9)).is_empty());
+    }
+
+    #[test]
+    fn build_rows_parallel_keeps_order_and_values() {
+        let rows: Vec<UserId> = (0..33u64).map(u).collect();
+        for threads in [1, 2, 4, 16] {
+            let built = build_rows_parallel(&rows, threads, |r| {
+                [(r, r.as_u64() as f64 + 1.0)].into_iter().collect()
+            });
+            assert_eq!(built.len(), rows.len(), "{threads} threads");
+            for (i, (r, row)) in built.iter().enumerate() {
+                assert_eq!(*r, rows[i]);
+                assert_eq!(row[r], r.as_u64() as f64 + 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_rows_parallel_matches_serial() {
+        let mut m = SparseMatrix::new();
+        for i in 0..48u64 {
+            for j in 0..4u64 {
+                m.set(u(i), u((i * 11 + j * 5) % 48), 1.0 + ((i + j) % 7) as f64)
+                    .unwrap();
+            }
+        }
+        let serial = m.normalized_rows();
+        for threads in [1, 3, 8] {
+            assert_eq!(m.normalized_rows_parallel(threads), serial, "{threads}");
+        }
     }
 
     #[test]

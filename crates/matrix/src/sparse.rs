@@ -36,6 +36,22 @@ impl Error for MatrixError {}
 /// A sparse vector over user ids (one matrix row, or a reputation vector).
 pub type SparseVector = BTreeMap<UserId, f64>;
 
+/// Scales one sparse row to sum 1 (the per-row core of Equations 3/5/6).
+/// Returns `None` for an empty or zero-sum row — the "no direct trust
+/// relationship" case.
+///
+/// Both the batch matrix builders ([`SparseMatrix::normalized_rows`]) and
+/// the incremental dirty-row rebuilds normalize through this one function,
+/// which is what makes their outputs bit-identical.
+#[must_use]
+pub fn normalized_row(row: &SparseVector) -> Option<SparseVector> {
+    let sum: f64 = row.values().sum();
+    if sum <= 0.0 {
+        return None;
+    }
+    Some(row.iter().map(|(&c, &v)| (c, v / sum)).collect())
+}
+
 /// A sparse, row-major matrix over user ids with non-negative finite entries.
 ///
 /// Trust values are non-negative by construction in the paper (Equations
@@ -85,6 +101,20 @@ impl SparseMatrix {
     pub fn add(&mut self, row: UserId, col: UserId, delta: f64) -> Result<(), MatrixError> {
         let current = self.get(row, col);
         self.set(row, col, current + delta)
+    }
+
+    /// Removes entry `(row, col)`, dropping the row when it becomes empty.
+    /// Returns whether an entry was present.
+    pub fn remove(&mut self, row: UserId, col: UserId) -> bool {
+        if let Some(cols) = self.rows.get_mut(&row) {
+            let removed = cols.remove(&col).is_some();
+            if cols.is_empty() {
+                self.rows.remove(&row);
+            }
+            removed
+        } else {
+            false
+        }
     }
 
     /// Returns entry `(row, col)`, with missing entries reading as `0.0`.
@@ -146,12 +176,9 @@ impl SparseMatrix {
     pub fn normalized_rows(&self) -> Self {
         let mut out = Self::new();
         for (&r, cols) in &self.rows {
-            let sum: f64 = cols.values().sum();
-            if sum <= 0.0 {
-                continue;
+            if let Some(row) = normalized_row(cols) {
+                out.rows.insert(r, row);
             }
-            let row: SparseVector = cols.iter().map(|(&c, &v)| (c, v / sum)).collect();
-            out.rows.insert(r, row);
         }
         out
     }
@@ -207,6 +234,32 @@ impl SparseMatrix {
         if !values.is_empty() {
             self.rows.insert(row, values);
         }
+    }
+
+    /// Replaces `row` wholesale: zero entries are dropped, an empty (or
+    /// all-zero) `values` removes the row. This is the dirty-row patch
+    /// primitive of the incremental recompute path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError`] on the first negative, NaN, or infinite
+    /// entry; the matrix is left unchanged in that case.
+    pub fn set_row(&mut self, row: UserId, values: SparseVector) -> Result<(), MatrixError> {
+        if let Some((&col, &value)) = values.iter().find(|(_, v)| !v.is_finite() || **v < 0.0) {
+            return Err(MatrixError { row, col, value });
+        }
+        let filtered: SparseVector = values.into_iter().filter(|&(_, v)| v != 0.0).collect();
+        if filtered.is_empty() {
+            self.rows.remove(&row);
+        } else {
+            self.rows.insert(row, filtered);
+        }
+        Ok(())
+    }
+
+    /// Removes `row` entirely; returns whether it existed.
+    pub fn remove_row(&mut self, row: UserId) -> bool {
+        self.rows.remove(&row).is_some()
     }
 
     /// Merges another matrix into this one entry-wise with a scale factor:
@@ -427,6 +480,55 @@ mod tests {
         // Invalid entries are skipped silently, matching FromIterator.
         m.extend([(u(0), u(2), f64::NAN)]);
         assert_eq!(m.get(u(0), u(2)), 0.0);
+    }
+
+    #[test]
+    fn set_row_replaces_and_removes() {
+        let mut m = SparseMatrix::new();
+        m.set(u(0), u(1), 0.5).unwrap();
+        m.set(u(0), u(2), 0.5).unwrap();
+        let replacement: SparseVector = [(u(3), 1.0), (u(4), 0.0)].into_iter().collect();
+        m.set_row(u(0), replacement).unwrap();
+        assert_eq!(m.get(u(0), u(1)), 0.0);
+        assert_eq!(m.get(u(0), u(3)), 1.0);
+        assert_eq!(m.nnz(), 1, "zero entries are dropped");
+        // An empty replacement removes the row.
+        m.set_row(u(0), SparseVector::new()).unwrap();
+        assert!(m.is_empty());
+        assert!(!m.remove_row(u(0)), "already gone");
+    }
+
+    #[test]
+    fn remove_drops_entry_and_empty_row() {
+        let mut m = SparseMatrix::new();
+        m.set(u(0), u(1), 0.5).unwrap();
+        m.set(u(0), u(2), 0.5).unwrap();
+        assert!(m.remove(u(0), u(1)));
+        assert!(!m.remove(u(0), u(1)), "already gone");
+        assert_eq!(m.row_count(), 1);
+        assert!(m.remove(u(0), u(2)));
+        assert!(m.is_empty(), "empty rows are dropped");
+        assert!(!m.remove(u(5), u(6)), "missing row");
+    }
+
+    #[test]
+    fn set_row_validates_entries() {
+        let mut m = SparseMatrix::new();
+        m.set(u(0), u(1), 0.5).unwrap();
+        let bad: SparseVector = [(u(2), -1.0)].into_iter().collect();
+        assert!(m.set_row(u(0), bad).is_err());
+        assert_eq!(m.get(u(0), u(1)), 0.5, "matrix unchanged on error");
+    }
+
+    #[test]
+    fn normalized_row_matches_normalized_rows() {
+        let mut m = SparseMatrix::new();
+        m.set(u(0), u(1), 2.0).unwrap();
+        m.set(u(0), u(2), 6.0).unwrap();
+        let whole = m.normalized_rows();
+        let row = normalized_row(m.row(u(0)).unwrap()).unwrap();
+        assert_eq!(whole.row(u(0)).unwrap(), &row);
+        assert!(normalized_row(&SparseVector::new()).is_none());
     }
 
     #[test]

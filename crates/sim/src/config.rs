@@ -26,6 +26,12 @@ pub struct SimConfig {
     pub filter_fakes: bool,
     /// File-score threshold below which a download is skipped.
     pub fake_threshold: f64,
+    /// Every k-th periodic recompute is forced through
+    /// [`ReputationSystem::full_rebuild`](mdrep_baselines::ReputationSystem::full_rebuild)
+    /// to bound incremental drift. `None` never forces a full rebuild
+    /// (incremental systems still fall back on their own when too many rows
+    /// are dirty).
+    pub full_rebuild_interval: Option<u32>,
 }
 
 impl Default for SimConfig {
@@ -39,6 +45,7 @@ impl Default for SimConfig {
             contribution_weight: 0.0,
             filter_fakes: false,
             fake_threshold: 0.5,
+            full_rebuild_interval: None,
         }
     }
 }
@@ -57,5 +64,6 @@ mod tests {
         assert_eq!(c.contribution_weight, 0.0);
         assert!(!c.filter_fakes);
         assert!((0.0..=1.0).contains(&c.fake_threshold));
+        assert_eq!(c.full_rebuild_interval, None);
     }
 }

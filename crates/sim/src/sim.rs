@@ -73,6 +73,7 @@ impl<S: ReputationSystem> Simulation<S> {
         // downloader in its trust relationship?
         let mut interval_requests = 0usize;
         let mut interval_covered = 0usize;
+        let mut recompute_count = 0u32;
 
         for event in trace.events() {
             report.events_processed += 1;
@@ -88,7 +89,13 @@ impl<S: ReputationSystem> Simulation<S> {
                 });
                 interval_requests = 0;
                 interval_covered = 0;
-                self.system.recompute(next_recompute);
+                recompute_count += 1;
+                match self.config.full_rebuild_interval {
+                    Some(k) if k > 0 && recompute_count.is_multiple_of(k) => {
+                        self.system.full_rebuild(next_recompute);
+                    }
+                    _ => self.system.recompute(next_recompute),
+                }
                 next_recompute += interval;
             }
 
@@ -384,6 +391,38 @@ mod tests {
         assert!(report.requests > 0);
         // The returned system holds the final reputation state.
         assert!(system.engine().reputation_matrix().is_some());
+    }
+
+    #[test]
+    fn full_rebuild_cadence_does_not_change_results() {
+        let t = trace(0.2, 7);
+        let incremental = Simulation::new(
+            SimConfig::default(),
+            MultiDimensional::new(Params::default()),
+        )
+        .run(&t);
+        let forced = Simulation::new(
+            SimConfig {
+                full_rebuild_interval: Some(1),
+                ..SimConfig::default()
+            },
+            MultiDimensional::new(Params::default()),
+        )
+        .run(&t);
+        // The dirty-row path reproduces the batch path bit-for-bit, so
+        // forcing a rebuild every epoch must not move any metric.
+        assert_eq!(incremental.requests, forced.requests);
+        assert_eq!(
+            incremental.coverage_series.len(),
+            forced.coverage_series.len()
+        );
+        for (a, b) in incremental
+            .coverage_series
+            .iter()
+            .zip(&forced.coverage_series)
+        {
+            assert_eq!(a.coverage, b.coverage, "coverage diverged at {:?}", a.time);
+        }
     }
 
     #[test]
