@@ -1,0 +1,40 @@
+use mdrep::{Params, ReputationEngine};
+use mdrep_types::{FileSize, SimDuration, SimTime, UserId, FileId};
+
+#[test]
+fn drift_coevaluators_are_rebuilt_same_recompute() {
+    let params = Params::builder()
+        .incremental_threshold(1.0)
+        .build()
+        .unwrap();
+    let mut engine = ReputationEngine::new(params);
+    let u = UserId::new;
+    let f = FileId::new;
+
+    // u1 & u3 share f1; u1 also holds f0. All start at t=0 (saturate day 7).
+    engine.observe_download(SimTime::ZERO, u(1), u(9), f(1), FileSize::from_mib(50));
+    engine.observe_download(SimTime::ZERO, u(3), u(9), f(1), FileSize::from_mib(50));
+    engine.observe_download(SimTime::ZERO, u(1), u(9), f(0), FileSize::from_mib(50));
+    engine.recompute(SimTime::ZERO);
+
+    // u0 joins f0 at day 6 → unsaturated until day 13.
+    let day6 = SimTime::ZERO + SimDuration::from_days(6);
+    engine.observe_download(day6, u(0), u(9), f(0), FileSize::from_mib(50));
+    let day8 = SimTime::ZERO + SimDuration::from_days(8);
+    engine.recompute(day8);
+    eprintln!("day8 mode {:?}", engine.last_recompute_mode());
+
+    // Drift-only recompute at day 10: u0 drifts, u1/u3 clean.
+    let day10 = SimTime::ZERO + SimDuration::from_days(10);
+    engine.recompute(day10);
+    eprintln!("day10 mode {:?} dirty {}", engine.last_recompute_mode(), engine.last_dirty_rows());
+
+    let mut reference = engine.clone();
+    reference.full_rebuild(day10);
+
+    let ci = engine.components().unwrap();
+    let cf = reference.components().unwrap();
+    eprintln!("incr u1 row {:?}", ci.fm.row(u(1)));
+    eprintln!("full u1 row {:?}", cf.fm.row(u(1)));
+    assert_eq!(ci.fm, cf.fm, "FM diverged after drift-only recompute");
+}
