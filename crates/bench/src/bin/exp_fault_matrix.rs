@@ -1,0 +1,226 @@
+//! **FAULT-MATRIX** — the adversarial fault matrix as a CI gate: three
+//! attack × fault scenarios at one seed, each checked against the bounds
+//! documented in `tests/attack_scenarios.rs`. Exits nonzero when any
+//! bound is violated, so the CI `fault-matrix` job fails loudly instead
+//! of silently shipping a regression.
+//!
+//! Scenarios:
+//! 1. **collusion + churn** — fake-file avoidance loses at most 10pp
+//!    versus the fault-free run;
+//! 2. **whitewash + partition** — the run replays bit-identically from
+//!    its seed and the partition demonstrably cuts retrievals;
+//! 3. **byzantine index peers** — tampered records never verify and
+//!    replication keeps ≥85% of files retrievable with a valid record.
+//!
+//! Run: `cargo run -p mdrep-bench --bin exp_fault_matrix --release -- \
+//!       --seed 101 --metrics-out results/fault_matrix_101.json`
+
+use mdrep::Params;
+use mdrep_baselines::MultiDimensional;
+use mdrep_bench::Table;
+use mdrep_crypto::KeyRegistry;
+use mdrep_dht::{ChurnSchedule, Dht, DhtConfig, EvaluationPublisher, FaultPlan, Partition};
+use mdrep_sim::{SimConfig, SimReport, Simulation};
+use mdrep_types::{Evaluation, FileId, SimDuration, SimTime, UserId};
+use mdrep_workload::{BehaviorMix, Trace, TraceBuilder, WorkloadConfig};
+
+fn seed_from_args() -> u64 {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--seed" {
+            if let Some(v) = args.next() {
+                return v.parse().expect("--seed takes a u64");
+            }
+        } else if let Some(v) = arg.strip_prefix("--seed=") {
+            return v.parse().expect("--seed takes a u64");
+        }
+    }
+    101
+}
+
+fn adversarial_trace(mix: BehaviorMix, pollution: f64, seed: u64) -> Trace {
+    TraceBuilder::new(
+        WorkloadConfig::builder()
+            .users(60)
+            .titles(60)
+            .days(2)
+            .downloads_per_user_day(5.0)
+            .behavior_mix(mix)
+            .pollution_rate(pollution)
+            .seed(seed)
+            .build()
+            .expect("valid workload"),
+    )
+    .generate()
+}
+
+fn run_filtered(trace: &Trace, fault: Option<FaultPlan>) -> SimReport {
+    let config = SimConfig {
+        filter_fakes: true,
+        fault,
+        ..SimConfig::default()
+    };
+    Simulation::new(config, MultiDimensional::new(Params::default())).run(trace)
+}
+
+struct Gate {
+    table: Table,
+    violations: usize,
+}
+
+impl Gate {
+    fn check(&mut self, scenario: &str, bound: &str, value: String, ok: bool) {
+        if !ok {
+            self.violations += 1;
+        }
+        self.table.row(&[
+            scenario.to_string(),
+            bound.to_string(),
+            value,
+            if ok { "ok".into() } else { "VIOLATED".into() },
+        ]);
+    }
+}
+
+fn collusion_with_churn(gate: &mut Gate, seed: u64) {
+    let mix = BehaviorMix::new(0.10, 0.10, 0.15, 0.0).expect("valid mix");
+    let trace = adversarial_trace(mix, 0.5, seed);
+    let clean = run_filtered(&trace, None);
+    let plan = FaultPlan::message_loss(0.1, seed)
+        .with_churn(ChurnSchedule::new(SimDuration::from_hours(2), 0.2));
+    let faulty = run_filtered(&trace, Some(plan));
+
+    let drop = clean.fakes.avoidance_rate() - faulty.fakes.avoidance_rate();
+    gate.check(
+        "collusion+churn",
+        "avoidance drop <= 10pp",
+        format!("{:.1}pp", drop * 100.0),
+        drop <= 0.10,
+    );
+    gate.check(
+        "collusion+churn",
+        "faults exercised",
+        format!("{} retrievals", faulty.faults.retrievals),
+        faulty.faults.retrievals > 0,
+    );
+}
+
+fn whitewash_with_partition(gate: &mut Gate, seed: u64) {
+    let mix = BehaviorMix::new(0.10, 0.05, 0.0, 0.15).expect("valid mix");
+    let trace = adversarial_trace(mix, 0.4, seed);
+    let plan = FaultPlan::message_loss(0.05, seed).with_partition(Partition {
+        start: SimTime::ZERO + SimDuration::from_hours(12),
+        end: SimTime::ZERO + SimDuration::from_hours(36),
+        minority_fraction: 0.3,
+    });
+    let a = run_filtered(&trace, Some(plan.clone()));
+    let b = run_filtered(&trace, Some(plan));
+
+    gate.check(
+        "whitewash+partition",
+        "same seed replays bit-identically",
+        format!("{:016x} / {:016x}", a.digest(), b.digest()),
+        a.digest() == b.digest(),
+    );
+    gate.check(
+        "whitewash+partition",
+        "partition cut retrievals",
+        format!("{} lost", a.faults.lost_retrievals),
+        a.faults.lost_retrievals > 0,
+    );
+}
+
+fn byzantine_index_peers(gate: &mut Gate, seed: u64) {
+    const FILES: u64 = 20;
+    let mut plan = FaultPlan::none().with_seed(seed);
+    for i in (0..40).step_by(5) {
+        plan = plan.with_byzantine(UserId::new(i));
+    }
+    let mut dht = Dht::new(DhtConfig {
+        fault: plan,
+        ..DhtConfig::default()
+    });
+    let mut registry = KeyRegistry::new();
+    for i in 0..40 {
+        dht.join(UserId::new(i), SimTime::ZERO);
+        registry.register(UserId::new(i), 9000 + i);
+    }
+    let publisher = EvaluationPublisher::new();
+    let published_value = Evaluation::new(0.75).expect("in range");
+    for f in 0..FILES {
+        let owner = UserId::new(1 + f % 39);
+        let key = registry.key_of(owner).expect("registered").clone();
+        publisher
+            .publish(
+                &mut dht,
+                &key,
+                owner,
+                FileId::new(f),
+                published_value,
+                SimTime::ZERO,
+            )
+            .expect("store succeeds");
+    }
+
+    let mut retrievable = 0u64;
+    let mut accepted_tampered = 0u64;
+    for f in 0..FILES {
+        let outcome = publisher
+            .retrieve_detailed(
+                &mut dht,
+                &registry,
+                UserId::new(2),
+                FileId::new(f),
+                SimTime::ZERO,
+            )
+            .expect("viewer online");
+        accepted_tampered += outcome
+            .valid_records()
+            .filter(|r| r.info.evaluation != published_value)
+            .count() as u64;
+        if outcome.valid_records().count() > 0 {
+            retrievable += 1;
+        }
+    }
+    gate.check(
+        "byzantine-index",
+        "tampered records never accepted",
+        format!("{accepted_tampered} accepted"),
+        accepted_tampered == 0,
+    );
+    gate.check(
+        "byzantine-index",
+        ">=85% of files verified-retrievable",
+        format!("{retrievable}/{FILES}"),
+        retrievable * 100 >= FILES * 85,
+    );
+    gate.check(
+        "byzantine-index",
+        "tampering actually occurred",
+        format!("{} tampered", dht.fault_trace().tampered),
+        dht.fault_trace().tampered > 0,
+    );
+    dht.publish_fault_metrics();
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let mut gate = Gate {
+        table: Table::new(
+            &format!("Adversarial fault matrix, seed {seed}"),
+            &["scenario", "bound", "value", "status"],
+        ),
+        violations: 0,
+    };
+    collusion_with_churn(&mut gate, seed);
+    whitewash_with_partition(&mut gate, seed);
+    byzantine_index_peers(&mut gate, seed);
+
+    gate.table.finish(&format!("exp_fault_matrix_{seed}"));
+    mdrep_bench::write_metrics_if_requested();
+    if gate.violations > 0 {
+        eprintln!("fault matrix: {} bound(s) violated", gate.violations);
+        std::process::exit(1);
+    }
+    println!("fault matrix: all bounds hold at seed {seed}");
+}

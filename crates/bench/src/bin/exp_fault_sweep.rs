@@ -1,0 +1,93 @@
+//! **FAULT** — message-loss × retry-budget sweep under the seeded fault
+//! plan: how many owner-evaluation retrievals survive, and what that does
+//! to Equation 9 fake-file filtering.
+//!
+//! The same polluted trace is replayed with download filtering on while a
+//! [`FaultPlan`] drops owner-list retrievals at 0–50% per attempt on top
+//! of a moderate churn schedule. The retry budget is swept from 1 (no
+//! retries) to 3 attempts; each extra attempt multiplies the effective
+//! loss by the per-attempt rate, so success climbs steeply. Reported per
+//! cell: retrieval success, fake-download avoidance, and the avoidance
+//! drift versus the fault-free baseline.
+//!
+//! Run: `cargo run -p mdrep-bench --bin exp_fault_sweep --release`
+
+use mdrep::Params;
+use mdrep_baselines::MultiDimensional;
+use mdrep_bench::Table;
+use mdrep_dht::{ChurnSchedule, FaultPlan, RetryPolicy};
+use mdrep_sim::{SimConfig, SimReport, Simulation};
+use mdrep_types::SimDuration;
+use mdrep_workload::{BehaviorMix, Trace, TraceBuilder, WorkloadConfig};
+
+const SEED: u64 = 7;
+const LOSS_RATES: [f64; 4] = [0.0, 0.1, 0.3, 0.5];
+const RETRY_BUDGETS: [u32; 3] = [1, 2, 3];
+
+fn polluted_trace() -> Trace {
+    TraceBuilder::new(
+        WorkloadConfig::builder()
+            .users(80)
+            .titles(50)
+            .days(3)
+            .downloads_per_user_day(6.0)
+            .behavior_mix(BehaviorMix::new(0.10, 0.15, 0.0, 0.0).expect("valid mix"))
+            .pollution_rate(0.5)
+            .seed(SEED)
+            .build()
+            .expect("valid workload"),
+    )
+    .generate()
+}
+
+fn run(trace: &Trace, fault: Option<FaultPlan>, retry: RetryPolicy) -> SimReport {
+    let config = SimConfig {
+        filter_fakes: true,
+        fault,
+        fault_retry: retry,
+        ..SimConfig::default()
+    };
+    Simulation::new(config, MultiDimensional::new(Params::default())).run(trace)
+}
+
+fn experiment() {
+    let trace = polluted_trace();
+    let clean = run(&trace, None, RetryPolicy::default());
+    let baseline = clean.fakes.avoidance_rate();
+
+    let mut table = Table::new(
+        "Retrieval success and Eq. 9 filtering vs loss rate × retry budget",
+        &["loss", "attempts", "success_pct", "avoided_pct", "drift_pp"],
+    );
+    for &loss in &LOSS_RATES {
+        for &attempts in &RETRY_BUDGETS {
+            let plan = FaultPlan::message_loss(loss, SEED)
+                .with_churn(ChurnSchedule::new(SimDuration::from_hours(2), 0.1));
+            let retry = RetryPolicy {
+                max_attempts: attempts,
+                ..RetryPolicy::default()
+            };
+            let report = run(&trace, Some(plan), retry);
+            table.row(&[
+                format!("{loss:.1}"),
+                attempts.to_string(),
+                format!("{:.1}", report.faults.success_rate() * 100.0),
+                format!("{:.1}", report.fakes.avoidance_rate() * 100.0),
+                format!("{:+.1}", (report.fakes.avoidance_rate() - baseline) * 100.0),
+            ]);
+        }
+    }
+    table.finish("exp_fault_sweep");
+
+    println!("\nfault-free baseline avoidance: {:.1}%", baseline * 100.0);
+    println!(
+        "claim under test: a 3-attempt retry budget holds Eq. 9 filtering within\n\
+         5pp of the fault-free baseline at 10% per-attempt loss, because the\n\
+         effective retrieval loss falls to loss^attempts plus the churn floor."
+    );
+}
+
+fn main() {
+    experiment();
+    mdrep_bench::write_metrics_if_requested();
+}

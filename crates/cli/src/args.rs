@@ -224,6 +224,9 @@ SIMULATION FLAGS (simulate / coverage / fake-check):
 
 DHT FLAGS (dht-demo):
   --nodes N        overlay size               (default 64)
+  --loss P         per-attempt message-loss probability    (default 0)
+  --churn P        fraction of nodes down per churn wave   (default 0)
+  --fault-seed S   fault-plan seed; same seed, same faults (default 42)
 
 COMMUNITY FLAGS (community):
   --peers N        community size             (default 32)

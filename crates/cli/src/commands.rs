@@ -8,10 +8,10 @@ use mdrep_baselines::{
     ReputationSystem,
 };
 use mdrep_crypto::KeyRegistry;
-use mdrep_dht::{Dht, DhtConfig, EvaluationPublisher};
+use mdrep_dht::{ChurnSchedule, Dht, DhtConfig, EvaluationPublisher, FaultPlan};
 use mdrep_node::{Community, DownloadOutcome, NodeConfig};
 use mdrep_sim::{SimConfig, SimReport, Simulation};
-use mdrep_types::{Evaluation, FileId, SimTime, UserId};
+use mdrep_types::{Evaluation, FileId, SimDuration, SimTime, UserId};
 use mdrep_workload::{BehaviorMix, Trace, TraceBuilder, WorkloadConfig};
 use std::io::Write;
 
@@ -181,7 +181,32 @@ fn fake_check_command(args: &Arguments, out: &mut dyn Write) -> Result<(), ArgEr
 
 fn dht_demo_command(args: &Arguments, out: &mut dyn Write) -> Result<(), ArgError> {
     let nodes = args.get_u64("nodes", 64)?.max(4);
-    let mut dht = Dht::new(DhtConfig::default());
+    let loss = args.get_f64("loss", 0.0)?;
+    let churn = args.get_f64("churn", 0.0)?;
+    let fault_seed = args.get_u64("fault-seed", 42)?;
+    if !(0.0..1.0).contains(&loss) {
+        return Err(ArgError::new("--loss must be in [0, 1)"));
+    }
+    if !(0.0..1.0).contains(&churn) {
+        return Err(ArgError::new("--churn must be in [0, 1)"));
+    }
+
+    let owner = UserId::new(1);
+    let viewer = UserId::new(nodes - 1);
+    let mut plan = FaultPlan::message_loss(loss, fault_seed);
+    if churn > 0.0 {
+        // The walkthrough's protagonists stay online; churn hits the rest.
+        plan = plan.with_churn(
+            ChurnSchedule::new(SimDuration::from_hours(1), churn)
+                .immune(owner)
+                .immune(viewer),
+        );
+    }
+    let faulty = !plan.is_quiet();
+    let mut dht = Dht::new(DhtConfig {
+        fault: plan,
+        ..DhtConfig::default()
+    });
     let mut registry = KeyRegistry::new();
     for i in 0..nodes {
         dht.join(UserId::new(i), SimTime::ZERO);
@@ -189,28 +214,25 @@ fn dht_demo_command(args: &Arguments, out: &mut dyn Write) -> Result<(), ArgErro
     }
     let publisher = EvaluationPublisher::new();
     let file = FileId::new(1);
-    let owner = UserId::new(1);
     let key = registry.key_of(owner).expect("registered").clone();
     let replicas = publisher
         .publish(&mut dht, &key, owner, file, Evaluation::BEST, SimTime::ZERO)
         .map_err(|e| ArgError::new(e.to_string()))?;
-    let records = publisher
-        .retrieve(
-            &mut dht,
-            &registry,
-            UserId::new(nodes - 1),
-            file,
-            SimTime::ZERO,
-        )
+
+    // Retrieval happens an hour later, after one churn wave (if any).
+    let later = SimTime::ZERO + SimDuration::from_hours(1);
+    let (downs, _) = dht.apply_churn(later);
+    let outcome = publisher
+        .retrieve_detailed(&mut dht, &registry, viewer, file, later)
         .map_err(|e| ArgError::new(e.to_string()))?;
     let stats = dht.stats();
-    let text = format!(
+    let mut text = format!(
         "overlay: {} nodes online\npublished {file} from {owner}: {replicas} replicas\n\
          retrieved {} record(s), all signatures {}\n\
          messages: {} find_node, {} store, {} find_value\n",
         dht.online_count(),
-        records.len(),
-        if records.iter().all(|r| r.valid) {
+        outcome.records.len(),
+        if outcome.records.iter().all(|r| r.valid) {
             "valid"
         } else {
             "INVALID"
@@ -219,6 +241,20 @@ fn dht_demo_command(args: &Arguments, out: &mut dyn Write) -> Result<(), ArgErro
         stats.store,
         stats.find_value,
     );
+    if faulty {
+        let trace = dht.fault_trace();
+        text.push_str(&format!(
+            "faults: {} dropped, {} timed out, {} retries, {} churned down, \
+             {} unreachable owner(s)\nfault trace digest: {:016x} (seed {fault_seed})\n",
+            trace.drops,
+            trace.timeouts,
+            stats.retried,
+            downs,
+            outcome.unreachable.len(),
+            trace.digest(),
+        ));
+        dht.publish_fault_metrics();
+    }
     write_str(out, &text)
 }
 
@@ -398,5 +434,36 @@ mod tests {
         let out = run_capture(&["dht-demo", "--nodes", "16"]);
         assert!(out.contains("16 nodes online"));
         assert!(out.contains("signatures valid"));
+        assert!(!out.contains("fault trace"), "quiet run prints no faults");
+    }
+
+    #[test]
+    fn dht_demo_under_faults_prints_trace_summary() {
+        let flags = [
+            "dht-demo",
+            "--nodes",
+            "32",
+            "--loss",
+            "0.2",
+            "--churn",
+            "0.2",
+            "--fault-seed",
+            "7",
+        ];
+        let out = run_capture(&flags);
+        assert!(out.contains("signatures valid"), "retries still succeed");
+        assert!(out.contains("faults:"), "fault summary printed");
+        assert!(out.contains("fault trace digest"), "digest printed");
+        assert_eq!(out, run_capture(&flags), "same seed, same output");
+    }
+
+    #[test]
+    fn dht_demo_rejects_out_of_range_fault_flags() {
+        let args = Arguments::parse(["dht-demo", "--loss", "1.5"]).unwrap();
+        let mut buf = Vec::new();
+        assert!(run(&args, &mut buf).is_err());
+        let args = Arguments::parse(["dht-demo", "--churn", "-0.1"]).unwrap();
+        let mut buf = Vec::new();
+        assert!(run(&args, &mut buf).is_err());
     }
 }

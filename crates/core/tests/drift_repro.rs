@@ -1,5 +1,5 @@
 use mdrep::{Params, ReputationEngine};
-use mdrep_types::{FileSize, SimDuration, SimTime, UserId, FileId};
+use mdrep_types::{FileId, FileSize, SimDuration, SimTime, UserId};
 
 #[test]
 fn drift_coevaluators_are_rebuilt_same_recompute() {
@@ -27,7 +27,11 @@ fn drift_coevaluators_are_rebuilt_same_recompute() {
     // Drift-only recompute at day 10: u0 drifts, u1/u3 clean.
     let day10 = SimTime::ZERO + SimDuration::from_days(10);
     engine.recompute(day10);
-    eprintln!("day10 mode {:?} dirty {}", engine.last_recompute_mode(), engine.last_dirty_rows());
+    eprintln!(
+        "day10 mode {:?} dirty {}",
+        engine.last_recompute_mode(),
+        engine.last_dirty_rows()
+    );
 
     let mut reference = engine.clone();
     reference.full_rebuild(day10);

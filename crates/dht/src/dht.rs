@@ -1,11 +1,10 @@
 //! The simulated overlay: joins, iterative lookups, stores, retrievals,
-//! republication, churn, and message accounting.
+//! republication, churn, fault injection, and message accounting.
 
+use crate::fault::{FaultInjector, FaultPlan, FaultTrace, RetryPolicy, RpcKind, RpcOutcome};
 use crate::id::{Key, NodeId};
 use crate::node::{Node, StoredValue};
 use mdrep_types::{SimDuration, SimTime, UserId};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use std::collections::{BTreeSet, HashMap};
 use std::error::Error;
 use std::fmt;
@@ -20,9 +19,22 @@ pub struct DhtConfig {
     /// Value TTL; republication refreshes it.
     pub ttl: SimDuration,
     /// Probability that any RPC is lost in transit.
+    ///
+    /// Legacy knob, kept for experiment compatibility: when
+    /// [`fault`](DhtConfig::fault) is the quiet plan, this rate (seeded by
+    /// [`seed`](DhtConfig::seed)) is folded into it. A non-quiet fault
+    /// plan takes precedence.
     pub message_loss: f64,
-    /// RNG seed for the loss process.
+    /// RNG seed for the legacy loss process.
     pub seed: u64,
+    /// The full fault model: loss, delays, duplication, churn schedules,
+    /// partitions, byzantine nodes. Defaults to quiet.
+    pub fault: FaultPlan,
+    /// Bounded retry with exponential backoff, applied to every RPC.
+    pub retry: RetryPolicy,
+    /// Routing-table entries not observed alive within this window are
+    /// evicted by [`Dht::expire_routing`].
+    pub route_entry_ttl: SimDuration,
 }
 
 impl Default for DhtConfig {
@@ -33,6 +45,9 @@ impl Default for DhtConfig {
             ttl: SimDuration::from_hours(24),
             message_loss: 0.0,
             seed: 0,
+            fault: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            route_entry_ttl: SimDuration::from_hours(48),
         }
     }
 }
@@ -61,6 +76,10 @@ impl fmt::Display for DhtError {
 impl Error for DhtError {}
 
 /// Message counters (requests sent; responses are implied).
+///
+/// Conservation invariant: every sent request ends in exactly one of the
+/// outcome buckets, so
+/// `total() == delivered + dropped + refused + blocked + timed_out`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MessageStats {
     /// `FIND_NODE` requests.
@@ -69,18 +88,89 @@ pub struct MessageStats {
     pub store: u64,
     /// `FIND_VALUE` requests.
     pub find_value: u64,
+    /// Requests delivered and answered.
+    pub delivered: u64,
     /// Requests lost in transit.
     pub dropped: u64,
     /// Requests addressed to offline nodes.
     pub refused: u64,
+    /// Requests blocked by an active partition.
+    pub blocked: u64,
+    /// Requests delayed beyond the per-RPC timeout.
+    pub timed_out: u64,
+    /// Retry attempts beyond each RPC's first try (already included in
+    /// the per-kind sent counters).
+    pub retried: u64,
+    /// Deliveries processed twice by the receiver (duplicated requests).
+    pub duplicated: u64,
 }
 
 impl MessageStats {
-    /// Total requests sent.
+    /// Total requests sent (including retries).
     #[must_use]
     pub fn total(&self) -> u64 {
         self.find_node + self.store + self.find_value
     }
+
+    /// Whether the outcome buckets account for every sent request.
+    #[must_use]
+    pub fn is_conserved(&self) -> bool {
+        self.total() == self.delivered + self.dropped + self.refused + self.blocked + self.timed_out
+    }
+}
+
+/// The result of a [`Dht::get`]: the retrieved values plus an explicit
+/// account of which replica holders could not be reached, so callers can
+/// distinguish "the value does not exist" from "the owners were
+/// unreachable" and degrade gracefully on partial owner lists.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GetOutcome {
+    /// The live values retrieved, deduplicated, in discovery order.
+    pub values: Vec<Vec<u8>>,
+    /// Users owning replica nodes that never answered after retries.
+    pub unreachable: Vec<UserId>,
+    /// Replica nodes the retrieval contacted (reachable or not).
+    pub contacted: usize,
+    /// Retry attempts spent on this retrieval.
+    pub retries: u64,
+}
+
+impl GetOutcome {
+    /// Whether every contacted replica answered.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.unreachable.is_empty()
+    }
+
+    /// Consumes the outcome, keeping only the values (the pre-fault-layer
+    /// return shape).
+    #[must_use]
+    pub fn into_values(self) -> Vec<Vec<u8>> {
+        self.values
+    }
+}
+
+/// One RPC attempt's fate, after fault injection and the online check.
+enum Attempt {
+    /// Delivered and answered (duplication is counted in the stats).
+    Ok,
+    /// Failed; `late_store` marks a timed-out `STORE` whose side effect
+    /// still landed (the ack was what got lost).
+    Fail { late_store: bool },
+}
+
+/// Aggregate result of an RPC after bounded retries.
+struct RpcResult {
+    delivered: bool,
+    /// A timed-out `STORE` side effect landed on some attempt.
+    late_store: bool,
+}
+
+/// What an iterative lookup discovered: the closest responsive nodes and
+/// the queried nodes that never answered (both nearest-first).
+struct LookupResult {
+    alive: Vec<NodeId>,
+    failed: Vec<NodeId>,
 }
 
 /// The whole simulated overlay.
@@ -89,11 +179,16 @@ impl MessageStats {
 #[derive(Debug)]
 pub struct Dht {
     config: DhtConfig,
-    rng: StdRng,
+    injector: FaultInjector,
     nodes: HashMap<NodeId, Node>,
     by_user: HashMap<UserId, NodeId>,
-    /// What each user has published, for republication.
+    /// What each user has published, for republication (at most one entry
+    /// per key; re-stores replace).
     publications: HashMap<UserId, Vec<(Key, Vec<u8>)>>,
+    /// Users currently offline *because of the churn schedule* (as opposed
+    /// to an explicit [`leave`](Self::leave)) — only these are brought
+    /// back by [`apply_churn`](Self::apply_churn).
+    churned: BTreeSet<UserId>,
     stats: MessageStats,
 }
 
@@ -101,13 +196,18 @@ impl Dht {
     /// Creates an empty overlay.
     #[must_use]
     pub fn new(config: DhtConfig) -> Self {
-        let rng = StdRng::seed_from_u64(config.seed ^ 0x6468_7431);
+        let mut plan = config.fault.clone();
+        if plan.is_quiet() && config.message_loss > 0.0 {
+            plan.drop_rate = config.message_loss;
+            plan.seed = config.seed;
+        }
         Self {
+            injector: FaultInjector::new(plan),
             config,
-            rng,
             nodes: HashMap::new(),
             by_user: HashMap::new(),
             publications: HashMap::new(),
+            churned: BTreeSet::new(),
             stats: MessageStats::default(),
         }
     }
@@ -121,6 +221,37 @@ impl Dht {
     /// Resets the message counters (between experiment phases).
     pub fn reset_stats(&mut self) {
         self.stats = MessageStats::default();
+    }
+
+    /// The fault plan actually in effect (after legacy `message_loss`
+    /// folding).
+    #[must_use]
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.injector.plan()
+    }
+
+    /// The trace of every fault decision so far. Same plan, same workload
+    /// → bit-identical trace; compare [`FaultTrace::digest`] to replay CI
+    /// failures exactly.
+    #[must_use]
+    pub fn fault_trace(&self) -> &FaultTrace {
+        self.injector.trace()
+    }
+
+    /// Exports the fault trace counters as `dht.fault.*` gauges on the
+    /// global [`mdrep_obs`] registry (call before a metrics snapshot).
+    pub fn publish_fault_metrics(&self) {
+        let obs = mdrep_obs::global();
+        let t = self.injector.trace();
+        obs.gauge_set("dht.fault.decisions", t.decisions as f64);
+        obs.gauge_set("dht.fault.drops", t.drops as f64);
+        obs.gauge_set("dht.fault.timeouts", t.timeouts as f64);
+        obs.gauge_set("dht.fault.duplicates", t.duplicates as f64);
+        obs.gauge_set("dht.fault.partition_blocks", t.partition_blocks as f64);
+        obs.gauge_set("dht.fault.tampered", t.tampered as f64);
+        obs.gauge_set("dht.fault.churn_downs", t.churn_downs as f64);
+        obs.gauge_set("dht.fault.churn_ups", t.churn_ups as f64);
+        obs.gauge_set("dht.rpc.retried", self.stats.retried as f64);
     }
 
     /// Number of nodes that ever joined.
@@ -146,6 +277,7 @@ impl Dht {
     pub fn join(&mut self, user: UserId, now: SimTime) {
         if let Some(&id) = self.by_user.get(&user) {
             self.nodes.get_mut(&id).expect("indexed").set_online(true);
+            self.churned.remove(&user);
             return;
         }
         let node = Node::new(user);
@@ -164,16 +296,16 @@ impl Dht {
                 .get_mut(&id)
                 .expect("just inserted")
                 .routing_mut()
-                .observe(boot);
+                .observe(boot, now);
             self.nodes
                 .get_mut(&boot)
                 .expect("exists")
                 .routing_mut()
-                .observe(id);
-            let found = self.iterative_find(id, id, now);
+                .observe(id, now);
+            let found = self.iterative_find(id, id, now).alive;
             let me = self.nodes.get_mut(&id).expect("exists");
             for peer in found {
-                me.routing_mut().observe(peer);
+                me.routing_mut().observe(peer, now);
             }
             // Bucket refresh (Kademlia §2.3): look up a few well-spread
             // keys so the distant buckets get populated too — without this,
@@ -183,10 +315,10 @@ impl Dht {
                 let target = Key::for_content(
                     &[&user.as_u64().to_be_bytes()[..], &salt.to_be_bytes()[..]].concat(),
                 );
-                let found = self.iterative_find(id, target, now);
+                let found = self.iterative_find(id, target, now).alive;
                 let me = self.nodes.get_mut(&id).expect("exists");
                 for peer in found {
-                    me.routing_mut().observe(peer);
+                    me.routing_mut().observe(peer, now);
                 }
             }
         }
@@ -197,6 +329,7 @@ impl Dht {
     pub fn leave(&mut self, user: UserId) {
         if let Some(&id) = self.by_user.get(&user) {
             self.nodes.get_mut(&id).expect("indexed").set_online(false);
+            self.churned.remove(&user);
         }
     }
 
@@ -209,12 +342,60 @@ impl Dht {
             .is_some_and(Node::is_online)
     }
 
-    /// Stores `data` under `key` at the `replication` closest online nodes.
+    /// Applies the fault plan's churn schedule at `now`: nodes the
+    /// schedule has down go offline, nodes it previously took down and no
+    /// longer wants down come back (explicit [`leave`](Self::leave)s are
+    /// respected and never resurrected). Returns `(downs, ups)` applied
+    /// this call. A no-op without a churn schedule.
+    pub fn apply_churn(&mut self, now: SimTime) -> (usize, usize) {
+        if self.injector.plan().churn.is_none() {
+            return (0, 0);
+        }
+        let mut users: Vec<UserId> = self.by_user.keys().copied().collect();
+        users.sort_unstable();
+        let (mut downs, mut ups) = (0, 0);
+        for user in users {
+            let down = self.injector.plan().node_down(user, now);
+            let id = self.by_user[&user];
+            let node = self.nodes.get_mut(&id).expect("indexed");
+            if down && node.is_online() {
+                node.set_online(false);
+                self.churned.insert(user);
+                self.injector.trace_mut().note_churn(user, true);
+                downs += 1;
+            } else if !down && self.churned.remove(&user) {
+                node.set_online(true);
+                self.injector.trace_mut().note_churn(user, false);
+                ups += 1;
+            }
+        }
+        (downs, ups)
+    }
+
+    /// Evicts routing-table entries not observed alive within
+    /// [`DhtConfig::route_entry_ttl`] from every node; returns how many
+    /// entries were evicted. Departed nodes are never re-observed, so one
+    /// pass at `departure + ttl` guarantees they are gone everywhere.
+    pub fn expire_routing(&mut self, now: SimTime) -> usize {
+        let ttl = self.config.route_entry_ttl;
+        self.nodes
+            .values_mut()
+            .map(|n| n.routing_mut().expire_stale(now, ttl))
+            .sum()
+    }
+
+    /// Stores `data` under `key` at the `replication` closest online
+    /// nodes, retrying each replica per the [`RetryPolicy`].
+    ///
+    /// The publication intent is recorded (replacing any earlier intent
+    /// for the same key) even when every replica fails, so a later
+    /// [`republish`](Self::republish) can repair a store that a partition
+    /// or loss burst defeated.
     ///
     /// # Errors
     ///
     /// Returns [`DhtError`] if `publisher` is unknown/offline or no node
-    /// accepted the value.
+    /// acknowledged the value.
     pub fn store(
         &mut self,
         publisher: UserId,
@@ -224,42 +405,42 @@ impl Dht {
     ) -> Result<usize, DhtError> {
         mdrep_obs::global().counter_inc("dht.store.count");
         let origin = self.require_online(publisher)?;
-        let targets = self.iterative_find(origin, key, now);
+        let targets = self.iterative_find(origin, key, now).alive;
         let mut stored = 0;
         for target in targets.iter().take(self.config.replication) {
-            self.stats.store += 1;
-            if self.message_lost() {
-                self.stats.dropped += 1;
-                continue;
+            let result = self.rpc_with_retry(RpcKind::Store, publisher, *target, now);
+            if result.delivered || result.late_store {
+                if let Some(node) = self.nodes.get_mut(target) {
+                    node.store(
+                        key,
+                        StoredValue {
+                            data: data.clone(),
+                            publisher,
+                            expires_at: now + self.config.ttl,
+                        },
+                    );
+                }
+                // Only acknowledged stores count toward replication; a
+                // late store landed but the publisher cannot know.
+                if result.delivered {
+                    stored += 1;
+                }
             }
-            let Some(node) = self.nodes.get_mut(target) else {
-                continue;
-            };
-            if !node.is_online() {
-                self.stats.refused += 1;
-                continue;
-            }
-            node.store(
-                key,
-                StoredValue {
-                    data: data.clone(),
-                    publisher,
-                    expires_at: now + self.config.ttl,
-                },
-            );
-            stored += 1;
         }
+        let publications = self.publications.entry(publisher).or_default();
+        publications.retain(|(k, _)| *k != key);
+        publications.push((key, data));
         if stored == 0 {
             return Err(DhtError::NoReachableNodes);
         }
-        self.publications
-            .entry(publisher)
-            .or_default()
-            .push((key, data));
         Ok(stored)
     }
 
-    /// Retrieves all live values stored under `key`, deduplicated.
+    /// Retrieves the live values stored under `key`, deduplicated, and
+    /// reports which replica owners could not be reached — a shorter
+    /// value list is never silent. Each replica is retried per the
+    /// [`RetryPolicy`]. Values served by byzantine nodes arrive tampered;
+    /// callers must verify signatures.
     ///
     /// # Errors
     ///
@@ -269,32 +450,55 @@ impl Dht {
         requester: UserId,
         key: Key,
         now: SimTime,
-    ) -> Result<Vec<Vec<u8>>, DhtError> {
+    ) -> Result<GetOutcome, DhtError> {
         mdrep_obs::global().counter_inc("dht.get.count");
         let origin = self.require_online(requester)?;
-        let targets = self.iterative_find(origin, key, now);
+        // Contact the closest *discovered* nodes, responsive or not: an
+        // unresponsive replica holder must surface as `unreachable`, not
+        // silently vanish from the owner list.
+        let lookup = self.iterative_find(origin, key, now);
+        let mut targets: Vec<NodeId> = lookup.alive;
+        targets.extend(lookup.failed);
+        targets.sort_by_key(|n| n.distance(&key));
+        targets.dedup();
+        let retries_before = self.stats.retried;
+        let mut outcome = GetOutcome::default();
         let mut seen = BTreeSet::new();
-        let mut out = Vec::new();
         for target in targets.iter().take(self.config.replication) {
-            self.stats.find_value += 1;
-            if self.message_lost() {
-                self.stats.dropped += 1;
-                continue;
-            }
+            outcome.contacted += 1;
+            let result = self.rpc_with_retry(RpcKind::FindValue, requester, *target, now);
             let Some(node) = self.nodes.get(target) else {
                 continue;
             };
-            if !node.is_online() {
-                self.stats.refused += 1;
+            if !result.delivered {
+                outcome.unreachable.push(node.user());
                 continue;
             }
-            for value in node.get(&key, now) {
-                if seen.insert(value.data.clone()) {
-                    out.push(value.data.clone());
+            let byzantine = self.injector.plan().is_byzantine(node.user());
+            let mut served: Vec<Vec<u8>> = node
+                .get(&key, now)
+                .into_iter()
+                .map(|v| v.data.clone())
+                .collect();
+            if byzantine {
+                for value in &mut served {
+                    self.injector.tamper(value);
+                }
+            }
+            for value in served {
+                if seen.insert(value.clone()) {
+                    outcome.values.push(value);
                 }
             }
         }
-        Ok(out)
+        outcome.retries = self.stats.retried - retries_before;
+        if !outcome.unreachable.is_empty() {
+            mdrep_obs::global().counter_add(
+                "dht.get.unreachable_owners",
+                outcome.unreachable.len() as u64,
+            );
+        }
+        Ok(outcome)
     }
 
     /// Republishes everything `user` ever stored, refreshing replicas and
@@ -306,8 +510,6 @@ impl Dht {
     pub fn republish(&mut self, user: UserId, now: SimTime) -> Result<usize, DhtError> {
         self.require_online(user)?;
         let publications = self.publications.get(&user).cloned().unwrap_or_default();
-        // Clear first: store() will re-append.
-        self.publications.insert(user, Vec::new());
         let mut refreshed = 0;
         for (key, data) in publications {
             if self.store(user, key, data, now).is_ok() {
@@ -337,22 +539,116 @@ impl Dht {
         }
     }
 
-    fn message_lost(&mut self) -> bool {
-        self.config.message_loss > 0.0 && self.rng.random::<f64>() < self.config.message_loss
+    /// Sends one RPC attempt from `from` to `target`, through the fault
+    /// injector and the receiver's online check, updating the per-kind
+    /// and per-outcome message counters.
+    fn attempt_rpc(
+        &mut self,
+        kind: RpcKind,
+        from: UserId,
+        target: NodeId,
+        now: SimTime,
+    ) -> Attempt {
+        match kind {
+            RpcKind::FindNode => self.stats.find_node += 1,
+            RpcKind::Store => self.stats.store += 1,
+            RpcKind::FindValue => self.stats.find_value += 1,
+        }
+        let (to_user, online) = self
+            .nodes
+            .get(&target)
+            .map(|n| (n.user(), n.is_online()))
+            .unwrap_or((from, false));
+        match self
+            .injector
+            .next_outcome(kind, from, to_user, now, self.config.retry.timeout_ticks)
+        {
+            RpcOutcome::Blocked => {
+                self.stats.blocked += 1;
+                Attempt::Fail { late_store: false }
+            }
+            RpcOutcome::Lost => {
+                self.stats.dropped += 1;
+                Attempt::Fail { late_store: false }
+            }
+            RpcOutcome::TimedOut => {
+                self.stats.timed_out += 1;
+                // The request reached an online receiver late: a STORE's
+                // side effect lands, only the acknowledgement is missing.
+                Attempt::Fail {
+                    late_store: online && kind == RpcKind::Store,
+                }
+            }
+            RpcOutcome::Delivered { duplicated } => {
+                if !online {
+                    self.stats.refused += 1;
+                    return Attempt::Fail { late_store: false };
+                }
+                self.stats.delivered += 1;
+                if duplicated {
+                    self.stats.duplicated += 1;
+                }
+                Attempt::Ok
+            }
+        }
+    }
+
+    /// Runs one RPC with bounded retry and exponential backoff. Backoff
+    /// is virtual (the overlay is simulated-synchronous): it is counted
+    /// into `dht.rpc.backoff_ticks` rather than advancing the clock.
+    fn rpc_with_retry(
+        &mut self,
+        kind: RpcKind,
+        from: UserId,
+        target: NodeId,
+        now: SimTime,
+    ) -> RpcResult {
+        let max_attempts = self.config.retry.max_attempts.max(1);
+        let mut late_store = false;
+        for attempt in 0..max_attempts {
+            if attempt > 0 {
+                self.stats.retried += 1;
+                let obs = mdrep_obs::global();
+                obs.counter_inc("dht.rpc.retries");
+                obs.counter_add(
+                    "dht.rpc.backoff_ticks",
+                    self.config.retry.backoff_ticks(attempt - 1),
+                );
+            }
+            match self.attempt_rpc(kind, from, target, now) {
+                Attempt::Ok => {
+                    return RpcResult {
+                        delivered: true,
+                        late_store,
+                    }
+                }
+                Attempt::Fail { late_store: late } => late_store |= late,
+            }
+        }
+        RpcResult {
+            delivered: false,
+            late_store,
+        }
     }
 
     /// Iterative Kademlia lookup from `origin` toward `key`; returns the
-    /// closest online nodes discovered, nearest first.
+    /// closest online nodes discovered, nearest first. Queries that fail
+    /// after retries evict the target from the origin's routing table.
     ///
     /// Reports `dht.lookup.count`, per-round `dht.lookup.hops`, and
-    /// `dht.lookup.timeouts` (lost or refused queries) to the global
-    /// [`mdrep_obs`] registry.
-    fn iterative_find(&mut self, origin: NodeId, key: Key, _now: SimTime) -> Vec<NodeId> {
+    /// `dht.lookup.timeouts` (lost, blocked, or refused queries) to the
+    /// global [`mdrep_obs`] registry.
+    fn iterative_find(&mut self, origin: NodeId, key: Key, now: SimTime) -> LookupResult {
         let obs = mdrep_obs::global();
         let _span = obs.span("dht.lookup.time");
         obs.counter_inc("dht.lookup.count");
         let mut hops = 0u64;
         let mut timeouts = 0u64;
+        let origin_user = self
+            .nodes
+            .get(&origin)
+            .map(Node::user)
+            .unwrap_or(UserId::new(0));
         let k = self.config.replication.max(crate::routing::BUCKET_SIZE);
         let mut candidates: Vec<NodeId> = self
             .nodes
@@ -365,6 +661,7 @@ impl Dht {
         queried.insert(origin);
         let mut alive: BTreeSet<NodeId> = BTreeSet::new();
         alive.insert(origin);
+        let mut failed: BTreeSet<NodeId> = BTreeSet::new();
 
         loop {
             candidates.sort_by_key(|n| n.distance(&key));
@@ -387,30 +684,30 @@ impl Dht {
             let mut learned = Vec::new();
             for target in round {
                 queried.insert(target);
-                self.stats.find_node += 1;
-                if self.message_lost() {
-                    self.stats.dropped += 1;
+                let result = self.rpc_with_retry(RpcKind::FindNode, origin_user, target, now);
+                if !result.delivered {
                     timeouts += 1;
-                    continue;
-                }
-                let Some(node) = self.nodes.get(&target) else {
-                    continue;
-                };
-                if !node.is_online() {
-                    self.stats.refused += 1;
-                    timeouts += 1;
-                    // Forget dead peers on the origin's table.
+                    failed.insert(target);
+                    // Forget unreachable peers on the origin's table.
                     if let Some(o) = self.nodes.get_mut(&origin) {
                         o.routing_mut().remove(&target);
                     }
                     continue;
                 }
                 alive.insert(target);
+                let Some(node) = self.nodes.get(&target) else {
+                    continue;
+                };
                 learned.extend(node.routing().closest(&key, k));
-                // The queried node learns about the origin (Kademlia
-                // tables are refreshed by incoming traffic).
+                // Both sides refresh their tables from the traffic
+                // (Kademlia tables are refreshed by incoming traffic; the
+                // origin's fresh timestamp is what keeps the responsive
+                // peer from aging out of `expire_routing`).
                 if let Some(n) = self.nodes.get_mut(&target) {
-                    n.routing_mut().observe(origin);
+                    n.routing_mut().observe(origin, now);
+                }
+                if let Some(o) = self.nodes.get_mut(&origin) {
+                    o.routing_mut().observe(target, now);
                 }
             }
             if learned.is_empty() {
@@ -423,16 +720,20 @@ impl Dht {
         obs.counter_add("dht.lookup.timeouts", timeouts);
         obs.histogram_record("dht.lookup.hops_per_lookup", hops as f64);
 
-        let mut result: Vec<NodeId> = alive.into_iter().collect();
-        result.sort_by_key(|n| n.distance(&key));
-        result.truncate(k);
-        result
+        let mut alive: Vec<NodeId> = alive.into_iter().collect();
+        alive.sort_by_key(|n| n.distance(&key));
+        alive.truncate(k);
+        let mut failed: Vec<NodeId> = failed.into_iter().collect();
+        failed.sort_by_key(|n| n.distance(&key));
+        failed.truncate(k);
+        LookupResult { alive, failed }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::ChurnSchedule;
 
     fn u(i: u64) -> UserId {
         UserId::new(i)
@@ -466,7 +767,9 @@ mod tests {
             .unwrap();
         assert!(stored >= 1);
         let got = dht.get(u(17), key, SimTime::ZERO).unwrap();
-        assert_eq!(got, vec![b"record".to_vec()]);
+        assert_eq!(got.values, vec![b"record".to_vec()]);
+        assert!(got.is_complete(), "healthy overlay reaches every replica");
+        assert_eq!(got.retries, 0);
     }
 
     #[test]
@@ -475,7 +778,8 @@ mod tests {
         let got = dht
             .get(u(3), Key::for_content(b"nothing"), SimTime::ZERO)
             .unwrap();
-        assert!(got.is_empty());
+        assert!(got.values.is_empty());
+        assert!(got.is_complete());
     }
 
     #[test]
@@ -501,7 +805,7 @@ mod tests {
         dht.store(u(0), key, b"v".to_vec(), SimTime::ZERO).unwrap();
         let later = SimTime::ZERO + SimDuration::from_hours(25);
         let got = dht.get(u(1), key, later).unwrap();
-        assert!(got.is_empty(), "TTL passed");
+        assert!(got.values.is_empty(), "TTL passed");
         assert!(dht.expire_all(later) >= 1);
     }
 
@@ -514,11 +818,24 @@ mod tests {
         assert_eq!(dht.republish(u(0), mid).unwrap(), 1);
         let later = SimTime::ZERO + SimDuration::from_hours(30);
         let got = dht.get(u(1), key, later).unwrap();
-        assert_eq!(got.len(), 1, "refreshed replica still alive");
+        assert_eq!(got.values.len(), 1, "refreshed replica still alive");
     }
 
     #[test]
-    fn messages_are_counted() {
+    fn repeated_stores_do_not_grow_the_republication_set() {
+        let mut dht = overlay(10);
+        let key = Key::for_content(b"k");
+        for round in 0..5u8 {
+            dht.store(u(0), key, vec![round], SimTime::ZERO).unwrap();
+        }
+        // One publication intent per key: republish refreshes exactly one.
+        assert_eq!(dht.republish(u(0), SimTime::ZERO).unwrap(), 1);
+        let got = dht.get(u(1), key, SimTime::ZERO).unwrap();
+        assert_eq!(got.values, vec![vec![4u8]], "latest store wins");
+    }
+
+    #[test]
+    fn messages_are_counted_and_conserved() {
         let mut dht = overlay(20);
         dht.reset_stats();
         let key = Key::for_content(b"k");
@@ -527,9 +844,11 @@ mod tests {
         assert!(stats.find_node > 0, "lookup traffic");
         assert!(stats.store >= 1);
         assert_eq!(stats.find_value, 0);
+        assert!(stats.is_conserved(), "{stats:?}");
         let _ = dht.get(u(1), key, SimTime::ZERO).unwrap();
         assert!(dht.stats().find_value >= 1);
         assert!(dht.stats().total() > stats.total());
+        assert!(dht.stats().is_conserved());
     }
 
     #[test]
@@ -544,8 +863,36 @@ mod tests {
         let got = dht.get(u(0), key, SimTime::ZERO).unwrap();
         // With replication 3 the value usually survives; at minimum the
         // call must not error and the overlay stays operational.
-        assert!(got.len() <= 1);
+        assert!(got.values.len() <= 1);
         assert!(dht.online_count() >= 27);
+    }
+
+    #[test]
+    fn offline_replica_holders_are_reported_unreachable() {
+        let mut dht = overlay(12);
+        let key = Key::for_content(b"k");
+        dht.store(u(0), key, b"v".to_vec(), SimTime::ZERO).unwrap();
+        // Take every storing node offline.
+        let holders: Vec<UserId> = (0..12)
+            .map(u)
+            .filter(|&user| dht.node_of(user).unwrap().stored_len() > 0)
+            .collect();
+        assert!(!holders.is_empty());
+        for &holder in &holders {
+            if holder != u(0) {
+                dht.leave(holder);
+            }
+        }
+        let got = dht.get(u(0), key, SimTime::ZERO).unwrap();
+        for &holder in &holders {
+            if holder != u(0) {
+                assert!(
+                    got.unreachable.contains(&holder),
+                    "offline holder {holder} must be reported, got {:?}",
+                    got.unreachable
+                );
+            }
+        }
     }
 
     #[test]
@@ -590,6 +937,107 @@ mod tests {
         }
         assert!(stored_any);
         assert!(dht.stats().dropped > 0);
+        assert!(dht.stats().retried > 0, "loss triggers the retry layer");
+        assert!(dht.stats().is_conserved(), "{:?}", dht.stats());
+    }
+
+    #[test]
+    fn scheduled_churn_applies_and_reverts_deterministically() {
+        let churn = ChurnSchedule::new(SimDuration::from_hours(1), 0.4).immune(u(0));
+        let config = DhtConfig {
+            fault: FaultPlan::none().with_seed(9).with_churn(churn),
+            ..DhtConfig::default()
+        };
+        let mut dht = Dht::new(config);
+        for i in 0..40 {
+            dht.join(u(i), SimTime::ZERO);
+        }
+        let t1 = SimTime::from_ticks(3600 * 5);
+        let (downs, _) = dht.apply_churn(t1);
+        assert!(downs > 0, "some nodes churn down");
+        assert!(dht.is_online(u(0)), "immune node stays up");
+        let offline_now = 40 - dht.online_count();
+        assert_eq!(downs, offline_now);
+        // Re-applying the same instant is idempotent.
+        assert_eq!(dht.apply_churn(t1), (0, 0));
+        // A later interval brings (most) nodes back, takes others down.
+        let t2 = SimTime::from_ticks(3600 * 6);
+        let (_, ups) = dht.apply_churn(t2);
+        assert!(ups > 0, "churned nodes come back");
+        // Explicit leave is never resurrected by churn.
+        dht.leave(u(5));
+        let t3 = SimTime::from_ticks(3600 * 7);
+        dht.apply_churn(t3);
+        assert!(!dht.is_online(u(5)), "voluntary leave respected");
+    }
+
+    #[test]
+    fn routing_expiry_evicts_silent_peers() {
+        let mut dht = overlay(10);
+        dht.leave(u(3));
+        let departed = dht.node_of(u(3)).unwrap().id();
+        // Long after the entry TTL, nobody has observed node 3 alive.
+        let later = SimTime::ZERO + SimDuration::from_hours(72);
+        let evicted = dht.expire_routing(later);
+        assert!(evicted > 0);
+        for i in 0..10 {
+            if i == 3 {
+                continue;
+            }
+            assert!(
+                !dht.node_of(u(i)).unwrap().routing().contains(&departed),
+                "node {i} still routes to the departed node"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_blocks_cross_side_stores() {
+        let config = DhtConfig {
+            fault: FaultPlan::none()
+                .with_seed(4)
+                .with_partition(crate::fault::Partition {
+                    start: SimTime::ZERO,
+                    end: SimTime::from_ticks(1_000_000),
+                    minority_fraction: 0.5,
+                }),
+            ..DhtConfig::default()
+        };
+        let mut dht = Dht::new(config);
+        for i in 0..30 {
+            dht.join(u(i), SimTime::ZERO);
+        }
+        let key = Key::for_content(b"k");
+        let _ = dht.store(u(0), key, b"v".to_vec(), SimTime::ZERO);
+        assert!(dht.stats().blocked > 0, "cross-side traffic was blocked");
+        assert!(dht.stats().is_conserved(), "{:?}", dht.stats());
+    }
+
+    #[test]
+    fn same_fault_seed_replays_bit_identically() {
+        let run = |seed: u64| {
+            let config = DhtConfig {
+                fault: FaultPlan::message_loss(0.2, seed).with_delay(0.1, 4),
+                ..DhtConfig::default()
+            };
+            let mut dht = Dht::new(config);
+            for i in 0..25 {
+                dht.join(u(i), SimTime::ZERO);
+            }
+            for f in 0..10u64 {
+                let key = Key::for_content(&f.to_be_bytes());
+                let _ = dht.store(u(f % 25), key, vec![f as u8], SimTime::ZERO);
+                let _ = dht.get(u((f + 7) % 25), key, SimTime::ZERO);
+            }
+            (dht.stats(), *dht.fault_trace())
+        };
+        let (stats_a, trace_a) = run(77);
+        let (stats_b, trace_b) = run(77);
+        assert_eq!(stats_a, stats_b, "same seed, same message accounting");
+        assert_eq!(trace_a, trace_b, "same seed, same fault trace");
+        assert_eq!(trace_a.digest(), trace_b.digest());
+        let (_, trace_c) = run(78);
+        assert_ne!(trace_a.digest(), trace_c.digest(), "seed changes the trace");
     }
 
     #[test]

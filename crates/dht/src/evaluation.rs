@@ -102,6 +102,38 @@ pub struct VerifiedEvaluation {
     pub valid: bool,
 }
 
+/// The full result of an evaluation retrieval under faults: the verified
+/// records plus how degraded the retrieval was, so callers can compute
+/// Eq. 9 file reputations from a partial owner list *knowingly*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrievalOutcome {
+    /// Decoded, signature-checked records (tampered/garbage bytes that do
+    /// not decode are counted in `undecodable`, not returned).
+    pub records: Vec<VerifiedEvaluation>,
+    /// Users owning replica nodes that never answered after retries.
+    pub unreachable: Vec<UserId>,
+    /// Replica nodes contacted.
+    pub contacted: usize,
+    /// Retry attempts the retrieval spent.
+    pub retries: u64,
+    /// Values that failed to decode (e.g. tampered by byzantine nodes).
+    pub undecodable: usize,
+}
+
+impl RetrievalOutcome {
+    /// Whether every contacted replica answered.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.unreachable.is_empty()
+    }
+
+    /// The records that decoded *and* verified — the only ones Eq. 9 may
+    /// aggregate.
+    pub fn valid_records(&self) -> impl Iterator<Item = &VerifiedEvaluation> {
+        self.records.iter().filter(|r| r.valid)
+    }
+}
+
 /// Publishes and retrieves evaluation records through a [`Dht`], enforcing
 /// signatures end to end.
 ///
@@ -175,15 +207,51 @@ impl EvaluationPublisher {
         file: FileId,
         now: SimTime,
     ) -> Result<Vec<VerifiedEvaluation>, DhtError> {
-        let raw = dht.get(requester, Key::for_file(file), now)?;
-        Ok(raw
+        self.retrieve_detailed(dht, registry, requester, file, now)
+            .map(|outcome| outcome.records)
+    }
+
+    /// Like [`retrieve`](Self::retrieve) but also reports the degradation:
+    /// which replica owners were unreachable, how many retries were spent,
+    /// and how many served values failed to decode (byzantine tampering
+    /// shows up here or as `valid == false` — never as an accepted
+    /// record).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DhtError`] from the underlying lookup.
+    pub fn retrieve_detailed(
+        &self,
+        dht: &mut Dht,
+        registry: &KeyRegistry,
+        requester: UserId,
+        file: FileId,
+        now: SimTime,
+    ) -> Result<RetrievalOutcome, DhtError> {
+        let got = dht.get(requester, Key::for_file(file), now)?;
+        let mut undecodable = 0;
+        let records = got
+            .values
             .iter()
-            .filter_map(|bytes| EvaluationInfo::decode(bytes))
+            .filter_map(|bytes| {
+                let decoded = EvaluationInfo::decode(bytes);
+                if decoded.is_none() {
+                    undecodable += 1;
+                }
+                decoded
+            })
             .map(|info| {
                 let valid = info.verify(registry);
                 VerifiedEvaluation { info, valid }
             })
-            .collect())
+            .collect();
+        Ok(RetrievalOutcome {
+            records,
+            unreachable: got.unreachable,
+            contacted: got.contacted,
+            retries: got.retries,
+            undecodable,
+        })
     }
 }
 
@@ -313,6 +381,40 @@ mod tests {
             .unwrap();
         assert_eq!(records.len(), 1);
         assert!(!records[0].valid, "forgery detected");
+    }
+
+    #[test]
+    fn byzantine_index_peer_tampering_is_never_accepted() {
+        use crate::fault::FaultPlan;
+        // Every node is byzantine: whatever replica serves the record
+        // tampers with it, so no retrieval may yield a valid evaluation.
+        let mut plan = FaultPlan::none().with_seed(11);
+        for i in 0..20 {
+            plan = plan.with_byzantine(u(i));
+        }
+        let mut dht = Dht::new(DhtConfig {
+            fault: plan,
+            ..DhtConfig::default()
+        });
+        let mut registry = KeyRegistry::new();
+        for i in 0..20 {
+            dht.join(u(i), SimTime::ZERO);
+            registry.register(u(i), 1000 + i);
+        }
+        let publisher = EvaluationPublisher::new();
+        let key = registry.key_of(u(1)).unwrap().clone();
+        publisher
+            .publish(&mut dht, &key, u(1), f(5), Evaluation::BEST, SimTime::ZERO)
+            .unwrap();
+        let outcome = publisher
+            .retrieve_detailed(&mut dht, &registry, u(9), f(5), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(outcome.valid_records().count(), 0, "tampering detected");
+        assert!(
+            outcome.undecodable > 0 || outcome.records.iter().any(|r| !r.valid),
+            "the tampered value surfaced as undecodable or invalid"
+        );
+        assert!(dht.fault_trace().tampered > 0);
     }
 
     #[test]

@@ -18,6 +18,21 @@
 //! possibly dropped or refused by offline nodes), which is what the
 //! DHT-overhead and churn experiments measure.
 //!
+//! # Fault model
+//!
+//! Every RPC flows through a seeded [`FaultInjector`] driven by a
+//! [`FaultPlan`]: per-message loss, delivery delays (which read as
+//! timeouts past the [`RetryPolicy`] budget), duplicated requests,
+//! scheduled node churn ([`ChurnSchedule`], applied by
+//! [`Dht::apply_churn`]), timed network [`Partition`]s, and byzantine
+//! nodes that tamper with every value they serve. The whole schedule is a
+//! pure function of one `u64` seed — two runs of the same plan produce
+//! bit-identical [`FaultTrace`]s, so a CI failure replays exactly. The
+//! resilience half is bounded retry with exponential backoff on every
+//! store, lookup, and retrieval, and [`GetOutcome`], which reports the
+//! replica owners a retrieval could *not* reach instead of silently
+//! returning a shorter value list.
+//!
 //! # Examples
 //!
 //! ```
@@ -30,8 +45,9 @@
 //! }
 //! let key = Key::for_content(b"some file");
 //! dht.store(UserId::new(0), key, b"owner-record".to_vec(), SimTime::ZERO).unwrap();
-//! let values = dht.get(UserId::new(7), key, SimTime::ZERO).unwrap();
-//! assert_eq!(values[0], b"owner-record");
+//! let got = dht.get(UserId::new(7), key, SimTime::ZERO).unwrap();
+//! assert_eq!(got.values[0], b"owner-record");
+//! assert!(got.is_complete(), "no replica was unreachable");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -39,12 +55,17 @@
 
 mod dht;
 mod evaluation;
+mod fault;
 mod id;
 mod node;
 mod routing;
 
-pub use dht::{Dht, DhtConfig, DhtError, MessageStats};
-pub use evaluation::{EvaluationInfo, EvaluationPublisher, VerifiedEvaluation};
+pub use dht::{Dht, DhtConfig, DhtError, GetOutcome, MessageStats};
+pub use evaluation::{EvaluationInfo, EvaluationPublisher, RetrievalOutcome, VerifiedEvaluation};
+pub use fault::{
+    ChurnSchedule, FaultInjector, FaultPlan, FaultTrace, Partition, RetryPolicy, RpcKind,
+    RpcOutcome,
+};
 pub use id::{Key, NodeId};
 pub use node::{Node, StoredValue};
 pub use routing::RoutingTable;

@@ -1,15 +1,26 @@
-//! Per-node k-bucket routing tables.
+//! Per-node k-bucket routing tables with last-seen tracking.
 
 use crate::id::{Key, NodeId, ID_BYTES};
+use mdrep_types::{SimDuration, SimTime};
 
 /// Number of entries per bucket (Kademlia's `k`).
 pub const BUCKET_SIZE: usize = 8;
 
-/// A node's view of the overlay: 160 LRU buckets of known peers.
+/// One known peer and when it was last observed alive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    id: NodeId,
+    last_seen: SimTime,
+}
+
+/// A node's view of the overlay: 160 LRU buckets of known peers, each
+/// entry stamped with the last time the peer was observed alive so that
+/// departed nodes age out ([`expire_stale`](Self::expire_stale)) instead
+/// of lingering forever.
 #[derive(Debug, Clone)]
 pub struct RoutingTable {
     own: NodeId,
-    buckets: Vec<Vec<NodeId>>,
+    buckets: Vec<Vec<Entry>>,
 }
 
 impl RoutingTable {
@@ -28,40 +39,70 @@ impl RoutingTable {
         self.own
     }
 
-    /// Observes a peer: moves it to the back (most-recent) of its bucket,
-    /// inserting if the bucket has room. Full buckets drop the *oldest*
-    /// entry — a simplification of Kademlia's ping-before-evict that keeps
-    /// the simulation deterministic. Returns whether the peer is now in the
-    /// table.
-    pub fn observe(&mut self, peer: NodeId) -> bool {
+    /// Observes a peer alive at `now`: moves it to the back (most-recent)
+    /// of its bucket with a fresh timestamp, inserting if the bucket has
+    /// room. Full buckets drop the *oldest* entry — a simplification of
+    /// Kademlia's ping-before-evict that keeps the simulation
+    /// deterministic. Returns whether the peer is now in the table.
+    pub fn observe(&mut self, peer: NodeId, now: SimTime) -> bool {
         let Some(index) = self.own.bucket_index(&peer) else {
             return false; // never store ourselves
         };
         let bucket = &mut self.buckets[index];
-        if let Some(pos) = bucket.iter().position(|&n| n == peer) {
+        if let Some(pos) = bucket.iter().position(|e| e.id == peer) {
             bucket.remove(pos);
-            bucket.push(peer);
+            bucket.push(Entry {
+                id: peer,
+                last_seen: now,
+            });
             return true;
         }
         if bucket.len() == BUCKET_SIZE {
             bucket.remove(0);
         }
-        bucket.push(peer);
+        bucket.push(Entry {
+            id: peer,
+            last_seen: now,
+        });
         true
     }
 
     /// Removes a peer (e.g. observed offline).
     pub fn remove(&mut self, peer: &NodeId) {
         if let Some(index) = self.own.bucket_index(peer) {
-            self.buckets[index].retain(|n| n != peer);
+            self.buckets[index].retain(|e| e.id != *peer);
         }
+    }
+
+    /// Drops every entry not observed within `max_age` of `now`; returns
+    /// how many were evicted. Departed nodes are never re-observed, so
+    /// after one expiry pass at `departure + max_age` they are guaranteed
+    /// gone from every table.
+    pub fn expire_stale(&mut self, now: SimTime, max_age: SimDuration) -> usize {
+        let mut evicted = 0;
+        for bucket in &mut self.buckets {
+            let before = bucket.len();
+            bucket.retain(|e| e.last_seen + max_age > now);
+            evicted += before - bucket.len();
+        }
+        evicted
+    }
+
+    /// When `peer` was last observed alive, if it is in the table.
+    #[must_use]
+    pub fn last_seen(&self, peer: &NodeId) -> Option<SimTime> {
+        let index = self.own.bucket_index(peer)?;
+        self.buckets[index]
+            .iter()
+            .find(|e| e.id == *peer)
+            .map(|e| e.last_seen)
     }
 
     /// The `count` known peers closest to `target`, ordered by XOR
     /// distance.
     #[must_use]
     pub fn closest(&self, target: &Key, count: usize) -> Vec<NodeId> {
-        let mut all: Vec<NodeId> = self.buckets.iter().flatten().copied().collect();
+        let mut all: Vec<NodeId> = self.buckets.iter().flatten().map(|e| e.id).collect();
         all.sort_by_key(|n| n.distance(target));
         all.truncate(count);
         all
@@ -84,7 +125,7 @@ impl RoutingTable {
     pub fn contains(&self, peer: &NodeId) -> bool {
         self.own
             .bucket_index(peer)
-            .is_some_and(|i| self.buckets[i].contains(peer))
+            .is_some_and(|i| self.buckets[i].iter().any(|e| e.id == *peer))
     }
 }
 
@@ -97,29 +138,35 @@ mod tests {
         Key::for_user(UserId::new(i))
     }
 
+    const T0: SimTime = SimTime::ZERO;
+
     #[test]
     fn observe_and_contains() {
         let mut rt = RoutingTable::new(node(0));
         assert!(rt.is_empty());
-        assert!(rt.observe(node(1)));
+        assert!(rt.observe(node(1), T0));
         assert!(rt.contains(&node(1)));
         assert!(!rt.contains(&node(2)));
         assert_eq!(rt.len(), 1);
+        assert_eq!(rt.last_seen(&node(1)), Some(T0));
+        assert_eq!(rt.last_seen(&node(2)), None);
     }
 
     #[test]
     fn never_stores_self() {
         let mut rt = RoutingTable::new(node(0));
-        assert!(!rt.observe(node(0)));
+        assert!(!rt.observe(node(0), T0));
         assert!(rt.is_empty());
     }
 
     #[test]
-    fn duplicate_observation_keeps_single_entry() {
+    fn duplicate_observation_keeps_single_entry_and_refreshes() {
         let mut rt = RoutingTable::new(node(0));
-        rt.observe(node(1));
-        rt.observe(node(1));
+        rt.observe(node(1), T0);
+        let later = SimTime::from_ticks(100);
+        rt.observe(node(1), later);
         assert_eq!(rt.len(), 1);
+        assert_eq!(rt.last_seen(&node(1)), Some(later));
     }
 
     #[test]
@@ -135,7 +182,7 @@ mod tests {
             ids.push(Key::from_bytes(raw));
         }
         for id in &ids {
-            rt.observe(*id);
+            rt.observe(*id, T0);
         }
         assert!(!rt.contains(&ids[0]), "oldest evicted");
         assert!(rt.contains(&ids[BUCKET_SIZE]), "newest kept");
@@ -146,7 +193,7 @@ mod tests {
     fn closest_orders_by_distance() {
         let mut rt = RoutingTable::new(node(0));
         for i in 1..30 {
-            rt.observe(node(i));
+            rt.observe(node(i), T0);
         }
         let target = Key::for_content(b"target");
         let closest = rt.closest(&target, 5);
@@ -163,10 +210,36 @@ mod tests {
     #[test]
     fn remove_deletes_entry() {
         let mut rt = RoutingTable::new(node(0));
-        rt.observe(node(1));
+        rt.observe(node(1), T0);
         rt.remove(&node(1));
         assert!(!rt.contains(&node(1)));
         // Removing an unknown peer is a no-op.
         rt.remove(&node(9));
+    }
+
+    #[test]
+    fn stale_entries_expire_fresh_ones_survive() {
+        let mut rt = RoutingTable::new(node(0));
+        rt.observe(node(1), T0);
+        rt.observe(node(2), SimTime::from_ticks(500));
+        let max_age = SimDuration::from_ticks(600);
+        let evicted = rt.expire_stale(SimTime::from_ticks(700), max_age);
+        assert_eq!(evicted, 1, "only the entry older than max_age goes");
+        assert!(!rt.contains(&node(1)));
+        assert!(rt.contains(&node(2)));
+        // Exactly at the boundary the entry is stale (exclusive survival).
+        let evicted = rt.expire_stale(SimTime::from_ticks(500 + 600), max_age);
+        assert_eq!(evicted, 1);
+        assert!(rt.is_empty());
+    }
+
+    #[test]
+    fn refresh_resets_the_expiry_clock() {
+        let mut rt = RoutingTable::new(node(0));
+        rt.observe(node(1), T0);
+        rt.observe(node(1), SimTime::from_ticks(1000));
+        let max_age = SimDuration::from_ticks(600);
+        assert_eq!(rt.expire_stale(SimTime::from_ticks(1100), max_age), 0);
+        assert!(rt.contains(&node(1)));
     }
 }

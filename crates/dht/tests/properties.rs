@@ -1,8 +1,8 @@
 //! Property-based tests for the DHT substrate.
 
 use mdrep_crypto::SigningKey;
-use mdrep_dht::{Dht, DhtConfig, EvaluationInfo, Key};
-use mdrep_types::{Evaluation, FileId, SimTime, UserId};
+use mdrep_dht::{ChurnSchedule, Dht, DhtConfig, EvaluationInfo, FaultPlan, Key};
+use mdrep_types::{Evaluation, FileId, SimDuration, SimTime, UserId};
 use proptest::prelude::*;
 
 proptest! {
@@ -39,7 +39,8 @@ proptest! {
         dht.store(UserId::new(publisher), key, payload.clone(), SimTime::ZERO)
             .expect("healthy overlay accepts stores");
         let got = dht.get(UserId::new(requester), key, SimTime::ZERO).expect("online");
-        prop_assert!(got.contains(&payload));
+        prop_assert!(got.values.contains(&payload));
+        prop_assert!(got.is_complete(), "healthy overlay reaches every replica");
     }
 
     #[test]
@@ -100,6 +101,93 @@ proptest! {
             let total = dht.stats().total();
             prop_assert!(total >= last_total);
             last_total = total;
+        }
+    }
+
+    #[test]
+    fn lookups_terminate_under_faults_and_churn(nodes in 8u64..40,
+                                                seed in any::<u64>(),
+                                                loss in 0.0f64..0.6,
+                                                down in 0.0f64..0.5,
+                                                keys in 1usize..8) {
+        // Lossy network plus scheduled churn: every store/get must return
+        // (terminate) rather than loop, whatever the plan.
+        let plan = FaultPlan::message_loss(loss, seed)
+            .with_delay(0.2, 4)
+            .with_churn(ChurnSchedule::new(SimDuration::from_hours(1), down)
+                .immune(UserId::new(0)));
+        let mut dht = Dht::new(DhtConfig { fault: plan, ..DhtConfig::default() });
+        for i in 0..nodes {
+            dht.join(UserId::new(i), SimTime::ZERO);
+        }
+        for k in 0..keys {
+            let now = SimTime::from_ticks(k as u64 * 1800);
+            dht.apply_churn(now);
+            let key = Key::for_content(&k.to_be_bytes());
+            let _ = dht.store(UserId::new(0), key, vec![k as u8], now);
+            let _ = dht.get(UserId::new(0), key, now);
+        }
+        prop_assert!(dht.stats().is_conserved(), "{:?}", dht.stats());
+    }
+
+    #[test]
+    fn departed_nodes_leave_no_routing_trace_after_expiry(nodes in 6u64..30,
+                                                          departed in 0u64..30,
+                                                          seed in any::<u64>()) {
+        let departed = departed % nodes;
+        let mut dht = Dht::new(DhtConfig {
+            fault: FaultPlan::message_loss(0.1, seed),
+            ..DhtConfig::default()
+        });
+        for i in 0..nodes {
+            dht.join(UserId::new(i), SimTime::ZERO);
+        }
+        let departed_id = dht.node_of(UserId::new(departed)).expect("joined").id();
+        dht.leave(UserId::new(departed));
+        // A departed node is never observed again, so one expiry pass at
+        // departure + route_entry_ttl evicts it from every table.
+        let ttl = DhtConfig::default().route_entry_ttl;
+        let later = SimTime::ZERO + ttl + SimDuration::from_ticks(1);
+        dht.expire_routing(later);
+        for i in 0..nodes {
+            if i == departed {
+                continue;
+            }
+            let node = dht.node_of(UserId::new(i)).expect("joined");
+            prop_assert!(
+                !node.routing().contains(&departed_id),
+                "node {} still routes to the departed node", i
+            );
+        }
+    }
+
+    #[test]
+    fn message_stats_are_conserved_under_arbitrary_faults(
+        nodes in 6u64..32,
+        seed in any::<u64>(),
+        loss in 0.0f64..0.7,
+        delay in 0.0f64..0.7,
+        dup in 0.0f64..0.4,
+        ops in proptest::collection::vec((0u64..32, 0u64..8, any::<bool>()), 1..30),
+    ) {
+        // Every sent request must land in exactly one outcome bucket:
+        // total == delivered + dropped + refused + blocked + timed_out.
+        let plan = FaultPlan::message_loss(loss, seed)
+            .with_delay(delay, 5)
+            .with_duplicates(dup);
+        let mut dht = Dht::new(DhtConfig { fault: plan, ..DhtConfig::default() });
+        for i in 0..nodes {
+            dht.join(UserId::new(i), SimTime::ZERO);
+        }
+        for (user, file, is_store) in ops {
+            let user = UserId::new(user % nodes);
+            let key = Key::for_content(&file.to_be_bytes());
+            if is_store {
+                let _ = dht.store(user, key, vec![file as u8], SimTime::ZERO);
+            } else {
+                let _ = dht.get(user, key, SimTime::ZERO);
+            }
+            prop_assert!(dht.stats().is_conserved(), "{:?}", dht.stats());
         }
     }
 }

@@ -104,6 +104,14 @@ impl Community {
         self.dht.leave(user);
     }
 
+    /// Applies the DHT fault plan's churn schedule at `now`, returning
+    /// `(went_down, came_back)`. A no-op without a churn schedule; peers
+    /// taken offline here resume automatically at a later wave, unlike
+    /// explicit [`leave`](Self::leave).
+    pub fn apply_churn(&mut self, now: SimTime) -> (usize, usize) {
+        self.dht.apply_churn(now)
+    }
+
     /// Whether `user` is online.
     #[must_use]
     pub fn is_online(&self, user: UserId) -> bool {
@@ -502,6 +510,43 @@ mod tests {
             DownloadOutcome::Completed { uploader, .. } => assert_eq!(uploader, u(5)),
             other => panic!("expected completion from the new holder, got {other}"),
         }
+    }
+
+    #[test]
+    fn community_pipeline_survives_fault_plan() {
+        use mdrep_dht::{ChurnSchedule, DhtConfig, FaultPlan};
+
+        let publisher = u(1);
+        let downloader = u(5);
+        let plan = FaultPlan::message_loss(0.2, 11).with_churn(
+            ChurnSchedule::new(SimDuration::from_hours(1), 0.2)
+                .immune(publisher)
+                .immune(downloader),
+        );
+        let mut c = Community::new(NodeConfig {
+            dht: DhtConfig {
+                fault: plan,
+                ..DhtConfig::default()
+            },
+            ..NodeConfig::default()
+        });
+        for i in 0..24 {
+            c.join(u(i), SimTime::ZERO);
+        }
+        c.publish(publisher, f(7), FileSize::from_mib(10), SimTime::ZERO)
+            .expect("retries absorb 20% loss");
+
+        let later = SimTime::ZERO + SimDuration::from_hours(1);
+        let (downs, _) = c.apply_churn(later);
+        assert!(downs > 0, "the churn wave took someone down");
+        let outcome = c.request(downloader, f(7), later).unwrap();
+        match outcome {
+            DownloadOutcome::Completed { uploader, .. } => assert_eq!(uploader, publisher),
+            other => panic!("faults must degrade, not break: {other}"),
+        }
+        assert!(c.dht().fault_trace().drops > 0, "loss actually happened");
+        assert!(c.dht().stats().retried > 0, "retries were exercised");
+        assert!(c.dht().stats().is_conserved(), "accounting stays closed");
     }
 
     #[test]

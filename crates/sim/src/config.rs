@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use mdrep::ServicePolicy;
+use mdrep_dht::{FaultPlan, RetryPolicy};
 use mdrep_types::SimDuration;
 
 /// Parameters of the overlay simulation.
@@ -32,6 +33,13 @@ pub struct SimConfig {
     /// (incremental systems still fall back on their own when too many rows
     /// are dirty).
     pub full_rebuild_interval: Option<u32>,
+    /// The fault plan driving owner-evaluation retrieval losses (message
+    /// loss, churn, partitions), seeded and fully reproducible. `None`
+    /// runs fault-free.
+    pub fault: Option<FaultPlan>,
+    /// Retry budget applied to each owner-evaluation retrieval under the
+    /// fault plan (more attempts → lower effective loss).
+    pub fault_retry: RetryPolicy,
 }
 
 impl Default for SimConfig {
@@ -46,6 +54,8 @@ impl Default for SimConfig {
             filter_fakes: false,
             fake_threshold: 0.5,
             full_rebuild_interval: None,
+            fault: None,
+            fault_retry: RetryPolicy::default(),
         }
     }
 }
@@ -65,5 +75,7 @@ mod tests {
         assert!(!c.filter_fakes);
         assert!((0.0..=1.0).contains(&c.fake_threshold));
         assert_eq!(c.full_rebuild_interval, None);
+        assert!(c.fault.is_none(), "fault-free by default");
+        assert!(c.fault_retry.max_attempts >= 1);
     }
 }

@@ -20,6 +20,13 @@
 //! completion statistics, fake-download counts, coverage over time (the
 //! Figure 1 series), and the final reputation state.
 //!
+//! Runs can execute under a seeded
+//! [`FaultPlan`](mdrep_dht::FaultPlan) ([`SimConfig::fault`]): owner-
+//! evaluation retrievals are then independently lost to message loss,
+//! churn, and partitions, the retry budget ([`SimConfig::fault_retry`])
+//! bounds the effective loss, and [`SimReport::faults`] plus
+//! [`SimReport::digest`] make the whole run replayable bit for bit.
+//!
 //! # Examples
 //!
 //! ```
@@ -47,6 +54,6 @@ mod queue;
 mod sim;
 
 pub use config::SimConfig;
-pub use metrics::{ClassStats, CoveragePoint, FakeStats, SimReport};
+pub use metrics::{ClassStats, CoveragePoint, FakeStats, FaultReport, SimReport};
 pub use queue::{Request, UploaderQueue};
 pub use sim::Simulation;

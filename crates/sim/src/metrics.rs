@@ -104,6 +104,39 @@ impl FakeStats {
     }
 }
 
+/// Fault-layer outcomes of a simulation run under a
+/// [`FaultPlan`](mdrep_dht::FaultPlan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultReport {
+    /// Owner-evaluation retrievals attempted through the fault layer.
+    pub retrievals: u64,
+    /// Retrievals lost end to end (owner churned down, partitioned away,
+    /// or every retry dropped).
+    pub lost_retrievals: u64,
+    /// The injector's [`FaultTrace`](mdrep_dht::FaultTrace) digest — equal
+    /// plans on equal traces produce equal digests, bit for bit.
+    pub trace_digest: u64,
+}
+
+impl FaultReport {
+    /// Fraction of retrievals lost (`0.0` when none were attempted — the
+    /// same zero-not-NaN contract as the other rate helpers).
+    #[must_use]
+    pub fn loss_rate(&self) -> f64 {
+        if self.retrievals == 0 {
+            0.0
+        } else {
+            self.lost_retrievals as f64 / self.retrievals as f64
+        }
+    }
+
+    /// Fraction of retrievals that survived the fault plan.
+    #[must_use]
+    pub fn success_rate(&self) -> f64 {
+        1.0 - self.loss_rate()
+    }
+}
+
 /// One point of the coverage-over-time series (the Figure 1 y-axis).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoveragePoint {
@@ -140,6 +173,8 @@ pub struct SimReport {
     pub events_per_sec: f64,
     /// Largest pending-queue depth observed at any uploader.
     pub max_queue_depth: usize,
+    /// Fault-layer outcomes (all-zero on fault-free runs).
+    pub faults: FaultReport,
 }
 
 impl SimReport {
@@ -183,6 +218,67 @@ impl SimReport {
             .find(|p| p.requests > 0)
             .map(|p| p.coverage)
     }
+
+    /// An FNV-1a digest over every *deterministic* field of the report —
+    /// everything except `events_per_sec`, which measures wall-clock
+    /// throughput. Two runs of the same trace, config, and fault-plan seed
+    /// produce bit-identical digests; that equality is what the
+    /// determinism tests and the CI fault matrix assert.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        fold(self.system.as_bytes());
+        fold(&(self.requests as u64).to_le_bytes());
+        fold(&self.events_processed.to_le_bytes());
+        fold(&(self.max_queue_depth as u64).to_le_bytes());
+        for v in [
+            self.fakes.fake_requests,
+            self.fakes.fake_downloads,
+            self.fakes.fakes_avoided,
+            self.fakes.authentic_rejected,
+            self.fakes.authentic_downloads,
+        ] {
+            fold(&(v as u64).to_le_bytes());
+        }
+        let mut fold_class = |name: &[u8], s: &ClassStats| {
+            fold(name);
+            fold(&(s.served as u64).to_le_bytes());
+            for v in [
+                s.total_wait_secs,
+                s.total_completion_secs,
+                s.mib_received,
+                s.total_slowdown,
+            ] {
+                fold(&v.to_bits().to_le_bytes());
+            }
+        };
+        for (class, stats) in &self.class_stats {
+            fold_class(class.as_bytes(), stats);
+        }
+        for (class, stats) in &self.warm_class_stats {
+            fold_class(class.as_bytes(), stats);
+        }
+        for (user, stats) in &self.user_stats {
+            fold_class(&user.as_u64().to_le_bytes(), stats);
+        }
+        for p in &self.coverage_series {
+            fold(&p.time.as_ticks().to_le_bytes());
+            fold(&(p.requests as u64).to_le_bytes());
+            fold(&p.coverage.to_bits().to_le_bytes());
+        }
+        fold(&self.faults.retrievals.to_le_bytes());
+        fold(&self.faults.lost_retrievals.to_le_bytes());
+        fold(&self.faults.trace_digest.to_le_bytes());
+        h
+    }
 }
 
 impl fmt::Display for SimReport {
@@ -208,6 +304,16 @@ impl fmt::Display for SimReport {
             self.fakes.avoidance_rate() * 100.0,
             self.fakes.false_positive_rate() * 100.0,
         )?;
+        if self.faults.retrievals > 0 {
+            writeln!(
+                f,
+                "  faults: {}/{} retrievals lost ({:.2}% success), trace digest {:016x}",
+                self.faults.lost_retrievals,
+                self.faults.retrievals,
+                self.faults.success_rate() * 100.0,
+                self.faults.trace_digest,
+            )?;
+        }
         if !self.class_stats.is_empty() {
             let width = self
                 .class_stats
@@ -358,6 +464,59 @@ mod tests {
         assert!(shown.contains("slowdown"), "{shown}");
         assert!(shown.contains("honest"), "{shown}");
         assert!(shown.contains("free-rider"), "{shown}");
+    }
+
+    #[test]
+    fn fault_report_rates_and_display() {
+        let faults = FaultReport {
+            retrievals: 200,
+            lost_retrievals: 4,
+            trace_digest: 0xdead_beef,
+        };
+        assert!((faults.loss_rate() - 0.02).abs() < 1e-12);
+        assert!((faults.success_rate() - 0.98).abs() < 1e-12);
+        assert_eq!(FaultReport::default().loss_rate(), 0.0);
+        let report = SimReport {
+            system: "x",
+            faults,
+            ..SimReport::default()
+        };
+        let shown = report.to_string();
+        assert!(shown.contains("4/200 retrievals lost"), "{shown}");
+        assert!(shown.contains("deadbeef"), "{shown}");
+        // Fault-free reports omit the fault line entirely.
+        assert!(!SimReport::default().to_string().contains("retrievals lost"));
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let mut report = SimReport {
+            system: "x",
+            requests: 5,
+            events_processed: 50,
+            events_per_sec: 1234.0,
+            ..SimReport::default()
+        };
+        *report.class_mut(Behavior::Honest) = ClassStats {
+            served: 2,
+            total_wait_secs: 10.0,
+            total_completion_secs: 20.0,
+            mib_received: 5.0,
+            total_slowdown: 4.0,
+        };
+        let d = report.digest();
+        assert_eq!(d, report.digest(), "digest is a pure function");
+        // Wall-clock throughput must not affect the digest.
+        let mut other = report.clone();
+        other.events_per_sec = 9999.0;
+        assert_eq!(d, other.digest());
+        // Any deterministic field does.
+        let mut changed = report.clone();
+        changed.requests += 1;
+        assert_ne!(d, changed.digest());
+        let mut fault_changed = report.clone();
+        fault_changed.faults.trace_digest = 1;
+        assert_ne!(d, fault_changed.digest());
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! The trace-replay simulation loop.
 
 use crate::config::SimConfig;
-use crate::metrics::{CoveragePoint, SimReport};
+use crate::metrics::{CoveragePoint, FaultReport, SimReport};
 use crate::queue::{Request, Served, UploaderQueue};
 use mdrep::{ContributionLedger, EvaluationStore, OwnerEvaluation, Params};
 use mdrep_baselines::ReputationSystem;
+use mdrep_dht::FaultInjector;
 use mdrep_types::{FileId, SimTime, UserId};
 use mdrep_workload::{Behavior, EventKind, Trace};
 use std::collections::HashMap;
@@ -25,12 +26,18 @@ pub struct Simulation<S: ReputationSystem> {
     eval_params: Params,
     ledger: ContributionLedger,
     queues: HashMap<UserId, UploaderQueue>,
+    /// The seeded fault layer masking owner-evaluation retrievals
+    /// (`None` = fault-free).
+    injector: Option<FaultInjector>,
+    fault_retrievals: u64,
+    fault_lost: u64,
 }
 
 impl<S: ReputationSystem> Simulation<S> {
     /// Creates a simulation over `system`.
     #[must_use]
     pub fn new(config: SimConfig, system: S) -> Self {
+        let injector = config.fault.clone().map(FaultInjector::new);
         Self {
             config,
             system,
@@ -38,6 +45,9 @@ impl<S: ReputationSystem> Simulation<S> {
             eval_params: Params::default(),
             ledger: ContributionLedger::new(),
             queues: HashMap::new(),
+            injector,
+            fault_retrievals: 0,
+            fault_lost: 0,
         }
     }
 
@@ -118,7 +128,7 @@ impl<S: ReputationSystem> Simulation<S> {
                     // Fake filtering: consult the owners' published
                     // evaluations through the system's file score.
                     if self.config.filter_fakes {
-                        let owner_evals = self.owner_evaluations(file, event.time);
+                        let owner_evals = self.owner_evaluations(downloader, file, event.time);
                         let score =
                             self.system
                                 .file_score(downloader, file, &owner_evals, event.time);
@@ -272,6 +282,15 @@ impl<S: ReputationSystem> Simulation<S> {
         obs.counter_add("sim.events.count", report.events_processed);
         obs.gauge_set("sim.events_per_sec", report.events_per_sec);
         obs.gauge_set("sim.max_queue_depth", report.max_queue_depth as f64);
+        if let Some(injector) = &self.injector {
+            report.faults = FaultReport {
+                retrievals: self.fault_retrievals,
+                lost_retrievals: self.fault_lost,
+                trace_digest: injector.trace().digest(),
+            };
+            obs.gauge_set("sim.fault.retrievals", self.fault_retrievals as f64);
+            obs.gauge_set("sim.fault.lost_retrievals", self.fault_lost as f64);
+        }
 
         (report, self.system)
     }
@@ -281,16 +300,48 @@ impl<S: ReputationSystem> Simulation<S> {
     /// deleted a fake keeps publishing the resulting low retention-time
     /// evaluation within the retention interval, which is precisely the
     /// signal that identifies the fake.
-    fn owner_evaluations(&self, file: FileId, now: SimTime) -> Vec<OwnerEvaluation> {
-        self.evals
-            .evaluators_of(file)
-            .filter_map(|owner| {
-                self.evals
-                    .evaluation(owner, file, now, &self.eval_params)
-                    .map(|e| OwnerEvaluation::new(owner, e))
-            })
-            .take(MAX_OWNER_EVALS)
-            .collect()
+    ///
+    /// Under a fault plan, each owner's record is independently lost when
+    /// the owner is churned down, partitioned away from `viewer`, or every
+    /// retry is dropped — the remaining *partial* owner list still feeds
+    /// Eq. 9 (graceful degradation, never an error).
+    fn owner_evaluations(
+        &mut self,
+        viewer: UserId,
+        file: FileId,
+        now: SimTime,
+    ) -> Vec<OwnerEvaluation> {
+        let mut attempted = 0u64;
+        let mut lost = 0u64;
+        let result = {
+            let evals = &self.evals;
+            let eval_params = &self.eval_params;
+            let injector = &mut self.injector;
+            let retry = &self.config.fault_retry;
+            evals
+                .evaluators_of(file)
+                .filter(|owner| match injector.as_mut() {
+                    None => true,
+                    Some(inj) => {
+                        attempted += 1;
+                        let dropped = inj.retrieval_lost(viewer, *owner, now, retry);
+                        if dropped {
+                            lost += 1;
+                        }
+                        !dropped
+                    }
+                })
+                .filter_map(|owner| {
+                    evals
+                        .evaluation(owner, file, now, eval_params)
+                        .map(|e| OwnerEvaluation::new(owner, e))
+                })
+                .take(MAX_OWNER_EVALS)
+                .collect()
+        };
+        self.fault_retrievals += attempted;
+        self.fault_lost += lost;
+        result
     }
 }
 
@@ -423,6 +474,88 @@ mod tests {
         {
             assert_eq!(a.coverage, b.coverage, "coverage diverged at {:?}", a.time);
         }
+    }
+
+    #[test]
+    fn same_fault_seed_yields_bit_identical_reports() {
+        use mdrep_dht::{ChurnSchedule, FaultPlan};
+        use mdrep_types::SimDuration;
+        let t = trace(0.4, 11);
+        let run = |seed: u64| {
+            let config = SimConfig {
+                filter_fakes: true,
+                fault: Some(
+                    FaultPlan::message_loss(0.3, seed)
+                        .with_churn(ChurnSchedule::new(SimDuration::from_hours(2), 0.2)),
+                ),
+                ..SimConfig::default()
+            };
+            Simulation::new(config, MultiDimensional::new(Params::default())).run(&t)
+        };
+        let a = run(99);
+        let b = run(99);
+        assert_eq!(
+            a.digest(),
+            b.digest(),
+            "same fault seed replays bit-identically"
+        );
+        assert_eq!(a.faults, b.faults);
+        assert!(a.faults.retrievals > 0, "the fault layer was exercised");
+        assert!(a.faults.lost_retrievals > 0, "faults actually bit");
+        let c = run(100);
+        assert_ne!(
+            a.faults.trace_digest, c.faults.trace_digest,
+            "a different seed produces a different fault trace"
+        );
+    }
+
+    #[test]
+    fn fault_plan_degrades_retrievals_but_not_correctness() {
+        use mdrep_dht::{FaultPlan, RetryPolicy};
+        let t = trace(0.5, 12);
+        let clean = Simulation::new(
+            SimConfig {
+                filter_fakes: true,
+                ..SimConfig::default()
+            },
+            MultiDimensional::new(Params::default()),
+        )
+        .run(&t);
+        let faulty = Simulation::new(
+            SimConfig {
+                filter_fakes: true,
+                fault: Some(FaultPlan::message_loss(0.9, 5)),
+                fault_retry: RetryPolicy::no_retry(),
+                ..SimConfig::default()
+            },
+            MultiDimensional::new(Params::default()),
+        )
+        .run(&t);
+        assert!(faulty.faults.loss_rate() > 0.5, "90% loss, no retry");
+        // Partial owner lists still produce a full report: every request is
+        // accounted for, nothing crashes, rates stay finite.
+        assert_eq!(faulty.requests, clean.requests);
+        assert!(faulty.fakes.avoidance_rate().is_finite());
+        // More retries shrink the effective loss on the same plan.
+        let retried = Simulation::new(
+            SimConfig {
+                filter_fakes: true,
+                fault: Some(FaultPlan::message_loss(0.9, 5)),
+                fault_retry: RetryPolicy {
+                    max_attempts: 4,
+                    ..RetryPolicy::default()
+                },
+                ..SimConfig::default()
+            },
+            MultiDimensional::new(Params::default()),
+        )
+        .run(&t);
+        assert!(
+            retried.faults.loss_rate() < faulty.faults.loss_rate(),
+            "retries recover retrievals: {} vs {}",
+            retried.faults.loss_rate(),
+            faulty.faults.loss_rate()
+        );
     }
 
     #[test]

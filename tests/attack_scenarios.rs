@@ -1,10 +1,18 @@
 //! Attack scenarios from Section 4.2: collusion, whitewashing, and
-//! evaluation-list forgery.
+//! evaluation-list forgery — plus a seeded adversarial matrix that replays
+//! each attack *under faults* (churn, partitions, byzantine index peers)
+//! and asserts filtering and ranking survive within documented bounds.
 
-use mdrep_repro::baselines::{EigenTrust, EigenTrustConfig, ReputationSystem};
+use mdrep_repro::baselines::{EigenTrust, EigenTrustConfig, MultiDimensional, ReputationSystem};
 use mdrep_repro::core::{Auditor, Params, ReputationEngine};
+use mdrep_repro::dht::{ChurnSchedule, Dht, DhtConfig, EvaluationPublisher, FaultPlan, Partition};
+use mdrep_repro::sim::{SimConfig, SimReport, Simulation};
 use mdrep_repro::types::{Evaluation, FileId, FileSize, SimDuration, SimTime, UserId};
-use mdrep_repro::workload::{BehaviorMix, TraceBuilder, WorkloadConfig};
+use mdrep_repro::workload::{Behavior, BehaviorMix, Trace, TraceBuilder, WorkloadConfig};
+
+/// The fixed fault seeds of the adversarial matrix — the CI `fault-matrix`
+/// job runs the same three.
+const MATRIX_SEEDS: [u64; 3] = [101, 202, 303];
 
 /// Collusion (attack 4): the clique inflates EigenTrust's global rank but
 /// not honest users' personalized multi-dimensional reputation.
@@ -183,5 +191,282 @@ fn audit_catches_list_copying_across_trace() {
         let outcome = auditor.audit(end, cheater, &inverted);
         assert!(outcome.is_forged(), "swap must be caught, got {outcome}");
         assert_eq!(auditor.forgery_count(cheater), 1);
+    }
+}
+
+// --- Seeded adversarial matrix: attacks × faults, at 3 fixed seeds ------
+
+fn adversarial_trace(mix: BehaviorMix, pollution: f64, seed: u64) -> Trace {
+    TraceBuilder::new(
+        WorkloadConfig::builder()
+            .users(60)
+            .titles(60)
+            .days(2)
+            .downloads_per_user_day(5.0)
+            .behavior_mix(mix)
+            .pollution_rate(pollution)
+            .seed(seed)
+            .build()
+            .expect("valid workload"),
+    )
+    .generate()
+}
+
+fn run_filtered(trace: &Trace, fault: Option<FaultPlan>) -> (SimReport, MultiDimensional) {
+    let config = SimConfig {
+        filter_fakes: true,
+        fault,
+        ..SimConfig::default()
+    };
+    Simulation::new(config, MultiDimensional::new(Params::default())).run_into_system(trace)
+}
+
+/// Mean multi-dimensional reputation that honest users assign to `targets`,
+/// over *established* relationships only (nonzero reputation) — comparing
+/// means over all pairs would mostly measure how many strangers each group
+/// has, not how trusted its members are.
+fn mean_reputation_from_honest(
+    trace: &Trace,
+    system: &MultiDimensional,
+    targets: &[UserId],
+) -> f64 {
+    let honest: Vec<UserId> = trace
+        .population()
+        .iter()
+        .filter(|p| matches!(p.behavior(), Behavior::Honest))
+        .map(|p| p.id())
+        .collect();
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &viewer in &honest {
+        for &target in targets {
+            if viewer == target {
+                continue;
+            }
+            let r = system.reputation(viewer, target);
+            if r > 0.0 {
+                sum += r;
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+fn ids_of(trace: &Trace, want: impl Fn(Behavior) -> bool) -> Vec<UserId> {
+    trace
+        .population()
+        .iter()
+        .filter(|p| want(p.behavior()))
+        .map(|p| p.id())
+        .collect()
+}
+
+/// Collusion + churn: a clique-heavy population under message loss and
+/// scheduled churn. Documented bounds: fake-file filtering loses at most
+/// 10 percentage points of avoidance versus the fault-free run, and
+/// honest users still rank polluters/colluders below honest peers.
+#[test]
+fn matrix_collusion_with_churn_filtering_survives() {
+    for &seed in &MATRIX_SEEDS {
+        let mix = BehaviorMix::new(0.10, 0.10, 0.15, 0.0).expect("valid mix");
+        let trace = adversarial_trace(mix, 0.5, seed);
+        let (clean, _) = run_filtered(&trace, None);
+        let plan = FaultPlan::message_loss(0.1, seed)
+            .with_churn(ChurnSchedule::new(SimDuration::from_hours(2), 0.2));
+        let (faulty, system) = run_filtered(&trace, Some(plan));
+
+        assert!(
+            clean.fakes.avoidance_rate() > 0.0,
+            "seed {seed}: baseline filtering works at all"
+        );
+        assert!(
+            faulty.fakes.avoidance_rate() >= clean.fakes.avoidance_rate() - 0.10,
+            "seed {seed}: churn+loss cost more than 10pp of avoidance: {:.3} vs {:.3}",
+            faulty.fakes.avoidance_rate(),
+            clean.fakes.avoidance_rate()
+        );
+        assert!(
+            faulty.faults.retrievals > 0,
+            "seed {seed}: faults exercised"
+        );
+
+        let adversaries = ids_of(&trace, |b| {
+            matches!(b, Behavior::Polluter | Behavior::Colluder(_))
+        });
+        let honest = ids_of(&trace, |b| matches!(b, Behavior::Honest));
+        let bad_rep = mean_reputation_from_honest(&trace, &system, &adversaries);
+        let good_rep = mean_reputation_from_honest(&trace, &system, &honest);
+        assert!(
+            bad_rep < good_rep,
+            "seed {seed}: polluter ranking must survive churn: bad {bad_rep:.4} vs good {good_rep:.4}"
+        );
+    }
+}
+
+/// Whitewash + partition: identity-discarding polluters while a network
+/// partition splits the overlay mid-run. The run must stay deterministic
+/// (same seed → same digest) and fake-file filtering must degrade within
+/// documented bounds versus the fault-free run. The per-peer reset
+/// property itself (whitewashers restart as strangers) is proven at the
+/// engine level by `whitewashing_resets_to_stranger_service`; at trace
+/// scale whitewashers re-establish small reputations between resets, so
+/// the robust end-to-end bound is filtering accuracy, not pairwise rank.
+#[test]
+fn matrix_whitewash_with_partition_ranking_survives() {
+    for &seed in &MATRIX_SEEDS {
+        let mix = BehaviorMix::new(0.10, 0.05, 0.0, 0.15).expect("valid mix");
+        let trace = adversarial_trace(mix, 0.4, seed);
+        let (clean, _) = run_filtered(&trace, None);
+        let plan = FaultPlan::message_loss(0.05, seed).with_partition(Partition {
+            start: SimTime::ZERO + SimDuration::from_hours(12),
+            end: SimTime::ZERO + SimDuration::from_hours(36),
+            minority_fraction: 0.3,
+        });
+        let (a, _) = run_filtered(&trace, Some(plan.clone()));
+        let (b, _) = run_filtered(&trace, Some(plan));
+        assert_eq!(
+            a.digest(),
+            b.digest(),
+            "seed {seed}: partitioned run must replay bit-identically"
+        );
+        assert!(
+            a.faults.lost_retrievals > 0,
+            "seed {seed}: the partition actually cut retrievals"
+        );
+        assert!(
+            clean.fakes.avoidance_rate() > 0.0,
+            "seed {seed}: baseline filtering works at all"
+        );
+        assert!(
+            a.fakes.avoidance_rate() >= clean.fakes.avoidance_rate() - 0.10,
+            "seed {seed}: partition cost more than 10pp of avoidance: {:.3} vs {:.3}",
+            a.fakes.avoidance_rate(),
+            clean.fakes.avoidance_rate()
+        );
+    }
+}
+
+/// Byzantine index peers: a fifth of the overlay tampers with every value
+/// it serves. Bound: tampered records are *never* accepted as valid, and
+/// replication keeps at least 85% of files retrievable with a verified
+/// record.
+#[test]
+fn matrix_byzantine_index_peers_tampering_rejected() {
+    for &seed in &MATRIX_SEEDS {
+        let mut plan = FaultPlan::none().with_seed(seed);
+        for i in (0..40).step_by(5) {
+            plan = plan.with_byzantine(UserId::new(i));
+        }
+        let mut dht = Dht::new(DhtConfig {
+            fault: plan,
+            ..DhtConfig::default()
+        });
+        let mut registry = mdrep_repro::crypto::KeyRegistry::new();
+        for i in 0..40 {
+            dht.join(UserId::new(i), SimTime::ZERO);
+            registry.register(UserId::new(i), 9000 + i);
+        }
+        let publisher = EvaluationPublisher::new();
+        let published_value = Evaluation::new(0.75).expect("in range");
+        for f in 0..20u64 {
+            let owner = UserId::new(1 + f % 39);
+            let key = registry.key_of(owner).expect("registered").clone();
+            publisher
+                .publish(
+                    &mut dht,
+                    &key,
+                    owner,
+                    FileId::new(f),
+                    published_value,
+                    SimTime::ZERO,
+                )
+                .expect("store succeeds");
+        }
+
+        let mut retrievable = 0;
+        for f in 0..20u64 {
+            let outcome = publisher
+                .retrieve_detailed(
+                    &mut dht,
+                    &registry,
+                    UserId::new(2),
+                    FileId::new(f),
+                    SimTime::ZERO,
+                )
+                .expect("viewer online");
+            // The core guarantee: a tampered record never verifies, so
+            // every *valid* record carries exactly the published value.
+            for record in outcome.valid_records() {
+                assert_eq!(
+                    record.info.evaluation, published_value,
+                    "seed {seed}: a tampered evaluation was accepted as valid"
+                );
+            }
+            if outcome.valid_records().count() > 0 {
+                retrievable += 1;
+            }
+        }
+        assert!(
+            retrievable >= 17,
+            "seed {seed}: replication must keep ≥85% of files verified, got {retrievable}/20"
+        );
+        assert!(
+            dht.fault_trace().tampered > 0,
+            "seed {seed}: byzantine peers actually served tampered values"
+        );
+    }
+}
+
+/// Acceptance bound from the fault-injection issue: under a 10% message-
+/// loss plan with moderate scheduled churn, the default retry budget keeps
+/// Eq. 9 fake-file identification accuracy within 5 percentage points of
+/// the fault-free baseline.
+#[test]
+fn acceptance_eq9_accuracy_within_five_points_of_fault_free() {
+    for &seed in &MATRIX_SEEDS {
+        let mix = BehaviorMix::new(0.10, 0.15, 0.0, 0.0).expect("valid mix");
+        // A denser trace than the matrix default: Eq. 9 needs several
+        // evaluations per file before a single masked owner list stops
+        // being able to flip a filtering decision.
+        let trace = TraceBuilder::new(
+            WorkloadConfig::builder()
+                .users(80)
+                .titles(50)
+                .days(3)
+                .downloads_per_user_day(6.0)
+                .behavior_mix(mix)
+                .pollution_rate(0.5)
+                .seed(seed)
+                .build()
+                .expect("valid workload"),
+        )
+        .generate();
+        let (clean, _) = run_filtered(&trace, None);
+        let plan = FaultPlan::message_loss(0.1, seed)
+            .with_churn(ChurnSchedule::new(SimDuration::from_hours(2), 0.1));
+        let (faulty, _) = run_filtered(&trace, Some(plan));
+
+        assert!(
+            clean.fakes.avoidance_rate() > 0.0,
+            "seed {seed}: baseline filtering works at all"
+        );
+        let delta = (clean.fakes.avoidance_rate() - faulty.fakes.avoidance_rate()).abs();
+        assert!(
+            delta <= 0.05,
+            "seed {seed}: Eq. 9 accuracy drifted {:.1}pp from fault-free \
+             (clean {:.3}, faulty {:.3})",
+            delta * 100.0,
+            clean.fakes.avoidance_rate(),
+            faulty.fakes.avoidance_rate()
+        );
+        assert!(
+            faulty.faults.retrievals > 0 && faulty.faults.lost_retrievals > 0,
+            "seed {seed}: the fault plan was actually exercised"
+        );
     }
 }

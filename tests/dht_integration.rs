@@ -4,7 +4,9 @@
 
 use mdrep_repro::core::{OwnerEvaluation, Params, ReputationEngine};
 use mdrep_repro::crypto::KeyRegistry;
-use mdrep_repro::dht::{Dht, DhtConfig, EvaluationInfo, EvaluationPublisher, Key};
+use mdrep_repro::dht::{
+    ChurnSchedule, Dht, DhtConfig, EvaluationInfo, EvaluationPublisher, FaultPlan, Key,
+};
 use mdrep_repro::types::{Evaluation, FileId, FileSize, SimDuration, SimTime, UserId};
 
 fn overlay(n: u64, loss: f64, seed: u64) -> (Dht, KeyRegistry) {
@@ -238,4 +240,148 @@ fn ttl_expiry_then_republish_cycle() {
         .retrieve(&mut dht, &registry, UserId::new(4), file, after_ttl)
         .expect("online");
     assert_eq!(back.len(), 1);
+}
+
+/// Partial-result path: when some replica holders are offline, the
+/// retrieval names exactly who never answered, and the surviving valid
+/// records still feed Equation 9 — graceful degradation, not an error.
+#[test]
+fn partial_owner_lists_still_yield_file_reputations() {
+    let (mut dht, registry) = overlay(32, 0.0, 6);
+    let publisher = EvaluationPublisher::new();
+    let file = FileId::new(11);
+    let viewer = UserId::new(31);
+
+    for (owner, value) in [(1u64, 0.9), (2, 0.7), (3, 0.4)] {
+        let key = registry
+            .key_of(UserId::new(owner))
+            .expect("registered")
+            .clone();
+        publisher
+            .publish(
+                &mut dht,
+                &key,
+                UserId::new(owner),
+                file,
+                Evaluation::new(value).expect("valid"),
+                SimTime::ZERO,
+            )
+            .expect("store succeeds");
+    }
+
+    // Find a replica holder by brute force: the first departed node that
+    // shows up as unreachable. Take most of the overlay offline so at
+    // least one holder is certain to be gone.
+    for i in 10..31u64 {
+        dht.leave(UserId::new(i));
+    }
+    let outcome = publisher
+        .retrieve_detailed(&mut dht, &registry, viewer, file, SimTime::ZERO)
+        .expect("viewer online");
+    assert!(
+        !outcome.is_complete(),
+        "with 21 nodes gone some replica holder must be unreachable"
+    );
+    for &holder in &outcome.unreachable {
+        assert!(
+            !dht.is_online(holder),
+            "unreachable list must name offline nodes, got {holder}"
+        );
+    }
+    assert!(
+        outcome.valid_records().count() > 0,
+        "surviving replicas still serve the records"
+    );
+
+    // The partial owner list still produces an Eq. 9 file reputation.
+    let mut engine = ReputationEngine::new(Params::default());
+    engine.observe_download(
+        SimTime::ZERO,
+        viewer,
+        UserId::new(1),
+        FileId::new(99),
+        FileSize::from_mib(10),
+    );
+    engine.observe_vote(SimTime::ZERO, viewer, FileId::new(99), Evaluation::BEST);
+    engine.recompute(SimTime::ZERO);
+    let evals: Vec<OwnerEvaluation> = outcome
+        .valid_records()
+        .map(|r| OwnerEvaluation::new(r.info.owner, r.info.evaluation))
+        .collect();
+    let rep = engine
+        .file_reputation(viewer, &evals)
+        .expect("owner 1 is reputable and present");
+    assert!(
+        (rep.value() - 0.9).abs() < 1e-9,
+        "only owner 1 counts: {rep}"
+    );
+}
+
+/// Acceptance bound from the fault-injection issue: under a 10%
+/// message-loss plan with moderate scheduled churn, the default retry
+/// budget keeps owner-list retrieval success at 99% or better.
+#[test]
+fn retries_keep_retrieval_success_above_99_percent_under_faults() {
+    const FILES: u64 = 100;
+    let viewer = UserId::new(63);
+    let publisher_id = UserId::new(0);
+    let plan = FaultPlan::message_loss(0.1, 42).with_churn(
+        ChurnSchedule::new(SimDuration::from_hours(1), 0.1)
+            .immune(viewer)
+            .immune(publisher_id),
+    );
+    let mut dht = Dht::new(DhtConfig {
+        fault: plan,
+        ..DhtConfig::default()
+    });
+    let mut registry = KeyRegistry::new();
+    for i in 0..64 {
+        dht.join(UserId::new(i), SimTime::ZERO);
+        registry.register(UserId::new(i), 7000 + i);
+    }
+    let publisher = EvaluationPublisher::new();
+    let key = registry.key_of(publisher_id).expect("registered").clone();
+    for f in 0..FILES {
+        publisher
+            .publish(
+                &mut dht,
+                &key,
+                publisher_id,
+                FileId::new(f),
+                Evaluation::BEST,
+                SimTime::ZERO,
+            )
+            .expect("store succeeds under 10% loss with retries");
+    }
+
+    // Two hours in, a churn wave takes ~10% of the overlay down.
+    let later = SimTime::ZERO + SimDuration::from_hours(2);
+    let (downs, _) = dht.apply_churn(later);
+    assert!(downs > 0, "the churn schedule actually fired");
+
+    let mut successes = 0u64;
+    for f in 0..FILES {
+        let outcome = publisher
+            .retrieve_detailed(&mut dht, &registry, viewer, FileId::new(f), later)
+            .expect("viewer is churn-immune");
+        if outcome.valid_records().count() > 0 {
+            successes += 1;
+        }
+    }
+    let success_rate = successes as f64 / FILES as f64;
+    assert!(
+        success_rate >= 0.99,
+        "retries must keep owner-list retrieval success >= 99%, got {:.1}% \
+         ({successes}/{FILES})",
+        success_rate * 100.0
+    );
+    assert!(
+        dht.fault_trace().drops > 0,
+        "the loss plan actually dropped messages"
+    );
+    assert!(dht.stats().retried > 0, "retries were actually exercised");
+    assert!(
+        dht.stats().is_conserved(),
+        "message accounting stays closed"
+    );
 }

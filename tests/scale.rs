@@ -65,7 +65,7 @@ fn dht_with_512_nodes_stays_logarithmic() {
             SimTime::ZERO,
         )
         .expect("online");
-    assert_eq!(got.len(), 1);
+    assert_eq!(got.values.len(), 1);
 }
 
 /// Heavy tier: a Maze-scale-ish replay. ~10⁵ downloads through the full
@@ -122,7 +122,7 @@ fn dht_4096_nodes() {
                 SimTime::ZERO,
             )
             .expect("online");
-        if got.contains(&k.to_be_bytes().to_vec()) {
+        if got.values.contains(&k.to_be_bytes().to_vec()) {
             found += 1;
         }
     }
