@@ -79,8 +79,7 @@ impl ReputationSystem for MultiDimensional {
         let row_max = self
             .engine
             .reputation_matrix()
-            .and_then(|rm| rm.row(i))
-            .map(|row| row.values().fold(0.0f64, |a, &b| a.max(b)))
+            .map(|rm| rm.row_max(i))
             .unwrap_or(0.0);
         if row_max > 0.0 {
             raw / row_max
@@ -99,6 +98,26 @@ impl ReputationSystem for MultiDimensional {
         self.engine
             .file_reputation(viewer, evaluations)
             .map(|e| e.value())
+    }
+
+    /// Overrides the per-pair default with the engine's contiguous CSR
+    /// coverage kernel. Punished targets stay uncovered (they read as zero
+    /// through [`reputation`](ReputationSystem::reputation)), so the pairs
+    /// are pre-filtered before hitting the kernel.
+    fn request_coverage(&self, requests: &[(UserId, UserId)]) -> f64 {
+        if requests.is_empty() {
+            return 0.0;
+        }
+        if requests.iter().any(|&(_, j)| self.engine.is_punished(j)) {
+            // Punished targets must read as uncovered; fall back to the
+            // per-pair reads (still CSR-backed through the engine).
+            let covered = requests
+                .iter()
+                .filter(|&&(i, j)| self.engine.reputation(i, j) > 0.0)
+                .count();
+            return covered as f64 / requests.len() as f64;
+        }
+        self.engine.request_coverage(requests)
     }
 }
 

@@ -95,12 +95,14 @@ fn fake_f1(trace: &Trace, engine: &ReputationEngine, end: SimTime) -> f64 {
             let is_fake = !trace.catalog().is_authentic(file);
             let mut votes_fake = 0usize;
             let mut votes_total = 0usize;
-            for &viewer in &viewers {
-                if let Some(r) = engine.file_reputation(viewer, &evals) {
-                    votes_total += 1;
-                    if r.is_below(Evaluation::NEUTRAL) {
-                        votes_fake += 1;
-                    }
+            for r in engine
+                .file_reputation_batch(&viewers, &evals)
+                .into_iter()
+                .flatten()
+            {
+                votes_total += 1;
+                if r.is_below(Evaluation::NEUTRAL) {
+                    votes_fake += 1;
                 }
             }
             if votes_total == 0 {

@@ -117,15 +117,18 @@ fn evaluate(
                 .take(16)
                 .collect();
             let is_fake = !trace.catalog().is_authentic(file);
-            // Majority verdict of the viewer panel.
+            // Majority verdict of the viewer panel, scored in one batched
+            // Eq. 9 row-gather over the frozen RM.
             let mut votes_fake = 0usize;
             let mut votes_total = 0usize;
-            for &viewer in &viewers {
-                if let Some(r) = engine.file_reputation(viewer, &evals) {
-                    votes_total += 1;
-                    if r.is_below(Evaluation::NEUTRAL) {
-                        votes_fake += 1;
-                    }
+            for r in engine
+                .file_reputation_batch(&viewers, &evals)
+                .into_iter()
+                .flatten()
+            {
+                votes_total += 1;
+                if r.is_below(Evaluation::NEUTRAL) {
+                    votes_fake += 1;
                 }
             }
             if votes_total == 0 {

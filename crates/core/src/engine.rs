@@ -18,23 +18,31 @@ use crate::params::Params;
 use crate::reputation::ReputationMatrix;
 use crate::user_trust::UserTrust;
 use crate::volume_trust::VolumeTrust;
-use mdrep_matrix::{blend_parallel, blend_row, build_rows_parallel, normalized_row, SparseMatrix};
+use mdrep_matrix::{
+    blend_frozen, blend_row_frozen, build_rows_parallel, normalize_row_mut, normalized_row,
+    CsrMatrix, UserIndex,
+};
 use mdrep_types::{Evaluation, FileId, FileSize, SimTime, UserId};
 use mdrep_workload::{Catalog, EventKind, TraceEvent};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::Arc;
 
 /// The one-step matrices of the last recomputation, kept for inspection and
 /// experiments.
+///
+/// The matrices are frozen into CSR form at recompute time (normalization is
+/// fused into the freeze); the incremental path patches dirty rows through
+/// each matrix's overlay, which the next full rebuild compacts away.
 #[derive(Debug, Clone)]
 pub struct TrustComponents {
     /// File-based one-step matrix `FM` (Equation 3).
-    pub fm: SparseMatrix,
+    pub fm: CsrMatrix,
     /// Download-volume one-step matrix `DM` (Equation 5).
-    pub dm: SparseMatrix,
+    pub dm: CsrMatrix,
     /// User-based one-step matrix `UM` (Equation 6).
-    pub um: SparseMatrix,
+    pub um: CsrMatrix,
     /// The blended one-step matrix `TM` (Equation 7).
-    pub tm: SparseMatrix,
+    pub tm: CsrMatrix,
 }
 
 /// How a [`ReputationEngine::recompute`] call actually ran.
@@ -378,33 +386,42 @@ impl ReputationEngine {
         let obs = mdrep_obs::global();
         let threads = self.params.effective_threads();
         self.dirty_files.clear();
+        // Build the raw matrices first, then freeze all three under one
+        // shared interner so the blend and power kernels can assume a
+        // common dense column space. Row normalization (Eqs. 3/5/6) is
+        // fused into the freeze pass.
+        self.file_trust
+            .full_rebuild(&self.evals, now, &self.params, self.file_trust_options);
+        self.volume.clear_dirty();
+        self.user_trust.clear_dirty();
+        let dm_raw = self
+            .volume
+            .raw_parallel(&self.evals, now, &self.params, threads);
+        let um_raw = self.user_trust.raw();
+        let ft_raw = self.file_trust.raw();
+        let index = Arc::new(UserIndex::from_matrices(&[ft_raw, &dm_raw, &um_raw]));
         let fm = {
             let _span = obs.span("engine.recompute.fm_build");
-            self.file_trust
-                .full_rebuild(&self.evals, now, &self.params, self.file_trust_options);
-            self.file_trust.raw().normalized_rows_parallel(threads)
+            CsrMatrix::freeze_normalized_with(&index, ft_raw)
         };
         let dm = {
             let _span = obs.span("engine.recompute.dm_build");
-            self.volume.clear_dirty();
-            self.volume
-                .matrix_parallel(&self.evals, now, &self.params, threads)
+            CsrMatrix::freeze_normalized_with(&index, &dm_raw)
         };
         let um = {
             let _span = obs.span("engine.recompute.um_build");
-            self.user_trust.clear_dirty();
-            self.user_trust.matrix()
+            CsrMatrix::freeze_normalized_with(&index, &um_raw)
         };
         let w = self.params.weights();
         let tm = {
             let _span = obs.span("engine.recompute.integrate");
-            blend_parallel(
+            blend_frozen(
                 &[(w.alpha(), &fm), (w.beta(), &dm), (w.gamma(), &um)],
                 threads,
             )
             .expect("validated weights form a convex combination")
         };
-        let rm = ReputationMatrix::compute(&tm, &self.params);
+        let rm = ReputationMatrix::compute_csr(tm.clone(), &self.params);
         Self::record_matrix_gauges(&tm, &rm);
         self.rm = Some(rm);
         self.components = Some(TrustComponents { fm, dm, um, tm });
@@ -439,7 +456,7 @@ impl ReputationEngine {
                 ft.row(u).and_then(normalized_row).unwrap_or_default()
             });
             for (u, row) in rebuilt {
-                comps.fm.set_row(u, row).expect("normalized rows are valid");
+                comps.fm.set_row(u, row);
             }
             dirty
         };
@@ -448,10 +465,14 @@ impl ReputationEngine {
             let dirty = self.volume.take_dirty();
             let (volume, evals, params) = (&self.volume, &self.evals, &self.params);
             let rebuilt = build_rows_parallel(&dirty, threads, |u| {
-                normalized_row(&volume.vd_row(u, evals, now, params)).unwrap_or_default()
+                let mut row = volume.vd_row(u, evals, now, params);
+                if !normalize_row_mut(&mut row) {
+                    row.clear();
+                }
+                row
             });
             for (u, row) in rebuilt {
-                comps.dm.set_row(u, row).expect("normalized rows are valid");
+                comps.dm.set_row(u, row);
             }
             dirty
         };
@@ -459,8 +480,11 @@ impl ReputationEngine {
             let _span = obs.span("engine.recompute.um_build");
             let dirty = self.user_trust.take_dirty();
             for &u in &dirty {
-                let row = normalized_row(&self.user_trust.ut_row(u)).unwrap_or_default();
-                comps.um.set_row(u, row).expect("normalized rows are valid");
+                let mut row = self.user_trust.ut_row(u);
+                if !normalize_row_mut(&mut row) {
+                    row.clear();
+                }
+                comps.um.set_row(u, row);
             }
             dirty
         };
@@ -479,23 +503,21 @@ impl ReputationEngine {
                 (w.beta(), &comps.dm),
                 (w.gamma(), &comps.um),
             ];
-            let rebuilt = build_rows_parallel(&union, threads, |u| blend_row(&parts, u));
+            let rebuilt = build_rows_parallel(&union, threads, |u| blend_row_frozen(&parts, u));
             if self.params.steps() == 1 {
                 // RM = TM: patch both from the same blended rows.
                 for (u, row) in rebuilt {
-                    comps
-                        .tm
-                        .set_row(u, row.clone())
-                        .expect("blended rows are valid");
+                    comps.tm.set_row(u, row.clone());
                     rm.set_one_step_row(u, row);
                 }
             } else {
                 for (u, row) in rebuilt {
-                    comps.tm.set_row(u, row).expect("blended rows are valid");
+                    comps.tm.set_row(u, row);
                 }
                 // The power dominates the cost anyway; recompute it from
-                // the incrementally maintained TM.
-                rm = ReputationMatrix::compute(&comps.tm, &self.params);
+                // the incrementally maintained TM (compacted inside
+                // `compute_csr` before the SpGEMM steps).
+                rm = ReputationMatrix::compute_csr(comps.tm.clone(), &self.params);
             }
         }
         Self::record_matrix_gauges(&comps.tm, &rm);
@@ -503,7 +525,7 @@ impl ReputationEngine {
         self.components = Some(comps);
     }
 
-    fn record_matrix_gauges(tm: &SparseMatrix, rm: &ReputationMatrix) {
+    fn record_matrix_gauges(tm: &CsrMatrix, rm: &ReputationMatrix) {
         let obs = mdrep_obs::global();
         let rows = tm.row_count();
         obs.gauge_set("engine.tm.nnz", tm.nnz() as f64);
@@ -612,6 +634,24 @@ impl ReputationEngine {
         self.rm
             .as_ref()
             .and_then(|rm| file_reputation(rm, viewer, &trusted))
+    }
+
+    /// Batched Equation 9: the same owner evaluations scored by many
+    /// viewers (one file's owner set against a viewer panel). Punished
+    /// owners are discarded once for the whole batch; each entry matches
+    /// [`file_reputation`](Self::file_reputation) for that viewer. Returns
+    /// all-`None` before the first recomputation.
+    #[must_use]
+    pub fn file_reputation_batch(
+        &self,
+        viewers: &[UserId],
+        evaluations: &[OwnerEvaluation],
+    ) -> Vec<Option<Evaluation>> {
+        let trusted = self.trusted_evaluations(evaluations);
+        match &self.rm {
+            None => vec![None; viewers.len()],
+            Some(rm) => crate::file_reputation::file_reputation_batch(rm, viewers, &trusted),
+        }
     }
 
     /// The download decision for `viewer` over the supplied evaluations

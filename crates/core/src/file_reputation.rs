@@ -114,6 +114,59 @@ pub fn file_reputation(
     }
 }
 
+/// Batched Equation 9: one file's owner evaluations scored by many viewers
+/// at once. The owner columns are resolved against the frozen `RM` once and
+/// each viewer's row is gathered from contiguous CSR storage, so the cost is
+/// one binary search per (viewer, owner) pair with no per-query `BTreeMap`
+/// walks. Each result is exactly what [`file_reputation`] returns for that
+/// viewer.
+///
+/// # Examples
+///
+/// ```
+/// use mdrep::{file_reputation_batch, OwnerEvaluation, Params, ReputationMatrix};
+/// use mdrep_matrix::SparseMatrix;
+/// use mdrep_types::{Evaluation, UserId};
+///
+/// let (a, b, owner) = (UserId::new(0), UserId::new(1), UserId::new(2));
+/// let mut tm = SparseMatrix::new();
+/// tm.set(a, owner, 1.0)?;
+/// let rm = ReputationMatrix::compute(&tm, &Params::default());
+///
+/// let evals = [OwnerEvaluation::new(owner, Evaluation::BEST)];
+/// let scores = file_reputation_batch(&rm, &[a, b], &evals);
+/// assert_eq!(scores[0], Some(Evaluation::BEST)); // a trusts the owner
+/// assert_eq!(scores[1], None); // b knows no evaluator
+/// # Ok::<(), mdrep_matrix::MatrixError>(())
+/// ```
+#[must_use]
+pub fn file_reputation_batch(
+    rm: &ReputationMatrix,
+    viewers: &[UserId],
+    evaluations: &[OwnerEvaluation],
+) -> Vec<Option<Evaluation>> {
+    mdrep_obs::global().counter_add("engine.file_reputation.count", viewers.len() as u64);
+    let matrix = rm.matrix();
+    let owners: Vec<UserId> = evaluations.iter().map(|oe| oe.owner).collect();
+    let set = matrix.column_set(&owners);
+    let mut gathered = Vec::with_capacity(owners.len());
+    viewers
+        .iter()
+        .map(|&viewer| {
+            matrix.gather_row(viewer, &set, &mut gathered);
+            let mut weighted = 0.0;
+            let mut weight = 0.0;
+            for (&r, oe) in gathered.iter().zip(evaluations) {
+                if r > 0.0 {
+                    weighted += r * oe.evaluation.value();
+                    weight += r;
+                }
+            }
+            (weight > 0.0).then(|| Evaluation::clamped(weighted / weight))
+        })
+        .collect()
+}
+
 /// Applies the viewer's threshold to Equation 9, producing a
 /// [`DownloadDecision`].
 #[must_use]
@@ -232,6 +285,33 @@ mod tests {
         ];
         let r = file_reputation(&rm, u(0), &evals).unwrap();
         assert!(r.value() < 0.2, "got {r}");
+    }
+
+    #[test]
+    fn batch_matches_scalar_per_viewer() {
+        let rm = rm_with(&[(0, 1, 0.75), (0, 2, 0.25), (3, 1, 1.0)]);
+        let evals = [
+            OwnerEvaluation::new(u(1), e(0.8)),
+            OwnerEvaluation::new(u(2), e(0.4)),
+            OwnerEvaluation::new(u(9), e(1.0)), // unknown to everyone
+        ];
+        let viewers = [u(0), u(3), u(7)];
+        let batch = file_reputation_batch(&rm, &viewers, &evals);
+        for (i, &viewer) in viewers.iter().enumerate() {
+            assert_eq!(batch[i], file_reputation(&rm, viewer, &evals));
+        }
+        assert!(batch[2].is_none(), "viewer 7 has no row");
+    }
+
+    #[test]
+    fn batch_handles_empty_inputs() {
+        let rm = rm_with(&[(0, 1, 1.0)]);
+        assert!(file_reputation_batch(&rm, &[], &[]).is_empty());
+        assert_eq!(
+            file_reputation_batch(&rm, &[u(0)], &[]),
+            vec![None],
+            "no owners means no denominator"
+        );
     }
 
     #[test]

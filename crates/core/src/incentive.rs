@@ -209,10 +209,7 @@ impl ServicePolicy {
         requester: UserId,
     ) -> ServiceDecision {
         let raw = rm.reputation(uploader, requester);
-        let row_max = rm
-            .row(uploader)
-            .map(|row| row.values().fold(0.0f64, |a, &b| a.max(b)))
-            .unwrap_or(0.0);
+        let row_max = rm.row_max(uploader);
         let r = if row_max > 0.0 { raw / row_max } else { 0.0 };
         self.decide_scaled(r)
     }

@@ -70,7 +70,9 @@ pub use audit::{AuditOutcome, Auditor};
 pub use contribution::{Contribution, ContributionLedger};
 pub use engine::{RecomputeMode, ReputationEngine, TrustComponents};
 pub use eval::{EvaluationRecord, EvaluationStore};
-pub use file_reputation::{download_decision, file_reputation, DownloadDecision, OwnerEvaluation};
+pub use file_reputation::{
+    download_decision, file_reputation, file_reputation_batch, DownloadDecision, OwnerEvaluation,
+};
 pub use file_trust::{DistanceMetric, FileTrust, FileTrustOptions, FileTrustState};
 pub use incentive::{ServiceDecision, ServicePolicy};
 pub use params::{Params, ParamsBuilder, ParamsError, Weights};

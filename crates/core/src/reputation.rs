@@ -7,7 +7,7 @@
 //! overlays — so does this module.
 
 use crate::params::Params;
-use mdrep_matrix::{SparseMatrix, SparseVector};
+use mdrep_matrix::{CsrMatrix, PowerOptions, SparseMatrix, SparseVector};
 use mdrep_types::UserId;
 use std::fmt;
 
@@ -52,35 +52,46 @@ impl fmt::Display for TrustTier {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ReputationMatrix {
-    tiers: Vec<SparseMatrix>,
+    tiers: Vec<CsrMatrix>,
 }
 
 impl ReputationMatrix {
     /// Computes `TM^1 … TM^n` (Equation 8 keeps the final power; the
     /// intermediate powers provide the tier view).
+    ///
+    /// Freezes the builder matrix into CSR once, then runs the contiguous
+    /// kernels — see [`Self::compute_csr`] for the frozen-input entry point.
     #[must_use]
     pub fn compute(tm: &SparseMatrix, params: &Params) -> Self {
+        Self::compute_csr(CsrMatrix::freeze(tm), params)
+    }
+
+    /// Computes the tiers from an already-frozen `TM`.
+    ///
+    /// The base matrix is compacted first (folding any dirty-row overlay
+    /// into contiguous storage) so every SpGEMM step runs on pure
+    /// `indptr`/`cols`/`vals` slices.
+    #[must_use]
+    pub fn compute_csr(tm: CsrMatrix, params: &Params) -> Self {
+        let base = if tm.is_compact() { tm } else { tm.compact() };
         let n = params.steps();
+        let options = if params.prune_threshold() > 0.0 {
+            PowerOptions::pruned(params.prune_threshold())
+        } else {
+            PowerOptions::exact()
+        };
         let mut tiers = Vec::with_capacity(n as usize);
-        tiers.push(tm.clone());
+        tiers.push(base.clone());
         let threads = params.effective_threads();
         let obs = mdrep_obs::global();
         for _ in 1..n {
             let prev = tiers.last().expect("non-empty");
             // Large products fan out across cores; small ones stay serial.
-            let mut next = {
+            let next = {
                 let _span = obs.span("engine.recompute.matrix_power");
-                if prev.nnz() > 20_000 && threads > 1 {
-                    prev.multiply_parallel(tm, threads)
-                } else {
-                    prev.multiply(tm)
-                }
+                let t = if prev.nnz() > 20_000 { threads } else { 1 };
+                prev.multiply_step(&base, options, t)
             };
-            if params.prune_threshold() > 0.0 {
-                let _span = obs.span("engine.recompute.normalize");
-                next.prune(params.prune_threshold());
-                next = next.normalized_rows();
-            }
             tiers.push(next);
         }
         Self { tiers }
@@ -88,7 +99,7 @@ impl ReputationMatrix {
 
     /// The final `RM = TM^n`.
     #[must_use]
-    pub fn matrix(&self) -> &SparseMatrix {
+    pub fn matrix(&self) -> &CsrMatrix {
         self.tiers.last().expect("at least one tier")
     }
 
@@ -103,8 +114,7 @@ impl ReputationMatrix {
     pub(crate) fn set_one_step_row(&mut self, row: UserId, values: SparseVector) {
         debug_assert_eq!(self.tiers.len(), 1, "row patching requires n = 1");
         let tier = self.tiers.first_mut().expect("at least one tier");
-        tier.set_row(row, values)
-            .expect("patched rows come from validated matrices");
+        tier.set_row(row, values);
     }
 
     /// Number of computed tiers (`n`).
@@ -119,10 +129,11 @@ impl ReputationMatrix {
         self.matrix().get(i, j)
     }
 
-    /// The full reputation row of `i`.
+    /// The largest reputation value `i` assigns to anyone (0 when `i` has
+    /// no row) — the normalization base for relative-reputation queries.
     #[must_use]
-    pub fn row(&self, i: UserId) -> Option<&SparseVector> {
-        self.matrix().row(i)
+    pub fn row_max(&self, i: UserId) -> f64 {
+        self.matrix().row_max(i)
     }
 
     /// The lowest tier at which `i` reaches `j`, per the multi-tier
@@ -240,12 +251,23 @@ mod tests {
     }
 
     #[test]
-    fn row_and_coverage() {
+    fn row_max_and_coverage() {
         let tm = chain();
         let rm = ReputationMatrix::compute(&tm, &params(1));
-        assert!(rm.row(u(0)).is_some());
-        assert!(rm.row(u(3)).is_none());
+        assert_eq!(rm.row_max(u(0)), 1.0);
+        assert_eq!(rm.row_max(u(3)), 0.0, "no row means no mass");
         let cov = rm.request_coverage(&[(u(0), u(1)), (u(0), u(2))]);
         assert!((cov - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csr_entry_point_matches_builder_entry_point() {
+        let tm = chain();
+        for n in [1, 2, 3] {
+            let from_builder = ReputationMatrix::compute(&tm, &params(n));
+            let from_frozen =
+                ReputationMatrix::compute_csr(mdrep_matrix::CsrMatrix::freeze(&tm), &params(n));
+            assert_eq!(from_builder.matrix(), from_frozen.matrix());
+        }
     }
 }

@@ -157,9 +157,24 @@ impl VolumeTrust {
     /// (files the downloader no longer has a record for contribute nothing).
     #[must_use]
     pub fn raw(&self, evals: &EvaluationStore, now: SimTime, params: &Params) -> SparseMatrix {
+        self.raw_parallel(evals, now, params, 1)
+    }
+
+    /// [`raw`](Self::raw) built across `threads` OS threads (rows are
+    /// independent, so any thread count yields the identical matrix).
+    #[must_use]
+    pub fn raw_parallel(
+        &self,
+        evals: &EvaluationStore,
+        now: SimTime,
+        params: &Params,
+        threads: usize,
+    ) -> SparseMatrix {
+        let rows: Vec<UserId> = self.downloads.keys().copied().collect();
+        let built = build_rows_parallel(&rows, threads, |r| self.vd_row(r, evals, now, params));
         let mut vd = SparseMatrix::new();
-        for &downloader in self.downloads.keys() {
-            vd.set_row(downloader, self.vd_row(downloader, evals, now, params))
+        for (r, row) in built {
+            vd.set_row(r, row)
                 .expect("volumes are finite and non-negative");
         }
         vd

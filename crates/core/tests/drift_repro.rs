@@ -38,7 +38,13 @@ fn drift_coevaluators_are_rebuilt_same_recompute() {
 
     let ci = engine.components().unwrap();
     let cf = reference.components().unwrap();
-    eprintln!("incr u1 row {:?}", ci.fm.row(u(1)));
-    eprintln!("full u1 row {:?}", cf.fm.row(u(1)));
+    eprintln!(
+        "incr u1 row {:?}",
+        ci.fm.row_entries(u(1)).collect::<Vec<_>>()
+    );
+    eprintln!(
+        "full u1 row {:?}",
+        cf.fm.row_entries(u(1)).collect::<Vec<_>>()
+    );
     assert_eq!(ci.fm, cf.fm, "FM diverged after drift-only recompute");
 }

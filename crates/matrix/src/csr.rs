@@ -1,0 +1,1104 @@
+//! Frozen compressed-sparse-row (CSR) trust matrices.
+//!
+//! [`SparseMatrix`] is the *mutable builder*: `BTreeMap` rows make event
+//! ingestion and dirty-row patching cheap, but every multiply or query pays
+//! pointer chasing and per-node allocation. This module adds the *compute
+//! representation* the hot paths read from instead: user ids are interned
+//! into dense `u32` positions by a [`UserIndex`], and the matrix is frozen
+//! into three contiguous arrays (`indptr`/`cols`/`vals`) so that
+//!
+//! - row normalization (Equations 3/5/6) fuses into the freeze itself
+//!   ([`CsrMatrix::freeze_normalized_with`]),
+//! - the Equation 7 blend runs as a k-way scaled merge over row slices
+//!   ([`blend_frozen`]),
+//! - the Equation 8 power `RM = TM^n` runs as a row-chunked parallel SpGEMM
+//!   with a reused dense accumulator per worker ([`CsrMatrix::power`]), and
+//! - batched Equation 9 queries gather one file's owner columns across many
+//!   viewer rows without materializing a `BTreeMap` per row
+//!   ([`CsrMatrix::column_set`] / [`CsrMatrix::gather_row`]).
+//!
+//! Every kernel performs its floating-point additions in exactly the order
+//! the `BTreeMap` path does (ascending user id, parts in caller order), so
+//! frozen results are **bit-identical** to [`SparseMatrix::multiply`],
+//! [`blend`](crate::blend), and [`normalized_row`] — the equivalence
+//! contracts of the incremental recompute keep holding on the CSR path.
+//!
+//! # Overlay
+//!
+//! A frozen matrix is immutable, but the incremental dirty-row recompute
+//! needs to patch a few rows between full rebuilds. [`CsrMatrix::set_row`]
+//! stores such patches in a per-row *overlay* keyed by [`UserId`] (so a
+//! patched row may reference users that did not exist at freeze time); all
+//! reads consult the overlay first. The overlay is folded back into clean
+//! contiguous storage by [`CsrMatrix::compact`], which the engine triggers
+//! on the next full freeze (and before any multi-step power).
+
+use crate::ops::{validate_blend_weights_by_value, BlendError, PowerOptions};
+use crate::sparse::{SparseMatrix, SparseVector};
+use mdrep_types::UserId;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One computed output row: `(row position, column positions, values)`.
+type CsrRow = (u32, Vec<u32>, Vec<f64>);
+
+/// Interns [`UserId`]s into dense `u32` positions (and back).
+///
+/// The ids are kept sorted, so position order equals id order — frozen rows
+/// iterate columns in exactly the order `BTreeMap` rows do, which is what
+/// keeps CSR kernels bit-identical to the builder path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UserIndex {
+    ids: Vec<UserId>,
+}
+
+impl UserIndex {
+    /// Builds an index from arbitrary ids (sorted and deduplicated).
+    #[must_use]
+    pub fn from_ids<I: IntoIterator<Item = UserId>>(ids: I) -> Self {
+        let mut ids: Vec<UserId> = ids.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Self { ids }
+    }
+
+    /// Builds the union index over every row and column id of `matrices` —
+    /// the shared coordinate space the engine freezes `FM`/`DM`/`UM` into.
+    #[must_use]
+    pub fn from_matrices(matrices: &[&SparseMatrix]) -> Self {
+        let mut ids: Vec<UserId> = Vec::new();
+        for m in matrices {
+            for (r, c, _) in m.iter() {
+                ids.push(r);
+                ids.push(c);
+            }
+        }
+        Self::from_ids(ids)
+    }
+
+    /// The dense position of `id`, if interned.
+    #[must_use]
+    pub fn position(&self, id: UserId) -> Option<u32> {
+        self.ids
+            .binary_search(&id)
+            .ok()
+            .map(|p| u32::try_from(p).expect("user index fits in u32"))
+    }
+
+    /// The id at `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `position` is out of bounds.
+    #[must_use]
+    pub fn id(&self, position: u32) -> UserId {
+        self.ids[position as usize]
+    }
+
+    /// Number of interned ids.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The interned ids in ascending order.
+    #[must_use]
+    pub fn ids(&self) -> &[UserId] {
+        &self.ids
+    }
+}
+
+/// A pre-resolved column set for repeated row gathers (e.g. one file's
+/// owner set queried by many viewers). Built once per query batch by
+/// [`CsrMatrix::column_set`].
+#[derive(Debug, Clone)]
+pub struct ColumnSet {
+    /// Queried ids, in caller order (Equation 9 accumulates in this order,
+    /// matching the scalar path exactly).
+    ids: Vec<UserId>,
+    /// Interned position per id (`None` for ids outside the frozen index —
+    /// they can still be hit through the overlay).
+    positions: Vec<Option<u32>>,
+}
+
+impl ColumnSet {
+    /// Number of columns in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// A frozen, index-interned CSR matrix with an optional per-row overlay.
+///
+/// Freeze a [`SparseMatrix`] with [`freeze`](Self::freeze) (or
+/// [`freeze_normalized_with`](Self::freeze_normalized_with) to fuse the
+/// Equation 3/5/6 row normalization into the same pass), run the contiguous
+/// kernels, and [`thaw`](Self::thaw) back when a mutable builder is needed.
+///
+/// # Examples
+///
+/// ```
+/// use mdrep_matrix::{CsrMatrix, PowerOptions, SparseMatrix};
+/// use mdrep_types::UserId;
+///
+/// let mut tm = SparseMatrix::new();
+/// tm.set(UserId::new(0), UserId::new(1), 1.0)?;
+/// tm.set(UserId::new(1), UserId::new(2), 1.0)?;
+/// let csr = CsrMatrix::freeze(&tm);
+/// let two_step = csr.power(2, PowerOptions::exact(), 1);
+/// assert_eq!(two_step.get(UserId::new(0), UserId::new(2)), 1.0);
+/// assert_eq!(csr.thaw(), tm);
+/// # Ok::<(), mdrep_matrix::MatrixError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    index: Arc<UserIndex>,
+    /// Row start offsets into `cols`/`vals`; length `index.len() + 1`.
+    indptr: Vec<usize>,
+    /// Column positions per entry, ascending within each row.
+    cols: Vec<u32>,
+    /// Entry values, parallel to `cols`.
+    vals: Vec<f64>,
+    /// Patched rows (dirty-row recompute): reads consult this first. An
+    /// empty vector masks the frozen row entirely (row removal).
+    overlay: BTreeMap<UserId, SparseVector>,
+}
+
+impl CsrMatrix {
+    /// Freezes `m` under its own (row ∪ column) index.
+    #[must_use]
+    pub fn freeze(m: &SparseMatrix) -> Self {
+        Self::freeze_with(&Arc::new(UserIndex::from_matrices(&[m])), m)
+    }
+
+    /// Freezes `m` under a shared `index`, which must intern every row and
+    /// column id of `m` (build it with [`UserIndex::from_matrices`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m` references an id missing from `index`.
+    #[must_use]
+    pub fn freeze_with(index: &Arc<UserIndex>, m: &SparseMatrix) -> Self {
+        Self::freeze_impl(index, m, false)
+    }
+
+    /// Fused freeze + Equation 3/5/6 row normalization: every frozen row is
+    /// scaled to sum 1 in the same pass (zero-sum rows cannot occur in a
+    /// validated [`SparseMatrix`], which never stores zeros). Bit-identical
+    /// to freezing [`SparseMatrix::normalized_rows`], without building the
+    /// intermediate `BTreeMap` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m` references an id missing from `index`.
+    #[must_use]
+    pub fn freeze_normalized_with(index: &Arc<UserIndex>, m: &SparseMatrix) -> Self {
+        Self::freeze_impl(index, m, true)
+    }
+
+    fn freeze_impl(index: &Arc<UserIndex>, m: &SparseMatrix, normalize: bool) -> Self {
+        let n = index.len();
+        let nnz = m.nnz();
+        let mut indptr = vec![0usize; n + 1];
+        let mut cols = Vec::with_capacity(nnz);
+        let mut vals = Vec::with_capacity(nnz);
+        for (pos, &id) in index.ids().iter().enumerate() {
+            indptr[pos] = vals.len();
+            let Some(row) = m.row(id) else { continue };
+            let scale = if normalize {
+                // Same accumulation order as `normalized_row`: ascending
+                // column id — bit-identical sums.
+                let sum: f64 = row.values().sum();
+                debug_assert!(sum > 0.0, "validated matrices store no zero rows");
+                sum
+            } else {
+                1.0
+            };
+            for (&c, &v) in row {
+                cols.push(index.position(c).expect("column id interned in index"));
+                vals.push(if normalize { v / scale } else { v });
+            }
+        }
+        indptr[n] = vals.len();
+        assert_eq!(cols.len(), nnz, "index must intern every row id of m");
+        Self {
+            index: Arc::clone(index),
+            indptr,
+            cols,
+            vals,
+            overlay: BTreeMap::new(),
+        }
+    }
+
+    /// The interner this matrix is frozen under.
+    #[must_use]
+    pub fn index(&self) -> &Arc<UserIndex> {
+        &self.index
+    }
+
+    /// Thaws back into a mutable [`SparseMatrix`] (overlay folded in).
+    #[must_use]
+    pub fn thaw(&self) -> SparseMatrix {
+        let mut out = SparseMatrix::new();
+        for r in self.row_ids() {
+            let row: SparseVector = self.row_entries(r).collect();
+            out.set_row(r, row).expect("frozen entries are valid");
+        }
+        out
+    }
+
+    /// The frozen (pre-overlay) row slice at dense position `pos`.
+    fn base_row(&self, pos: u32) -> (&[u32], &[f64]) {
+        let (start, end) = (self.indptr[pos as usize], self.indptr[pos as usize + 1]);
+        (&self.cols[start..end], &self.vals[start..end])
+    }
+
+    /// Entry `(row, col)`, with missing entries reading as `0.0`.
+    #[must_use]
+    pub fn get(&self, row: UserId, col: UserId) -> f64 {
+        if let Some(patched) = self.overlay.get(&row) {
+            return patched.get(&col).copied().unwrap_or(0.0);
+        }
+        let (Some(r), Some(c)) = (self.index.position(row), self.index.position(col)) else {
+            return 0.0;
+        };
+        let (cols, vals) = self.base_row(r);
+        cols.binary_search(&c).map(|i| vals[i]).unwrap_or(0.0)
+    }
+
+    /// Iterates `(col, value)` over one row in ascending column order,
+    /// consulting the overlay first.
+    pub fn row_entries(&self, row: UserId) -> impl Iterator<Item = (UserId, f64)> + '_ {
+        let (patched, base) = match self.overlay.get(&row) {
+            Some(p) => (Some(p), None),
+            None => (None, self.index.position(row)),
+        };
+        let patched_iter = patched
+            .into_iter()
+            .flat_map(|p| p.iter().map(|(&c, &v)| (c, v)));
+        let base_iter = base.into_iter().flat_map(move |pos| {
+            let (cols, vals) = self.base_row(pos);
+            cols.iter().zip(vals).map(|(&c, &v)| (self.index.id(c), v))
+        });
+        patched_iter.chain(base_iter)
+    }
+
+    /// Ids of non-empty rows, ascending (overlay-aware: patched-empty rows
+    /// are skipped, patched-new rows included).
+    #[must_use]
+    pub fn row_ids(&self) -> Vec<UserId> {
+        let mut ids: Vec<UserId> = self
+            .index
+            .ids()
+            .iter()
+            .enumerate()
+            .filter(|&(pos, id)| {
+                !self.overlay.contains_key(id) && self.indptr[pos] < self.indptr[pos + 1]
+            })
+            .map(|(_, &id)| id)
+            .collect();
+        ids.extend(
+            self.overlay
+                .iter()
+                .filter(|(_, row)| !row.is_empty())
+                .map(|(&id, _)| id),
+        );
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Iterates `(row, col, value)` triples in deterministic row-major
+    /// order, matching [`SparseMatrix::iter`] on the thawed matrix.
+    pub fn iter(&self) -> impl Iterator<Item = (UserId, UserId, f64)> + '_ {
+        self.row_ids()
+            .into_iter()
+            .flat_map(move |r| self.row_entries(r).map(move |(c, v)| (r, c, v)))
+    }
+
+    /// Number of stored entries (overlay-aware).
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        let mut nnz = self.vals.len();
+        for (id, row) in &self.overlay {
+            if let Some(pos) = self.index.position(*id) {
+                nnz -= self.indptr[pos as usize + 1] - self.indptr[pos as usize];
+            }
+            nnz += row.len();
+        }
+        nnz
+    }
+
+    /// Number of non-empty rows (overlay-aware).
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.row_ids().len()
+    }
+
+    /// Whether the matrix stores no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nnz() == 0
+    }
+
+    /// Sum of the entries of `row` (0.0 for a missing row), accumulated in
+    /// ascending column order like [`SparseMatrix::row_sum`].
+    #[must_use]
+    pub fn row_sum(&self, row: UserId) -> f64 {
+        self.row_entries(row).map(|(_, v)| v).sum()
+    }
+
+    /// Largest entry of `row` (0.0 for a missing row) — the scaling factor
+    /// of the service policy's relative-reputation view.
+    #[must_use]
+    pub fn row_max(&self, row: UserId) -> f64 {
+        self.row_entries(row).fold(0.0f64, |a, (_, v)| a.max(v))
+    }
+
+    /// Returns `true` if every non-empty row sums to 1 within `tol`.
+    #[must_use]
+    pub fn is_row_stochastic(&self, tol: f64) -> bool {
+        self.row_ids()
+            .into_iter()
+            .all(|r| (self.row_sum(r) - 1.0).abs() <= tol)
+    }
+
+    /// Fraction of `(from, to)` request pairs with a positive entry — the
+    /// Figure 1 request-coverage metric over the frozen matrix.
+    #[must_use]
+    pub fn request_coverage(&self, requests: &[(UserId, UserId)]) -> f64 {
+        if requests.is_empty() {
+            return 0.0;
+        }
+        let covered = requests
+            .iter()
+            .filter(|&&(a, b)| self.get(a, b) > 0.0)
+            .count();
+        covered as f64 / requests.len() as f64
+    }
+
+    /// Patches one row wholesale (the dirty-row recompute primitive): the
+    /// replacement lands in the overlay, masking the frozen row. An empty
+    /// (or all-zero-filtered) `values` removes the row. Columns need not be
+    /// interned — new users can appear between full freezes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative, NaN, or infinite entries — patched rows come
+    /// from validated matrices.
+    pub fn set_row(&mut self, row: UserId, values: SparseVector) {
+        assert!(
+            values.values().all(|v| v.is_finite() && *v >= 0.0),
+            "patched rows must be finite and non-negative"
+        );
+        let filtered: SparseVector = values.into_iter().filter(|&(_, v)| v != 0.0).collect();
+        if filtered.is_empty() && self.index.position(row).is_none() {
+            // Nothing to mask: the row never existed.
+            self.overlay.remove(&row);
+            return;
+        }
+        self.overlay.insert(row, filtered);
+    }
+
+    /// Number of overlaid (patched) rows.
+    #[must_use]
+    pub fn overlay_len(&self) -> usize {
+        self.overlay.len()
+    }
+
+    /// Whether the matrix has no pending overlay (fully contiguous).
+    #[must_use]
+    pub fn is_compact(&self) -> bool {
+        self.overlay.is_empty()
+    }
+
+    /// Folds the overlay back into contiguous storage, extending the index
+    /// with any new ids the patches introduced. No-op (cheap clone) when
+    /// already compact.
+    #[must_use]
+    pub fn compact(&self) -> Self {
+        if self.is_compact() {
+            return self.clone();
+        }
+        let mut ids: Vec<UserId> = self.index.ids().to_vec();
+        for (r, row) in &self.overlay {
+            ids.push(*r);
+            ids.extend(row.keys().copied());
+        }
+        let index = Arc::new(UserIndex::from_ids(ids));
+        let n = index.len();
+        let mut indptr = vec![0usize; n + 1];
+        let mut cols = Vec::with_capacity(self.nnz());
+        let mut vals = Vec::with_capacity(self.nnz());
+        for (pos, &id) in index.ids().iter().enumerate() {
+            indptr[pos] = vals.len();
+            for (c, v) in self.row_entries(id) {
+                cols.push(index.position(c).expect("compacted index covers all ids"));
+                vals.push(v);
+            }
+        }
+        indptr[n] = vals.len();
+        Self {
+            index,
+            indptr,
+            cols,
+            vals,
+            overlay: BTreeMap::new(),
+        }
+    }
+
+    /// Pre-resolves a column set for repeated [`gather_row`](Self::gather_row) calls.
+    #[must_use]
+    pub fn column_set(&self, ids: &[UserId]) -> ColumnSet {
+        ColumnSet {
+            ids: ids.to_vec(),
+            positions: ids.iter().map(|&id| self.index.position(id)).collect(),
+        }
+    }
+
+    /// Gathers `row`'s values at the columns of `set`, in set order, into
+    /// `out` (cleared first; missing entries read 0.0). This is the batched
+    /// Equation 9 primitive: one binary search per (viewer, owner) pair on
+    /// contiguous slices, no `BTreeMap` materialization.
+    pub fn gather_row(&self, row: UserId, set: &ColumnSet, out: &mut Vec<f64>) {
+        out.clear();
+        if let Some(patched) = self.overlay.get(&row) {
+            out.extend(
+                set.ids
+                    .iter()
+                    .map(|c| patched.get(c).copied().unwrap_or(0.0)),
+            );
+            return;
+        }
+        let Some(pos) = self.index.position(row) else {
+            out.extend(std::iter::repeat_n(0.0, set.len()));
+            return;
+        };
+        let (cols, vals) = self.base_row(pos);
+        out.extend(set.positions.iter().map(|p| {
+            p.and_then(|c| cols.binary_search(&c).ok().map(|i| vals[i]))
+                .unwrap_or(0.0)
+        }));
+    }
+
+    /// One SpGEMM step `self · other` with optional fused pruning and
+    /// renormalization, row-partitioned across `threads` workers. Each
+    /// worker reuses one dense `f64` accumulator (plus a touched-column
+    /// list) across its whole row chunk, so per-row cost is
+    /// `O(nnz(row) · avg_nnz(other) + touched · log touched)` with zero
+    /// allocation in the loop.
+    ///
+    /// Bit-identical to `SparseMatrix::multiply` + `prune` +
+    /// `normalized_rows` on the thawed operands: rows accumulate in
+    /// ascending `k` order, and each output entry starts from `0.0` exactly
+    /// like `entry().or_insert(0.0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or the operands are frozen under different
+    /// indices. Operands must be compact ([`compact`](Self::compact) first).
+    #[must_use]
+    pub fn multiply_step(&self, other: &Self, options: PowerOptions, threads: usize) -> Self {
+        assert!(threads >= 1, "at least one thread is required");
+        assert!(
+            self.is_compact() && other.is_compact(),
+            "SpGEMM operands must be compact"
+        );
+        assert!(
+            Arc::ptr_eq(&self.index, &other.index) || self.index == other.index,
+            "SpGEMM operands must share one index"
+        );
+        let n = self.index.len();
+        let occupied: Vec<u32> = (0..n as u32)
+            .filter(|&p| self.indptr[p as usize] < self.indptr[p as usize + 1])
+            .collect();
+        let chunk_len = if threads == 1 || occupied.len() < 2 * threads {
+            occupied.len().max(1)
+        } else {
+            occupied.len().div_ceil(threads)
+        };
+        let worker = |chunk: &[u32]| -> Vec<CsrRow> {
+            let mut scratch = vec![0.0f64; n];
+            let mut touched: Vec<u32> = Vec::new();
+            let mut out = Vec::with_capacity(chunk.len());
+            for &r in chunk {
+                let (a_cols, a_vals) = self.base_row(r);
+                for (&k, &a_rk) in a_cols.iter().zip(a_vals) {
+                    if a_rk == 0.0 {
+                        continue;
+                    }
+                    let (b_cols, b_vals) = other.base_row(k);
+                    for (&c, &b_kc) in b_cols.iter().zip(b_vals) {
+                        // A column cancelled back to exact 0.0 re-enters
+                        // `touched`; the emit loop below reads each column
+                        // once and zeroes it, so duplicates are harmless.
+                        if scratch[c as usize] == 0.0 {
+                            touched.push(c);
+                        }
+                        scratch[c as usize] += a_rk * b_kc;
+                    }
+                }
+                touched.sort_unstable();
+                let (mut row_cols, mut row_vals) = (Vec::new(), Vec::new());
+                for &c in &touched {
+                    let v = scratch[c as usize];
+                    scratch[c as usize] = 0.0;
+                    // Exact zeros are dropped (matching `vector_multiply`'s
+                    // retain) and, when pruning, sub-threshold entries too.
+                    if v != 0.0 && (options.prune_threshold == 0.0 || v >= options.prune_threshold)
+                    {
+                        row_cols.push(c);
+                        row_vals.push(v);
+                    }
+                }
+                touched.clear();
+                if options.prune_threshold > 0.0 && options.renormalize && !row_vals.is_empty() {
+                    let sum: f64 = row_vals.iter().sum();
+                    if sum > 0.0 {
+                        for v in &mut row_vals {
+                            *v /= sum;
+                        }
+                    }
+                }
+                if !row_cols.is_empty() {
+                    out.push((r, row_cols, row_vals));
+                }
+            }
+            out
+        };
+        let rows: Vec<CsrRow> = if chunk_len >= occupied.len() {
+            worker(&occupied)
+        } else {
+            let worker = &worker;
+            let partials: Vec<Vec<CsrRow>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = occupied
+                    .chunks(chunk_len)
+                    .map(|chunk| scope.spawn(move || worker(chunk)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker thread panicked"))
+                    .collect()
+            });
+            partials.into_iter().flatten().collect()
+        };
+        Self::assemble(Arc::clone(&self.index), n, rows)
+    }
+
+    /// Stitches per-row results (ascending row positions) into one CSR.
+    fn assemble(index: Arc<UserIndex>, n: usize, rows: Vec<CsrRow>) -> Self {
+        let nnz = rows.iter().map(|(_, c, _)| c.len()).sum();
+        let mut indptr = vec![0usize; n + 1];
+        let mut cols = Vec::with_capacity(nnz);
+        let mut vals = Vec::with_capacity(nnz);
+        let mut next = 0usize;
+        for (r, row_cols, row_vals) in rows {
+            for p in indptr.iter_mut().take(r as usize + 1).skip(next) {
+                *p = vals.len();
+            }
+            next = r as usize + 1;
+            cols.extend(row_cols);
+            vals.extend(row_vals);
+        }
+        for p in indptr.iter_mut().skip(next) {
+            *p = vals.len();
+        }
+        Self {
+            index,
+            indptr,
+            cols,
+            vals,
+            overlay: BTreeMap::new(),
+        }
+    }
+
+    /// Equation 8 on the frozen representation: `RM = TM^n` with optional
+    /// pruning between steps, each step a [`multiply_step`](Self::multiply_step).
+    /// Overlaid matrices are compacted first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `threads == 0`.
+    #[must_use]
+    pub fn power(&self, n: u32, options: PowerOptions, threads: usize) -> Self {
+        assert!(n >= 1, "matrix power requires n >= 1");
+        let base = if self.is_compact() {
+            self.clone()
+        } else {
+            self.compact()
+        };
+        let mut acc = base.clone();
+        for _ in 1..n {
+            acc = acc.multiply_step(&base, options, threads);
+        }
+        acc
+    }
+}
+
+impl PartialEq for CsrMatrix {
+    /// Semantic equality over the merged (overlay-aware) triples — two
+    /// matrices are equal when they store the same entries, regardless of
+    /// index layout or overlay state.
+    fn eq(&self, other: &Self) -> bool {
+        let mut a = self.iter();
+        let mut b = other.iter();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return true,
+                (Some(x), Some(y)) if x == y => {}
+                _ => return false,
+            }
+        }
+    }
+}
+
+impl PartialEq<SparseMatrix> for CsrMatrix {
+    fn eq(&self, other: &SparseMatrix) -> bool {
+        let mut a = self.iter();
+        let mut b = other.iter();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return true,
+                (Some(x), Some(y)) if x == y => {}
+                _ => return false,
+            }
+        }
+    }
+}
+
+impl PartialEq<CsrMatrix> for SparseMatrix {
+    fn eq(&self, other: &CsrMatrix) -> bool {
+        other == self
+    }
+}
+
+/// Equation 7 on frozen operands: `TM = Σ wᵢ·Mᵢ`, row-partitioned across
+/// `threads` workers with a dense accumulator per worker. All parts must be
+/// compact and share one index. Bit-identical to [`blend`](crate::blend) on
+/// the thawed parts (per output entry, contributions accumulate in `parts`
+/// order starting from `0.0`).
+///
+/// # Errors
+///
+/// Returns [`BlendError`] when the weights are not a convex combination.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, a part is not compact, or indices differ.
+pub fn blend_frozen(parts: &[(f64, &CsrMatrix)], threads: usize) -> Result<CsrMatrix, BlendError> {
+    assert!(threads >= 1, "at least one thread is required");
+    validate_blend_weights_by_value(parts.iter().map(|(w, _)| *w))?;
+    let first = parts.first().expect("validated weights are non-empty").1;
+    for (_, m) in parts {
+        assert!(m.is_compact(), "blend parts must be compact");
+        assert!(
+            Arc::ptr_eq(&m.index, &first.index) || m.index == first.index,
+            "blend parts must share one index"
+        );
+    }
+    let n = first.index.len();
+    let occupied: Vec<u32> = (0..n as u32)
+        .filter(|&p| {
+            parts
+                .iter()
+                .any(|(_, m)| m.indptr[p as usize] < m.indptr[p as usize + 1])
+        })
+        .collect();
+    let chunk_len = if threads == 1 || occupied.len() < 2 * threads {
+        occupied.len().max(1)
+    } else {
+        occupied.len().div_ceil(threads)
+    };
+    let worker = |chunk: &[u32]| -> Vec<CsrRow> {
+        let mut scratch = vec![0.0f64; n];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut out = Vec::with_capacity(chunk.len());
+        for &r in chunk {
+            for (w, m) in parts {
+                if *w == 0.0 {
+                    continue;
+                }
+                let (cols, vals) = m.base_row(r);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    // Cancellation duplicates in `touched` are harmless:
+                    // the emit loop reads each column once and zeroes it.
+                    if scratch[c as usize] == 0.0 {
+                        touched.push(c);
+                    }
+                    scratch[c as usize] += w * v;
+                }
+            }
+            touched.sort_unstable();
+            let (mut row_cols, mut row_vals) = (Vec::new(), Vec::new());
+            for &c in &touched {
+                let v = scratch[c as usize];
+                scratch[c as usize] = 0.0;
+                if v != 0.0 {
+                    row_cols.push(c);
+                    row_vals.push(v);
+                }
+            }
+            touched.clear();
+            if !row_cols.is_empty() {
+                out.push((r, row_cols, row_vals));
+            }
+        }
+        out
+    };
+    let rows: Vec<CsrRow> = if chunk_len >= occupied.len() {
+        worker(&occupied)
+    } else {
+        let worker = &worker;
+        let partials: Vec<Vec<CsrRow>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = occupied
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(move || worker(chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        partials.into_iter().flatten().collect()
+    };
+    Ok(CsrMatrix::assemble(Arc::clone(&first.index), n, rows))
+}
+
+/// One row of the frozen Equation 7 blend, overlay-aware — the dirty-row
+/// path's counterpart of [`blend_frozen`], producing exactly the row the
+/// batch blend would (same accumulation order, zeros dropped).
+#[must_use]
+pub fn blend_row_frozen(parts: &[(f64, &CsrMatrix)], row: UserId) -> SparseVector {
+    let mut out = SparseVector::new();
+    for (w, m) in parts {
+        if *w == 0.0 {
+            continue;
+        }
+        for (c, v) in m.row_entries(row) {
+            *out.entry(c).or_insert(0.0) += w * v;
+        }
+    }
+    out.retain(|_, v| *v != 0.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{blend, normalized_row};
+
+    fn u(i: u64) -> UserId {
+        UserId::new(i)
+    }
+
+    /// A deterministic pseudo-random matrix: `rows` rows, ~`deg` entries
+    /// per row, values in (0, 8).
+    fn synth(rows: u64, deg: u64, seed: u64) -> SparseMatrix {
+        let mut m = SparseMatrix::new();
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for r in 0..rows {
+            for _ in 0..deg {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                let c = (state >> 33) % rows;
+                let v = 1.0 + ((state >> 11) % 7) as f64;
+                m.set(u(r), u(c), v).unwrap();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn index_interns_sorted_unique() {
+        let idx = UserIndex::from_ids([u(5), u(1), u(5), u(3)]);
+        assert_eq!(idx.ids(), &[u(1), u(3), u(5)]);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.position(u(3)), Some(1));
+        assert_eq!(idx.position(u(2)), None);
+        assert_eq!(idx.id(2), u(5));
+        assert!(!idx.is_empty());
+        assert!(UserIndex::default().is_empty());
+    }
+
+    #[test]
+    fn freeze_thaw_round_trip() {
+        let m = synth(40, 5, 7);
+        let csr = CsrMatrix::freeze(&m);
+        assert_eq!(csr.thaw(), m);
+        assert_eq!(csr.nnz(), m.nnz());
+        assert_eq!(csr.row_count(), m.row_count());
+        assert_eq!(csr, m, "PartialEq<SparseMatrix>");
+        assert_eq!(m, csr, "symmetric comparison");
+    }
+
+    #[test]
+    fn freeze_empty_matrix() {
+        let csr = CsrMatrix::freeze(&SparseMatrix::new());
+        assert!(csr.is_empty());
+        assert_eq!(csr.nnz(), 0);
+        assert!(csr.row_ids().is_empty());
+        assert!(csr.thaw().is_empty());
+        assert!(csr.is_row_stochastic(1e-12), "vacuously stochastic");
+        assert_eq!(csr.request_coverage(&[]), 0.0);
+    }
+
+    #[test]
+    fn get_matches_builder() {
+        let m = synth(30, 4, 3);
+        let csr = CsrMatrix::freeze(&m);
+        for (r, c, v) in m.iter() {
+            assert_eq!(csr.get(r, c), v);
+        }
+        assert_eq!(csr.get(u(999), u(0)), 0.0);
+        assert_eq!(csr.get(u(0), u(999)), 0.0);
+    }
+
+    #[test]
+    fn freeze_with_sparse_index_gaps() {
+        // Rows 2 and 7 only; index carries extra ids that stay empty.
+        let mut m = SparseMatrix::new();
+        m.set(u(2), u(7), 1.0).unwrap();
+        m.set(u(7), u(2), 2.0).unwrap();
+        let index = Arc::new(UserIndex::from_ids([u(0), u(2), u(5), u(7), u(9)]));
+        let csr = CsrMatrix::freeze_with(&index, &m);
+        assert_eq!(csr.get(u(2), u(7)), 1.0);
+        assert_eq!(csr.get(u(7), u(2)), 2.0);
+        assert_eq!(csr.get(u(5), u(2)), 0.0);
+        assert_eq!(csr.row_ids(), vec![u(2), u(7)]);
+        assert_eq!(csr.thaw(), m);
+    }
+
+    #[test]
+    fn fused_normalize_matches_normalized_rows() {
+        let m = synth(50, 6, 11);
+        let index = Arc::new(UserIndex::from_matrices(&[&m]));
+        let fused = CsrMatrix::freeze_normalized_with(&index, &m);
+        let reference = m.normalized_rows();
+        assert_eq!(fused, reference, "bit-identical normalization");
+        assert!(fused.is_row_stochastic(1e-12));
+    }
+
+    #[test]
+    fn power_matches_btreemap_power() {
+        let m = synth(60, 5, 13).normalized_rows();
+        let csr = CsrMatrix::freeze(&m);
+        for n in 1..=3 {
+            let frozen = csr.power(n, PowerOptions::exact(), 1);
+            let reference = m.power(n, PowerOptions::exact());
+            assert_eq!(frozen, reference, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn parallel_power_matches_serial() {
+        let m = synth(80, 6, 17).normalized_rows();
+        let csr = CsrMatrix::freeze(&m);
+        let serial = csr.power(2, PowerOptions::exact(), 1);
+        for threads in [2, 4, 7] {
+            assert_eq!(csr.power(2, PowerOptions::exact(), threads), serial);
+        }
+    }
+
+    #[test]
+    fn pruned_power_matches_btreemap() {
+        let m = synth(40, 8, 19).normalized_rows();
+        let csr = CsrMatrix::freeze(&m);
+        let frozen = csr.power(3, PowerOptions::pruned(0.02), 2);
+        let reference = m.power(3, PowerOptions::pruned(0.02));
+        assert_eq!(frozen, reference);
+        assert!(frozen.is_row_stochastic(1e-9));
+    }
+
+    #[test]
+    fn blend_frozen_matches_blend() {
+        let a = synth(40, 4, 23).normalized_rows();
+        let b = synth(40, 4, 29).normalized_rows();
+        let c = synth(40, 4, 31).normalized_rows();
+        let index = Arc::new(UserIndex::from_matrices(&[&a, &b, &c]));
+        let fa = CsrMatrix::freeze_with(&index, &a);
+        let fb = CsrMatrix::freeze_with(&index, &b);
+        let fc = CsrMatrix::freeze_with(&index, &c);
+        let reference = blend(&[(0.5, &a), (0.3, &b), (0.2, &c)]).unwrap();
+        for threads in [1, 3] {
+            let frozen = blend_frozen(&[(0.5, &fa), (0.3, &fb), (0.2, &fc)], threads).unwrap();
+            assert_eq!(frozen, reference, "{threads} threads");
+        }
+        assert!(blend_frozen(&[(0.5, &fa)], 1).is_err(), "weights checked");
+    }
+
+    #[test]
+    fn blend_row_frozen_matches_batch() {
+        let a = synth(20, 3, 37).normalized_rows();
+        let b = synth(20, 3, 41).normalized_rows();
+        let index = Arc::new(UserIndex::from_matrices(&[&a, &b]));
+        let fa = CsrMatrix::freeze_with(&index, &a);
+        let fb = CsrMatrix::freeze_with(&index, &b);
+        let whole = blend_frozen(&[(0.6, &fa), (0.4, &fb)], 1).unwrap();
+        for r in whole.row_ids() {
+            let row = blend_row_frozen(&[(0.6, &fa), (0.4, &fb)], r);
+            let batch: SparseVector = whole.row_entries(r).collect();
+            assert_eq!(row, batch, "row {r}");
+        }
+        assert!(blend_row_frozen(&[(0.6, &fa), (0.4, &fb)], u(999)).is_empty());
+    }
+
+    #[test]
+    fn overlay_patches_and_masks_rows() {
+        let mut m = SparseMatrix::new();
+        m.set(u(0), u(1), 0.5).unwrap();
+        m.set(u(0), u(2), 0.5).unwrap();
+        m.set(u(1), u(0), 1.0).unwrap();
+        let mut csr = CsrMatrix::freeze(&m);
+
+        // Replace row 0, referencing a brand-new user 9.
+        let patch: SparseVector = [(u(9), 1.0)].into_iter().collect();
+        csr.set_row(u(0), patch);
+        assert_eq!(csr.get(u(0), u(1)), 0.0, "frozen row masked");
+        assert_eq!(csr.get(u(0), u(9)), 1.0, "new column readable");
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.overlay_len(), 1);
+        assert!(!csr.is_compact());
+
+        // Remove row 1 outright.
+        csr.set_row(u(1), SparseVector::new());
+        assert_eq!(csr.get(u(1), u(0)), 0.0);
+        assert_eq!(csr.row_ids(), vec![u(0)]);
+        assert_eq!(csr.nnz(), 1);
+
+        // Patching a nonexistent row to empty is a no-op.
+        csr.set_row(u(42), SparseVector::new());
+        assert_eq!(csr.overlay_len(), 2);
+
+        // Compaction folds everything back.
+        let compacted = csr.compact();
+        assert!(compacted.is_compact());
+        assert_eq!(compacted, csr, "semantic equality survives compaction");
+        assert_eq!(compacted.get(u(0), u(9)), 1.0);
+        assert_eq!(compacted.nnz(), 1);
+    }
+
+    #[test]
+    fn overlay_thaw_matches_patched_builder() {
+        let m = synth(15, 3, 43);
+        let mut csr = CsrMatrix::freeze(&m);
+        let mut reference = m.clone();
+        let patch: SparseVector = [(u(3), 0.25), (u(99), 0.75)].into_iter().collect();
+        csr.set_row(u(4), patch.clone());
+        reference.set_row(u(4), patch).unwrap();
+        assert_eq!(csr.thaw(), reference);
+        assert_eq!(csr.nnz(), reference.nnz());
+        assert_eq!(csr.row_sum(u(4)), reference.row_sum(u(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn overlay_rejects_invalid_entries() {
+        let mut csr = CsrMatrix::freeze(&synth(4, 2, 47));
+        csr.set_row(u(0), [(u(1), -1.0)].into_iter().collect());
+    }
+
+    #[test]
+    fn gather_row_reads_owner_columns() {
+        let mut m = SparseMatrix::new();
+        m.set(u(0), u(1), 0.75).unwrap();
+        m.set(u(0), u(2), 0.25).unwrap();
+        m.set(u(3), u(1), 1.0).unwrap();
+        let mut csr = CsrMatrix::freeze(&m);
+        let set = csr.column_set(&[u(2), u(1), u(7)]);
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+        let mut out = Vec::new();
+        csr.gather_row(u(0), &set, &mut out);
+        assert_eq!(out, vec![0.25, 0.75, 0.0], "set order preserved");
+        csr.gather_row(u(3), &set, &mut out);
+        assert_eq!(out, vec![0.0, 1.0, 0.0]);
+        csr.gather_row(u(42), &set, &mut out);
+        assert_eq!(out, vec![0.0, 0.0, 0.0], "unknown viewer");
+
+        // Overlay rows are gathered through the patch.
+        csr.set_row(u(0), [(u(7), 0.5)].into_iter().collect());
+        csr.gather_row(u(0), &set, &mut out);
+        assert_eq!(out, vec![0.0, 0.0, 0.5], "overlay consulted");
+    }
+
+    #[test]
+    fn row_helpers_match_builder() {
+        let m = synth(25, 4, 53);
+        let csr = CsrMatrix::freeze(&m);
+        for r in m.row_ids() {
+            assert!((csr.row_sum(r) - m.row_sum(r)).abs() < 1e-15);
+            let max = m.row(r).unwrap().values().fold(0.0f64, |a, &b| a.max(b));
+            assert_eq!(csr.row_max(r), max);
+        }
+        assert_eq!(csr.row_sum(u(999)), 0.0);
+        assert_eq!(csr.row_max(u(999)), 0.0);
+        let ids: Vec<UserId> = m.row_ids().collect();
+        assert_eq!(csr.row_ids(), ids);
+    }
+
+    #[test]
+    fn request_coverage_matches_builder() {
+        let m = synth(20, 3, 59);
+        let csr = CsrMatrix::freeze(&m);
+        let requests: Vec<(UserId, UserId)> =
+            (0..30).map(|i| (u(i % 20), u((i * 7) % 20))).collect();
+        assert_eq!(
+            csr.request_coverage(&requests),
+            m.request_coverage(&requests)
+        );
+    }
+
+    #[test]
+    fn power_compacts_overlay_first() {
+        let m = synth(30, 4, 61).normalized_rows();
+        let mut csr = CsrMatrix::freeze(&m);
+        let mut reference = m.clone();
+        let patch = normalized_row(&[(u(1), 3.0), (u(2), 1.0)].into_iter().collect()).unwrap();
+        csr.set_row(u(0), patch.clone());
+        reference.set_row(u(0), patch).unwrap();
+        let frozen = csr.power(2, PowerOptions::exact(), 2);
+        let expected = reference.power(2, PowerOptions::exact());
+        assert_eq!(frozen, expected);
+    }
+
+    #[test]
+    fn equality_is_semantic_not_structural() {
+        let m = synth(10, 3, 67);
+        let a = CsrMatrix::freeze(&m);
+        // Same entries, wider index.
+        let wide = Arc::new(UserIndex::from_ids(
+            (0..40).map(u).chain(a.index().ids().iter().copied()),
+        ));
+        let b = CsrMatrix::freeze_with(&wide, &m);
+        assert_eq!(a, b);
+        let mut c = b.clone();
+        c.set_row(u(0), SparseVector::new());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 1")]
+    fn power_zero_panics() {
+        let _ = CsrMatrix::freeze(&synth(4, 2, 71)).power(0, PowerOptions::exact(), 1);
+    }
+
+    #[test]
+    fn multiply_step_empty_is_empty() {
+        let empty = CsrMatrix::freeze(&SparseMatrix::new());
+        let product = empty.multiply_step(&empty, PowerOptions::exact(), 2);
+        assert!(product.is_empty());
+    }
+}

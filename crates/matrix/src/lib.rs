@@ -33,12 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod csr;
 mod eigen;
 mod ops;
 mod sparse;
 mod stats;
 
+pub use csr::{blend_frozen, blend_row_frozen, ColumnSet, CsrMatrix, UserIndex};
 pub use eigen::{principal_eigenvector, EigenOptions, EigenResult};
 pub use ops::{blend, blend_parallel, blend_row, build_rows_parallel, BlendError, PowerOptions};
-pub use sparse::{normalized_row, MatrixError, SparseMatrix, SparseVector};
+pub use sparse::{normalize_row_mut, normalized_row, MatrixError, SparseMatrix, SparseVector};
 pub use stats::MatrixStats;

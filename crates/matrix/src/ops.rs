@@ -55,7 +55,15 @@ pub fn blend(parts: &[(f64, &SparseMatrix)]) -> Result<SparseMatrix, BlendError>
 
 /// Validates that `parts` carries a convex weight vector.
 fn validate_blend_weights(parts: &[(f64, &SparseMatrix)]) -> Result<(), BlendError> {
-    let weights: Vec<f64> = parts.iter().map(|(w, _)| *w).collect();
+    validate_blend_weights_by_value(parts.iter().map(|(w, _)| *w))
+}
+
+/// Weight validation shared with the frozen (CSR) blend, which carries its
+/// parts in a different tuple type.
+pub(crate) fn validate_blend_weights_by_value<I: IntoIterator<Item = f64>>(
+    weights: I,
+) -> Result<(), BlendError> {
+    let weights: Vec<f64> = weights.into_iter().collect();
     let valid = !weights.is_empty()
         && weights.iter().all(|w| w.is_finite() && *w >= 0.0)
         && (weights.iter().sum::<f64>() - 1.0).abs() <= 1e-9;

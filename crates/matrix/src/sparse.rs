@@ -4,6 +4,8 @@ use mdrep_types::UserId;
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Error returned when inserting an invalid (negative or non-finite) entry.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,11 +47,24 @@ pub type SparseVector = BTreeMap<UserId, f64>;
 /// which is what makes their outputs bit-identical.
 #[must_use]
 pub fn normalized_row(row: &SparseVector) -> Option<SparseVector> {
+    let mut out = row.clone();
+    normalize_row_mut(&mut out).then_some(out)
+}
+
+/// In-place variant of [`normalized_row`]: scales `row` to sum 1 without
+/// allocating a fresh `BTreeMap`, returning `false` (and leaving the row
+/// untouched) for an empty or zero-sum row. The division order is ascending
+/// column id in both variants, so the outputs are bit-identical — callers
+/// that build a temporary row can normalize it for free.
+pub fn normalize_row_mut(row: &mut SparseVector) -> bool {
     let sum: f64 = row.values().sum();
     if sum <= 0.0 {
-        return None;
+        return false;
     }
-    Some(row.iter().map(|(&c, &v)| (c, v / sum)).collect())
+    for v in row.values_mut() {
+        *v /= sum;
+    }
+    true
 }
 
 /// A sparse, row-major matrix over user ids with non-negative finite entries.
@@ -57,9 +72,60 @@ pub fn normalized_row(row: &SparseVector) -> Option<SparseVector> {
 /// Trust values are non-negative by construction in the paper (Equations
 /// 2–7), so the insertion API validates that invariant once and every
 /// downstream operation can rely on it.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// [`nnz`](Self::nnz) and [`row_sum`](Self::row_sum) are cached after first
+/// use (the engine's per-recompute gauges hit both on every cycle); every
+/// mutation invalidates the cache. The cache is thread-safe — matrices are
+/// shared immutably across the scoped worker threads of the parallel
+/// kernels.
+#[derive(Debug, Default)]
 pub struct SparseMatrix {
     rows: BTreeMap<UserId, SparseVector>,
+    cache: MatrixCache,
+}
+
+/// Lazily computed aggregates over the rows. `AtomicUsize`/`OnceLock`
+/// rather than `Cell`/`RefCell` so `&SparseMatrix` stays `Sync`.
+#[derive(Debug)]
+struct MatrixCache {
+    /// Total stored entries; `usize::MAX` means "not computed".
+    nnz: AtomicUsize,
+    /// Per-row entry sums, in ascending-column accumulation order.
+    row_sums: OnceLock<BTreeMap<UserId, f64>>,
+}
+
+impl Default for MatrixCache {
+    fn default() -> Self {
+        Self {
+            nnz: AtomicUsize::new(usize::MAX),
+            row_sums: OnceLock::new(),
+        }
+    }
+}
+
+impl Clone for MatrixCache {
+    fn clone(&self) -> Self {
+        Self {
+            nnz: AtomicUsize::new(self.nnz.load(Ordering::Relaxed)),
+            row_sums: self.row_sums.clone(),
+        }
+    }
+}
+
+impl Clone for SparseMatrix {
+    fn clone(&self) -> Self {
+        Self {
+            rows: self.rows.clone(),
+            cache: self.cache.clone(),
+        }
+    }
+}
+
+impl PartialEq for SparseMatrix {
+    /// Equality is over the stored entries only — cache state is invisible.
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+    }
 }
 
 impl SparseMatrix {
@@ -89,7 +155,13 @@ impl SparseMatrix {
         } else {
             self.rows.entry(row).or_default().insert(col, value);
         }
+        self.invalidate_cache();
         Ok(())
+    }
+
+    /// Drops the lazy aggregates; called by every successful mutation.
+    fn invalidate_cache(&mut self) {
+        self.cache = MatrixCache::default();
     }
 
     /// Adds `delta` to entry `(row, col)` (missing entries count as zero).
@@ -110,6 +182,9 @@ impl SparseMatrix {
             let removed = cols.remove(&col).is_some();
             if cols.is_empty() {
                 self.rows.remove(&row);
+            }
+            if removed {
+                self.invalidate_cache();
             }
             removed
         } else {
@@ -145,10 +220,18 @@ impl SparseMatrix {
         self.rows.keys().copied()
     }
 
-    /// Number of stored (non-zero) entries.
+    /// Number of stored (non-zero) entries. Cached after the first call;
+    /// any mutation invalidates the cache.
     #[must_use]
     pub fn nnz(&self) -> usize {
-        self.rows.values().map(BTreeMap::len).sum()
+        let cached = self.cache.nnz.load(Ordering::Relaxed);
+        if cached != usize::MAX {
+            return cached;
+        }
+        let computed = self.rows.values().map(BTreeMap::len).sum();
+        debug_assert_ne!(computed, usize::MAX);
+        self.cache.nnz.store(computed, Ordering::Relaxed);
+        computed
     }
 
     /// Number of non-empty rows.
@@ -163,10 +246,23 @@ impl SparseMatrix {
         self.rows.is_empty()
     }
 
-    /// Sum of the entries of `row` (0.0 for a missing row).
+    /// Sum of the entries of `row` (0.0 for a missing row). All row sums
+    /// are computed and cached on the first call (accumulated in ascending
+    /// column order, exactly like the uncached walk); any mutation
+    /// invalidates the cache.
     #[must_use]
     pub fn row_sum(&self, row: UserId) -> f64 {
-        self.rows.get(&row).map_or(0.0, |r| r.values().sum())
+        self.cache
+            .row_sums
+            .get_or_init(|| {
+                self.rows
+                    .iter()
+                    .map(|(&r, cols)| (r, cols.values().sum()))
+                    .collect()
+            })
+            .get(&row)
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Equation 3/5/6: returns a copy of the matrix with every non-empty row
@@ -223,6 +319,9 @@ impl SparseMatrix {
             dropped += before - cols.len();
             !cols.is_empty()
         });
+        if dropped > 0 {
+            self.invalidate_cache();
+        }
         dropped
     }
 
@@ -233,6 +332,7 @@ impl SparseMatrix {
     pub(crate) fn insert_row(&mut self, row: UserId, values: SparseVector) {
         if !values.is_empty() {
             self.rows.insert(row, values);
+            self.invalidate_cache();
         }
     }
 
@@ -254,12 +354,17 @@ impl SparseMatrix {
         } else {
             self.rows.insert(row, filtered);
         }
+        self.invalidate_cache();
         Ok(())
     }
 
     /// Removes `row` entirely; returns whether it existed.
     pub fn remove_row(&mut self, row: UserId) -> bool {
-        self.rows.remove(&row).is_some()
+        let removed = self.rows.remove(&row).is_some();
+        if removed {
+            self.invalidate_cache();
+        }
+        removed
     }
 
     /// Merges another matrix into this one entry-wise with a scale factor:
@@ -538,5 +643,74 @@ mod tests {
         m.set(u(0), u(2), 0.75).unwrap();
         assert!((m.row_sum(u(0)) - 1.25).abs() < 1e-12);
         assert_eq!(m.row_sum(u(9)), 0.0);
+    }
+
+    #[test]
+    fn normalize_row_mut_matches_normalized_row() {
+        let row: SparseVector = [(u(1), 2.0), (u(2), 6.0)].into_iter().collect();
+        let copied = normalized_row(&row).unwrap();
+        let mut in_place = row.clone();
+        assert!(normalize_row_mut(&mut in_place));
+        assert_eq!(in_place, copied, "bit-identical outputs");
+        assert_eq!(in_place[&u(1)], 0.25);
+
+        let mut empty = SparseVector::new();
+        assert!(!normalize_row_mut(&mut empty), "zero-sum rows refused");
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn cached_aggregates_track_every_mutation() {
+        let mut m = SparseMatrix::new();
+        m.set(u(0), u(1), 0.5).unwrap();
+        m.set(u(0), u(2), 1.5).unwrap();
+        m.set(u(1), u(0), 1.0).unwrap();
+        // Prime both caches, then check each mutator invalidates them.
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.row_sum(u(0)), 2.0);
+
+        m.set(u(2), u(0), 1.0).unwrap();
+        assert_eq!(m.nnz(), 4);
+        m.add(u(0), u(1), 0.5).unwrap();
+        assert_eq!(m.row_sum(u(0)), 2.5);
+        assert!(m.remove(u(2), u(0)));
+        assert_eq!(m.nnz(), 3);
+        assert!(!m.remove(u(2), u(0)), "no-op remove");
+        assert_eq!(m.nnz(), 3);
+        m.set_row(u(1), [(u(3), 2.0), (u(4), 2.0)].into_iter().collect())
+            .unwrap();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row_sum(u(1)), 4.0);
+        assert!(m.remove_row(u(1)));
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.row_sum(u(1)), 0.0);
+        m.set(u(0), u(1), 0.0).unwrap();
+        assert_eq!(m.nnz(), 1);
+        m.prune(1.0);
+        assert_eq!(m.nnz(), 1, "1.5 survives the prune");
+        m.prune(2.0);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.row_sum(u(0)), 0.0);
+
+        // Failed mutations leave the primed cache valid and correct.
+        let mut m = SparseMatrix::new();
+        m.set(u(0), u(1), 1.0).unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert!(m.set(u(0), u(2), -1.0).is_err());
+        assert!(m.add(u(0), u(1), f64::NAN).is_err());
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.row_sum(u(0)), 1.0);
+    }
+
+    #[test]
+    fn cache_survives_clone_and_ignores_equality() {
+        let mut a = SparseMatrix::new();
+        a.set(u(0), u(1), 1.0).unwrap();
+        assert_eq!(a.nnz(), 1);
+        let b = a.clone();
+        assert_eq!(b.nnz(), 1, "clone carries the primed cache");
+        let mut c = SparseMatrix::new();
+        c.set(u(0), u(1), 1.0).unwrap();
+        assert_eq!(a, c, "cache state is invisible to equality");
     }
 }

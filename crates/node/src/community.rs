@@ -441,8 +441,7 @@ fn relative_reputation(engine: &ReputationEngine, viewer: UserId, target: UserId
     }
     let row_max = engine
         .reputation_matrix()
-        .and_then(|rm| rm.row(viewer))
-        .map(|row| row.values().fold(0.0f64, |a, &b| a.max(b)))
+        .map(|rm| rm.row_max(viewer))
         .unwrap_or(0.0);
     if row_max > 0.0 {
         raw / row_max

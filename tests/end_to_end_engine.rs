@@ -111,13 +111,12 @@ fn strangers_get_throttled_friends_do_not() {
     // Pick any user with a non-empty reputation row; its best-known peer
     // must get full service.
     let rm = engine.reputation_matrix().expect("computed");
-    let someone = rm.matrix().row_ids().next().expect("non-empty matrix");
+    let someone = *rm.matrix().row_ids().first().expect("non-empty matrix");
     let best = rm
-        .row(someone)
-        .expect("row exists")
-        .iter()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-        .map(|(&u, _)| u)
+        .matrix()
+        .row_entries(someone)
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .map(|(u, _)| u)
         .expect("non-empty row");
     let friend = engine.service(someone, best, &policy);
     let stranger = engine.service(someone, UserId::new(999_999), &policy);
