@@ -11,6 +11,11 @@
 //! - `engine_csr/eq9_10000`: batched Equation 9 — one 16-owner column set
 //!   gathered for 1 000 viewers — vs the same queries as per-entry
 //!   `BTreeMap` lookups.
+//! - `engine_csr/trace_overhead`: the 400-user frozen pipeline wrapped in
+//!   the same causal span tree the engine emits per epoch, with the
+//!   global tracer disabled vs enabled. CI gates `on / off ≤ 1.03`, the
+//!   tracer's "disabled = one atomic load, enabled = bounded ring push"
+//!   contract.
 //!
 //! Both pipelines are asserted equal (within representation) in the setup,
 //! so the numbers always compare identical outputs; the 1e-12 equivalence
@@ -87,6 +92,65 @@ fn csr_pipeline(
     let um = CsrMatrix::freeze_normalized_with(&index, &raw.2);
     let tm = blend_frozen(&[(a, &fm), (b, &dm), (g, &um)], threads).expect("valid weights");
     tm.power(n, PowerOptions::exact(), threads)
+}
+
+/// The frozen pipeline wrapped in the per-epoch span tree the engine
+/// records: an epoch root with one child per phase. Matches the real
+/// instrumentation density so the overhead gate measures what production
+/// runs pay.
+fn traced_csr_pipeline(
+    raw: &(SparseMatrix, SparseMatrix, SparseMatrix),
+    n: u32,
+    threads: usize,
+) -> CsrMatrix {
+    let (a, b, g) = WEIGHTS;
+    let mut epoch = mdrep_obs::trace_span("engine.recompute.epoch");
+    epoch.annotate("mode", "full");
+    let index = {
+        let _s = mdrep_obs::trace_span("engine.recompute.dirty_expand");
+        Arc::new(UserIndex::from_matrices(&[&raw.0, &raw.1, &raw.2]))
+    };
+    let fm = {
+        let _s = mdrep_obs::trace_span("engine.recompute.fm_build");
+        CsrMatrix::freeze_normalized_with(&index, &raw.0)
+    };
+    let dm = {
+        let _s = mdrep_obs::trace_span("engine.recompute.dm_build");
+        CsrMatrix::freeze_normalized_with(&index, &raw.1)
+    };
+    let um = {
+        let _s = mdrep_obs::trace_span("engine.recompute.um_build");
+        CsrMatrix::freeze_normalized_with(&index, &raw.2)
+    };
+    let tm = {
+        let _s = mdrep_obs::trace_span("engine.recompute.integrate");
+        blend_frozen(&[(a, &fm), (b, &dm), (g, &um)], threads).expect("valid weights")
+    };
+    let _s = mdrep_obs::trace_span("engine.recompute.matrix_power");
+    tm.power(n, PowerOptions::exact(), threads)
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let raw = (synth(400, 16, 31), synth(400, 12, 32), synth(400, 8, 33));
+    let t = threads();
+    let tracer = mdrep_obs::tracer();
+    let was_enabled = tracer.is_enabled();
+    let mut group = c.benchmark_group("engine_csr/trace_overhead");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("off"), &raw, |b, raw| {
+        tracer.set_enabled(false);
+        b.iter(|| black_box(traced_csr_pipeline(raw, 2, t)));
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("on"), &raw, |b, raw| {
+        tracer.set_enabled(true);
+        b.iter(|| black_box(traced_csr_pipeline(raw, 2, t)));
+        // The ring is bounded (drop-oldest), so long runs stay flat; clear
+        // anyway to leave global state clean for whatever runs next.
+        tracer.clear();
+    });
+    group.finish();
+    tracer.set_enabled(was_enabled);
+    tracer.clear();
 }
 
 fn bench_recompute_400(c: &mut Criterion) {
@@ -175,6 +239,7 @@ criterion_group!(
     benches,
     bench_recompute_400,
     bench_pipeline_10k,
-    bench_eq9_10k
+    bench_eq9_10k,
+    bench_trace_overhead
 );
 criterion_main!(benches);

@@ -7,6 +7,7 @@
 //! ```text
 //! compare_bench BASELINE.json CURRENT.json [--tolerance 0.10] [--absolute]
 //! compare_bench CURRENT.json --ratio NUM_KEY DEN_KEY --min 5.0
+//! compare_bench CURRENT.json --ratio NUM_KEY DEN_KEY --max 1.03
 //! ```
 //!
 //! The first mode fails (exit 1) when any benchmark regressed by more than
@@ -17,9 +18,11 @@
 //! and only *relative* regressions trip the gate. `--absolute` skips the
 //! normalization (for same-machine comparisons).
 //!
-//! The second mode asserts a ratio between two keys of one digest — e.g.
-//! that a full rebuild costs at least 5× an incremental recompute — which
-//! is machine-independent by construction.
+//! The ratio mode asserts a ratio between two keys of one digest — e.g.
+//! that a full rebuild costs at least 5× an incremental recompute
+//! (`--min`), or that tracing overhead stays within 3% (`--max 1.03`) —
+//! which is machine-independent by construction. `--min` and `--max`
+//! compose: give both to bound the ratio from both sides.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -46,7 +49,11 @@ fn run(args: &[String]) -> Result<String, String> {
                 return Err("--ratio mode takes exactly one digest file".into());
             };
             let digest = load_digest(current)?;
-            check_ratio(&digest, &num, &den, opts.min.unwrap_or(1.0))
+            let min = match (opts.min, opts.max) {
+                (None, Some(_)) => None,
+                (min, _) => Some(min.unwrap_or(1.0)),
+            };
+            check_ratio(&digest, &num, &den, min, opts.max)
         }
         None => {
             let [baseline, current] = files.as_slice() else {
@@ -64,6 +71,7 @@ struct Options {
     absolute: bool,
     ratio: Option<(String, String)>,
     min: Option<f64>,
+    max: Option<f64>,
 }
 
 fn parse_args(args: &[String]) -> Result<(Vec<String>, Options), String> {
@@ -73,6 +81,7 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Options), String> {
         absolute: false,
         ratio: None,
         min: None,
+        max: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -90,6 +99,10 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Options), String> {
             "--min" => {
                 let v = it.next().ok_or("--min needs a value")?;
                 opts.min = Some(v.parse().map_err(|_| format!("bad min: {v}"))?);
+            }
+            "--max" => {
+                let v = it.next().ok_or("--max needs a value")?;
+                opts.max = Some(v.parse().map_err(|_| format!("bad max: {v}"))?);
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag: {other}"));
@@ -146,7 +159,8 @@ fn check_ratio(
     digest: &BTreeMap<String, f64>,
     num: &str,
     den: &str,
-    min: f64,
+    min: Option<f64>,
+    max: Option<f64>,
 ) -> Result<String, String> {
     let numerator = *digest
         .get(num)
@@ -158,14 +172,27 @@ fn check_ratio(
         return Err(format!("non-positive denominator for {den}: {denominator}"));
     }
     let ratio = numerator / denominator;
-    if ratio < min {
-        return Err(format!(
-            "ratio {num} / {den} = {ratio:.2}, below required minimum {min:.2}"
-        ));
+    if let Some(min) = min {
+        if ratio < min {
+            return Err(format!(
+                "ratio {num} / {den} = {ratio:.2}, below required minimum {min:.2}"
+            ));
+        }
     }
-    Ok(format!(
-        "ratio {num} / {den} = {ratio:.2} (>= {min:.2}) — ok"
-    ))
+    if let Some(max) = max {
+        if ratio > max {
+            return Err(format!(
+                "ratio {num} / {den} = {ratio:.3}, above allowed maximum {max:.3}"
+            ));
+        }
+    }
+    let bounds = match (min, max) {
+        (Some(lo), Some(hi)) => format!(">= {lo:.2}, <= {hi:.3}"),
+        (Some(lo), None) => format!(">= {lo:.2}"),
+        (None, Some(hi)) => format!("<= {hi:.3}"),
+        (None, None) => "unbounded".into(),
+    };
+    Ok(format!("ratio {num} / {den} = {ratio:.3} ({bounds}) — ok"))
 }
 
 fn check_regressions(
@@ -247,9 +274,21 @@ mod tests {
     #[test]
     fn ratio_mode_enforces_minimum() {
         let d = digest(&[("full", 1000.0), ("inc", 100.0)]);
-        assert!(check_ratio(&d, "full", "inc", 5.0).is_ok());
-        assert!(check_ratio(&d, "full", "inc", 20.0).is_err());
-        assert!(check_ratio(&d, "missing", "inc", 1.0).is_err());
+        assert!(check_ratio(&d, "full", "inc", Some(5.0), None).is_ok());
+        assert!(check_ratio(&d, "full", "inc", Some(20.0), None).is_err());
+        assert!(check_ratio(&d, "missing", "inc", Some(1.0), None).is_err());
+    }
+
+    #[test]
+    fn ratio_mode_enforces_maximum() {
+        // The tracing-overhead shape: on/off must stay within a few
+        // percent of parity.
+        let d = digest(&[("on", 102.0), ("off", 100.0)]);
+        assert!(check_ratio(&d, "on", "off", None, Some(1.03)).is_ok());
+        assert!(check_ratio(&d, "on", "off", None, Some(1.01)).is_err());
+        // Both bounds at once.
+        assert!(check_ratio(&d, "on", "off", Some(0.9), Some(1.1)).is_ok());
+        assert!(check_ratio(&d, "on", "off", Some(1.05), Some(1.1)).is_err());
     }
 
     #[test]
@@ -302,6 +341,18 @@ mod tests {
         .unwrap();
         assert_eq!(opts.ratio, Some(("full".into(), "inc".into())));
         assert_eq!(opts.min, Some(5.0));
+
+        let (_, opts) = parse_args(&[
+            "cur.json".into(),
+            "--ratio".into(),
+            "on".into(),
+            "off".into(),
+            "--max".into(),
+            "1.03".into(),
+        ])
+        .unwrap();
+        assert_eq!(opts.max, Some(1.03));
+        assert_eq!(opts.min, None);
 
         assert!(parse_args(&["--bogus".into()]).is_err());
     }

@@ -12,6 +12,14 @@
 //! 3. **byzantine index peers** — tampered records never verify and
 //!    replication keeps ≥85% of files retrievable with a valid record.
 //!
+//! On top of the scenario bounds, a declarative [`mdrep_obs::SloWatchdog`] checks
+//! run-wide service-level objectives over the collected telemetry —
+//! recompute-epoch latency, retrieval success rate, fake-avoidance drift,
+//! and the trace-buffer drop rate. Each has a CI-tunable flag
+//! (`--slo-max-epoch-ms`, `--slo-min-success`, `--slo-max-drift-pp`,
+//! `--slo-max-drop-rate`); a violation names the failed SLO, dumps the
+//! causal trace as a Chrome-trace artifact, and exits nonzero.
+//!
 //! Run: `cargo run -p mdrep-bench --bin exp_fault_matrix --release -- \
 //!       --seed 101 --metrics-out results/fault_matrix_101.json`
 
@@ -91,6 +99,8 @@ fn collusion_with_churn(gate: &mut Gate, seed: u64) {
     let faulty = run_filtered(&trace, Some(plan));
 
     let drop = clean.fakes.avoidance_rate() - faulty.fakes.avoidance_rate();
+    // Export the drift so the SLO watchdog can bound it declaratively.
+    mdrep_obs::global().gauge_set("exp.fault.drift_pp", drop * 100.0);
     gate.check(
         "collusion+churn",
         "avoidance drop <= 10pp",
@@ -203,6 +213,60 @@ fn byzantine_index_peers(gate: &mut Gate, seed: u64) {
     dht.publish_fault_metrics();
 }
 
+/// A float SLO flag (`--flag V` or `--flag=V`) with a default.
+fn slo_flag(flag: &str, default: f64) -> f64 {
+    mdrep_bench::arg_value(flag).map_or(default, |v| v.parse().expect("SLO flags take a number"))
+}
+
+/// Evaluates the run-wide SLOs; on violation, names each failed SLO,
+/// writes the causal trace as a replay artifact, and reports failure.
+fn check_slos(seed: u64) -> bool {
+    let watchdog = mdrep_obs::SloWatchdog::new()
+        .with(mdrep_obs::Slo::timer_max_ns(
+            "max-epoch-latency",
+            "engine.recompute.total",
+            (slo_flag("--slo-max-epoch-ms", 5_000.0) * 1e6) as u64,
+        ))
+        .with(mdrep_obs::Slo::gauge_min(
+            "min-retrieval-success",
+            "sim.fault.success_rate",
+            slo_flag("--slo-min-success", 0.5),
+        ))
+        .with(mdrep_obs::Slo::gauge_max(
+            "max-avoidance-drift",
+            "exp.fault.drift_pp",
+            slo_flag("--slo-max-drift-pp", 10.0),
+        ))
+        .with(mdrep_obs::Slo::trace_drop_rate_max(
+            "max-trace-drop-rate",
+            slo_flag("--slo-max-drop-rate", 0.99),
+        ));
+    let violations = watchdog.evaluate(
+        &mdrep_obs::global().snapshot(),
+        mdrep_obs::series(),
+        &mdrep_obs::tracer().stats(),
+    );
+    if violations.is_empty() {
+        println!("fault matrix: all {} SLOs hold", watchdog.slos().len());
+        return true;
+    }
+    for violation in &violations {
+        eprintln!("{violation}");
+    }
+    // Dump the causal trace so the violation can be inspected in
+    // chrome://tracing (unless --trace-out already wrote it).
+    if mdrep_bench::arg_value("--trace-out").is_none() {
+        let dir = mdrep_bench::results_dir();
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(format!("fault_matrix_trace_{seed}.json"));
+        match std::fs::write(&path, mdrep_obs::tracer().to_chrome_json()) {
+            Ok(()) => eprintln!("(slo violation trace: {})", path.display()),
+            Err(err) => eprintln!("warning: could not write violation trace: {err}"),
+        }
+    }
+    false
+}
+
 fn main() {
     let seed = seed_from_args();
     let mut gate = Gate {
@@ -217,9 +281,13 @@ fn main() {
     byzantine_index_peers(&mut gate, seed);
 
     gate.table.finish(&format!("exp_fault_matrix_{seed}"));
+    let slos_hold = check_slos(seed);
     mdrep_bench::write_metrics_if_requested();
     if gate.violations > 0 {
         eprintln!("fault matrix: {} bound(s) violated", gate.violations);
+        std::process::exit(1);
+    }
+    if !slos_hold {
         std::process::exit(1);
     }
     println!("fault matrix: all bounds hold at seed {seed}");

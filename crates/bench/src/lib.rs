@@ -104,26 +104,59 @@ impl Table {
     }
 }
 
-/// Honors a `--metrics-out PATH` (or `--metrics-out=PATH`) argument on the
-/// experiment binary's command line: writes the global instrumentation
-/// registry — per-phase `engine.recompute.*` timings, `dht.lookup.*`
-/// counters, `sim.events_per_sec` — as JSON to PATH. Every `exp_*` binary
-/// calls this after its tables, so metrics land next to the CSVs.
-pub fn write_metrics_if_requested() {
+/// The value of a `--flag PATH` (or `--flag=PATH`) argument on the
+/// process command line, if present.
+#[must_use]
+pub fn arg_value(flag: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
     let mut args = std::env::args().skip(1);
-    let mut path: Option<String> = None;
+    let mut value = None;
     while let Some(arg) = args.next() {
-        if arg == "--metrics-out" {
-            path = args.next();
-        } else if let Some(p) = arg.strip_prefix("--metrics-out=") {
-            path = Some(p.to_string());
+        if arg == flag {
+            value = args.next();
+        } else if let Some(v) = arg.strip_prefix(&prefix) {
+            value = Some(v.to_string());
         }
     }
-    let Some(path) = path else { return };
-    let json = mdrep_obs::global().snapshot().to_json();
-    match fs::write(&path, json) {
-        Ok(()) => println!("(metrics: {path})"),
-        Err(err) => eprintln!("warning: could not write metrics to {path}: {err}"),
+    value
+}
+
+/// Honors the telemetry output flags on the experiment binary's command
+/// line. Every `exp_*` binary calls this after its tables, so telemetry
+/// lands next to the CSVs:
+///
+/// - `--metrics-out PATH` — the global instrumentation registry
+///   (per-phase `engine.recompute.*` timings, `dht.lookup.*` counters,
+///   `sim.run.events_per_sec`) as JSON.
+/// - `--trace-out PATH` — the global causal trace in Chrome Trace Event
+///   Format (load in `chrome://tracing` or Perfetto).
+/// - `--series-out PATH` — the global sim-time series, as CSV when the
+///   path ends in `.csv`, else as JSON.
+pub fn write_metrics_if_requested() {
+    if let Some(path) = arg_value("--metrics-out") {
+        let json = mdrep_obs::global().snapshot().to_json();
+        match fs::write(&path, json) {
+            Ok(()) => println!("(metrics: {path})"),
+            Err(err) => eprintln!("warning: could not write metrics to {path}: {err}"),
+        }
+    }
+    if let Some(path) = arg_value("--trace-out") {
+        match fs::write(&path, mdrep_obs::tracer().to_chrome_json()) {
+            Ok(()) => println!("(trace: {path})"),
+            Err(err) => eprintln!("warning: could not write trace to {path}: {err}"),
+        }
+    }
+    if let Some(path) = arg_value("--series-out") {
+        let series = mdrep_obs::series();
+        let body = if path.ends_with(".csv") {
+            series.to_csv()
+        } else {
+            series.to_json()
+        };
+        match fs::write(&path, body) {
+            Ok(()) => println!("(series: {path})"),
+            Err(err) => eprintln!("warning: could not write series to {path}: {err}"),
+        }
     }
 }
 

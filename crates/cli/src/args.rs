@@ -197,6 +197,11 @@ GLOBAL FLAGS (any subcommand):
   --metrics-out PATH  write the collected instrumentation registry
                       (per-phase engine timings, DHT lookup counters,
                       simulator throughput) as JSON to PATH on exit
+  --trace-out PATH    write the causal span trace in Chrome Trace Event
+                      Format (open in chrome://tracing or Perfetto)
+  --series-out PATH   write the sim-time series (coverage, fault rates,
+                      queue depth per recompute interval); CSV when PATH
+                      ends in .csv, JSON otherwise
 
 SUBCOMMANDS:
   trace       generate a synthetic workload and print its statistics

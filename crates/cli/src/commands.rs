@@ -33,6 +33,8 @@ pub fn run(args: &Arguments, out: &mut dyn Write) -> Result<(), ArgError> {
         Command::Community => community_command(args, out),
     };
     write_metrics(args)?;
+    write_trace(args)?;
+    write_series(args)?;
     result
 }
 
@@ -46,6 +48,34 @@ fn write_metrics(args: &Arguments) -> Result<(), ArgError> {
     let json = mdrep_obs::global().snapshot().to_json();
     std::fs::write(&path, json)
         .map_err(|e| ArgError::new(format!("cannot write metrics to {path}: {e}")))
+}
+
+/// Honors `--trace-out PATH`: dumps the global causal trace in Chrome
+/// Trace Event Format (open in `chrome://tracing` or Perfetto).
+fn write_trace(args: &Arguments) -> Result<(), ArgError> {
+    let path = args.get_str("trace-out", "");
+    if path.is_empty() {
+        return Ok(());
+    }
+    std::fs::write(&path, mdrep_obs::tracer().to_chrome_json())
+        .map_err(|e| ArgError::new(format!("cannot write trace to {path}: {e}")))
+}
+
+/// Honors `--series-out PATH`: dumps the global sim-time series, as CSV
+/// when the path ends in `.csv`, else as JSON.
+fn write_series(args: &Arguments) -> Result<(), ArgError> {
+    let path = args.get_str("series-out", "");
+    if path.is_empty() {
+        return Ok(());
+    }
+    let series = mdrep_obs::series();
+    let body = if path.ends_with(".csv") {
+        series.to_csv()
+    } else {
+        series.to_json()
+    };
+    std::fs::write(&path, body)
+        .map_err(|e| ArgError::new(format!("cannot write series to {path}: {e}")))
 }
 
 fn build_workload(args: &Arguments) -> Result<Trace, ArgError> {
@@ -455,6 +485,33 @@ mod tests {
         assert!(out.contains("faults:"), "fault summary printed");
         assert!(out.contains("fault trace digest"), "digest printed");
         assert_eq!(out, run_capture(&flags), "same seed, same output");
+    }
+
+    #[test]
+    fn trace_and_series_flags_write_files() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("mdrep_cli_test_trace.json");
+        let series_path = dir.join("mdrep_cli_test_series.csv");
+        let out = run_capture(&[
+            "simulate",
+            "--users",
+            "25",
+            "--days",
+            "1",
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+            "--series-out",
+            series_path.to_str().unwrap(),
+        ]);
+        assert!(out.contains("requests"));
+        let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+        assert!(trace.contains("traceEvents"));
+        assert!(trace.contains("sim.tick.recompute"));
+        let series = std::fs::read_to_string(&series_path).expect("series written");
+        assert!(series.starts_with("series,ticks,value"));
+        assert!(series.contains("sim.coverage.interval"));
+        let _ = std::fs::remove_file(trace_path);
+        let _ = std::fs::remove_file(series_path);
     }
 
     #[test]

@@ -311,11 +311,28 @@ impl ReputationEngine {
     fn recompute_inner(&mut self, now: SimTime, force_full: bool) {
         let obs = mdrep_obs::global();
         let _total = obs.span("engine.recompute.total");
+        // Per-epoch causal root: every phase below traces as a child, so a
+        // stalled epoch can be blamed on its slowest phase in the exported
+        // span tree.
+        let mut epoch = mdrep_obs::trace_span("engine.recompute.epoch");
         obs.counter_inc("engine.recompute.count");
 
-        let mode = self.plan_mode(now, force_full);
+        let mode = {
+            let _trace = mdrep_obs::trace_span("engine.recompute.dirty_expand");
+            self.plan_mode(now, force_full)
+        };
         self.last_dirty_rows = self.pending_dirty_rows();
         obs.gauge_set("engine.recompute.dirty_rows", self.last_dirty_rows as f64);
+        epoch.annotate(
+            "mode",
+            match mode {
+                RecomputeMode::Full => "full",
+                RecomputeMode::Incremental => "incremental",
+                RecomputeMode::FallbackFull => "fallback_full",
+            },
+        );
+        epoch.annotate("dirty_rows", self.last_dirty_rows.to_string());
+        epoch.annotate("sim_time_ticks", now.as_ticks().to_string());
         match mode {
             RecomputeMode::Incremental => self.rebuild_incremental(now),
             RecomputeMode::Full | RecomputeMode::FallbackFull => self.rebuild_full(now),
@@ -402,19 +419,23 @@ impl ReputationEngine {
         let index = Arc::new(UserIndex::from_matrices(&[ft_raw, &dm_raw, &um_raw]));
         let fm = {
             let _span = obs.span("engine.recompute.fm_build");
+            let _trace = mdrep_obs::trace_span("engine.recompute.fm_build");
             CsrMatrix::freeze_normalized_with(&index, ft_raw)
         };
         let dm = {
             let _span = obs.span("engine.recompute.dm_build");
+            let _trace = mdrep_obs::trace_span("engine.recompute.dm_build");
             CsrMatrix::freeze_normalized_with(&index, &dm_raw)
         };
         let um = {
             let _span = obs.span("engine.recompute.um_build");
+            let _trace = mdrep_obs::trace_span("engine.recompute.um_build");
             CsrMatrix::freeze_normalized_with(&index, &um_raw)
         };
         let w = self.params.weights();
         let tm = {
             let _span = obs.span("engine.recompute.integrate");
+            let _trace = mdrep_obs::trace_span("engine.recompute.integrate");
             blend_frozen(
                 &[(w.alpha(), &fm), (w.beta(), &dm), (w.gamma(), &um)],
                 threads,
@@ -445,6 +466,7 @@ impl ReputationEngine {
 
         let fm_dirty = {
             let _span = obs.span("engine.recompute.fm_build");
+            let _trace = mdrep_obs::trace_span("engine.recompute.fm_build");
             let dirty = self.file_trust.apply_dirty(
                 &self.evals,
                 now,
@@ -462,6 +484,7 @@ impl ReputationEngine {
         };
         let dm_dirty = {
             let _span = obs.span("engine.recompute.dm_build");
+            let _trace = mdrep_obs::trace_span("engine.recompute.dm_build");
             let dirty = self.volume.take_dirty();
             let (volume, evals, params) = (&self.volume, &self.evals, &self.params);
             let rebuilt = build_rows_parallel(&dirty, threads, |u| {
@@ -478,6 +501,7 @@ impl ReputationEngine {
         };
         let um_dirty = {
             let _span = obs.span("engine.recompute.um_build");
+            let _trace = mdrep_obs::trace_span("engine.recompute.um_build");
             let dirty = self.user_trust.take_dirty();
             for &u in &dirty {
                 let mut row = self.user_trust.ut_row(u);
@@ -491,6 +515,7 @@ impl ReputationEngine {
 
         {
             let _span = obs.span("engine.recompute.integrate");
+            let _trace = mdrep_obs::trace_span("engine.recompute.integrate");
             let mut union: Vec<UserId> = Vec::with_capacity(fm_dirty.len() + dm_dirty.len());
             union.extend(fm_dirty);
             union.extend(dm_dirty);

@@ -89,6 +89,7 @@ impl ReputationMatrix {
             // Large products fan out across cores; small ones stay serial.
             let next = {
                 let _span = obs.span("engine.recompute.matrix_power");
+                let _trace = mdrep_obs::trace_span("engine.recompute.matrix_power");
                 let t = if prev.nnz() > 20_000 { threads } else { 1 };
                 prev.multiply_step(&base, options, t)
             };

@@ -404,6 +404,7 @@ impl Dht {
         now: SimTime,
     ) -> Result<usize, DhtError> {
         mdrep_obs::global().counter_inc("dht.store.count");
+        let mut trace = mdrep_obs::trace_span("dht.store.op");
         let origin = self.require_online(publisher)?;
         let targets = self.iterative_find(origin, key, now).alive;
         let mut stored = 0;
@@ -430,6 +431,7 @@ impl Dht {
         let publications = self.publications.entry(publisher).or_default();
         publications.retain(|(k, _)| *k != key);
         publications.push((key, data));
+        trace.annotate("replicas", stored.to_string());
         if stored == 0 {
             return Err(DhtError::NoReachableNodes);
         }
@@ -452,6 +454,7 @@ impl Dht {
         now: SimTime,
     ) -> Result<GetOutcome, DhtError> {
         mdrep_obs::global().counter_inc("dht.get.count");
+        let mut trace = mdrep_obs::trace_span("dht.get.op");
         let origin = self.require_online(requester)?;
         // Contact the closest *discovered* nodes, responsive or not: an
         // unresponsive replica holder must surface as `unreachable`, not
@@ -492,6 +495,9 @@ impl Dht {
             }
         }
         outcome.retries = self.stats.retried - retries_before;
+        trace.annotate("values", outcome.values.len().to_string());
+        trace.annotate("unreachable", outcome.unreachable.len().to_string());
+        trace.annotate("retries", outcome.retries.to_string());
         if !outcome.unreachable.is_empty() {
             mdrep_obs::global().counter_add(
                 "dht.get.unreachable_owners",
@@ -548,7 +554,16 @@ impl Dht {
         from: UserId,
         target: NodeId,
         now: SimTime,
+        attempt: u32,
     ) -> Attempt {
+        let mut trace = mdrep_obs::trace_span("dht.rpc.attempt");
+        trace.annotate("attempt", (attempt + 1).to_string());
+        if attempt > 0 {
+            trace.annotate(
+                "backoff_ticks",
+                self.config.retry.backoff_ticks(attempt - 1).to_string(),
+            );
+        }
         match kind {
             RpcKind::FindNode => self.stats.find_node += 1,
             RpcKind::Store => self.stats.store += 1,
@@ -564,14 +579,17 @@ impl Dht {
             .next_outcome(kind, from, to_user, now, self.config.retry.timeout_ticks)
         {
             RpcOutcome::Blocked => {
+                trace.annotate("outcome", "blocked");
                 self.stats.blocked += 1;
                 Attempt::Fail { late_store: false }
             }
             RpcOutcome::Lost => {
+                trace.annotate("outcome", "lost");
                 self.stats.dropped += 1;
                 Attempt::Fail { late_store: false }
             }
             RpcOutcome::TimedOut => {
+                trace.annotate("outcome", "timed_out");
                 self.stats.timed_out += 1;
                 // The request reached an online receiver late: a STORE's
                 // side effect lands, only the acknowledgement is missing.
@@ -581,9 +599,11 @@ impl Dht {
             }
             RpcOutcome::Delivered { duplicated } => {
                 if !online {
+                    trace.annotate("outcome", "refused");
                     self.stats.refused += 1;
                     return Attempt::Fail { late_store: false };
                 }
+                trace.annotate("outcome", "delivered");
                 self.stats.delivered += 1;
                 if duplicated {
                     self.stats.duplicated += 1;
@@ -603,9 +623,14 @@ impl Dht {
         target: NodeId,
         now: SimTime,
     ) -> RpcResult {
+        let mut trace = mdrep_obs::trace_span("dht.rpc.call");
+        trace.annotate("kind", kind.name());
         let max_attempts = self.config.retry.max_attempts.max(1);
         let mut late_store = false;
+        let mut delivered = false;
+        let mut attempts_used = 0;
         for attempt in 0..max_attempts {
+            attempts_used = attempt + 1;
             if attempt > 0 {
                 self.stats.retried += 1;
                 let obs = mdrep_obs::global();
@@ -615,18 +640,18 @@ impl Dht {
                     self.config.retry.backoff_ticks(attempt - 1),
                 );
             }
-            match self.attempt_rpc(kind, from, target, now) {
+            match self.attempt_rpc(kind, from, target, now, attempt) {
                 Attempt::Ok => {
-                    return RpcResult {
-                        delivered: true,
-                        late_store,
-                    }
+                    delivered = true;
+                    break;
                 }
                 Attempt::Fail { late_store: late } => late_store |= late,
             }
         }
+        trace.annotate("attempts", attempts_used.to_string());
+        trace.annotate("delivered", delivered.to_string());
         RpcResult {
-            delivered: false,
+            delivered,
             late_store,
         }
     }
@@ -641,6 +666,7 @@ impl Dht {
     fn iterative_find(&mut self, origin: NodeId, key: Key, now: SimTime) -> LookupResult {
         let obs = mdrep_obs::global();
         let _span = obs.span("dht.lookup.time");
+        let mut trace = mdrep_obs::trace_span("dht.lookup.find");
         obs.counter_inc("dht.lookup.count");
         let mut hops = 0u64;
         let mut timeouts = 0u64;
@@ -719,6 +745,8 @@ impl Dht {
         obs.counter_add("dht.lookup.hops", hops);
         obs.counter_add("dht.lookup.timeouts", timeouts);
         obs.histogram_record("dht.lookup.hops_per_lookup", hops as f64);
+        trace.annotate("hops", hops.to_string());
+        trace.annotate("timeouts", timeouts.to_string());
 
         let mut alive: Vec<NodeId> = alive.into_iter().collect();
         alive.sort_by_key(|n| n.distance(&key));

@@ -20,6 +20,21 @@
 //! ([`Registry::set_enabled`]) turns every record call into an atomic load
 //! and an early return.
 //!
+//! Three sibling layers cover what aggregates can't:
+//!
+//! * [`trace`] — causal span trees (who called what, with which retries)
+//!   in a bounded lock-sharded ring, exportable as Chrome-trace JSON or a
+//!   flamegraph-style self-time rollup.
+//! * [`timeseries`] — fixed-capacity series of metric values over
+//!   *simulated* time, for convergence plots (CSV/JSON export).
+//! * [`slo`] — declarative bounds over all of the above, evaluated into
+//!   *named* violations for CI watchdogs.
+//!
+//! Metric and span names follow the dotted-lowercase
+//! `component.operation.metric` convention (≥ 3 segments of
+//! `[a-z0-9_]+`), checked by a debug assertion at every record site
+//! ([`valid_metric_name`]).
+//!
 //! # Examples
 //!
 //! ```
@@ -42,6 +57,13 @@
 #![forbid(unsafe_code)]
 
 pub mod json;
+pub mod slo;
+pub mod timeseries;
+pub mod trace;
+
+pub use slo::{Slo, SloBound, SloViolation, SloWatchdog};
+pub use timeseries::{series, TimeSeries};
+pub use trace::{trace_span, tracer, SpanId, TraceEvent, TraceSpan, Tracer, TracerStats};
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -127,6 +149,42 @@ impl HistogramStats {
         self.count = self.count.saturating_add(1);
         self.sum += value;
     }
+
+    /// Estimated value at percentile `p` (in `0..=100`), interpolating
+    /// linearly within the bucket the rank falls into. The first bucket's
+    /// lower edge is taken as `min(0, bounds[0])`; ranks landing in the
+    /// `+inf` overflow bucket are clamped to the highest finite bound.
+    /// `None` when no samples were recorded.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = p.clamp(0.0, 100.0) / 100.0 * self.count as f64;
+        let mut below = 0u64;
+        for (i, &bucket) in self.counts.iter().enumerate() {
+            if bucket == 0 {
+                continue;
+            }
+            let through = below + bucket;
+            if through as f64 >= target {
+                let Some(&upper) = self.bounds.get(i) else {
+                    // Overflow bucket: no finite upper edge to interpolate
+                    // toward, so clamp to the last finite bound.
+                    return Some(self.bounds.last().copied().unwrap_or(f64::INFINITY));
+                };
+                let lower = if i == 0 {
+                    upper.min(0.0)
+                } else {
+                    self.bounds[i - 1]
+                };
+                let fraction = ((target - below as f64) / bucket as f64).clamp(0.0, 1.0);
+                return Some(lower + (upper - lower) * fraction);
+            }
+            below = through;
+        }
+        Some(self.bounds.last().copied().unwrap_or(f64::INFINITY))
+    }
 }
 
 /// Default histogram bucket bounds (powers of ten around "fractions to
@@ -195,6 +253,7 @@ impl Registry {
         if !self.is_enabled() {
             return;
         }
+        debug_check_name(name);
         let mut inner = self.lock();
         let slot = entry_or_default(&mut inner.counters, name);
         *slot = slot.saturating_add(delta);
@@ -210,6 +269,7 @@ impl Registry {
         if !self.is_enabled() {
             return;
         }
+        debug_check_name(name);
         let mut inner = self.lock();
         match inner.gauges.get_mut(name) {
             Some(slot) => *slot = value,
@@ -226,6 +286,7 @@ impl Registry {
         if !self.is_enabled() {
             return;
         }
+        debug_check_name(name);
         let mut inner = self.lock();
         if !inner.histograms.contains_key(name) {
             inner.histograms.insert(
@@ -241,6 +302,7 @@ impl Registry {
         if !self.is_enabled() {
             return;
         }
+        debug_check_name(name);
         let mut inner = self.lock();
         if let Some(h) = inner.histograms.get_mut(name) {
             h.record(value);
@@ -256,6 +318,7 @@ impl Registry {
         if !self.is_enabled() {
             return;
         }
+        debug_check_name(name);
         let ns = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
         let mut inner = self.lock();
         if let Some(t) = inner.timers.get_mut(name) {
@@ -272,10 +335,14 @@ impl Registry {
     /// disabled at construction, the guard records nothing on drop.
     #[must_use]
     pub fn span(&self, name: &'static str) -> Span<'_> {
+        let start = self.is_enabled().then(Instant::now);
+        if start.is_some() {
+            debug_check_name(name);
+        }
         Span {
             registry: self,
             name,
-            start: self.is_enabled().then(Instant::now),
+            start,
         }
     }
 
@@ -304,6 +371,35 @@ impl Registry {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
+}
+
+/// Whether `name` follows the `component.operation.metric` convention:
+/// at least three non-empty dot-separated segments, each consisting only
+/// of lowercase ASCII letters, digits, and underscores. Every record
+/// method debug-asserts this, so nonconforming names fail fast in tests
+/// while release hot paths pay nothing.
+#[must_use]
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut segments = 0usize;
+    for segment in name.split('.') {
+        if segment.is_empty()
+            || !segment
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        {
+            return false;
+        }
+        segments += 1;
+    }
+    segments >= 3
+}
+
+#[track_caller]
+fn debug_check_name(name: &str) {
+    debug_assert!(
+        valid_metric_name(name),
+        "metric name {name:?} violates the component.operation.metric dotted-lowercase convention"
+    );
 }
 
 fn entry_or_default<'m, V: Default>(map: &'m mut BTreeMap<String, V>, name: &str) -> &'m mut V {
@@ -449,6 +545,10 @@ impl Snapshot {
             }
             out.push_str(&format!("], \"count\": {}, \"sum\": ", h.count));
             push_json_f64(out, h.sum);
+            for (label, p) in [("p50", 50.0), ("p95", 95.0), ("p99", 99.0)] {
+                out.push_str(&format!(", \"{label}\": "));
+                push_json_f64(out, h.percentile(p).unwrap_or(f64::NAN));
+            }
             out.push('}');
         });
         out.push_str("}\n}\n");
@@ -551,11 +651,17 @@ impl fmt::Display for Snapshot {
         if !self.histograms.is_empty() {
             writeln!(f, "histograms:")?;
             for (name, h) in &self.histograms {
-                write!(
-                    f,
-                    "  {name:<width$}  n={} sum={:.3} buckets=[",
-                    h.count, h.sum
-                )?;
+                write!(f, "  {name:<width$}  n={} sum={:.3}", h.count, h.sum)?;
+                if h.count > 0 {
+                    write!(
+                        f,
+                        " p50={:.3} p95={:.3} p99={:.3}",
+                        h.percentile(50.0).unwrap_or(f64::NAN),
+                        h.percentile(95.0).unwrap_or(f64::NAN),
+                        h.percentile(99.0).unwrap_or(f64::NAN),
+                    )?;
+                }
+                write!(f, " buckets=[")?;
                 for (i, c) in h.counts.iter().enumerate() {
                     if i > 0 {
                         write!(f, " ")?;
@@ -592,40 +698,65 @@ mod tests {
     #[test]
     fn counters_and_gauges_record() {
         let r = Registry::new();
-        r.counter_inc("a.count");
-        r.counter_add("a.count", 4);
-        r.gauge_set("g", 1.5);
-        r.gauge_set("g", 2.5);
+        r.counter_inc("obs.test.count");
+        r.counter_add("obs.test.count", 4);
+        r.gauge_set("obs.test.gauge", 1.5);
+        r.gauge_set("obs.test.gauge", 2.5);
         let s = r.snapshot();
-        assert_eq!(s.counter("a.count"), Some(5));
-        assert_eq!(s.gauge("g"), Some(2.5));
+        assert_eq!(s.counter("obs.test.count"), Some(5));
+        assert_eq!(s.gauge("obs.test.gauge"), Some(2.5));
+    }
+
+    #[test]
+    fn metric_name_convention_is_enforced() {
+        assert!(valid_metric_name("engine.recompute.total"));
+        assert!(valid_metric_name("engine.recompute.mode.full"));
+        assert!(valid_metric_name("dht.lookup.hops_per_lookup"));
+        for bad in [
+            "",
+            "engine",
+            "sim.events_per_sec",
+            "engine..total",
+            "Engine.recompute.total",
+            "engine.recompute.total ",
+            "engine.recompute.Total",
+        ] {
+            assert!(!valid_metric_name(bad), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "component.operation.metric")]
+    #[cfg(debug_assertions)]
+    fn nonconforming_names_panic_in_debug() {
+        Registry::new().counter_inc("badName");
     }
 
     #[test]
     fn disabled_registry_records_nothing() {
         let r = Registry::disabled();
-        r.counter_inc("c");
-        r.gauge_set("g", 1.0);
-        r.record_duration("t", Duration::from_millis(1));
-        r.histogram_record("h", 0.5);
-        drop(r.span("s"));
+        r.counter_inc("obs.test.count");
+        r.gauge_set("obs.test.gauge", 1.0);
+        r.record_duration("obs.test.timer", Duration::from_millis(1));
+        r.histogram_record("obs.test.hist", 0.5);
+        drop(r.span("obs.test.span"));
         assert!(r.snapshot().is_empty());
         // Re-enabling resumes recording on the same registry.
         r.set_enabled(true);
-        r.counter_inc("c");
-        assert_eq!(r.snapshot().counter("c"), Some(1));
+        r.counter_inc("obs.test.count");
+        assert_eq!(r.snapshot().counter("obs.test.count"), Some(1));
     }
 
     #[test]
     fn span_records_on_drop() {
         let r = Registry::new();
         {
-            let span = r.span("work");
+            let span = r.span("obs.test.work");
             std::thread::sleep(Duration::from_millis(2));
             assert!(span.elapsed() >= Duration::from_millis(2));
         }
         let s = r.snapshot();
-        let t = s.timer("work").expect("recorded");
+        let t = s.timer("obs.test.work").expect("recorded");
         assert_eq!(t.count, 1);
         assert!(t.total_ns >= 2_000_000, "got {}", t.total_ns);
         assert_eq!(t.min_ns, t.max_ns);
@@ -634,10 +765,10 @@ mod tests {
     #[test]
     fn timer_min_max_mean() {
         let r = Registry::new();
-        r.record_duration("t", Duration::from_nanos(100));
-        r.record_duration("t", Duration::from_nanos(300));
+        r.record_duration("obs.test.timer", Duration::from_nanos(100));
+        r.record_duration("obs.test.timer", Duration::from_nanos(300));
         let s = r.snapshot();
-        let t = s.timer("t").unwrap();
+        let t = s.timer("obs.test.timer").unwrap();
         assert_eq!(
             (t.count, t.min_ns, t.max_ns, t.total_ns),
             (2, 100, 300, 400)
@@ -646,14 +777,58 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_interpolate_within_buckets() {
+        let mut h = HistogramStats::with_bounds(vec![10.0, 20.0, 40.0]);
+        assert_eq!(h.percentile(50.0), None, "no samples yet");
+        // 10 samples in (0, 10], 10 in (10, 20]: the median sits exactly
+        // on the first bucket's upper edge.
+        for _ in 0..10 {
+            h.record(5.0);
+        }
+        for _ in 0..10 {
+            h.record(15.0);
+        }
+        assert!((h.percentile(50.0).unwrap() - 10.0).abs() < 1e-9);
+        // 75th percentile: rank 15 of 20 → halfway through bucket 2.
+        assert!((h.percentile(75.0).unwrap() - 15.0).abs() < 1e-9);
+        assert!((h.percentile(0.0).unwrap() - 0.0).abs() < 1e-9);
+        assert!((h.percentile(100.0).unwrap() - 20.0).abs() < 1e-9);
+        // Overflow samples clamp to the highest finite bound.
+        h.record(1e9);
+        assert!((h.percentile(100.0).unwrap() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_appear_in_render_and_json() {
+        let r = Registry::new();
+        r.histogram_with_bounds("obs.test.dist", &[1.0, 2.0]);
+        r.histogram_record("obs.test.dist", 0.5);
+        let snap = r.snapshot();
+        assert!(
+            snap.render_text().contains("p95="),
+            "{}",
+            snap.render_text()
+        );
+        let doc = json::parse(&snap.to_json()).expect("parses");
+        let hist = doc.get("histograms").unwrap().get("obs.test.dist").unwrap();
+        assert!(hist.get("p50").unwrap().as_f64().unwrap() <= 1.0);
+        assert!(hist.get("p99").unwrap().as_f64().is_some());
+    }
+
+    #[test]
     fn text_rendering_mentions_every_metric() {
         let r = Registry::new();
-        r.counter_inc("c.count");
-        r.gauge_set("g.value", 0.5);
-        r.record_duration("t.time", Duration::from_micros(3));
-        r.histogram_record("h.dist", 2.0);
+        r.counter_inc("obs.test.count");
+        r.gauge_set("obs.test.value", 0.5);
+        r.record_duration("obs.test.time", Duration::from_micros(3));
+        r.histogram_record("obs.test.dist", 2.0);
         let text = r.snapshot().render_text();
-        for name in ["c.count", "g.value", "t.time", "h.dist"] {
+        for name in [
+            "obs.test.count",
+            "obs.test.value",
+            "obs.test.time",
+            "obs.test.dist",
+        ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
         assert!(Registry::new()
@@ -671,7 +846,7 @@ mod tests {
     #[test]
     fn clear_empties_but_keeps_enabled_state() {
         let r = Registry::new();
-        r.counter_inc("c");
+        r.counter_inc("obs.test.count");
         r.clear();
         assert!(r.snapshot().is_empty());
         assert!(r.is_enabled());

@@ -1,0 +1,374 @@
+//! Declarative service-level objectives over snapshots, time series, and
+//! tracer health.
+//!
+//! An [`SloWatchdog`] holds named bounds ([`Slo`]) and evaluates them in
+//! one pass against a metrics [`Snapshot`], a [`TimeSeries`], and the
+//! tracer's [`TracerStats`]. Every failed bound comes
+//! back as a [`SloViolation`] carrying the SLO's *name* and a measured-vs-
+//! bound detail string — so a CI job can fail with "which objective broke"
+//! instead of a bare nonzero exit. A metric an SLO refers to that was
+//! never recorded is itself a violation: silently-missing telemetry is
+//! how watchdogs rot.
+//!
+//! # Examples
+//!
+//! ```
+//! use mdrep_obs::slo::{Slo, SloBound, SloWatchdog};
+//! use mdrep_obs::timeseries::TimeSeries;
+//! use mdrep_obs::trace::TracerStats;
+//! use mdrep_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! registry.gauge_set("sim.fault.success_rate", 0.93);
+//! let watchdog = SloWatchdog::new().with(Slo::gauge_min(
+//!     "retrieval-success",
+//!     "sim.fault.success_rate",
+//!     0.95,
+//! ));
+//! let violations = watchdog.evaluate(
+//!     &registry.snapshot(),
+//!     &TimeSeries::new(),
+//!     &TracerStats::default(),
+//! );
+//! assert_eq!(violations.len(), 1);
+//! assert_eq!(violations[0].slo, "retrieval-success");
+//! ```
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::timeseries::TimeSeries;
+use crate::trace::TracerStats;
+use crate::Snapshot;
+
+/// The measurable bound an [`Slo`] asserts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloBound {
+    /// The named gauge must be at least `min`.
+    GaugeMin { name: String, min: f64 },
+    /// The named gauge must be at most `max`.
+    GaugeMax { name: String, max: f64 },
+    /// The named timer's worst recorded duration must be at most
+    /// `max_ns` (e.g. max epoch latency on `engine.recompute.total`).
+    TimerMaxNs { name: String, max_ns: u64 },
+    /// Every point of the named time series must be at least `min`.
+    SeriesMin { name: String, min: f64 },
+    /// Every point of the named time series must be at most `max`.
+    SeriesMax { name: String, max: f64 },
+    /// The tracer's drop rate (dropped / recorded) must be at most `max`.
+    TraceDropRateMax { max: f64 },
+}
+
+/// One named objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Slo {
+    /// Human-readable objective name, reported on violation.
+    pub name: String,
+    /// The bound to evaluate.
+    pub bound: SloBound,
+}
+
+impl Slo {
+    /// A gauge lower bound.
+    #[must_use]
+    pub fn gauge_min(slo: &str, metric: &str, min: f64) -> Self {
+        Self {
+            name: slo.to_owned(),
+            bound: SloBound::GaugeMin {
+                name: metric.to_owned(),
+                min,
+            },
+        }
+    }
+
+    /// A gauge upper bound.
+    #[must_use]
+    pub fn gauge_max(slo: &str, metric: &str, max: f64) -> Self {
+        Self {
+            name: slo.to_owned(),
+            bound: SloBound::GaugeMax {
+                name: metric.to_owned(),
+                max,
+            },
+        }
+    }
+
+    /// A worst-case timer bound, in nanoseconds.
+    #[must_use]
+    pub fn timer_max_ns(slo: &str, metric: &str, max_ns: u64) -> Self {
+        Self {
+            name: slo.to_owned(),
+            bound: SloBound::TimerMaxNs {
+                name: metric.to_owned(),
+                max_ns,
+            },
+        }
+    }
+
+    /// A lower bound on every point of a time series.
+    #[must_use]
+    pub fn series_min(slo: &str, series: &str, min: f64) -> Self {
+        Self {
+            name: slo.to_owned(),
+            bound: SloBound::SeriesMin {
+                name: series.to_owned(),
+                min,
+            },
+        }
+    }
+
+    /// An upper bound on every point of a time series.
+    #[must_use]
+    pub fn series_max(slo: &str, series: &str, max: f64) -> Self {
+        Self {
+            name: slo.to_owned(),
+            bound: SloBound::SeriesMax {
+                name: series.to_owned(),
+                max,
+            },
+        }
+    }
+
+    /// An upper bound on the tracer's drop rate.
+    #[must_use]
+    pub fn trace_drop_rate_max(slo: &str, max: f64) -> Self {
+        Self {
+            name: slo.to_owned(),
+            bound: SloBound::TraceDropRateMax { max },
+        }
+    }
+}
+
+/// A failed objective: which SLO, and what was measured against which
+/// bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloViolation {
+    /// Name of the violated [`Slo`].
+    pub slo: String,
+    /// Measured-vs-bound description, e.g. `gauge
+    /// sim.fault.success_rate = 0.93 < min 0.95`.
+    pub detail: String,
+}
+
+impl fmt::Display for SloViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SLO violation [{}]: {}", self.slo, self.detail)
+    }
+}
+
+/// A set of [`Slo`]s evaluated together.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SloWatchdog {
+    slos: Vec<Slo>,
+}
+
+impl SloWatchdog {
+    /// An empty watchdog.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one objective (builder style).
+    #[must_use]
+    pub fn with(mut self, slo: Slo) -> Self {
+        self.slos.push(slo);
+        self
+    }
+
+    /// Adds one objective.
+    pub fn add(&mut self, slo: Slo) {
+        self.slos.push(slo);
+    }
+
+    /// The registered objectives.
+    #[must_use]
+    pub fn slos(&self) -> &[Slo] {
+        &self.slos
+    }
+
+    /// Evaluates every objective; returns the violations (empty when all
+    /// bounds hold). Metrics that an objective names but that were never
+    /// recorded are reported as violations.
+    #[must_use]
+    pub fn evaluate(
+        &self,
+        snapshot: &Snapshot,
+        series: &TimeSeries,
+        trace: &TracerStats,
+    ) -> Vec<SloViolation> {
+        let mut violations = Vec::new();
+        for slo in &self.slos {
+            if let Some(detail) = check(&slo.bound, snapshot, series, trace) {
+                violations.push(SloViolation {
+                    slo: slo.name.clone(),
+                    detail,
+                });
+            }
+        }
+        violations
+    }
+}
+
+/// Returns a violation detail when `bound` fails, `None` when it holds.
+fn check(
+    bound: &SloBound,
+    snapshot: &Snapshot,
+    series: &TimeSeries,
+    trace: &TracerStats,
+) -> Option<String> {
+    match bound {
+        SloBound::GaugeMin { name, min } => match snapshot.gauge(name) {
+            None => Some(format!("gauge {name} was never recorded")),
+            Some(v) if v >= *min => None,
+            Some(v) => Some(format!("gauge {name} = {v} < min {min}")),
+        },
+        SloBound::GaugeMax { name, max } => match snapshot.gauge(name) {
+            None => Some(format!("gauge {name} was never recorded")),
+            Some(v) if v <= *max => None,
+            Some(v) => Some(format!("gauge {name} = {v} > max {max}")),
+        },
+        SloBound::TimerMaxNs { name, max_ns } => match snapshot.timer(name) {
+            None => Some(format!("timer {name} was never recorded")),
+            Some(t) if t.max_ns <= *max_ns => None,
+            Some(t) => Some(format!(
+                "timer {name} worst case {}ns > max {max_ns}ns",
+                t.max_ns
+            )),
+        },
+        SloBound::SeriesMin { name, min } => {
+            let points = series.points(name);
+            if points.is_empty() {
+                return Some(format!("series {name} was never recorded"));
+            }
+            // NaN (incomparable) counts as a violation, not a pass.
+            points
+                .iter()
+                .find(|(_, v)| {
+                    !matches!(
+                        v.partial_cmp(min),
+                        Some(Ordering::Greater | Ordering::Equal)
+                    )
+                })
+                .map(|(t, v)| format!("series {name} = {v} < min {min} at tick {t}"))
+        }
+        SloBound::SeriesMax { name, max } => {
+            let points = series.points(name);
+            if points.is_empty() {
+                return Some(format!("series {name} was never recorded"));
+            }
+            // NaN (incomparable) counts as a violation, not a pass.
+            points
+                .iter()
+                .find(|(_, v)| {
+                    !matches!(v.partial_cmp(max), Some(Ordering::Less | Ordering::Equal))
+                })
+                .map(|(t, v)| format!("series {name} = {v} > max {max} at tick {t}"))
+        }
+        SloBound::TraceDropRateMax { max } => {
+            let rate = trace.drop_rate();
+            (rate > *max).then(|| {
+                format!(
+                    "trace drop rate {rate:.4} > max {max} ({} of {} events dropped)",
+                    trace.dropped, trace.recorded
+                )
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+    use std::time::Duration;
+
+    fn empty_series() -> TimeSeries {
+        TimeSeries::new()
+    }
+
+    #[test]
+    fn passing_bounds_produce_no_violations() {
+        let r = Registry::new();
+        r.gauge_set("sim.fault.success_rate", 0.99);
+        r.record_duration("engine.recompute.total", Duration::from_millis(5));
+        let ts = empty_series();
+        ts.record("sim.coverage.mean", 0, 0.8);
+        let w = SloWatchdog::new()
+            .with(Slo::gauge_min("success", "sim.fault.success_rate", 0.9))
+            .with(Slo::timer_max_ns(
+                "epoch-latency",
+                "engine.recompute.total",
+                1_000_000_000,
+            ))
+            .with(Slo::series_min("coverage", "sim.coverage.mean", 0.5))
+            .with(Slo::trace_drop_rate_max("drops", 0.01));
+        assert!(w
+            .evaluate(&r.snapshot(), &ts, &TracerStats::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn each_bound_kind_reports_named_violations() {
+        let r = Registry::new();
+        r.gauge_set("sim.fault.success_rate", 0.5);
+        r.gauge_set("exp.fault.max_drift_pp", 9.0);
+        r.record_duration("engine.recompute.total", Duration::from_secs(2));
+        let ts = empty_series();
+        ts.record("sim.coverage.mean", 7, 0.1);
+        let trace = TracerStats {
+            recorded: 100,
+            dropped: 50,
+        };
+        let w = SloWatchdog::new()
+            .with(Slo::gauge_min("success", "sim.fault.success_rate", 0.9))
+            .with(Slo::gauge_max("drift", "exp.fault.max_drift_pp", 5.0))
+            .with(Slo::timer_max_ns(
+                "epoch-latency",
+                "engine.recompute.total",
+                1_000_000,
+            ))
+            .with(Slo::series_min("coverage", "sim.coverage.mean", 0.5))
+            .with(Slo::trace_drop_rate_max("drops", 0.01));
+        let violations = w.evaluate(&r.snapshot(), &ts, &trace);
+        let names: Vec<&str> = violations.iter().map(|v| v.slo.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["success", "drift", "epoch-latency", "coverage", "drops"]
+        );
+        assert!(violations[0].detail.contains("0.5 < min 0.9"));
+        assert!(violations[3].detail.contains("at tick 7"));
+        assert!(format!("{}", violations[4]).contains("[drops]"));
+    }
+
+    #[test]
+    fn missing_metrics_are_violations() {
+        let w = SloWatchdog::new()
+            .with(Slo::gauge_min("g", "sim.fault.success_rate", 0.9))
+            .with(Slo::gauge_max("gm", "exp.fault.max_drift_pp", 1.0))
+            .with(Slo::timer_max_ns("t", "engine.recompute.total", 1))
+            .with(Slo::series_min("s", "sim.coverage.mean", 0.0))
+            .with(Slo::series_max("sm", "sim.coverage.mean", 1.0));
+        let violations = w.evaluate(
+            &Snapshot::default(),
+            &empty_series(),
+            &TracerStats::default(),
+        );
+        assert_eq!(violations.len(), 5);
+        for v in &violations {
+            assert!(v.detail.contains("never recorded"), "{v}");
+        }
+    }
+
+    #[test]
+    fn nan_points_violate_series_bounds() {
+        let ts = empty_series();
+        ts.record("sim.coverage.mean", 0, f64::NAN);
+        let w = SloWatchdog::new().with(Slo::series_min("s", "sim.coverage.mean", 0.0));
+        assert_eq!(
+            w.evaluate(&Snapshot::default(), &ts, &TracerStats::default())
+                .len(),
+            1
+        );
+    }
+}

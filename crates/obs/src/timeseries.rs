@@ -1,0 +1,279 @@
+//! Sim-time series: fixed-capacity recorders for how metrics evolve over
+//! *simulated* time (ticks), not wall time.
+//!
+//! The aggregate [`Registry`](crate::Registry) answers "what was the final
+//! value"; a [`TimeSeries`] answers "how did coverage/loss/reputation
+//! evolve across the run" — the convergence-plot raw data behind
+//! EXPERIMENTS.md. Each named series holds `(tick, value)` points in a
+//! fixed-capacity buffer; when a series fills up, adjacent point pairs are
+//! averaged into one (halving the resolution but keeping the full time
+//! range), so memory stays bounded no matter how long the run is.
+//!
+//! # Examples
+//!
+//! ```
+//! use mdrep_obs::timeseries::TimeSeries;
+//!
+//! let ts = TimeSeries::new();
+//! for tick in 0..10 {
+//!     ts.record("sim.coverage.mean", tick * 3600, tick as f64 / 10.0);
+//! }
+//! assert_eq!(ts.points("sim.coverage.mean").len(), 10);
+//! assert!(ts.to_csv().starts_with("series,ticks,value\n"));
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::{push_json_f64, push_json_string, Snapshot};
+
+/// Default per-series point capacity of [`TimeSeries::new`]. Must be even
+/// so downsampling always pairs points up.
+pub const DEFAULT_SERIES_CAPACITY: usize = 1_024;
+
+/// One sampled point: simulated time in ticks, and the value then.
+pub type Point = (u64, f64);
+
+/// A bounded recorder of named `(sim-tick, value)` series.
+#[derive(Debug)]
+pub struct TimeSeries {
+    enabled: AtomicBool,
+    capacity: usize,
+    inner: Mutex<BTreeMap<String, Vec<Point>>>,
+}
+
+impl Default for TimeSeries {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeSeries {
+    /// A fresh, enabled recorder with [`DEFAULT_SERIES_CAPACITY`] points
+    /// per series.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_SERIES_CAPACITY)
+    }
+
+    /// A recorder bounded to `capacity` points per series (rounded up to
+    /// an even minimum of 2).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            enabled: AtomicBool::new(true),
+            capacity: capacity.max(2).next_multiple_of(2),
+            inner: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Turns recording on or off (existing points are kept).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether record calls currently take effect.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Appends one point to the named series, downsampling the series 2:1
+    /// (averaging adjacent pairs of both tick and value) when it is full.
+    pub fn record(&self, name: &str, tick: u64, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        debug_assert!(
+            crate::valid_metric_name(name),
+            "series name {name:?} violates the component.operation.metric convention"
+        );
+        let mut inner = self.lock();
+        if !inner.contains_key(name) {
+            inner.insert(name.to_owned(), Vec::new());
+        }
+        let points = inner.get_mut(name).expect("just inserted");
+        if points.len() >= self.capacity {
+            downsample(points);
+        }
+        points.push((tick, value));
+    }
+
+    /// Samples every gauge and counter of `snapshot` as one point each at
+    /// `tick` — the per-recompute-boundary hook the simulator calls.
+    pub fn sample_snapshot(&self, snapshot: &Snapshot, tick: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        for (name, value) in &snapshot.gauges {
+            self.record(name, tick, *value);
+        }
+        for (name, value) in &snapshot.counters {
+            self.record(name, tick, *value as f64);
+        }
+    }
+
+    /// The recorded points of one series (empty when unknown).
+    #[must_use]
+    pub fn points(&self, name: &str) -> Vec<Point> {
+        self.lock().get(name).cloned().unwrap_or_default()
+    }
+
+    /// The recorded series names.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.lock().keys().cloned().collect()
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Drops every recorded series (the enabled flag is unchanged).
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    /// CSV export: a `series,ticks,value` header then one row per point,
+    /// series in name order, points in time order.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::from("series,ticks,value\n");
+        for (name, points) in inner.iter() {
+            for (tick, value) in points {
+                out.push_str(&format!("{name},{tick},{value}\n"));
+            }
+        }
+        out
+    }
+
+    /// JSON export: `{"series": {"<name>": [[tick, value], ...], ...}}`.
+    /// Non-finite values are encoded as the strings `"NaN"`/`"inf"`/
+    /// `"-inf"`, matching [`Snapshot::to_json`].
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::from("{\"series\": {");
+        for (i, (name, points)) in inner.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  ");
+            push_json_string(&mut out, name);
+            out.push_str(": [");
+            for (j, (tick, value)) in points.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{tick}, "));
+                push_json_f64(&mut out, *value);
+                out.push(']');
+            }
+            out.push(']');
+        }
+        if !inner.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("}}\n");
+        out
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Vec<Point>>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Averages adjacent point pairs in place, halving the series length.
+fn downsample(points: &mut Vec<Point>) {
+    let halved: Vec<Point> = points
+        .chunks(2)
+        .map(|pair| {
+            if let [(t0, v0), (t1, v1)] = pair {
+                (t0 / 2 + t1 / 2 + (t0 % 2 + t1 % 2) / 2, (v0 + v1) / 2.0)
+            } else {
+                pair[0]
+            }
+        })
+        .collect();
+    *points = halved;
+}
+
+/// The process-wide series recorder the simulator samples into.
+pub fn series() -> &'static TimeSeries {
+    static GLOBAL: OnceLock<TimeSeries> = OnceLock::new();
+    GLOBAL.get_or_init(TimeSeries::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_points_in_order() {
+        let ts = TimeSeries::new();
+        ts.record("sim.test.series", 0, 1.0);
+        ts.record("sim.test.series", 10, 2.0);
+        assert_eq!(ts.points("sim.test.series"), vec![(0, 1.0), (10, 2.0)]);
+        assert_eq!(ts.names(), vec!["sim.test.series".to_owned()]);
+    }
+
+    #[test]
+    fn downsampling_halves_and_preserves_range() {
+        let ts = TimeSeries::with_capacity(4);
+        for i in 0..5u64 {
+            ts.record("sim.test.down", i * 100, i as f64);
+        }
+        // The 5th record triggered a 4→2 downsample, then appended.
+        let points = ts.points("sim.test.down");
+        assert_eq!(points, vec![(50, 0.5), (250, 2.5), (400, 4.0)]);
+        // Filling up again keeps the series bounded at capacity.
+        for i in 5..100u64 {
+            ts.record("sim.test.down", i * 100, i as f64);
+        }
+        assert!(ts.points("sim.test.down").len() <= 4);
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let ts = TimeSeries::new();
+        ts.set_enabled(false);
+        ts.record("sim.test.series", 0, 1.0);
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn csv_and_json_exports_cover_every_point() {
+        let ts = TimeSeries::new();
+        ts.record("sim.test.a", 5, 0.25);
+        ts.record("sim.test.b", 7, f64::NAN);
+        let csv = ts.to_csv();
+        assert!(csv.contains("sim.test.a,5,0.25"), "{csv}");
+        let doc = crate::json::parse(&ts.to_json()).expect("valid JSON");
+        let a = doc.get("series").unwrap().get("sim.test.a").unwrap();
+        let point = a.as_array().unwrap()[0].as_array().unwrap();
+        assert_eq!(point[0].as_f64(), Some(5.0));
+        assert_eq!(point[1].as_f64(), Some(0.25));
+        let b = doc.get("series").unwrap().get("sim.test.b").unwrap();
+        assert_eq!(
+            b.as_array().unwrap()[0].as_array().unwrap()[1].as_str(),
+            Some("NaN")
+        );
+    }
+
+    #[test]
+    fn snapshot_sampling_records_gauges_and_counters() {
+        let r = crate::Registry::new();
+        r.gauge_set("sim.test.gauge", 0.5);
+        r.counter_add("sim.test.count", 3);
+        let ts = TimeSeries::new();
+        ts.sample_snapshot(&r.snapshot(), 42);
+        assert_eq!(ts.points("sim.test.gauge"), vec![(42, 0.5)]);
+        assert_eq!(ts.points("sim.test.count"), vec![(42, 3.0)]);
+    }
+}

@@ -1,27 +1,27 @@
 //! Behavioural contracts of the instrumentation registry: bucket
 //! boundaries, counter saturation, JSON round-tripping, and span nesting.
 
-use mdrep_obs::{json, Registry, DEFAULT_BUCKETS};
+use mdrep_obs::{json, Registry, Snapshot, DEFAULT_BUCKETS};
 use proptest::prelude::*;
 use std::time::Duration;
 
 #[test]
 fn histogram_bucket_boundaries_are_inclusive_upper_bounds() {
     let r = Registry::new();
-    r.histogram_with_bounds("h", &[1.0, 10.0, 100.0]);
+    r.histogram_with_bounds("obs.test.hist", &[1.0, 10.0, 100.0]);
     // Exactly on a bound lands in that bucket (inclusive upper bound);
     // just above spills into the next; above the last bound overflows.
     for v in [0.5, 1.0] {
-        r.histogram_record("h", v);
+        r.histogram_record("obs.test.hist", v);
     }
     for v in [1.0001, 10.0] {
-        r.histogram_record("h", v);
+        r.histogram_record("obs.test.hist", v);
     }
-    r.histogram_record("h", 100.0);
-    r.histogram_record("h", 100.0001);
-    r.histogram_record("h", f64::INFINITY);
+    r.histogram_record("obs.test.hist", 100.0);
+    r.histogram_record("obs.test.hist", 100.0001);
+    r.histogram_record("obs.test.hist", f64::INFINITY);
     let s = r.snapshot();
-    let h = s.histogram("h").expect("recorded");
+    let h = s.histogram("obs.test.hist").expect("recorded");
     assert_eq!(h.bounds, vec![1.0, 10.0, 100.0]);
     assert_eq!(h.counts, vec![2, 2, 1, 2]);
     assert_eq!(h.count, 7);
@@ -30,10 +30,10 @@ fn histogram_bucket_boundaries_are_inclusive_upper_bounds() {
 #[test]
 fn histogram_bounds_are_sorted_and_deduped() {
     let r = Registry::new();
-    r.histogram_with_bounds("h", &[10.0, 1.0, 10.0, f64::NAN, 5.0]);
-    r.histogram_record("h", 3.0);
+    r.histogram_with_bounds("obs.test.hist", &[10.0, 1.0, 10.0, f64::NAN, 5.0]);
+    r.histogram_record("obs.test.hist", 3.0);
     let s = r.snapshot();
-    let h = s.histogram("h").expect("recorded");
+    let h = s.histogram("obs.test.hist").expect("recorded");
     assert_eq!(h.bounds, vec![1.0, 5.0, 10.0]);
     assert_eq!(h.counts, vec![0, 1, 0, 0]);
 }
@@ -41,19 +41,19 @@ fn histogram_bounds_are_sorted_and_deduped() {
 #[test]
 fn histogram_nan_sample_goes_to_overflow() {
     let r = Registry::new();
-    r.histogram_with_bounds("h", &[1.0]);
-    r.histogram_record("h", f64::NAN);
+    r.histogram_with_bounds("obs.test.hist", &[1.0]);
+    r.histogram_record("obs.test.hist", f64::NAN);
     let s = r.snapshot();
-    let h = s.histogram("h").expect("recorded");
+    let h = s.histogram("obs.test.hist").expect("recorded");
     assert_eq!(h.counts, vec![0, 1]);
 }
 
 #[test]
 fn unregistered_histogram_gets_default_buckets() {
     let r = Registry::new();
-    r.histogram_record("h", 0.05);
+    r.histogram_record("obs.test.hist", 0.05);
     let s = r.snapshot();
-    let h = s.histogram("h").expect("recorded");
+    let h = s.histogram("obs.test.hist").expect("recorded");
     assert_eq!(h.bounds, DEFAULT_BUCKETS.to_vec());
     assert_eq!(h.counts.len(), DEFAULT_BUCKETS.len() + 1);
     assert_eq!(h.count, 1);
@@ -62,20 +62,24 @@ fn unregistered_histogram_gets_default_buckets() {
 #[test]
 fn counters_saturate_instead_of_wrapping() {
     let r = Registry::new();
-    r.counter_add("c", u64::MAX - 1);
-    r.counter_add("c", 5);
-    assert_eq!(r.snapshot().counter("c"), Some(u64::MAX));
-    r.counter_inc("c");
-    assert_eq!(r.snapshot().counter("c"), Some(u64::MAX), "stays pinned");
+    r.counter_add("obs.test.count", u64::MAX - 1);
+    r.counter_add("obs.test.count", 5);
+    assert_eq!(r.snapshot().counter("obs.test.count"), Some(u64::MAX));
+    r.counter_inc("obs.test.count");
+    assert_eq!(
+        r.snapshot().counter("obs.test.count"),
+        Some(u64::MAX),
+        "stays pinned"
+    );
 }
 
 #[test]
 fn timer_totals_saturate() {
     let r = Registry::new();
-    r.record_duration("t", Duration::MAX);
-    r.record_duration("t", Duration::MAX);
+    r.record_duration("obs.test.timer", Duration::MAX);
+    r.record_duration("obs.test.timer", Duration::MAX);
     let s = r.snapshot();
-    let t = s.timer("t").expect("recorded");
+    let t = s.timer("obs.test.timer").expect("recorded");
     assert_eq!(t.total_ns, u64::MAX);
     assert_eq!(t.count, 2);
 }
@@ -86,14 +90,13 @@ fn json_round_trips_a_populated_registry() {
     r.counter_add("dht.lookup.count", 42);
     r.counter_add("engine.decide.accept", 7);
     r.gauge_set("engine.tm.density", 0.125);
-    r.gauge_set("weird \"name\"\n", -3.5);
-    r.gauge_set("gauge.nan", f64::NAN);
-    r.gauge_set("gauge.inf", f64::INFINITY);
+    r.gauge_set("obs.gauge.nan", f64::NAN);
+    r.gauge_set("obs.gauge.inf", f64::INFINITY);
     r.record_duration("engine.recompute.total", Duration::from_micros(1500));
     r.record_duration("engine.recompute.total", Duration::from_micros(500));
-    r.histogram_with_bounds("sim.queue_depth", &[1.0, 4.0, 16.0]);
-    r.histogram_record("sim.queue_depth", 3.0);
-    r.histogram_record("sim.queue_depth", 100.0);
+    r.histogram_with_bounds("sim.queue.depth", &[1.0, 4.0, 16.0]);
+    r.histogram_record("sim.queue.depth", 3.0);
+    r.histogram_record("sim.queue.depth", 100.0);
 
     let text = r.snapshot().to_json();
     let doc = json::parse(&text).expect("writer output parses");
@@ -113,10 +116,9 @@ fn json_round_trips_a_populated_registry() {
         gauges.get("engine.tm.density").unwrap().as_f64(),
         Some(0.125)
     );
-    assert_eq!(gauges.get("weird \"name\"\n").unwrap().as_f64(), Some(-3.5));
     // Non-finite values survive as strings so the document stays valid JSON.
-    assert_eq!(gauges.get("gauge.nan").unwrap().as_str(), Some("NaN"));
-    assert_eq!(gauges.get("gauge.inf").unwrap().as_str(), Some("inf"));
+    assert_eq!(gauges.get("obs.gauge.nan").unwrap().as_str(), Some("NaN"));
+    assert_eq!(gauges.get("obs.gauge.inf").unwrap().as_str(), Some("inf"));
 
     let timer = doc
         .get("timers")
@@ -132,7 +134,7 @@ fn json_round_trips_a_populated_registry() {
     let hist = doc
         .get("histograms")
         .unwrap()
-        .get("sim.queue_depth")
+        .get("sim.queue.depth")
         .unwrap();
     let bounds: Vec<f64> = hist
         .get("bounds")
@@ -153,6 +155,30 @@ fn json_round_trips_a_populated_registry() {
     assert_eq!(bounds, vec![1.0, 4.0, 16.0]);
     assert_eq!(counts, vec![0.0, 1.0, 0.0, 1.0]);
     assert_eq!(hist.get("count").unwrap().as_f64(), Some(2.0));
+    // Percentile estimates ride along: both samples sit in or above the
+    // (1, 4] bucket, so the median interpolates inside it and p99 clamps
+    // to the highest finite bound (the second sample overflowed).
+    let p50 = hist.get("p50").unwrap().as_f64().unwrap();
+    assert!((1.0..=4.0).contains(&p50), "p50 = {p50}");
+    assert_eq!(hist.get("p99").unwrap().as_f64(), Some(16.0));
+}
+
+#[test]
+fn json_escapes_weird_names() {
+    // The writer must escape arbitrary keys even though the registry's
+    // debug assertion rejects them at record time; build the snapshot
+    // directly to exercise the escaping path.
+    let mut snap = Snapshot::default();
+    snap.gauges.insert("weird \"name\"\n".to_owned(), -3.5);
+    let doc = json::parse(&snap.to_json()).expect("writer output parses");
+    assert_eq!(
+        doc.get("gauges")
+            .unwrap()
+            .get("weird \"name\"\n")
+            .unwrap()
+            .as_f64(),
+        Some(-3.5)
+    );
 }
 
 #[test]
@@ -199,7 +225,13 @@ proptest! {
 }
 
 fn level_name(level: usize) -> &'static str {
-    const NAMES: [&str; 5] = ["span.l0", "span.l1", "span.l2", "span.l3", "span.l4"];
+    const NAMES: [&str; 5] = [
+        "obs.span.l0",
+        "obs.span.l1",
+        "obs.span.l2",
+        "obs.span.l3",
+        "obs.span.l4",
+    ];
     NAMES[level]
 }
 

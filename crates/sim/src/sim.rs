@@ -88,23 +88,42 @@ impl<S: ReputationSystem> Simulation<S> {
         for event in trace.events() {
             report.events_processed += 1;
             while event.time >= next_recompute {
+                let coverage = if interval_requests == 0 {
+                    0.0
+                } else {
+                    interval_covered as f64 / interval_requests as f64
+                };
                 report.coverage_series.push(CoveragePoint {
                     time: next_recompute,
                     requests: interval_requests,
-                    coverage: if interval_requests == 0 {
-                        0.0
-                    } else {
-                        interval_covered as f64 / interval_requests as f64
-                    },
+                    coverage,
                 });
+                // Sample the interval's state into the sim-time series at
+                // the recompute boundary (the natural sampling clock).
+                let tick = next_recompute.as_ticks();
+                let series = mdrep_obs::series();
+                series.record("sim.coverage.interval", tick, coverage);
+                series.record("sim.queue.max_depth", tick, report.max_queue_depth as f64);
+                if self.injector.is_some() {
+                    series.record("sim.fault.retrievals", tick, self.fault_retrievals as f64);
+                    series.record("sim.fault.lost_retrievals", tick, self.fault_lost as f64);
+                }
                 interval_requests = 0;
                 interval_covered = 0;
                 recompute_count += 1;
-                match self.config.full_rebuild_interval {
-                    Some(k) if k > 0 && recompute_count.is_multiple_of(k) => {
-                        self.system.full_rebuild(next_recompute);
+                {
+                    let mut tick_span = mdrep_obs::trace_span("sim.tick.recompute");
+                    tick_span.annotate("sim_time_ticks", tick.to_string());
+                    match self.config.full_rebuild_interval {
+                        Some(k) if k > 0 && recompute_count.is_multiple_of(k) => {
+                            tick_span.annotate("kind", "full_rebuild");
+                            self.system.full_rebuild(next_recompute);
+                        }
+                        _ => {
+                            tick_span.annotate("kind", "recompute");
+                            self.system.recompute(next_recompute);
+                        }
                     }
-                    _ => self.system.recompute(next_recompute),
                 }
                 next_recompute += interval;
             }
@@ -236,7 +255,12 @@ impl<S: ReputationSystem> Simulation<S> {
         }
 
         // Close the final interval.
-        self.system.recompute(next_recompute);
+        {
+            let mut tick_span = mdrep_obs::trace_span("sim.tick.recompute");
+            tick_span.annotate("sim_time_ticks", next_recompute.as_ticks().to_string());
+            tick_span.annotate("kind", "final");
+            self.system.recompute(next_recompute);
+        }
         if interval_requests > 0 {
             report.coverage_series.push(CoveragePoint {
                 time: next_recompute,
@@ -280,8 +304,8 @@ impl<S: ReputationSystem> Simulation<S> {
             0.0
         };
         obs.counter_add("sim.events.count", report.events_processed);
-        obs.gauge_set("sim.events_per_sec", report.events_per_sec);
-        obs.gauge_set("sim.max_queue_depth", report.max_queue_depth as f64);
+        obs.gauge_set("sim.run.events_per_sec", report.events_per_sec);
+        obs.gauge_set("sim.run.max_queue_depth", report.max_queue_depth as f64);
         if let Some(injector) = &self.injector {
             report.faults = FaultReport {
                 retrievals: self.fault_retrievals,
@@ -290,6 +314,12 @@ impl<S: ReputationSystem> Simulation<S> {
             };
             obs.gauge_set("sim.fault.retrievals", self.fault_retrievals as f64);
             obs.gauge_set("sim.fault.lost_retrievals", self.fault_lost as f64);
+            let success = if self.fault_retrievals > 0 {
+                1.0 - self.fault_lost as f64 / self.fault_retrievals as f64
+            } else {
+                1.0
+            };
+            obs.gauge_set("sim.fault.success_rate", success);
         }
 
         (report, self.system)
@@ -311,9 +341,11 @@ impl<S: ReputationSystem> Simulation<S> {
         file: FileId,
         now: SimTime,
     ) -> Vec<OwnerEvaluation> {
+        let mut query = mdrep_obs::trace_span("sim.eq9.query");
+        query.annotate("file", file.to_string());
         let mut attempted = 0u64;
         let mut lost = 0u64;
-        let result = {
+        let result: Vec<OwnerEvaluation> = {
             let evals = &self.evals;
             let eval_params = &self.eval_params;
             let injector = &mut self.injector;
@@ -325,6 +357,31 @@ impl<S: ReputationSystem> Simulation<S> {
                     Some(inj) => {
                         attempted += 1;
                         let dropped = inj.retrieval_lost(viewer, *owner, now, retry);
+                        // Expand the single end-to-end fault decision into
+                        // the attempt tree it stands for: a lost retrieval
+                        // means every retry failed (with its deterministic
+                        // backoff), a delivered one succeeded first try.
+                        // No extra rng draws, so seeded replays are
+                        // unchanged.
+                        let mut rpc = mdrep_obs::trace_span("dht.rpc.find_value");
+                        let attempts = if dropped {
+                            retry.max_attempts.max(1)
+                        } else {
+                            1
+                        };
+                        for attempt in 0..attempts {
+                            let mut a = mdrep_obs::trace_span("dht.rpc.attempt");
+                            a.annotate("attempt", (attempt + 1).to_string());
+                            if attempt > 0 {
+                                a.annotate(
+                                    "backoff_ticks",
+                                    retry.backoff_ticks(attempt - 1).to_string(),
+                                );
+                            }
+                            a.annotate("outcome", if dropped { "lost" } else { "delivered" });
+                        }
+                        rpc.annotate("attempts", attempts.to_string());
+                        rpc.annotate("delivered", (!dropped).to_string());
                         if dropped {
                             lost += 1;
                         }
@@ -341,6 +398,9 @@ impl<S: ReputationSystem> Simulation<S> {
         };
         self.fault_retrievals += attempted;
         self.fault_lost += lost;
+        query.annotate("owners", result.len().to_string());
+        query.annotate("attempted", attempted.to_string());
+        query.annotate("lost", lost.to_string());
         result
     }
 }
