@@ -8,6 +8,7 @@
 //! compare_bench BASELINE.json CURRENT.json [--tolerance 0.10] [--absolute]
 //! compare_bench CURRENT.json --ratio NUM_KEY DEN_KEY --min 5.0
 //! compare_bench CURRENT.json --ratio NUM_KEY DEN_KEY --max 1.03
+//! compare_bench --baseline-dir . [--current-dir .] [--require-all]
 //! ```
 //!
 //! The first mode fails (exit 1) when any benchmark regressed by more than
@@ -23,6 +24,14 @@
 //! (`--min`), or that tracing overhead stays within 3% (`--max 1.03`) —
 //! which is machine-independent by construction. `--min` and `--max`
 //! compose: give both to bound the ratio from both sides.
+//!
+//! The directory mode discovers baselines instead of taking an explicit
+//! file list: every `BENCH_<name>.json` in `--baseline-dir` is compared
+//! against `bench-<name>.json` in `--current-dir` (default `.`), so a new
+//! checked-in baseline is gated the moment it lands — no CI edit needed.
+//! Baselines without a current digest are listed as skipped (their bench
+//! simply didn't run in this lane); `--require-all` turns a skip into a
+//! failure.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -43,6 +52,16 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<String, String> {
     let (files, opts) = parse_args(args)?;
+    if let Some(dir) = &opts.baseline_dir {
+        if opts.ratio.is_some() {
+            return Err("--baseline-dir and --ratio are mutually exclusive".into());
+        }
+        if !files.is_empty() {
+            return Err("--baseline-dir mode takes no positional files".into());
+        }
+        let current_dir = opts.current_dir.as_deref().unwrap_or(".");
+        return check_directory(dir, current_dir, &opts);
+    }
     match opts.ratio {
         Some((num, den)) => {
             let [current] = files.as_slice() else {
@@ -72,6 +91,9 @@ struct Options {
     ratio: Option<(String, String)>,
     min: Option<f64>,
     max: Option<f64>,
+    baseline_dir: Option<String>,
+    current_dir: Option<String>,
+    require_all: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<(Vec<String>, Options), String> {
@@ -82,6 +104,9 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Options), String> {
         ratio: None,
         min: None,
         max: None,
+        baseline_dir: None,
+        current_dir: None,
+        require_all: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -91,6 +116,15 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Options), String> {
                 opts.tolerance = v.parse().map_err(|_| format!("bad tolerance: {v}"))?;
             }
             "--absolute" => opts.absolute = true,
+            "--baseline-dir" => {
+                let v = it.next().ok_or("--baseline-dir needs a directory")?;
+                opts.baseline_dir = Some(v.clone());
+            }
+            "--current-dir" => {
+                let v = it.next().ok_or("--current-dir needs a directory")?;
+                opts.current_dir = Some(v.clone());
+            }
+            "--require-all" => opts.require_all = true,
             "--ratio" => {
                 let num = it.next().ok_or("--ratio needs NUM_KEY DEN_KEY")?;
                 let den = it.next().ok_or("--ratio needs NUM_KEY DEN_KEY")?;
@@ -193,6 +227,77 @@ fn check_ratio(
         (None, None) => "unbounded".into(),
     };
     Ok(format!("ratio {num} / {den} = {ratio:.3} ({bounds}) — ok"))
+}
+
+/// Maps a baseline filename (`BENCH_<name>.json`) to its current-digest
+/// counterpart (`bench-<name>.json`); `None` for files outside the
+/// convention.
+fn current_name_for(baseline_file: &str) -> Option<String> {
+    let name = baseline_file
+        .strip_prefix("BENCH_")?
+        .strip_suffix(".json")?;
+    Some(format!("bench-{name}.json"))
+}
+
+/// Directory mode: gate every discovered `BENCH_*.json` baseline against
+/// its `bench-*.json` current digest. One aggregated report; any
+/// regression (or, with `--require-all`, any missing digest) fails.
+fn check_directory(
+    baseline_dir: &str,
+    current_dir: &str,
+    opts: &Options,
+) -> Result<String, String> {
+    let mut baselines: Vec<String> = std::fs::read_dir(baseline_dir)
+        .map_err(|e| format!("cannot read {baseline_dir}: {e}"))?
+        .filter_map(|entry| entry.ok()?.file_name().into_string().ok())
+        .filter(|name| current_name_for(name).is_some())
+        .collect();
+    baselines.sort();
+    if baselines.is_empty() {
+        return Err(format!("no BENCH_*.json baselines in {baseline_dir}"));
+    }
+
+    let mut sections = Vec::new();
+    let mut skipped = Vec::new();
+    let mut failures = Vec::new();
+    for baseline_file in &baselines {
+        let current_file = current_name_for(baseline_file).expect("pre-filtered");
+        let baseline_path = format!("{baseline_dir}/{baseline_file}");
+        let current_path = format!("{current_dir}/{current_file}");
+        if !std::path::Path::new(&current_path).exists() {
+            skipped.push(format!("{baseline_file} (no {current_file})"));
+            continue;
+        }
+        let base = load_digest(&baseline_path)?;
+        let cur = load_digest(&current_path)?;
+        match check_regressions(&base, &cur, opts.tolerance, opts.absolute) {
+            Ok(report) => sections.push(format!("== {baseline_file} ==\n{report}")),
+            Err(report) => {
+                failures.push(baseline_file.clone());
+                sections.push(format!("== {baseline_file} ==\n{report}"));
+            }
+        }
+    }
+    if !skipped.is_empty() {
+        sections.push(format!("skipped: {}", skipped.join(", ")));
+    }
+    let report = sections.join("\n");
+    if !failures.is_empty() {
+        return Err(format!(
+            "{report}\nfailed baselines: {}",
+            failures.join(", ")
+        ));
+    }
+    if opts.require_all && !skipped.is_empty() {
+        return Err(format!(
+            "{report}\n--require-all: missing current digests for {}",
+            skipped.join(", ")
+        ));
+    }
+    if sections.iter().all(|s| s.starts_with("skipped")) {
+        return Err(format!("{report}\nno baseline had a current digest"));
+    }
+    Ok(report)
 }
 
 fn check_regressions(
@@ -355,5 +460,91 @@ mod tests {
         assert_eq!(opts.min, None);
 
         assert!(parse_args(&["--bogus".into()]).is_err());
+
+        let (files, opts) = parse_args(&[
+            "--baseline-dir".into(),
+            ".".into(),
+            "--current-dir".into(),
+            "out".into(),
+            "--require-all".into(),
+        ])
+        .unwrap();
+        assert!(files.is_empty());
+        assert_eq!(opts.baseline_dir.as_deref(), Some("."));
+        assert_eq!(opts.current_dir.as_deref(), Some("out"));
+        assert!(opts.require_all);
+    }
+
+    #[test]
+    fn baseline_name_mapping() {
+        assert_eq!(
+            current_name_for("BENCH_sharded.json").as_deref(),
+            Some("bench-sharded.json")
+        );
+        assert_eq!(current_name_for("BENCH_x.txt"), None);
+        assert_eq!(current_name_for("bench-sharded.json"), None);
+        assert_eq!(current_name_for("README.md"), None);
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("compare_bench_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn opts_for_dir() -> Options {
+        Options {
+            tolerance: 0.10,
+            absolute: true,
+            ratio: None,
+            min: None,
+            max: None,
+            baseline_dir: None,
+            current_dir: None,
+            require_all: false,
+        }
+    }
+
+    #[test]
+    fn directory_mode_discovers_new_baselines() {
+        let dir = scratch_dir("discover");
+        let d = dir.to_str().unwrap();
+        std::fs::write(dir.join("BENCH_alpha.json"), "{\"a/x\": 100}").unwrap();
+        std::fs::write(dir.join("bench-alpha.json"), "{\"a/x\": 101}").unwrap();
+        // A newly checked-in baseline is picked up with zero config.
+        std::fs::write(dir.join("BENCH_beta.json"), "{\"b/y\": 50}").unwrap();
+        std::fs::write(dir.join("bench-beta.json"), "{\"b/y\": 49}").unwrap();
+        // Unrelated files are ignored.
+        std::fs::write(dir.join("notes.json"), "{\"z\": 1}").unwrap();
+
+        let report = check_directory(d, d, &opts_for_dir()).unwrap();
+        assert!(report.contains("BENCH_alpha.json"), "{report}");
+        assert!(report.contains("BENCH_beta.json"), "{report}");
+        assert!(!report.contains("notes"), "{report}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn directory_mode_fails_on_regression_and_reports_skips() {
+        let dir = scratch_dir("regress");
+        let d = dir.to_str().unwrap();
+        std::fs::write(dir.join("BENCH_alpha.json"), "{\"a/x\": 100}").unwrap();
+        std::fs::write(dir.join("bench-alpha.json"), "{\"a/x\": 200}").unwrap();
+        std::fs::write(dir.join("BENCH_orphan.json"), "{\"o/z\": 10}").unwrap();
+
+        let err = check_directory(d, d, &opts_for_dir()).unwrap_err();
+        assert!(err.contains("failed baselines: BENCH_alpha.json"), "{err}");
+        assert!(err.contains("skipped: BENCH_orphan.json"), "{err}");
+
+        // Fix the regression: skips alone pass by default …
+        std::fs::write(dir.join("bench-alpha.json"), "{\"a/x\": 100}").unwrap();
+        assert!(check_directory(d, d, &opts_for_dir()).is_ok());
+        // … but fail under --require-all.
+        let mut strict = opts_for_dir();
+        strict.require_all = true;
+        let err = check_directory(d, d, &strict).unwrap_err();
+        assert!(err.contains("--require-all"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

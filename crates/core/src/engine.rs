@@ -16,6 +16,7 @@ use crate::file_trust::{FileTrustOptions, FileTrustState};
 use crate::incentive::{ServiceDecision, ServicePolicy};
 use crate::params::Params;
 use crate::reputation::ReputationMatrix;
+use crate::snapshot::EngineSnapshot;
 use crate::user_trust::UserTrust;
 use crate::volume_trust::VolumeTrust;
 use mdrep_matrix::{
@@ -420,17 +421,17 @@ impl ReputationEngine {
         let fm = {
             let _span = obs.span("engine.recompute.fm_build");
             let _trace = mdrep_obs::trace_span("engine.recompute.fm_build");
-            CsrMatrix::freeze_normalized_with(&index, ft_raw)
+            CsrMatrix::freeze_normalized_sharded(&index, ft_raw, threads)
         };
         let dm = {
             let _span = obs.span("engine.recompute.dm_build");
             let _trace = mdrep_obs::trace_span("engine.recompute.dm_build");
-            CsrMatrix::freeze_normalized_with(&index, &dm_raw)
+            CsrMatrix::freeze_normalized_sharded(&index, &dm_raw, threads)
         };
         let um = {
             let _span = obs.span("engine.recompute.um_build");
             let _trace = mdrep_obs::trace_span("engine.recompute.um_build");
-            CsrMatrix::freeze_normalized_with(&index, &um_raw)
+            CsrMatrix::freeze_normalized_sharded(&index, &um_raw, threads)
         };
         let w = self.params.weights();
         let tm = {
@@ -759,6 +760,23 @@ impl ReputationEngine {
         self.rm
             .as_ref()
             .map_or(0.0, |rm| rm.request_coverage(requests))
+    }
+
+    /// Captures the engine's *computed* state (components, `RM`, punished
+    /// set) as an immutable [`EngineSnapshot`] stamped with `epoch`. The
+    /// snapshot answers every read query the engine does, against exactly
+    /// this recompute's matrices — the publication unit of the sharded
+    /// epoch-snapshot architecture.
+    #[must_use]
+    pub fn snapshot_at(&self, epoch: u64, as_of: SimTime) -> EngineSnapshot {
+        EngineSnapshot::new(
+            epoch,
+            as_of,
+            self.params.clone(),
+            self.components.clone(),
+            self.rm.clone(),
+            self.punished.clone(),
+        )
     }
 }
 

@@ -63,6 +63,8 @@ pub mod file_trust;
 pub mod incentive;
 pub mod params;
 pub mod reputation;
+pub mod sharded;
+pub mod snapshot;
 pub mod user_trust;
 pub mod volume_trust;
 
@@ -77,5 +79,7 @@ pub use file_trust::{DistanceMetric, FileTrust, FileTrustOptions, FileTrustState
 pub use incentive::{ServiceDecision, ServicePolicy};
 pub use params::{Params, ParamsBuilder, ParamsError, Weights};
 pub use reputation::{ReputationMatrix, TrustTier};
+pub use sharded::{EngineEvent, ShardedEngine};
+pub use snapshot::{EngineSnapshot, SnapshotCell, SnapshotReader};
 pub use user_trust::UserTrust;
 pub use volume_trust::VolumeTrust;

@@ -1,0 +1,417 @@
+//! Immutable epoch snapshots of the engine's computed state, and the
+//! lock-free publication cell readers subscribe to.
+//!
+//! The sharded engine separates *ingest* (per-shard event queues), *compute*
+//! (one recompute at a time over the master state), and *reads* (Equation 9
+//! queries, incentive decisions, DHT serving). Reads never touch mutable
+//! state: each recompute epoch publishes one [`EngineSnapshot`] — the frozen
+//! `FM`/`DM`/`UM`/`TM` components and `RM` under one interner, plus the
+//! punished set — into a [`SnapshotCell`]. A snapshot is immutable for its
+//! whole lifetime, so a reader holding its `Arc` can answer any number of
+//! queries against a *consistent* epoch while the next epoch recomputes
+//! concurrently; a torn read (part epoch N, part epoch N+1) is structurally
+//! impossible.
+//!
+//! [`SnapshotReader`] adds the lock-free fast path: it caches the last
+//! `Arc<EngineSnapshot>` and revalidates with a single atomic epoch load,
+//! taking the cell's read lock only when an epoch actually flipped — in
+//! steady state (many reads per epoch) reads cost one `Acquire` load.
+
+use crate::engine::TrustComponents;
+use crate::file_reputation::{
+    download_decision, file_reputation, DownloadDecision, OwnerEvaluation,
+};
+use crate::incentive::{ServiceDecision, ServicePolicy};
+use crate::params::Params;
+use crate::reputation::ReputationMatrix;
+use mdrep_types::{Evaluation, SimTime, UserId};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One recompute epoch's published, immutable state.
+///
+/// All query methods mirror [`ReputationEngine`](crate::ReputationEngine)'s
+/// read API and are `&self` over immutable data — safe to call from any
+/// number of threads concurrently.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    epoch: u64,
+    as_of: SimTime,
+    params: Params,
+    components: Option<TrustComponents>,
+    rm: Option<ReputationMatrix>,
+    punished: HashSet<UserId>,
+}
+
+impl EngineSnapshot {
+    /// An empty epoch-0 snapshot: every query answers conservatively, like
+    /// a fresh engine before its first recompute.
+    #[must_use]
+    pub fn empty(params: Params) -> Self {
+        Self {
+            epoch: 0,
+            as_of: SimTime::ZERO,
+            params,
+            components: None,
+            rm: None,
+            punished: HashSet::new(),
+        }
+    }
+
+    pub(crate) fn new(
+        epoch: u64,
+        as_of: SimTime,
+        params: Params,
+        components: Option<TrustComponents>,
+        rm: Option<ReputationMatrix>,
+        punished: HashSet<UserId>,
+    ) -> Self {
+        Self {
+            epoch,
+            as_of,
+            params,
+            components,
+            rm,
+            punished,
+        }
+    }
+
+    /// The epoch counter this snapshot was published under (0 = empty).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The simulation time the epoch was computed at.
+    #[must_use]
+    pub fn as_of(&self) -> SimTime {
+        self.as_of
+    }
+
+    /// The engine parameters the epoch was computed with.
+    #[must_use]
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// The epoch's one-step matrices (`None` before the first recompute).
+    #[must_use]
+    pub fn components(&self) -> Option<&TrustComponents> {
+        self.components.as_ref()
+    }
+
+    /// The epoch's reputation matrix (`None` before the first recompute).
+    #[must_use]
+    pub fn reputation_matrix(&self) -> Option<&ReputationMatrix> {
+        self.rm.as_ref()
+    }
+
+    /// Whether `user` was punished as of this epoch.
+    #[must_use]
+    pub fn is_punished(&self, user: UserId) -> bool {
+        self.punished.contains(&user)
+    }
+
+    /// `RM_ij` (0 before the first epoch, for unknown pairs, and for
+    /// punished targets) — the lock-free counterpart of
+    /// [`ReputationEngine::reputation`](crate::ReputationEngine::reputation).
+    #[must_use]
+    pub fn reputation(&self, i: UserId, j: UserId) -> f64 {
+        if self.punished.contains(&j) {
+            return 0.0;
+        }
+        self.rm.as_ref().map_or(0.0, |rm| rm.reputation(i, j))
+    }
+
+    /// [`reputation`](Self::reputation) rescaled so `i`'s most-trusted peer
+    /// maps to 1 — the service-differentiation input.
+    #[must_use]
+    pub fn relative_reputation(&self, i: UserId, j: UserId) -> f64 {
+        let raw = self.reputation(i, j);
+        if raw <= 0.0 {
+            return 0.0;
+        }
+        let max = self.rm.as_ref().map_or(0.0, |rm| rm.row_max(i));
+        if max > 0.0 {
+            raw / max
+        } else {
+            0.0
+        }
+    }
+
+    /// Equation 9 for `viewer` over the supplied owner evaluations,
+    /// punished owners discarded.
+    #[must_use]
+    pub fn file_reputation(
+        &self,
+        viewer: UserId,
+        evaluations: &[OwnerEvaluation],
+    ) -> Option<Evaluation> {
+        let trusted = self.trusted_evaluations(evaluations);
+        self.rm
+            .as_ref()
+            .and_then(|rm| file_reputation(rm, viewer, &trusted))
+    }
+
+    /// Batched Equation 9: one file's owner set scored by a viewer panel.
+    #[must_use]
+    pub fn file_reputation_batch(
+        &self,
+        viewers: &[UserId],
+        evaluations: &[OwnerEvaluation],
+    ) -> Vec<Option<Evaluation>> {
+        let trusted = self.trusted_evaluations(evaluations);
+        match &self.rm {
+            None => vec![None; viewers.len()],
+            Some(rm) => crate::file_reputation::file_reputation_batch(rm, viewers, &trusted),
+        }
+    }
+
+    /// The download decision for `viewer` (punished owners discarded).
+    #[must_use]
+    pub fn decide_download(
+        &self,
+        viewer: UserId,
+        evaluations: &[OwnerEvaluation],
+    ) -> DownloadDecision {
+        let trusted = self.trusted_evaluations(evaluations);
+        match &self.rm {
+            None => DownloadDecision::Unknown,
+            Some(rm) => download_decision(rm, viewer, &trusted, &self.params),
+        }
+    }
+
+    /// The service `uploader` grants `requester` under `policy`.
+    #[must_use]
+    pub fn service(
+        &self,
+        uploader: UserId,
+        requester: UserId,
+        policy: &ServicePolicy,
+    ) -> ServiceDecision {
+        match &self.rm {
+            None => policy.decide_scaled(0.0),
+            Some(rm) => policy.decide(rm, uploader, requester),
+        }
+    }
+
+    /// Tier-based service (punished requesters are strangers).
+    #[must_use]
+    pub fn service_tiered(
+        &self,
+        uploader: UserId,
+        requester: UserId,
+        policy: &ServicePolicy,
+    ) -> ServiceDecision {
+        match &self.rm {
+            _ if self.punished.contains(&requester) => policy.decide_scaled(0.0),
+            None => policy.decide_scaled(0.0),
+            Some(rm) => policy.decide_tiered(rm.tier_of(uploader, requester), rm.steps().max(1)),
+        }
+    }
+
+    /// Figure 1 request coverage over this epoch's `RM`.
+    #[must_use]
+    pub fn request_coverage(&self, requests: &[(UserId, UserId)]) -> f64 {
+        self.rm
+            .as_ref()
+            .map_or(0.0, |rm| rm.request_coverage(requests))
+    }
+
+    /// FNV-1a digest over the epoch stamp and every `RM` entry's exact bit
+    /// pattern — two snapshots with the same digest carry the same epoch
+    /// and bit-identical reputation state. The torn-epoch stress tests
+    /// recompute this from a reader thread and compare against the
+    /// writer's publication log.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(self.epoch);
+        if let Some(rm) = &self.rm {
+            for (r, c, v) in rm.matrix().iter() {
+                mix(r.as_u64());
+                mix(c.as_u64());
+                mix(v.to_bits());
+            }
+        }
+        h
+    }
+
+    fn trusted_evaluations(&self, evaluations: &[OwnerEvaluation]) -> Vec<OwnerEvaluation> {
+        evaluations
+            .iter()
+            .filter(|oe| !self.punished.contains(&oe.owner))
+            .copied()
+            .collect()
+    }
+}
+
+/// The publication point: holds the current epoch's `Arc<EngineSnapshot>`
+/// and an atomic epoch counter readers revalidate against.
+///
+/// Publishing stores the new `Arc` first, then bumps the epoch with
+/// `Release`; a reader that observes the bumped epoch (`Acquire`) therefore
+/// sees a slot at least as new. Readers that race a publication get either
+/// the old or the new snapshot — both complete, never a mix.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    epoch: AtomicU64,
+    slot: RwLock<Arc<EngineSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// A cell holding the empty epoch-0 snapshot.
+    #[must_use]
+    pub fn new(params: Params) -> Self {
+        Self::with_snapshot(Arc::new(EngineSnapshot::empty(params)))
+    }
+
+    /// A cell pre-seeded with an existing snapshot.
+    #[must_use]
+    pub fn with_snapshot(snapshot: Arc<EngineSnapshot>) -> Self {
+        Self {
+            epoch: AtomicU64::new(snapshot.epoch()),
+            slot: RwLock::new(snapshot),
+        }
+    }
+
+    /// The epoch of the currently published snapshot (one atomic load).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Clones the current snapshot handle (brief read lock).
+    #[must_use]
+    pub fn load(&self) -> Arc<EngineSnapshot> {
+        Arc::clone(&self.slot.read().expect("snapshot lock poisoned"))
+    }
+
+    /// Publishes a new epoch: swap the slot, then advertise the epoch.
+    pub fn publish(&self, snapshot: Arc<EngineSnapshot>) {
+        let epoch = snapshot.epoch();
+        *self.slot.write().expect("snapshot lock poisoned") = snapshot;
+        self.epoch.store(epoch, Ordering::Release);
+    }
+
+    /// A reader with its own cached handle against this cell.
+    #[must_use]
+    pub fn reader(&self) -> SnapshotReader<'_> {
+        SnapshotReader {
+            cell: self,
+            cached: self.load(),
+        }
+    }
+}
+
+/// A per-thread reading handle: revalidates its cached snapshot with one
+/// atomic load and only touches the cell's lock on an epoch flip.
+///
+/// # Examples
+///
+/// ```
+/// use mdrep::{Params, ShardedEngine};
+/// use mdrep_types::{Evaluation, SimTime, UserId};
+///
+/// let engine = ShardedEngine::new(Params::default(), 4);
+/// engine.observe_rank(UserId::new(0), UserId::new(1), Evaluation::BEST);
+/// engine.recompute_epoch(SimTime::ZERO);
+///
+/// let mut reader = engine.reader();
+/// let snap = reader.current();
+/// assert_eq!(snap.epoch(), 1);
+/// assert!(snap.reputation(UserId::new(0), UserId::new(1)) > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    cell: &'a SnapshotCell,
+    cached: Arc<EngineSnapshot>,
+}
+
+impl SnapshotReader<'_> {
+    /// The current snapshot: cached `Arc` when the epoch is unchanged
+    /// (lock-free — a single `Acquire` load), refreshed through the cell
+    /// otherwise.
+    pub fn current(&mut self) -> &Arc<EngineSnapshot> {
+        let published = self.cell.epoch();
+        if published != self.cached.epoch() {
+            self.cached = self.cell.load();
+        }
+        &self.cached
+    }
+
+    /// The epoch of the cached snapshot (no revalidation).
+    #[must_use]
+    pub fn cached_epoch(&self) -> u64 {
+        self.cached.epoch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(i: u64) -> UserId {
+        UserId::new(i)
+    }
+
+    #[test]
+    fn empty_snapshot_answers_conservatively() {
+        let snap = EngineSnapshot::empty(Params::default());
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.reputation(u(0), u(1)), 0.0);
+        assert_eq!(snap.relative_reputation(u(0), u(1)), 0.0);
+        assert!(snap.components().is_none());
+        assert!(snap.reputation_matrix().is_none());
+        assert_eq!(snap.decide_download(u(0), &[]), DownloadDecision::Unknown);
+        assert!(snap
+            .service(u(0), u(1), &ServicePolicy::default())
+            .is_throttled());
+        assert_eq!(snap.request_coverage(&[(u(0), u(1))]), 0.0);
+        assert_eq!(snap.file_reputation_batch(&[u(0)], &[]), vec![None]);
+    }
+
+    #[test]
+    fn cell_publish_flips_epoch_and_slot() {
+        let cell = SnapshotCell::new(Params::default());
+        assert_eq!(cell.epoch(), 0);
+        let mut reader = cell.reader();
+        assert_eq!(reader.current().epoch(), 0);
+
+        let next = Arc::new(EngineSnapshot::new(
+            7,
+            SimTime::ZERO,
+            Params::default(),
+            None,
+            None,
+            HashSet::new(),
+        ));
+        cell.publish(Arc::clone(&next));
+        assert_eq!(cell.epoch(), 7);
+        assert_eq!(reader.cached_epoch(), 0, "not yet revalidated");
+        assert_eq!(reader.current().epoch(), 7, "refresh on flip");
+        assert!(Arc::ptr_eq(reader.current(), &next));
+    }
+
+    #[test]
+    fn digest_distinguishes_epochs() {
+        let a = EngineSnapshot::empty(Params::default());
+        let b = EngineSnapshot::new(
+            1,
+            SimTime::ZERO,
+            Params::default(),
+            None,
+            None,
+            HashSet::new(),
+        );
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.digest(), a.clone().digest());
+    }
+}

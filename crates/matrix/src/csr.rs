@@ -209,6 +209,95 @@ impl CsrMatrix {
         Self::freeze_impl(index, m, true)
     }
 
+    /// Sharded counterpart of [`freeze_normalized_with`](Self::freeze_normalized_with):
+    /// the row space is partitioned into `shards` contiguous position
+    /// ranges and each shard's rows are frozen by its own worker thread,
+    /// then stitched back in range order. Row normalization is per-row
+    /// (each row's sum is computed over that row alone), so the output is
+    /// **bit-identical** to the serial freeze at any shard count — this is
+    /// the kernel the sharded engine's full rebuild runs per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards == 0` or `m` references an id missing from
+    /// `index`.
+    #[must_use]
+    pub fn freeze_normalized_sharded(
+        index: &Arc<UserIndex>,
+        m: &SparseMatrix,
+        shards: usize,
+    ) -> Self {
+        assert!(shards >= 1, "at least one shard is required");
+        let n = index.len();
+        if shards == 1 || n < 2 * shards {
+            return Self::freeze_impl(index, m, true);
+        }
+        let ranges = shard_ranges(n, shards);
+        // Each worker freezes one contiguous range of interned positions:
+        // (per-row column/value arrays + per-row lengths). Per-row sums are
+        // computed inside the worker exactly as the serial pass does.
+        type ShardPart = (Vec<usize>, Vec<u32>, Vec<f64>);
+        let worker = |range: std::ops::Range<usize>| -> ShardPart {
+            let ids = &index.ids()[range.clone()];
+            let mut lens = Vec::with_capacity(ids.len());
+            let mut cols = Vec::new();
+            let mut vals = Vec::new();
+            for &id in ids {
+                let before = vals.len();
+                if let Some(row) = m.row(id) {
+                    let sum: f64 = row.values().sum();
+                    debug_assert!(sum > 0.0, "validated matrices store no zero rows");
+                    for (&c, &v) in row {
+                        cols.push(index.position(c).expect("column id interned in index"));
+                        vals.push(v / sum);
+                    }
+                }
+                lens.push(vals.len() - before);
+            }
+            (lens, cols, vals)
+        };
+        let worker = &worker;
+        let parts: Vec<ShardPart> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| scope.spawn(move || worker(range)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("freeze shard panicked"))
+                .collect()
+        });
+        // Stitch in shard order = ascending position order: prefix-sum the
+        // per-row lengths into the global indptr, then concatenate the
+        // entry arrays.
+        let nnz: usize = parts.iter().map(|(_, c, _)| c.len()).sum();
+        let mut indptr = vec![0usize; n + 1];
+        let mut cols = Vec::with_capacity(nnz);
+        let mut vals = Vec::with_capacity(nnz);
+        let mut pos = 0usize;
+        let mut offset = 0usize;
+        for (lens, part_cols, part_vals) in parts {
+            for len in lens {
+                indptr[pos] = offset;
+                offset += len;
+                pos += 1;
+            }
+            cols.extend(part_cols);
+            vals.extend(part_vals);
+        }
+        debug_assert_eq!(pos, n);
+        debug_assert_eq!(offset, vals.len());
+        indptr[n] = vals.len();
+        assert_eq!(cols.len(), m.nnz(), "index must intern every row id of m");
+        Self {
+            index: Arc::clone(index),
+            indptr,
+            cols,
+            vals,
+            overlay: BTreeMap::new(),
+        }
+    }
+
     fn freeze_impl(index: &Arc<UserIndex>, m: &SparseMatrix, normalize: bool) -> Self {
         let n = index.len();
         let nnz = m.nnz();
@@ -776,6 +865,20 @@ pub fn blend_frozen(parts: &[(f64, &CsrMatrix)], threads: usize) -> Result<CsrMa
     Ok(CsrMatrix::assemble(Arc::clone(&first.index), n, rows))
 }
 
+/// Partitions `0..n` into at most `shards` contiguous, near-equal ranges
+/// (empty ranges are dropped). The partition depends only on `n` and
+/// `shards`, never on runtime thread availability, so shard-parallel
+/// kernels stay deterministic.
+#[must_use]
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(shards >= 1, "at least one shard is required");
+    let chunk = n.div_ceil(shards).max(1);
+    (0..shards)
+        .map(|s| (s * chunk).min(n)..((s + 1) * chunk).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
 /// One row of the frozen Equation 7 blend, overlay-aware — the dirty-row
 /// path's counterpart of [`blend_frozen`], producing exactly the row the
 /// batch blend would (same accumulation order, zeros dropped).
@@ -889,6 +992,60 @@ mod tests {
         let reference = m.normalized_rows();
         assert_eq!(fused, reference, "bit-identical normalization");
         assert!(fused.is_row_stochastic(1e-12));
+    }
+
+    #[test]
+    fn sharded_freeze_is_bit_identical_to_serial() {
+        let m = synth(97, 6, 77);
+        let index = Arc::new(UserIndex::from_matrices(&[&m]));
+        let serial = CsrMatrix::freeze_normalized_with(&index, &m);
+        for shards in [1, 2, 3, 4, 7, 16, 200] {
+            let sharded = CsrMatrix::freeze_normalized_sharded(&index, &m, shards);
+            assert_eq!(sharded.indptr, serial.indptr, "{shards} shards");
+            assert_eq!(sharded.cols, serial.cols, "{shards} shards");
+            // Bit-identical values, not just semantically equal.
+            for (a, b) in sharded.vals.iter().zip(&serial.vals) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_freeze_handles_index_gaps_and_empty() {
+        let mut m = SparseMatrix::new();
+        m.set(u(2), u(7), 3.0).unwrap();
+        m.set(u(7), u(2), 2.0).unwrap();
+        m.set(u(7), u(7), 2.0).unwrap();
+        let index = Arc::new(UserIndex::from_ids([u(0), u(2), u(5), u(7), u(9)]));
+        let serial = CsrMatrix::freeze_normalized_with(&index, &m);
+        let sharded = CsrMatrix::freeze_normalized_sharded(&index, &m, 3);
+        assert_eq!(sharded.indptr, serial.indptr);
+        assert_eq!(sharded, serial);
+        assert!(sharded.is_row_stochastic(1e-12));
+
+        let empty = CsrMatrix::freeze_normalized_sharded(
+            &Arc::new(UserIndex::default()),
+            &SparseMatrix::new(),
+            4,
+        );
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn shard_ranges_cover_and_never_overlap() {
+        for n in [0usize, 1, 5, 97, 1000] {
+            for shards in [1usize, 2, 3, 7, 64] {
+                let ranges = shard_ranges(n, shards);
+                let mut covered = 0usize;
+                for (i, r) in ranges.iter().enumerate() {
+                    assert_eq!(r.start, covered, "contiguous at n={n} s={shards}");
+                    assert!(r.end > r.start, "non-empty range {i}");
+                    covered = r.end;
+                }
+                assert_eq!(covered, n, "full cover at n={n} s={shards}");
+                assert!(ranges.len() <= shards);
+            }
+        }
     }
 
     #[test]

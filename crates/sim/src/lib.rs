@@ -51,9 +51,11 @@
 mod config;
 mod metrics;
 mod queue;
+pub mod replay;
 mod sim;
 
 pub use config::SimConfig;
 pub use metrics::{ClassStats, CoveragePoint, FakeStats, FaultReport, SimReport};
 pub use queue::{Request, UploaderQueue};
+pub use replay::{run_replay, ReplayConfig, ReplayReport};
 pub use sim::Simulation;
