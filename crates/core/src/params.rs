@@ -108,6 +108,7 @@ pub struct Params {
     pub(crate) evaluation_interval: SimDuration,
     pub(crate) fake_threshold: Evaluation,
     pub(crate) prune_threshold: f64,
+    pub(crate) top_k: Option<usize>,
     pub(crate) threads: usize,
     pub(crate) incremental_threshold: f64,
 }
@@ -165,6 +166,15 @@ impl Params {
         self.prune_threshold
     }
 
+    /// Per-row cap for multi-hop powers: each row of `TM^n` keeps only its
+    /// `k` heaviest entries after threshold pruning (`None` keeps all).
+    /// This is what makes `steps >= 2` a real operating point — see
+    /// DESIGN.md §15.
+    #[must_use]
+    pub fn top_k(&self) -> Option<usize> {
+        self.top_k
+    }
+
     /// Worker threads for parallel matrix builds: `0` (the default) picks
     /// the machine's available parallelism at use time.
     #[must_use]
@@ -202,6 +212,7 @@ impl Default for Params {
             evaluation_interval: SimDuration::from_days(30),
             fake_threshold: Evaluation::NEUTRAL,
             prune_threshold: 0.0,
+            top_k: None,
             threads: 0,
             incremental_threshold: 0.25,
         }
@@ -257,6 +268,12 @@ impl ParamsBuilder {
         self
     }
 
+    /// Sets the per-row top-k cap for multi-hop powers (`None` keeps all).
+    pub fn top_k(&mut self, k: Option<usize>) -> &mut Self {
+        self.params.top_k = k;
+        self
+    }
+
     /// Sets the worker-thread count for parallel matrix builds (`0` = auto).
     pub fn threads(&mut self, threads: usize) -> &mut Self {
         self.params.threads = threads;
@@ -294,6 +311,9 @@ impl ParamsBuilder {
             return Err(ParamsError::new(
                 "prune threshold must be finite and non-negative",
             ));
+        }
+        if p.top_k == Some(0) {
+            return Err(ParamsError::new("top_k must be at least 1 when set"));
         }
         if !p.incremental_threshold.is_finite() || !(0.0..=1.0).contains(&p.incremental_threshold) {
             return Err(ParamsError::new("incremental threshold must lie in [0, 1]"));
@@ -349,6 +369,8 @@ mod tests {
             .build()
             .is_err());
         assert!(Params::builder().prune_threshold(-1.0).build().is_err());
+        assert!(Params::builder().top_k(Some(0)).build().is_err());
+        assert!(Params::builder().top_k(Some(1)).build().is_ok());
         assert!(Params::builder()
             .incremental_threshold(-0.1)
             .build()

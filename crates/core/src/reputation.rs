@@ -75,8 +75,8 @@ impl ReputationMatrix {
     pub fn compute_csr(tm: CsrMatrix, params: &Params) -> Self {
         let base = if tm.is_compact() { tm } else { tm.compact() };
         let n = params.steps();
-        let options = if params.prune_threshold() > 0.0 {
-            PowerOptions::pruned(params.prune_threshold())
+        let options = if params.prune_threshold() > 0.0 || params.top_k().is_some() {
+            PowerOptions::pruned(params.prune_threshold()).with_top_k(params.top_k())
         } else {
             PowerOptions::exact()
         };

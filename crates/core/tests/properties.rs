@@ -170,12 +170,16 @@ proptest! {
         ops in proptest::collection::vec(
             (0u8..7, 0u64..8, 0u64..8, 0u64..10, eval_strategy()), 1..80),
         steps in 1u32..4,
+        raw_top_k in 0usize..6,
         viewer_ids in proptest::collection::vec(0u64..10, 1..6),
         owner_votes in proptest::collection::vec((0u64..10, eval_strategy()), 0..6),
     ) {
+        // 0 encodes "no cap" (the vendored proptest has no option strategy).
+        let top_k = (raw_top_k > 0).then_some(raw_top_k);
         let params = Params::builder()
             .incremental_threshold(1.0)
             .steps(steps)
+            .top_k(top_k)
             .build()
             .expect("valid");
         let mut engine = ReputationEngine::new(params.clone());
@@ -220,8 +224,8 @@ proptest! {
         }
 
         // Eq. 8 power: row-chunked SpGEMM vs the BTreeMap multiply chain.
-        let options = if params.prune_threshold() > 0.0 {
-            PowerOptions::pruned(params.prune_threshold())
+        let options = if params.prune_threshold() > 0.0 || params.top_k().is_some() {
+            PowerOptions::pruned(params.prune_threshold()).with_top_k(params.top_k())
         } else {
             PowerOptions::exact()
         };

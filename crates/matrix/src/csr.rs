@@ -582,25 +582,41 @@ impl CsrMatrix {
         }));
     }
 
-    /// One SpGEMM step `self · other` with optional fused pruning and
-    /// renormalization, row-partitioned across `threads` workers. Each
+    /// One SpGEMM step `self · other` with pruning **fused into the
+    /// accumulation pass**, row-partitioned across `threads` workers. Each
     /// worker reuses one dense `f64` accumulator (plus a touched-column
-    /// list) across its whole row chunk, so per-row cost is
-    /// `O(nnz(row) · avg_nnz(other) + touched · log touched)` with zero
-    /// allocation in the loop.
+    /// list and candidate/screen buffers) across its whole row chunk, so
+    /// per-row cost is `O(nnz(row) · avg_nnz(other) + touched · log
+    /// touched)` for exact rows and `O(k · avg_nnz(other) + touched +
+    /// k log k)` for `top_k`-pruned rows: the fan-out screen first reduces
+    /// the row of `self` to its `top_k` heaviest entries (so the product
+    /// work itself shrinks, not just the output), the partial select over
+    /// the accumulated candidates replaces the full touched-column sort,
+    /// and only the kept entries are ever emitted — no dense product row
+    /// is materialized into the output.
     ///
-    /// Bit-identical to `SparseMatrix::multiply` + `prune` +
-    /// `normalized_rows` on the thawed operands: rows accumulate in
-    /// ascending `k` order, and each output entry starts from `0.0` exactly
-    /// like `entry().or_insert(0.0)`.
+    /// The fused per-row rule is [`PowerOptions`]' ε-drop → top-k →
+    /// renormalize, applied to the input row of `self` when `top_k` is
+    /// set (the fan-out screen) and to every accumulated product row,
+    /// with ties at the k-boundary breaking toward the smaller column
+    /// position; selection is a per-row pure function of the operands,
+    /// so output is bit-identical at any thread count.
+    /// Without pruning, bit-identical to `SparseMatrix::multiply` on the
+    /// thawed operands: rows accumulate in ascending `k` order, and each
+    /// output entry starts from `0.0` exactly like `entry().or_insert(0.0)`.
     ///
     /// # Panics
     ///
-    /// Panics if `threads == 0` or the operands are frozen under different
-    /// indices. Operands must be compact ([`compact`](Self::compact) first).
+    /// Panics if `threads == 0`, `options.top_k == Some(0)`, or the
+    /// operands are frozen under different indices. Operands must be
+    /// compact ([`compact`](Self::compact) first).
     #[must_use]
     pub fn multiply_step(&self, other: &Self, options: PowerOptions, threads: usize) -> Self {
         assert!(threads >= 1, "at least one thread is required");
+        assert!(
+            options.top_k != Some(0),
+            "top_k must be at least 1 when set"
+        );
         assert!(
             self.is_compact() && other.is_compact(),
             "SpGEMM operands must be compact"
@@ -621,39 +637,131 @@ impl CsrMatrix {
         let worker = |chunk: &[u32]| -> Vec<CsrRow> {
             let mut scratch = vec![0.0f64; n];
             let mut touched: Vec<u32> = Vec::new();
+            let mut candidates: Vec<(u32, f64)> = Vec::new();
+            let mut screen: Vec<(u32, f64)> = Vec::new();
             let mut out = Vec::with_capacity(chunk.len());
             for &r in chunk {
                 let (a_cols, a_vals) = self.base_row(r);
-                for (&k, &a_rk) in a_cols.iter().zip(a_vals) {
-                    if a_rk == 0.0 {
-                        continue;
-                    }
-                    let (b_cols, b_vals) = other.base_row(k);
-                    for (&c, &b_kc) in b_cols.iter().zip(b_vals) {
-                        // A column cancelled back to exact 0.0 re-enters
-                        // `touched`; the emit loop below reads each column
-                        // once and zeroes it, so duplicates are harmless.
-                        if scratch[c as usize] == 0.0 {
-                            touched.push(c);
+                if let Some(cap) = options.top_k {
+                    // Fan-out cap: the hop propagates through at most the
+                    // `cap` most-trusted intermediaries. `prune_row_fused`'s
+                    // rule applied to the input row — ε-filter, partial
+                    // select with the same total order, renormalize in
+                    // ascending column order — so the screened terms match
+                    // the BTreeMap path's bit-for-bit. This is where the
+                    // pruned step beats the exact one on *work*, not just
+                    // output size: per-row products drop from
+                    // `deg_a · deg_b` to `cap · deg_b`.
+                    screen.clear();
+                    for (&c, &v) in a_cols.iter().zip(a_vals) {
+                        if options.prune_threshold == 0.0 || v >= options.prune_threshold {
+                            screen.push((c, v));
                         }
-                        scratch[c as usize] += a_rk * b_kc;
+                    }
+                    if screen.len() > cap {
+                        screen.select_nth_unstable_by(cap - 1, |a, b| {
+                            b.1.total_cmp(&a.1).then(a.0.cmp(&b.0))
+                        });
+                        screen.truncate(cap);
+                    }
+                    screen.sort_unstable_by_key(|&(c, _)| c);
+                    if options.renormalize {
+                        let sum: f64 = screen.iter().map(|&(_, v)| v).sum();
+                        if sum > 0.0 {
+                            for e in &mut screen {
+                                e.1 /= sum;
+                            }
+                        } else {
+                            screen.clear();
+                        }
+                    }
+                    for &(k, a_rk) in &screen {
+                        if a_rk == 0.0 {
+                            continue;
+                        }
+                        let (b_cols, b_vals) = other.base_row(k);
+                        for (&c, &b_kc) in b_cols.iter().zip(b_vals) {
+                            // A column cancelled back to exact 0.0 re-enters
+                            // `touched`; the emit loops below read each
+                            // column once and zero it, so duplicates are
+                            // harmless.
+                            if scratch[c as usize] == 0.0 {
+                                touched.push(c);
+                            }
+                            scratch[c as usize] += a_rk * b_kc;
+                        }
+                    }
+                } else {
+                    for (&k, &a_rk) in a_cols.iter().zip(a_vals) {
+                        if a_rk == 0.0 {
+                            continue;
+                        }
+                        let (b_cols, b_vals) = other.base_row(k);
+                        for (&c, &b_kc) in b_cols.iter().zip(b_vals) {
+                            // A column cancelled back to exact 0.0 re-enters
+                            // `touched`; the emit loops below read each
+                            // column once and zero it, so duplicates are
+                            // harmless.
+                            if scratch[c as usize] == 0.0 {
+                                touched.push(c);
+                            }
+                            scratch[c as usize] += a_rk * b_kc;
+                        }
                     }
                 }
-                touched.sort_unstable();
                 let (mut row_cols, mut row_vals) = (Vec::new(), Vec::new());
-                for &c in &touched {
-                    let v = scratch[c as usize];
-                    scratch[c as usize] = 0.0;
-                    // Exact zeros are dropped (matching `vector_multiply`'s
-                    // retain) and, when pruning, sub-threshold entries too.
-                    if v != 0.0 && (options.prune_threshold == 0.0 || v >= options.prune_threshold)
-                    {
+                if let Some(k) = options.top_k {
+                    // Fused top-k emit: drain the accumulator unsorted into
+                    // the candidate buffer (ε-filtered), partial-select the
+                    // k heaviest, and only then sort the keepers by column.
+                    // Avoids the full touched sort *and* the dense emit.
+                    candidates.clear();
+                    for &c in &touched {
+                        let v = scratch[c as usize];
+                        scratch[c as usize] = 0.0;
+                        if v != 0.0
+                            && (options.prune_threshold == 0.0 || v >= options.prune_threshold)
+                        {
+                            candidates.push((c, v));
+                        }
+                    }
+                    if candidates.len() > k {
+                        // Heaviest first; equal values break toward the
+                        // smaller column position. A total order, so the
+                        // kept set is independent of candidate order (and
+                        // therefore of chunking / thread count).
+                        candidates.select_nth_unstable_by(k - 1, |a, b| {
+                            b.1.total_cmp(&a.1).then(a.0.cmp(&b.0))
+                        });
+                        candidates.truncate(k);
+                    }
+                    candidates.sort_unstable_by_key(|&(c, _)| c);
+                    row_cols.reserve_exact(candidates.len());
+                    row_vals.reserve_exact(candidates.len());
+                    for &(c, v) in &candidates {
                         row_cols.push(c);
                         row_vals.push(v);
                     }
+                } else {
+                    touched.sort_unstable();
+                    for &c in &touched {
+                        let v = scratch[c as usize];
+                        scratch[c as usize] = 0.0;
+                        // Exact zeros are dropped (matching
+                        // `vector_multiply`'s retain) and, when pruning,
+                        // sub-threshold entries too.
+                        if v != 0.0
+                            && (options.prune_threshold == 0.0 || v >= options.prune_threshold)
+                        {
+                            row_cols.push(c);
+                            row_vals.push(v);
+                        }
+                    }
                 }
                 touched.clear();
-                if options.prune_threshold > 0.0 && options.renormalize && !row_vals.is_empty() {
+                if options.is_pruning() && options.renormalize && !row_vals.is_empty() {
+                    // Ascending-column sum order, matching the BTreeMap
+                    // path's ascending-id normalization bit-for-bit.
                     let sum: f64 = row_vals.iter().sum();
                     if sum > 0.0 {
                         for v in &mut row_vals {
@@ -713,26 +821,81 @@ impl CsrMatrix {
         }
     }
 
+    /// Identity matrix over `index`: 1.0 on the diagonal for every interned
+    /// id. This is `power(0, ..)`'s return value, matching the mathematical
+    /// convention `M^0 = I`.
+    #[must_use]
+    pub fn identity(index: &Arc<UserIndex>) -> Self {
+        let n = index.len();
+        Self {
+            index: Arc::clone(index),
+            indptr: (0..=n).collect(),
+            cols: (0..n as u32).collect(),
+            vals: vec![1.0; n],
+            overlay: BTreeMap::new(),
+        }
+    }
+
     /// Equation 8 on the frozen representation: `RM = TM^n` with optional
-    /// pruning between steps, each step a [`multiply_step`](Self::multiply_step).
+    /// fused pruning, each step a [`multiply_step`](Self::multiply_step).
     /// Overlaid matrices are compacted first.
+    ///
+    /// `n == 0` returns [`identity`](Self::identity) on the (compacted)
+    /// index; `n == 1` returns the matrix itself with a single copy.
+    ///
+    /// When `options` prunes, powers are computed iteratively
+    /// (`((TM·TM)·TM)·…`) because pruning *between* hops is the semantics —
+    /// each hop's sparsity bound feeds the next. Exact powers with `n >= 4`
+    /// use exponentiation by squaring (O(log n) multiplies); its schedule is
+    /// mirrored operation-for-operation by [`SparseMatrix::power`] so the
+    /// two paths stay bit-identical. Exact `n <= 3` keeps the iterative
+    /// left-associated order both for the same mirroring reason and so
+    /// historical bench baselines stay comparable.
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0` or `threads == 0`.
+    /// Panics if `threads == 0` or `options.top_k == Some(0)`.
     #[must_use]
     pub fn power(&self, n: u32, options: PowerOptions, threads: usize) -> Self {
-        assert!(n >= 1, "matrix power requires n >= 1");
         let base = if self.is_compact() {
             self.clone()
         } else {
             self.compact()
         };
-        let mut acc = base.clone();
-        for _ in 1..n {
-            acc = acc.multiply_step(&base, options, threads);
+        if n == 0 {
+            return Self::identity(base.index());
         }
-        acc
+        if n == 1 {
+            return base;
+        }
+        if options.is_pruning() || n < 4 {
+            let mut acc = base.multiply_step(&base, options, threads);
+            for _ in 2..n {
+                acc = acc.multiply_step(&base, options, threads);
+            }
+            return acc;
+        }
+        // Exact n >= 4: binary exponentiation. The result/square schedule
+        // below is mirrored byte-for-byte by `SparseMatrix::power` — both
+        // paths perform the same multiplies in the same association order,
+        // keeping the ≤1e-12 equivalence contract exact (bit-identical).
+        let mut result: Option<Self> = None;
+        let mut square = base;
+        let mut e = n;
+        loop {
+            if e & 1 == 1 {
+                result = Some(match result {
+                    None => square.clone(),
+                    Some(r) => r.multiply_step(&square, options, threads),
+                });
+            }
+            e >>= 1;
+            if e == 0 {
+                break;
+            }
+            square = square.multiply_step(&square, options, threads);
+        }
+        result.expect("n >= 1 sets at least one bit")
     }
 }
 
@@ -1247,9 +1410,54 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "n >= 1")]
-    fn power_zero_panics() {
-        let _ = CsrMatrix::freeze(&synth(4, 2, 71)).power(0, PowerOptions::exact(), 1);
+    fn power_zero_is_identity() {
+        let m = synth(4, 2, 71).normalized_rows();
+        let csr = CsrMatrix::freeze(&m);
+        let id = csr.power(0, PowerOptions::exact(), 1);
+        assert_eq!(id.nnz(), csr.index().len());
+        for r in id.row_ids() {
+            let row: SparseVector = id.row_entries(r).collect();
+            assert_eq!(row.len(), 1);
+            assert_eq!(row.get(&r), Some(&1.0));
+        }
+        // I · M == M, and it matches the BTreeMap convention.
+        assert_eq!(id.multiply_step(&csr, PowerOptions::exact(), 1), csr);
+        assert_eq!(id, m.power(0, PowerOptions::exact()));
+    }
+
+    #[test]
+    fn exact_squaring_power_matches_btreemap() {
+        let m = synth(30, 4, 73).normalized_rows();
+        let csr = CsrMatrix::freeze(&m);
+        for n in [4u32, 5, 6, 7] {
+            let frozen = csr.power(n, PowerOptions::exact(), 2);
+            let reference = m.power(n, PowerOptions::exact());
+            assert_eq!(frozen, reference, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn fused_top_k_power_matches_btreemap() {
+        let m = synth(50, 8, 79).normalized_rows();
+        let csr = CsrMatrix::freeze(&m);
+        let options = PowerOptions::pruned(1e-3).with_top_k(Some(4));
+        let reference = m.power(2, options);
+        for threads in [1, 2, 8] {
+            let frozen = csr.power(2, options, threads);
+            assert_eq!(frozen, reference, "{threads} threads");
+            assert!(frozen.is_row_stochastic(1e-9));
+            for r in frozen.row_ids() {
+                assert!(frozen.row_entries(r).count() <= 4, "row {r} over top_k");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "top_k must be at least 1")]
+    fn multiply_step_top_k_zero_panics() {
+        let csr = CsrMatrix::freeze(&synth(4, 2, 71));
+        let options = PowerOptions::exact().with_top_k(Some(0));
+        let _ = csr.multiply_step(&csr, options, 1);
     }
 
     #[test]

@@ -163,12 +163,41 @@ where
     partials.into_iter().flatten().collect()
 }
 
-/// Options controlling [`SparseMatrix::power`].
+/// Options controlling [`SparseMatrix::power`] and the frozen
+/// [`CsrMatrix::power`](crate::CsrMatrix::power).
+///
+/// Pruning is **fused into each multiplication step**: every product row is
+/// ε-filtered and (optionally) reduced to its `top_k` heaviest entries the
+/// moment it is accumulated, so no intermediate dense matrix is ever
+/// materialized. The per-row rule, applied identically by the `BTreeMap`
+/// and CSR paths, is:
+///
+/// 1. drop entries below [`prune_threshold`](Self::prune_threshold)
+///    (`0.0` keeps everything non-zero),
+/// 2. keep only the [`top_k`](Self::top_k) heaviest survivors — ties at
+///    the boundary break toward the **smaller column position** (equal to
+///    ascending user id), so results are deterministic and independent of
+///    thread count,
+/// 3. rescale the kept entries to sum 1 when
+///    [`renormalize`](Self::renormalize) is set, keeping the matrix
+///    row-stochastic.
+///
+/// When [`top_k`](Self::top_k) is set, the same rule is additionally
+/// applied as a **fan-out screen** to each input row of the left operand
+/// before accumulation: a hop propagates through at most `k` most-trusted
+/// intermediaries (a truncated random walk), so per-row product work drops
+/// from `deg_a · deg_b` to `k · deg_b` — the source of the multi-hop
+/// speedup, not just a smaller output. ε-only pruning (`top_k == None`)
+/// keeps the original output-only semantics.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerOptions {
-    /// Entries below this magnitude are dropped after every multiplication,
-    /// bounding fill-in. `0.0` disables pruning.
+    /// Entries below this magnitude are dropped from every product row,
+    /// bounding fill-in. `0.0` disables the threshold.
     pub prune_threshold: f64,
+    /// Upper bound on entries kept per product row (the k-heaviest survive
+    /// the ε-filter; ties break toward the smaller column position).
+    /// `None` keeps every surviving entry. `Some(0)` is invalid.
+    pub top_k: Option<usize>,
     /// Renormalize rows after pruning so the result stays row-stochastic.
     pub renormalize: bool,
 }
@@ -177,6 +206,7 @@ impl Default for PowerOptions {
     fn default() -> Self {
         Self {
             prune_threshold: 0.0,
+            top_k: None,
             renormalize: false,
         }
     }
@@ -195,9 +225,97 @@ impl PowerOptions {
     pub fn pruned(threshold: f64) -> Self {
         Self {
             prune_threshold: threshold,
+            top_k: None,
             renormalize: true,
         }
     }
+
+    /// Sets (or clears) the per-row `top_k` bound, keeping the other
+    /// options. `PowerOptions::pruned(eps).with_top_k(Some(k))` is the
+    /// fused multi-hop operating point: ε-drop, keep the k heaviest,
+    /// renormalize.
+    #[must_use]
+    pub fn with_top_k(mut self, top_k: Option<usize>) -> Self {
+        self.top_k = top_k;
+        self
+    }
+
+    /// Whether any pruning rule is active. When `false`, the power is
+    /// exact and `renormalize` has no effect — `prune_threshold == 0.0`
+    /// with `top_k == None` reproduces [`exact`](Self::exact)
+    /// bit-identically.
+    #[must_use]
+    pub fn is_pruning(&self) -> bool {
+        self.prune_threshold > 0.0 || self.top_k.is_some()
+    }
+}
+
+/// Applies the fused per-row pruning rule of [`PowerOptions`] to one
+/// product row: ε-drop, top-k partial-select (ties toward the smaller
+/// user id), optional renormalization. Shared semantics with the CSR
+/// emit loop in `csr.rs` — the accumulation order (ascending id) and the
+/// renormalization sum order are identical, so the two paths produce
+/// bit-identical rows.
+pub(crate) fn prune_row_fused(row: &mut SparseVector, options: &PowerOptions) {
+    if options.prune_threshold > 0.0 {
+        row.retain(|_, v| *v >= options.prune_threshold);
+    }
+    if let Some(k) = options.top_k {
+        assert!(k >= 1, "top_k must be at least 1 when set");
+        if row.len() > k {
+            let mut entries: Vec<(UserId, f64)> = row.iter().map(|(&c, &v)| (c, v)).collect();
+            // The k heaviest first; ties break toward the smaller id —
+            // the same total order the CSR kernel applies to column
+            // positions, so the kept set is identical on both paths.
+            entries.select_nth_unstable_by(k - 1, |a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            entries.truncate(k);
+            *row = entries.into_iter().collect();
+        }
+    }
+    if options.renormalize && !crate::sparse::normalize_row_mut(row) {
+        row.clear();
+    }
+}
+
+/// Applies [`prune_row_fused`] to every row of `m` (rows emptied by the
+/// ε-filter are removed).
+fn prune_matrix_fused(m: &mut SparseMatrix, options: &PowerOptions) {
+    let rows: Vec<UserId> = m.row_ids().collect();
+    for r in rows {
+        let mut row = m.row(r).expect("row id came from row_ids").clone();
+        prune_row_fused(&mut row, options);
+        m.set_row(r, row).expect("pruning keeps entries valid");
+    }
+}
+
+/// One fused multi-hop step with a top-k fan-out cap: every row of `a`
+/// first passes [`prune_row_fused`] — the hop propagates through at most
+/// `top_k` most-trusted intermediaries, renormalized — then the product
+/// row against `b` is accumulated in ascending id order and passed
+/// through the same rule. Capping the *input* is what makes the step
+/// cheaper than an exact multiply (the product work shrinks from
+/// `deg_a · deg_b` to `k · deg_b` per row), not just its output smaller;
+/// it is the truncated-random-walk semantics, only reachable when
+/// `top_k` is set.
+///
+/// Mirrored operation-for-operation by the CSR kernel's screened path in
+/// `csr.rs` — identical filter, selection comparator, normalization sum
+/// order, and ascending-id accumulation order, so the two paths stay
+/// bit-identical.
+pub(crate) fn pruned_multiply(
+    a: &SparseMatrix,
+    b: &SparseMatrix,
+    options: &PowerOptions,
+) -> SparseMatrix {
+    let mut out = SparseMatrix::new();
+    for r in a.row_ids().collect::<Vec<_>>() {
+        let mut row = a.row(r).expect("row id came from row_ids").clone();
+        prune_row_fused(&mut row, options);
+        let mut product = b.vector_multiply(&row);
+        prune_row_fused(&mut product, options);
+        out.insert_row(r, product);
+    }
+    out
 }
 
 impl SparseMatrix {
@@ -288,32 +406,90 @@ impl SparseMatrix {
         out
     }
 
-    /// Equation 8: `RM = TM^n` for `n ≥ 1`, with optional pruning between
-    /// steps (see [`PowerOptions`]).
+    /// The identity matrix over this matrix's id space (row ∪ column ids):
+    /// `M^0` by the mathematical convention. The CSR counterpart is
+    /// [`CsrMatrix::identity`](crate::CsrMatrix::identity) over the shared
+    /// index.
+    #[must_use]
+    pub fn identity_like(&self) -> Self {
+        let mut ids: Vec<UserId> = Vec::new();
+        for (r, c, _) in self.iter() {
+            ids.push(r);
+            ids.push(c);
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        let mut out = Self::new();
+        for id in ids {
+            out.set(id, id, 1.0).expect("1.0 is a valid entry");
+        }
+        out
+    }
+
+    /// Equation 8: `RM = TM^n`, with pruning fused into every step (see
+    /// [`PowerOptions`]).
     ///
-    /// `n = 1` returns a clone — the paper's choice for Maze, where the
-    /// multi-dimensional one-step matrix is already dense enough. Larger `n`
-    /// extends trust along paths: `RM_ij > 0` whenever j is reachable from i
-    /// in at most `n` trust hops.
+    /// `n = 0` returns the identity over the matrix's own id space
+    /// ([`identity_like`](Self::identity_like)); `n = 1` returns a clone —
+    /// the paper's choice for Maze, where the multi-dimensional one-step
+    /// matrix is already dense enough. Larger `n` extends trust along
+    /// paths: `RM_ij > 0` whenever j is reachable from i in at most `n`
+    /// trust hops.
     ///
-    /// # Panics
-    ///
-    /// Panics if `n == 0` (the identity over an unbounded id space is not
-    /// representable).
+    /// Exact powers with `n ≥ 4` run by exponentiation-by-squaring
+    /// (`O(log n)` multiplies); pruned powers stay iterative because the
+    /// fused per-step pruning *is* their semantics. The squaring schedule
+    /// is mirrored exactly by [`CsrMatrix::power`](crate::CsrMatrix::power),
+    /// so the two paths remain bit-identical at every `n`.
     #[must_use]
     pub fn power(&self, n: u32, options: PowerOptions) -> Self {
-        assert!(n >= 1, "matrix power requires n >= 1");
-        let mut acc = self.clone();
-        for _ in 1..n {
-            acc = acc.multiply(self);
-            if options.prune_threshold > 0.0 {
-                acc.prune(options.prune_threshold);
-                if options.renormalize {
-                    acc = acc.normalized_rows();
-                }
-            }
+        if n == 0 {
+            return self.identity_like();
         }
-        acc
+        if n == 1 {
+            return self.clone();
+        }
+        if options.is_pruning() || n < 4 {
+            // With a top-k cap the hop consumes the row-pruned view of its
+            // input (fan-out cap — see `pruned_multiply`); ε-only pruning
+            // keeps the original output-only semantics.
+            let step = |m: &Self| -> Self {
+                if options.top_k.is_some() {
+                    pruned_multiply(m, self, &options)
+                } else {
+                    let mut p = m.multiply(self);
+                    if options.is_pruning() {
+                        prune_matrix_fused(&mut p, &options);
+                    }
+                    p
+                }
+            };
+            let mut acc = step(self);
+            for _ in 2..n {
+                acc = step(&acc);
+            }
+            return acc;
+        }
+        // Exact n ≥ 4: binary exponentiation. The accumulation schedule
+        // (result · square, squares built left-to-right) must stay in
+        // lockstep with the CSR implementation for bit-identical output.
+        let mut result: Option<Self> = None;
+        let mut square = self.clone();
+        let mut e = n;
+        loop {
+            if e & 1 == 1 {
+                result = Some(match result {
+                    None => square.clone(),
+                    Some(r) => r.multiply(&square),
+                });
+            }
+            e >>= 1;
+            if e == 0 {
+                break;
+            }
+            square = square.multiply(&square);
+        }
+        result.expect("n >= 1 sets at least one bit")
     }
 }
 
@@ -446,9 +622,86 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "n >= 1")]
-    fn power_zero_panics() {
-        let _ = chain().power(0, PowerOptions::exact());
+    fn power_zero_is_identity() {
+        let m = chain();
+        let id = m.power(0, PowerOptions::exact());
+        // Diagonal ones over every id the matrix mentions (rows ∪ columns).
+        for i in 0..=2u64 {
+            assert_eq!(id.get(u(i), u(i)), 1.0);
+        }
+        assert_eq!(id.nnz(), 3, "chain mentions users 0, 1, 2");
+        assert!(id.is_row_stochastic(0.0));
+        assert_eq!(id, m.identity_like());
+        // M^0 · M = M.
+        assert_eq!(id.multiply(&m), m);
+        assert!(SparseMatrix::new()
+            .power(0, PowerOptions::exact())
+            .is_empty());
+    }
+
+    #[test]
+    fn exact_squaring_matches_iterated_multiply() {
+        let mut m = SparseMatrix::new();
+        for i in 0..12u64 {
+            for j in 0..4u64 {
+                m.set(u(i), u((i * 5 + j * 3) % 12), 1.0 + ((i + j) % 3) as f64)
+                    .unwrap();
+            }
+        }
+        let m = m.normalized_rows();
+        for n in 4..=6u32 {
+            let fast = m.power(n, PowerOptions::exact());
+            let mut slow = m.clone();
+            for _ in 1..n {
+                slow = slow.multiply(&m);
+            }
+            assert!(fast.is_row_stochastic(1e-9), "n = {n}");
+            for (r, c, v) in slow.iter() {
+                assert!((fast.get(r, c) - v).abs() < 1e-12, "n = {n} at ({r}, {c})");
+            }
+            assert_eq!(fast.nnz(), slow.nnz(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn fused_top_k_bounds_rows_and_breaks_ties_deterministically() {
+        // Row 0 has four equal-weight targets; top_k = 2 must keep the two
+        // smallest ids (deterministic tie-break), renormalized to sum 1.
+        let mut m = SparseMatrix::new();
+        for j in 1..=4u64 {
+            m.set(u(0), u(j), 0.25).unwrap();
+        }
+        m.set(u(1), u(0), 1.0).unwrap();
+        let p = m.power(2, PowerOptions::pruned(0.0).with_top_k(Some(2)));
+        // Row 1 → row 0 of M, pruned to its 2 heaviest (= smallest ids).
+        assert_eq!(p.get(u(1), u(1)), 0.5);
+        assert_eq!(p.get(u(1), u(2)), 0.5);
+        assert_eq!(p.get(u(1), u(3)), 0.0, "tie lost to smaller id");
+        assert!(p.row(u(1)).unwrap().len() <= 2);
+        assert!(p.is_row_stochastic(1e-12));
+    }
+
+    #[test]
+    fn fused_options_compose_eps_and_top_k() {
+        let mut m = SparseMatrix::new();
+        m.set(u(0), u(1), 0.90).unwrap();
+        m.set(u(0), u(2), 0.06).unwrap();
+        m.set(u(0), u(3), 0.04).unwrap();
+        m.set(u(1), u(0), 1.0).unwrap();
+        m.set(u(2), u(0), 1.0).unwrap();
+        m.set(u(3), u(0), 1.0).unwrap();
+        // ε = 0.05 drops the 0.04 path first; top_k = 1 then keeps only
+        // the heaviest survivor, renormalized to 1.
+        let opts = PowerOptions::pruned(0.05).with_top_k(Some(1));
+        assert!(opts.is_pruning());
+        let p = m.power(2, opts);
+        assert_eq!(p.row(u(1)).unwrap().len(), 1);
+        assert_eq!(p.get(u(1), u(1)), 1.0);
+        // ε=0 and k=None reproduce the exact power bit-identically even
+        // with renormalize set: no pruning rule fires.
+        let noop = PowerOptions::pruned(0.0);
+        assert!(!noop.is_pruning());
+        assert_eq!(m.power(2, noop), m.power(2, PowerOptions::exact()));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Property-based tests for the sparse-matrix substrate.
 
-use mdrep_matrix::{blend, principal_eigenvector, EigenOptions, PowerOptions, SparseMatrix};
+use mdrep_matrix::{
+    blend, principal_eigenvector, CsrMatrix, EigenOptions, PowerOptions, SparseMatrix,
+};
 use mdrep_types::UserId;
 use proptest::prelude::*;
 
@@ -105,5 +107,90 @@ proptest! {
             .collect();
         let cov = m.request_coverage(&pairs);
         prop_assert!((0.0..=1.0).contains(&cov));
+    }
+
+    /// The fused-pruning contract: for random (n, ε, k) on a normalized
+    /// random matrix, the `BTreeMap` and CSR paths agree within 1e-12
+    /// (bit-identical in practice — asserted via semantic equality), rows
+    /// never exceed the top-k cap, and renormalized rows stay stochastic.
+    #[test]
+    fn fused_pruned_power_csr_matches_btreemap(
+        m in matrix_strategy(10),
+        n in 0u32..5,
+        eps_exp in 0u8..4,        // 0 disables; else ε = 10^-exp
+        raw_top_k in 0usize..5,   // 0 encodes "no cap"
+    ) {
+        prop_assume!(!m.is_empty());
+        let norm = m.normalized_rows();
+        let eps = if eps_exp == 0 { 0.0 } else { 10f64.powi(-(i32::from(eps_exp))) };
+        let top_k = (raw_top_k > 0).then_some(raw_top_k);
+        let options = PowerOptions::pruned(eps).with_top_k(top_k);
+        let reference = norm.power(n, options);
+        let csr = CsrMatrix::freeze(&norm);
+        for threads in [1usize, 2, 8] {
+            let frozen = csr.power(n, options, threads);
+            prop_assert_eq!(frozen.nnz(), reference.nnz(), "{} threads", threads);
+            for (r, c, v) in frozen.iter() {
+                prop_assert!((reference.get(r, c) - v).abs() <= 1e-12,
+                    "[{}, {}] at {} threads: csr {} vs btreemap {}",
+                    r, c, threads, v, reference.get(r, c));
+            }
+            // n <= 1 never multiplies, so fused pruning never runs: the
+            // base (or identity) comes back untouched in both paths.
+            if n >= 2 {
+                if let Some(k) = top_k {
+                    for r in frozen.row_ids() {
+                        prop_assert!(frozen.row_entries(r).count() <= k, "row {} over cap", r);
+                    }
+                }
+                if options.is_pruning() {
+                    prop_assert!(frozen.is_row_stochastic(1e-9));
+                }
+            }
+        }
+    }
+
+    /// ε = 0 with no cap is not "pruning" at all: both paths must reproduce
+    /// `PowerOptions::exact()` bit-identically, including the n >= 4
+    /// squaring fast path.
+    #[test]
+    fn noop_pruning_is_exact(m in matrix_strategy(8), n in 1u32..6) {
+        prop_assume!(!m.is_empty());
+        let norm = m.normalized_rows();
+        let noop = PowerOptions::pruned(0.0).with_top_k(None);
+        prop_assert!(!noop.is_pruning());
+        let exact = norm.power(n, PowerOptions::exact());
+        prop_assert_eq!(&norm.power(n, noop), &exact);
+        let csr = CsrMatrix::freeze(&norm);
+        let frozen_exact = csr.power(n, PowerOptions::exact(), 2);
+        prop_assert_eq!(&csr.power(n, noop, 2), &frozen_exact);
+        // Exact entries are bit-identical across the two representations.
+        for ((r1, c1, v1), (r2, c2, v2)) in frozen_exact.iter().zip(exact.iter()) {
+            prop_assert_eq!((r1, c1), (r2, c2));
+            prop_assert_eq!(v1.to_bits(), v2.to_bits(), "[{}, {}]", r1, c1);
+        }
+    }
+
+    /// Thread-count independence, bit-for-bit: the fused kernel's kept set
+    /// and values must not depend on row chunking.
+    #[test]
+    fn fused_pruning_is_thread_count_invariant(
+        m in matrix_strategy(12),
+        raw_top_k in 1usize..4,
+    ) {
+        prop_assume!(!m.is_empty());
+        let norm = m.normalized_rows();
+        let options = PowerOptions::pruned(1e-3).with_top_k(Some(raw_top_k));
+        let csr = CsrMatrix::freeze(&norm);
+        let serial = csr.power(2, options, 1);
+        for threads in [2usize, 8] {
+            let parallel = csr.power(2, options, threads);
+            prop_assert_eq!(parallel.nnz(), serial.nnz());
+            for ((r1, c1, v1), (r2, c2, v2)) in parallel.iter().zip(serial.iter()) {
+                prop_assert_eq!((r1, c1), (r2, c2), "support differs at {} threads", threads);
+                prop_assert_eq!(v1.to_bits(), v2.to_bits(),
+                    "[{}, {}] differs at {} threads", r1, c1, threads);
+            }
+        }
     }
 }
