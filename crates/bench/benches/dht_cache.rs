@@ -1,0 +1,142 @@
+//! Benchmarks of the reputation-cache tier: a warm cache hit versus the
+//! uncached overlay retrieval it replaces, and the gossip-assisted publish
+//! path. The hit/network gap is the whole point of the tier — the cached
+//! path must be at least an order of magnitude cheaper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdrep_crypto::KeyRegistry;
+use mdrep_dht::{
+    CacheConfig, CacheTierConfig, Dht, DhtConfig, EvaluationCacheTier, RetrievalSource,
+};
+use mdrep_types::{Evaluation, FileId, SimDuration, SimTime, UserId};
+use std::hint::black_box;
+
+const NODES: u64 = 256;
+const FILES: u64 = 64;
+
+fn overlay() -> (Dht, KeyRegistry) {
+    let mut dht = Dht::new(DhtConfig::default());
+    let mut registry = KeyRegistry::new();
+    for i in 0..NODES {
+        dht.join(UserId::new(i), SimTime::ZERO);
+        registry.register(UserId::new(i), 100 + i);
+    }
+    (dht, registry)
+}
+
+fn published_tier(config: CacheTierConfig) -> (EvaluationCacheTier, Dht, KeyRegistry) {
+    let (mut dht, registry) = overlay();
+    let mut tier = EvaluationCacheTier::new(config);
+    for f in 0..FILES {
+        let owner = UserId::new(f % NODES);
+        let key = registry.key_of(owner).expect("registered").clone();
+        tier.publish(
+            &mut dht,
+            &key,
+            owner,
+            FileId::new(f),
+            Evaluation::BEST,
+            SimTime::ZERO,
+        )
+        .expect("healthy overlay");
+    }
+    (tier, dht, registry)
+}
+
+fn bench_retrieve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht_cache/retrieve_256");
+    group.sample_size(30);
+
+    // Bypass tier: every retrieval walks the overlay and verifies
+    // signatures — the cost the cache is meant to amortize.
+    group.bench_function("uncached", |b| {
+        let (mut tier, mut dht, registry) = published_tier(CacheTierConfig {
+            cache: CacheConfig {
+                capacity: 0,
+                ..CacheConfig::default()
+            },
+            gossip: None,
+            ..CacheTierConfig::default()
+        });
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let got = tier
+                .retrieve(
+                    &mut dht,
+                    &registry,
+                    UserId::new(i % NODES),
+                    FileId::new(i % FILES),
+                    SimTime::ZERO,
+                )
+                .expect("healthy overlay");
+            debug_assert_eq!(got.source, RetrievalSource::Network);
+            black_box(got)
+        });
+    });
+
+    // Warm cache: one viewer re-asking for files it has already fetched;
+    // after the warm-up pass every retrieval is a local hit.
+    group.bench_function("cached", |b| {
+        let (mut tier, mut dht, registry) = published_tier(CacheTierConfig {
+            cache: CacheConfig {
+                capacity: FILES as usize,
+                ttl: SimDuration::from_hours(24),
+            },
+            gossip: None,
+            ..CacheTierConfig::default()
+        });
+        let viewer = UserId::new(NODES - 1);
+        for f in 0..FILES {
+            tier.retrieve(&mut dht, &registry, viewer, FileId::new(f), SimTime::ZERO)
+                .expect("warm-up pass");
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let got = tier
+                .retrieve(
+                    &mut dht,
+                    &registry,
+                    viewer,
+                    FileId::new(i % FILES),
+                    SimTime::ZERO,
+                )
+                .expect("healthy overlay");
+            debug_assert!(matches!(got.source, RetrievalSource::Cache { .. }));
+            black_box(got)
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht_cache/publish_256");
+    group.sample_size(30);
+    group.bench_function("signed", |b| {
+        let (mut dht, registry) = overlay();
+        let mut tier = EvaluationCacheTier::new(CacheTierConfig::default());
+        let mut f = 0u64;
+        b.iter(|| {
+            f += 1;
+            let owner = UserId::new(f % NODES);
+            let key = registry.key_of(owner).expect("registered").clone();
+            black_box(
+                tier.publish(
+                    &mut dht,
+                    &key,
+                    owner,
+                    FileId::new(f),
+                    Evaluation::BEST,
+                    SimTime::ZERO,
+                )
+                .expect("healthy overlay"),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_retrieve, bench_publish);
+criterion_main!(benches);

@@ -88,6 +88,8 @@ pub struct MessageStats {
     pub store: u64,
     /// `FIND_VALUE` requests.
     pub find_value: u64,
+    /// `GOSSIP` pushes (fire-and-forget cache dissemination).
+    pub gossip: u64,
     /// Requests delivered and answered.
     pub delivered: u64,
     /// Requests lost in transit.
@@ -109,7 +111,7 @@ impl MessageStats {
     /// Total requests sent (including retries).
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.find_node + self.store + self.find_value
+        self.find_node + self.store + self.find_value + self.gossip
     }
 
     /// Whether the outcome buckets account for every sent request.
@@ -148,6 +150,36 @@ impl GetOutcome {
     pub fn into_values(self) -> Vec<Vec<u8>> {
         self.values
     }
+}
+
+/// The fate of one fire-and-forget gossip push.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GossipDelivery {
+    /// The push reached an online receiver. `payloads` holds the record
+    /// bytes as received (tampered when the *sender* is byzantine);
+    /// `duplicated` means the network delivered it twice and the receiver
+    /// processes it twice (gossip handlers must deduplicate).
+    Delivered {
+        /// Delivered twice by the duplication fault.
+        duplicated: bool,
+        /// Record bytes as they arrived.
+        payloads: Vec<Vec<u8>>,
+    },
+    /// Lost, blocked, delayed past the timeout, or the receiver was
+    /// offline or unknown. Fire-and-forget: nothing is retried.
+    Failed,
+}
+
+/// What one [`Dht::republish_batch`] pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepublishReport {
+    /// Publishers whose republication interval had elapsed.
+    pub due: usize,
+    /// Publications refreshed (key re-stored with ≥1 acknowledged replica).
+    pub refreshed: usize,
+    /// Due publishers skipped because their node was offline — they stay
+    /// due and catch up on the first pass after churn brings them back.
+    pub skipped_offline: usize,
 }
 
 /// One RPC attempt's fate, after fault injection and the online check.
@@ -189,6 +221,10 @@ pub struct Dht {
     /// to an explicit [`leave`](Self::leave)) — only these are brought
     /// back by [`apply_churn`](Self::apply_churn).
     churned: BTreeSet<UserId>,
+    /// When each publisher last completed a batched republication; absent
+    /// means never (so the first [`republish_batch`](Self::republish_batch)
+    /// pass refreshes everyone).
+    last_republished: HashMap<UserId, SimTime>,
     stats: MessageStats,
 }
 
@@ -208,6 +244,7 @@ impl Dht {
             by_user: HashMap::new(),
             publications: HashMap::new(),
             churned: BTreeSet::new(),
+            last_republished: HashMap::new(),
             stats: MessageStats::default(),
         }
     }
@@ -525,6 +562,127 @@ impl Dht {
         Ok(refreshed)
     }
 
+    /// Runs one batched republication pass at `now`: every publisher whose
+    /// last completed pass is at least `interval` old (or who never
+    /// completed one) is refreshed via [`republish`](Self::republish).
+    ///
+    /// Offline publishers are *not* stamped, so a node taken down by a
+    /// churn wave stays due and its publications are repaired on the first
+    /// pass after it comes back — republication survives churn rather than
+    /// silently skipping a cycle.
+    pub fn republish_batch(&mut self, now: SimTime, interval: SimDuration) -> RepublishReport {
+        let mut trace = mdrep_obs::trace_span("dht.republish.batch");
+        let mut publishers: Vec<UserId> = self.publications.keys().copied().collect();
+        publishers.sort_unstable();
+        let mut report = RepublishReport::default();
+        for user in publishers {
+            let due = self
+                .last_republished
+                .get(&user)
+                .is_none_or(|&last| now - last >= interval);
+            if !due {
+                continue;
+            }
+            report.due += 1;
+            if !self.is_online(user) {
+                report.skipped_offline += 1;
+                continue;
+            }
+            // Err here means no key found a reachable replica set; the
+            // publisher still completed its pass (and tries again next
+            // interval) rather than hammering the overlay every tick.
+            let refreshed = self.republish(user, now).unwrap_or(0);
+            report.refreshed += refreshed;
+            self.last_republished.insert(user, now);
+        }
+        trace.annotate("due", report.due.to_string());
+        trace.annotate("refreshed", report.refreshed.to_string());
+        trace.annotate("skipped_offline", report.skipped_offline.to_string());
+        report
+    }
+
+    /// Pushes `payloads` from `from` to `to` as one fire-and-forget gossip
+    /// message through the fault injector — loss, partitions, delay, and
+    /// duplication apply to cache traffic exactly as to lookups. Payloads
+    /// from a byzantine *sender* arrive tampered; receivers must verify
+    /// signatures. No retries: gossip redundancy is the repair mechanism.
+    pub fn send_gossip(
+        &mut self,
+        from: UserId,
+        to: UserId,
+        mut payloads: Vec<Vec<u8>>,
+        now: SimTime,
+    ) -> GossipDelivery {
+        let mut trace = mdrep_obs::trace_span("dht.gossip.push");
+        trace.annotate("records", payloads.len().to_string());
+        self.stats.gossip += 1;
+        let online = self
+            .by_user
+            .get(&to)
+            .and_then(|id| self.nodes.get(id))
+            .is_some_and(Node::is_online);
+        match self.injector.next_outcome(
+            RpcKind::Gossip,
+            from,
+            to,
+            now,
+            self.config.retry.timeout_ticks,
+        ) {
+            RpcOutcome::Blocked => {
+                trace.annotate("outcome", "blocked");
+                self.stats.blocked += 1;
+                GossipDelivery::Failed
+            }
+            RpcOutcome::Lost => {
+                trace.annotate("outcome", "lost");
+                self.stats.dropped += 1;
+                GossipDelivery::Failed
+            }
+            RpcOutcome::TimedOut => {
+                // A push delayed past the timeout window carries records
+                // whose freshness window it has outlived: dropped.
+                trace.annotate("outcome", "timed_out");
+                self.stats.timed_out += 1;
+                GossipDelivery::Failed
+            }
+            RpcOutcome::Delivered { duplicated } => {
+                if !online {
+                    trace.annotate("outcome", "refused");
+                    self.stats.refused += 1;
+                    return GossipDelivery::Failed;
+                }
+                trace.annotate("outcome", "delivered");
+                self.stats.delivered += 1;
+                if duplicated {
+                    self.stats.duplicated += 1;
+                }
+                if self.injector.plan().is_byzantine(from) {
+                    for payload in &mut payloads {
+                        self.injector.tamper(payload);
+                    }
+                }
+                GossipDelivery::Delivered {
+                    duplicated,
+                    payloads,
+                }
+            }
+        }
+    }
+
+    /// The currently-online users, ascending — the deterministic candidate
+    /// pool for gossip fan-out selection.
+    #[must_use]
+    pub fn online_users(&self) -> Vec<UserId> {
+        let mut users: Vec<UserId> = self
+            .by_user
+            .iter()
+            .filter(|(_, id)| self.nodes.get(id).is_some_and(Node::is_online))
+            .map(|(user, _)| *user)
+            .collect();
+        users.sort_unstable();
+        users
+    }
+
     /// Expires stale values on every node; returns how many were dropped.
     pub fn expire_all(&mut self, now: SimTime) -> usize {
         self.nodes.values_mut().map(|n| n.expire(now)).sum()
@@ -568,6 +726,7 @@ impl Dht {
             RpcKind::FindNode => self.stats.find_node += 1,
             RpcKind::Store => self.stats.store += 1,
             RpcKind::FindValue => self.stats.find_value += 1,
+            RpcKind::Gossip => self.stats.gossip += 1,
         }
         let (to_user, online) = self
             .nodes

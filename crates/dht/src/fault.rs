@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::BTreeSet;
 
-/// The three RPC kinds of the overlay.
+/// The RPC kinds of the overlay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RpcKind {
     /// Iterative-lookup query.
@@ -28,6 +28,8 @@ pub enum RpcKind {
     Store,
     /// Value retrieval.
     FindValue,
+    /// Fire-and-forget cache push (evaluation-record gossip).
+    Gossip,
 }
 
 impl RpcKind {
@@ -38,6 +40,7 @@ impl RpcKind {
             Self::FindNode => "find_node",
             Self::Store => "store",
             Self::FindValue => "find_value",
+            Self::Gossip => "gossip",
         }
     }
 
@@ -46,6 +49,7 @@ impl RpcKind {
             Self::FindNode => 1,
             Self::Store => 2,
             Self::FindValue => 3,
+            Self::Gossip => 4,
         }
     }
 }
@@ -388,7 +392,7 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 const CHURN_SALT: u64 = 0x6368_7572_6e21_7361;
 const PARTITION_SALT: u64 = 0x7061_7274_6974_696f;
 
-fn fnv1a(mut digest: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(mut digest: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         digest ^= u64::from(b);
         digest = digest.wrapping_mul(FNV_PRIME);
@@ -397,7 +401,7 @@ fn fnv1a(mut digest: u64, bytes: &[u8]) -> u64 {
 }
 
 /// SplitMix64-style stateless mix of three words.
-fn mix3(a: u64, b: u64, c: u64) -> u64 {
+pub(crate) fn mix3(a: u64, b: u64, c: u64) -> u64 {
     let mut z = a
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
         .wrapping_add(b.rotate_left(17))

@@ -53,14 +53,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod dht;
 mod evaluation;
 mod fault;
 mod id;
 mod node;
 mod routing;
+mod tier;
 
-pub use dht::{Dht, DhtConfig, DhtError, GetOutcome, MessageStats};
+pub use cache::{CacheConfig, CacheHit, CacheStats, ReputationCache};
+pub use dht::{
+    Dht, DhtConfig, DhtError, GetOutcome, GossipDelivery, MessageStats, RepublishReport,
+};
 pub use evaluation::{EvaluationInfo, EvaluationPublisher, RetrievalOutcome, VerifiedEvaluation};
 pub use fault::{
     ChurnSchedule, FaultInjector, FaultPlan, FaultTrace, Partition, RetryPolicy, RpcKind,
@@ -69,3 +74,7 @@ pub use fault::{
 pub use id::{Key, NodeId};
 pub use node::{Node, StoredValue};
 pub use routing::RoutingTable;
+pub use tier::{
+    CacheTierConfig, CachedRetrieval, EvaluationCacheTier, GossipConfig, GossipStats,
+    RetrievalSource,
+};

@@ -191,3 +191,133 @@ proptest! {
         }
     }
 }
+
+// --- Cache tier properties (PR: DHT reputation cache + gossip) ---
+
+use mdrep_crypto::KeyRegistry;
+use mdrep_dht::{
+    CacheConfig, CacheTierConfig, EvaluationCacheTier, EvaluationPublisher, ReputationCache,
+    RetrievalSource,
+};
+
+fn cache_overlay(nodes: u64, plan: &FaultPlan) -> (Dht, KeyRegistry) {
+    let mut dht = Dht::new(DhtConfig {
+        fault: plan.clone(),
+        ..DhtConfig::default()
+    });
+    let mut registry = KeyRegistry::new();
+    for i in 0..nodes {
+        dht.join(UserId::new(i), SimTime::ZERO);
+        registry.register(UserId::new(i), 1000 + i);
+    }
+    (dht, registry)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn zero_ttl_cache_is_a_transparent_bypass(
+        ops in proptest::collection::vec((0u64..16, any::<bool>(), 0u64..50), 1..60),
+    ) {
+        let mut cache: ReputationCache<u64> = ReputationCache::new(CacheConfig {
+            capacity: 8,
+            ttl: SimDuration::ZERO,
+        });
+        let mut now = SimTime::ZERO;
+        for (k, is_insert, val) in ops {
+            now += SimDuration::from_ticks(1);
+            let key = Key::for_content(&k.to_be_bytes());
+            if is_insert {
+                cache.insert(key, val, now);
+            } else {
+                prop_assert!(cache.get(&key, now).is_none(), "a bypass never hits");
+            }
+        }
+        prop_assert_eq!(cache.stats().hits, 0);
+        prop_assert_eq!(cache.stats().inserts, 0);
+        prop_assert_eq!(cache.len(), 0);
+        prop_assert_eq!(cache.stats().misses, cache.stats().lookups);
+    }
+
+    #[test]
+    fn served_hits_are_always_younger_than_ttl(
+        ttl in 1u64..80,
+        ops in proptest::collection::vec((0u64..8, any::<bool>(), 0u64..5), 1..100),
+    ) {
+        let mut cache: ReputationCache<u64> = ReputationCache::new(CacheConfig {
+            capacity: 4,
+            ttl: SimDuration::from_ticks(ttl),
+        });
+        let mut now = SimTime::ZERO;
+        for (k, is_insert, advance) in ops {
+            now += SimDuration::from_ticks(advance);
+            let key = Key::for_content(&k.to_be_bytes());
+            if is_insert {
+                cache.insert(key, k, now);
+            } else if let Some(hit) = cache.get(&key, now) {
+                prop_assert!(
+                    hit.age.as_ticks() < ttl,
+                    "hit age {} must stay below ttl {}",
+                    hit.age.as_ticks(),
+                    ttl
+                );
+            }
+        }
+        prop_assert!(cache.stats().max_hit_age_ticks < ttl);
+    }
+
+    #[test]
+    fn bypass_tier_is_equivalent_to_direct_retrieval(
+        nodes in 8u64..24,
+        seed in any::<u64>(),
+        loss in 0.0f64..0.4,
+        dup in 0.0f64..0.3,
+        queries in proptest::collection::vec((0u64..24, 0u64..6, 1u64..30), 1..20),
+    ) {
+        // Two overlays driven by the identical seeded plan: one behind a
+        // zero-TTL cache tier (gossip off), one queried directly. Every
+        // retrieval must return the same records and leave the same fault
+        // trace — the cache layer is transparent when disabled.
+        let plan = FaultPlan::message_loss(loss, seed).with_duplicates(dup);
+        let (mut dht_a, registry) = cache_overlay(nodes, &plan);
+        let (mut dht_b, _) = cache_overlay(nodes, &plan);
+        let mut tier = EvaluationCacheTier::new(CacheTierConfig {
+            cache: CacheConfig { capacity: 8, ttl: SimDuration::ZERO },
+            gossip: None,
+            ..CacheTierConfig::default()
+        });
+        let publisher = EvaluationPublisher::new();
+        for i in 0..4u64 {
+            let owner = UserId::new((i * 3) % nodes);
+            let key = registry.key_of(owner).unwrap().clone();
+            let r1 = tier.publish(&mut dht_a, &key, owner, FileId::new(i), Evaluation::NEUTRAL, SimTime::ZERO);
+            let r2 = publisher.publish(&mut dht_b, &key, owner, FileId::new(i), Evaluation::NEUTRAL, SimTime::ZERO);
+            prop_assert_eq!(r1.is_ok(), r2.is_ok(), "publication outcomes agree");
+        }
+        let mut now = SimTime::ZERO;
+        for (user, file, advance) in queries {
+            now += SimDuration::from_ticks(advance);
+            let requester = UserId::new(user % nodes);
+            let file = FileId::new(file);
+            let a = tier.retrieve(&mut dht_a, &registry, requester, file, now);
+            let b = publisher.retrieve_detailed(&mut dht_b, &registry, requester, file, now);
+            match (a, b) {
+                (Ok(cached), Ok(direct)) => {
+                    prop_assert_eq!(cached.source, RetrievalSource::Network, "ttl 0 never hits");
+                    prop_assert_eq!(cached.records, direct.records);
+                    prop_assert_eq!(cached.unreachable, direct.unreachable.len());
+                }
+                (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+                (a, b) => prop_assert!(false, "outcomes diverged: {a:?} vs {b:?}"),
+            }
+        }
+        prop_assert_eq!(
+            dht_a.fault_trace().digest(),
+            dht_b.fault_trace().digest(),
+            "identical RPC sequences leave identical fault traces"
+        );
+        prop_assert!(dht_a.stats().is_conserved());
+        prop_assert_eq!(tier.cache_stats().hits, 0);
+    }
+}

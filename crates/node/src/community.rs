@@ -56,6 +56,11 @@ pub struct Community {
     auditor: Auditor,
     audit_cursor: u64,
     file_sizes: HashMap<FileId, FileSize>,
+    /// Replica holders named by retrievals that never answered — degraded
+    /// (partial) evaluation arrays, previously dropped silently.
+    unreachable_holders: u64,
+    /// Retrieved values that failed to decode (tampered/garbage).
+    undecodable_records: u64,
 }
 
 impl Community {
@@ -73,7 +78,22 @@ impl Community {
             auditor,
             audit_cursor: 0,
             file_sizes: HashMap::new(),
+            unreachable_holders: 0,
+            undecodable_records: 0,
         }
+    }
+
+    /// Replica holders that never answered a retrieval (the requests were
+    /// served from a *partial* evaluation array).
+    #[must_use]
+    pub fn unreachable_holders(&self) -> u64 {
+        self.unreachable_holders
+    }
+
+    /// Retrieved values that failed to decode (e.g. byzantine tampering).
+    #[must_use]
+    pub fn undecodable_records(&self) -> u64 {
+        self.undecodable_records
     }
 
     /// Number of peers that ever joined.
@@ -246,13 +266,31 @@ impl Community {
             return Err(CommunityError::Offline(downloader));
         }
 
-        // Step 3: fetch the signed evaluation array; drop forgeries.
-        let records =
-            self.publisher
-                .retrieve(&mut self.dht, &self.registry, downloader, file, now)?;
-        let evaluations: Vec<OwnerEvaluation> = records
-            .iter()
-            .filter(|r| r.valid)
+        // Step 3: fetch the signed evaluation array; drop forgeries. Offline
+        // holders degrade the array — count them, don't hide them.
+        let outcome = self.publisher.retrieve_detailed(
+            &mut self.dht,
+            &self.registry,
+            downloader,
+            file,
+            now,
+        )?;
+        if !outcome.is_complete() {
+            self.unreachable_holders += outcome.unreachable.len() as u64;
+            mdrep_obs::global().counter_add(
+                "node.request.unreachable_holders",
+                outcome.unreachable.len() as u64,
+            );
+        }
+        if outcome.undecodable > 0 {
+            self.undecodable_records += outcome.undecodable as u64;
+            mdrep_obs::global().counter_add(
+                "node.request.undecodable_records",
+                outcome.undecodable as u64,
+            );
+        }
+        let evaluations: Vec<OwnerEvaluation> = outcome
+            .valid_records()
             .map(|r| OwnerEvaluation::new(r.info.owner, r.info.evaluation))
             .collect();
 
@@ -546,6 +584,27 @@ mod tests {
         assert!(c.dht().fault_trace().drops > 0, "loss actually happened");
         assert!(c.dht().stats().retried > 0, "retries were exercised");
         assert!(c.dht().stats().is_conserved(), "accounting stays closed");
+    }
+
+    #[test]
+    fn offline_replica_holders_are_counted_not_dropped() {
+        let mut c = community(8);
+        c.publish(u(1), f(2), FileSize::from_mib(1), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(c.unreachable_holders(), 0);
+        // Take every peer but the requester offline: the replica holders the
+        // lookup names can no longer answer.
+        for i in 0..8 {
+            if i != 3 {
+                c.leave(u(i));
+            }
+        }
+        let _ = c.request(u(3), f(2), SimTime::ZERO).unwrap();
+        assert!(
+            c.unreachable_holders() > 0,
+            "offline holders must surface in the stats"
+        );
+        assert_eq!(c.undecodable_records(), 0);
     }
 
     #[test]

@@ -51,6 +51,14 @@ pub enum SloBound {
     /// The named timer's worst recorded duration must be at most
     /// `max_ns` (e.g. max epoch latency on `engine.recompute.total`).
     TimerMaxNs { name: String, max_ns: u64 },
+    /// The named counter must be at most `max` (e.g. zero
+    /// stale-beyond-TTL cache serves).
+    CounterMax { name: String, max: u64 },
+    /// The ratio of two counters, `num / den`, must be at least `min`
+    /// (e.g. cache hits over lookups). A zero or missing denominator is a
+    /// violation: a ratio objective over traffic that never happened is a
+    /// rotten watchdog, not a pass.
+    CounterRatioMin { num: String, den: String, min: f64 },
     /// Every point of the named time series must be at least `min`.
     SeriesMin { name: String, min: f64 },
     /// Every point of the named time series must be at most `max`.
@@ -101,6 +109,31 @@ impl Slo {
             bound: SloBound::TimerMaxNs {
                 name: metric.to_owned(),
                 max_ns,
+            },
+        }
+    }
+
+    /// A counter upper bound.
+    #[must_use]
+    pub fn counter_max(slo: &str, metric: &str, max: u64) -> Self {
+        Self {
+            name: slo.to_owned(),
+            bound: SloBound::CounterMax {
+                name: metric.to_owned(),
+                max,
+            },
+        }
+    }
+
+    /// A lower bound on the ratio of two counters (`num / den`).
+    #[must_use]
+    pub fn counter_ratio_min(slo: &str, num_metric: &str, den_metric: &str, min: f64) -> Self {
+        Self {
+            name: slo.to_owned(),
+            bound: SloBound::CounterRatioMin {
+                num: num_metric.to_owned(),
+                den: den_metric.to_owned(),
+                min,
             },
         }
     }
@@ -236,6 +269,26 @@ fn check(
                 t.max_ns
             )),
         },
+        SloBound::CounterMax { name, max } => match snapshot.counter(name) {
+            None => Some(format!("counter {name} was never recorded")),
+            Some(v) if v <= *max => None,
+            Some(v) => Some(format!("counter {name} = {v} > max {max}")),
+        },
+        SloBound::CounterRatioMin { num, den, min } => {
+            let numerator = match snapshot.counter(num) {
+                None => return Some(format!("counter {num} was never recorded")),
+                Some(v) => v,
+            };
+            let denominator = match snapshot.counter(den) {
+                None => return Some(format!("counter {den} was never recorded")),
+                Some(0) => return Some(format!("counter {den} = 0 (ratio undefined)")),
+                Some(v) => v,
+            };
+            let ratio = numerator as f64 / denominator as f64;
+            (ratio < *min).then(|| {
+                format!("counter ratio {num}/{den} = {numerator}/{denominator} = {ratio:.4} < min {min}")
+            })
+        }
         SloBound::SeriesMin { name, min } => {
             let points = series.points(name);
             if points.is_empty() {
@@ -358,6 +411,59 @@ mod tests {
         for v in &violations {
             assert!(v.detail.contains("never recorded"), "{v}");
         }
+    }
+
+    #[test]
+    fn counter_bounds_pass_and_fail() {
+        let r = Registry::new();
+        r.counter_add("dht.cache.stale_serves", 0);
+        r.counter_add("dht.cache.hits", 85);
+        r.counter_add("dht.cache.lookups", 100);
+        let w = SloWatchdog::new()
+            .with(Slo::counter_max("stale", "dht.cache.stale_serves", 0))
+            .with(Slo::counter_ratio_min(
+                "hit-ratio",
+                "dht.cache.hits",
+                "dht.cache.lookups",
+                0.8,
+            ));
+        assert!(w
+            .evaluate(&r.snapshot(), &empty_series(), &TracerStats::default())
+            .is_empty());
+        let strict = SloWatchdog::new()
+            .with(Slo::counter_max("hits-capped", "dht.cache.hits", 10))
+            .with(Slo::counter_ratio_min(
+                "hit-ratio",
+                "dht.cache.hits",
+                "dht.cache.lookups",
+                0.9,
+            ));
+        let violations = strict.evaluate(&r.snapshot(), &empty_series(), &TracerStats::default());
+        assert_eq!(violations.len(), 2);
+        assert!(violations[0].detail.contains("85 > max 10"));
+        assert!(violations[1].detail.contains("0.8500 < min 0.9"));
+    }
+
+    #[test]
+    fn counter_ratio_missing_or_zero_denominator_violates() {
+        let r = Registry::new();
+        r.counter_add("dht.cache.hits", 5);
+        let w = SloWatchdog::new()
+            .with(Slo::counter_max("stale", "dht.cache.stale_serves", 0))
+            .with(Slo::counter_ratio_min(
+                "hit-ratio",
+                "dht.cache.hits",
+                "dht.cache.lookups",
+                0.5,
+            ));
+        let violations = w.evaluate(&r.snapshot(), &empty_series(), &TracerStats::default());
+        assert_eq!(violations.len(), 2);
+        assert!(violations[0].detail.contains("never recorded"));
+        assert!(violations[1].detail.contains("never recorded"));
+        // A recorded-but-zero denominator is also a violation.
+        r.counter_add("dht.cache.lookups", 0);
+        let violations = w.evaluate(&r.snapshot(), &empty_series(), &TracerStats::default());
+        assert!(violations[1].detail.contains("ratio undefined"));
     }
 
     #[test]

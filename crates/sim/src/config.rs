@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::cache::CachePolicy;
 use mdrep::ServicePolicy;
 use mdrep_dht::{FaultPlan, RetryPolicy};
 use mdrep_types::SimDuration;
@@ -40,6 +41,10 @@ pub struct SimConfig {
     /// Retry budget applied to each owner-evaluation retrieval under the
     /// fault plan (more attempts → lower effective loss).
     pub fault_retry: RetryPolicy,
+    /// Per-viewer evaluation cache on the Eq. 9 query path. `None` (the
+    /// default) queries the store/network on every request; a policy with
+    /// `ttl = 0` is a bypass that counts lookups but changes nothing.
+    pub cache: Option<CachePolicy>,
 }
 
 impl Default for SimConfig {
@@ -56,6 +61,7 @@ impl Default for SimConfig {
             full_rebuild_interval: None,
             fault: None,
             fault_retry: RetryPolicy::default(),
+            cache: None,
         }
     }
 }
@@ -77,5 +83,6 @@ mod tests {
         assert_eq!(c.full_rebuild_interval, None);
         assert!(c.fault.is_none(), "fault-free by default");
         assert!(c.fault_retry.max_attempts >= 1);
+        assert!(c.cache.is_none(), "uncached by default");
     }
 }

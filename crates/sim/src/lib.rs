@@ -48,14 +48,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod config;
 mod metrics;
 mod queue;
 pub mod replay;
 mod sim;
 
+pub use cache::{run_cache_sweep, CachePolicy, CacheSweepConfig, CacheSweepReport, SweepGossip};
 pub use config::SimConfig;
-pub use metrics::{ClassStats, CoveragePoint, FakeStats, FaultReport, SimReport};
+pub use metrics::{CacheReport, ClassStats, CoveragePoint, FakeStats, FaultReport, SimReport};
 pub use queue::{Request, UploaderQueue};
 pub use replay::{run_replay, ReplayConfig, ReplayReport};
 pub use sim::Simulation;

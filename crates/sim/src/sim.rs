@@ -1,11 +1,12 @@
 //! The trace-replay simulation loop.
 
+use crate::cache::CachePolicy;
 use crate::config::SimConfig;
-use crate::metrics::{CoveragePoint, FaultReport, SimReport};
+use crate::metrics::{CacheReport, CoveragePoint, FaultReport, SimReport};
 use crate::queue::{Request, Served, UploaderQueue};
 use mdrep::{ContributionLedger, EvaluationStore, OwnerEvaluation, Params};
 use mdrep_baselines::ReputationSystem;
-use mdrep_dht::FaultInjector;
+use mdrep_dht::{FaultInjector, Key, ReputationCache};
 use mdrep_types::{FileId, SimTime, UserId};
 use mdrep_workload::{Behavior, EventKind, Trace};
 use std::collections::HashMap;
@@ -31,6 +32,18 @@ pub struct Simulation<S: ReputationSystem> {
     injector: Option<FaultInjector>,
     fault_retrievals: u64,
     fault_lost: u64,
+    /// Per-viewer evaluation caches on the Eq. 9 path (empty without a
+    /// [`CachePolicy`]).
+    caches: HashMap<UserId, ReputationCache<Vec<OwnerEvaluation>>>,
+    cache_policy: Option<CachePolicy>,
+    /// Hits whose age reached the TTL — structurally impossible (the cache
+    /// evicts at the expiry tick); measured anyway and SLO-gated.
+    cache_stale_beyond_ttl: u64,
+    /// Hits cross-checked against the authoritative evaluation store at
+    /// the same sim tick.
+    cache_verified: u64,
+    /// Cross-checked hits that diverged from the authoritative answer.
+    cache_divergent: u64,
 }
 
 impl<S: ReputationSystem> Simulation<S> {
@@ -38,6 +51,7 @@ impl<S: ReputationSystem> Simulation<S> {
     #[must_use]
     pub fn new(config: SimConfig, system: S) -> Self {
         let injector = config.fault.clone().map(FaultInjector::new);
+        let cache_policy = config.cache;
         Self {
             config,
             system,
@@ -48,6 +62,11 @@ impl<S: ReputationSystem> Simulation<S> {
             injector,
             fault_retrievals: 0,
             fault_lost: 0,
+            caches: HashMap::new(),
+            cache_policy,
+            cache_stale_beyond_ttl: 0,
+            cache_verified: 0,
+            cache_divergent: 0,
         }
     }
 
@@ -107,6 +126,15 @@ impl<S: ReputationSystem> Simulation<S> {
                 if self.injector.is_some() {
                     series.record("sim.fault.retrievals", tick, self.fault_retrievals as f64);
                     series.record("sim.fault.lost_retrievals", tick, self.fault_lost as f64);
+                }
+                if self.cache_policy.is_some() {
+                    let stats = self.cache_stats();
+                    series.record("sim.cache.hit_ratio", tick, stats.hit_ratio());
+                    series.record(
+                        "sim.cache.max_hit_age_ticks",
+                        tick,
+                        stats.max_hit_age_ticks as f64,
+                    );
                 }
                 interval_requests = 0;
                 interval_covered = 0;
@@ -321,8 +349,41 @@ impl<S: ReputationSystem> Simulation<S> {
             };
             obs.gauge_set("sim.fault.success_rate", success);
         }
+        if let Some(policy) = self.cache_policy {
+            let stats = self.cache_stats();
+            report.cache = CacheReport {
+                ttl_ticks: policy.ttl.as_ticks(),
+                lookups: stats.lookups,
+                hits: stats.hits,
+                misses: stats.misses,
+                inserts: stats.inserts,
+                expired_evictions: stats.expired_evictions,
+                lru_evictions: stats.lru_evictions,
+                stale_beyond_ttl: self.cache_stale_beyond_ttl,
+                max_staleness_ticks: stats.max_hit_age_ticks,
+                sum_staleness_ticks: stats.sum_hit_age_ticks,
+                verified_hits: self.cache_verified,
+                divergent_hits: self.cache_divergent,
+            };
+            stats.publish("sim.cache");
+            obs.gauge_set(
+                "sim.cache.stale_beyond_ttl",
+                self.cache_stale_beyond_ttl as f64,
+            );
+            obs.gauge_set("sim.cache.verified_hits", self.cache_verified as f64);
+            obs.gauge_set("sim.cache.divergent_hits", self.cache_divergent as f64);
+        }
 
         (report, self.system)
+    }
+
+    /// Aggregated cache counters across every viewer.
+    fn cache_stats(&self) -> mdrep_dht::CacheStats {
+        let mut total = mdrep_dht::CacheStats::default();
+        for cache in self.caches.values() {
+            total.absorb(&cache.stats());
+        }
+        total
     }
 
     /// The published evaluations of `file` (bounded, as a DHT reply would
@@ -341,6 +402,38 @@ impl<S: ReputationSystem> Simulation<S> {
         file: FileId,
         now: SimTime,
     ) -> Vec<OwnerEvaluation> {
+        // Cache tier: a fresh per-viewer entry answers without touching
+        // the store or the fault layer. Every hit's staleness is bounded
+        // by the TTL, and (when enabled) the hit is cross-checked against
+        // the authoritative store's answer *at this tick* so divergence is
+        // measured, never assumed away.
+        if let Some(policy) = self.cache_policy {
+            let key = Key::for_file(file);
+            let cache = self
+                .caches
+                .entry(viewer)
+                .or_insert_with(|| ReputationCache::new(policy.cache_config()));
+            let hit = cache.get(&key, now).map(|h| (h.value.clone(), h.age));
+            if let Some((cached, age)) = hit {
+                if age >= policy.ttl {
+                    self.cache_stale_beyond_ttl += 1;
+                }
+                if policy.verify_hits {
+                    let authoritative =
+                        authoritative_evaluations(&self.evals, &self.eval_params, file, now);
+                    self.cache_verified += 1;
+                    if cached != authoritative {
+                        self.cache_divergent += 1;
+                    }
+                }
+                let mut query = mdrep_obs::trace_span("sim.eq9.query");
+                query.annotate("file", file.to_string());
+                query.annotate("source", "cache");
+                query.annotate("age_ticks", age.as_ticks().to_string());
+                query.annotate("owners", cached.len().to_string());
+                return cached;
+            }
+        }
         let mut query = mdrep_obs::trace_span("sim.eq9.query");
         query.annotate("file", file.to_string());
         let mut attempted = 0u64;
@@ -401,8 +494,32 @@ impl<S: ReputationSystem> Simulation<S> {
         query.annotate("owners", result.len().to_string());
         query.annotate("attempted", attempted.to_string());
         query.annotate("lost", lost.to_string());
+        if self.cache_policy.is_some() {
+            let cache = self.caches.get_mut(&viewer).expect("created on lookup");
+            cache.insert(Key::for_file(file), result.clone(), now);
+        }
         result
     }
+}
+
+/// The authoritative (store-direct, fault-free, unbounded-by-loss) answer
+/// to the Eq. 9 owner-evaluation query at `now` — what the cache's hit
+/// verification compares against.
+fn authoritative_evaluations(
+    evals: &EvaluationStore,
+    params: &Params,
+    file: FileId,
+    now: SimTime,
+) -> Vec<OwnerEvaluation> {
+    evals
+        .evaluators_of(file)
+        .filter_map(|owner| {
+            evals
+                .evaluation(owner, file, now, params)
+                .map(|e| OwnerEvaluation::new(owner, e))
+        })
+        .take(MAX_OWNER_EVALS)
+        .collect()
 }
 
 #[cfg(test)]

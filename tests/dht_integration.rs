@@ -5,7 +5,8 @@
 use mdrep_repro::core::{OwnerEvaluation, Params, ReputationEngine};
 use mdrep_repro::crypto::KeyRegistry;
 use mdrep_repro::dht::{
-    ChurnSchedule, Dht, DhtConfig, EvaluationInfo, EvaluationPublisher, FaultPlan, Key,
+    ChurnSchedule, Dht, DhtConfig, EvaluationCacheTier, EvaluationInfo, EvaluationPublisher,
+    FaultPlan, Key, RetrievalSource,
 };
 use mdrep_repro::types::{Evaluation, FileId, FileSize, SimDuration, SimTime, UserId};
 
@@ -380,6 +381,115 @@ fn retries_keep_retrieval_success_above_99_percent_under_faults() {
         "the loss plan actually dropped messages"
     );
     assert!(dht.stats().retried > 0, "retries were actually exercised");
+    assert!(
+        dht.stats().is_conserved(),
+        "message accounting stays closed"
+    );
+}
+
+/// The cache tier over a churning overlay: cached answers keep serving
+/// through a churn wave that takes replica holders down, the batched
+/// republication pass catches publishers up once they return, and the
+/// aggregated cache counters stay conserved throughout.
+#[test]
+fn cache_tier_serves_through_churn_and_republication_catches_up() {
+    const FILES: u64 = 20;
+    let viewer = UserId::new(63);
+    let publisher_id = UserId::new(0);
+    let plan = FaultPlan::message_loss(0.05, 11).with_churn(
+        ChurnSchedule::new(SimDuration::from_mins(10), 0.3)
+            .immune(viewer)
+            .immune(publisher_id),
+    );
+    let mut dht = Dht::new(DhtConfig {
+        fault: plan,
+        ..DhtConfig::default()
+    });
+    let mut registry = KeyRegistry::new();
+    for i in 0..64 {
+        dht.join(UserId::new(i), SimTime::ZERO);
+        registry.register(UserId::new(i), 7000 + i);
+    }
+    let mut tier = EvaluationCacheTier::new(Default::default());
+    let key = registry.key_of(publisher_id).expect("registered").clone();
+    for f in 0..FILES {
+        tier.publish(
+            &mut dht,
+            &key,
+            publisher_id,
+            FileId::new(f),
+            Evaluation::BEST,
+            SimTime::ZERO,
+        )
+        .expect("store succeeds under 5% loss with retries");
+    }
+
+    // Warm the viewer's cache while the overlay is intact.
+    let mut warmed = 0u64;
+    for f in 0..FILES {
+        let got = tier
+            .retrieve(&mut dht, &registry, viewer, FileId::new(f), SimTime::ZERO)
+            .expect("viewer online");
+        if got.source == RetrievalSource::Network && got.unreachable == 0 && !got.records.is_empty()
+        {
+            warmed += 1;
+        }
+    }
+    assert_eq!(warmed, FILES, "intact overlay warms every file");
+
+    // A churn wave takes ~30% of the overlay down; cached answers keep
+    // serving every warmed file with zero network traffic.
+    let wave = SimTime::ZERO + SimDuration::from_mins(10);
+    let (downs, _) = dht.apply_churn(wave);
+    assert!(downs > 0, "the churn schedule actually fired");
+    let sent_before = dht.stats().total();
+    for f in 0..FILES {
+        let got = tier
+            .retrieve(&mut dht, &registry, viewer, FileId::new(f), wave)
+            .expect("viewer is churn-immune");
+        assert!(
+            matches!(got.source, RetrievalSource::Cache { age } if age < SimDuration::from_hours(1)),
+            "file {f}: cached answer must survive the wave within TTL"
+        );
+        assert!(!got.records.is_empty());
+        assert_eq!(got.unreachable, 0, "cache hits name no unreachable holders");
+    }
+    assert_eq!(
+        dht.stats().total(),
+        sent_before,
+        "cache hits must not touch the network"
+    );
+
+    // Past the TTL the cache is cold again; the republication pass (run
+    // after churn brought nodes back) has already restored the replicas.
+    let after_ttl = SimTime::ZERO + SimDuration::from_hours(2);
+    dht.apply_churn(after_ttl);
+    let report = tier.tick(&mut dht, after_ttl);
+    assert_eq!(report.due, 1, "the one publisher is due for republication");
+    assert_eq!(
+        report.refreshed, FILES as usize,
+        "every published key gets refreshed in the batch"
+    );
+    let mut recovered = 0u64;
+    for f in 0..FILES {
+        let got = tier
+            .retrieve(&mut dht, &registry, viewer, FileId::new(f), after_ttl)
+            .expect("viewer online");
+        assert_eq!(
+            got.source,
+            RetrievalSource::Network,
+            "file {f}: TTL expiry forces a fresh overlay fetch"
+        );
+        if !got.records.is_empty() {
+            recovered += 1;
+        }
+    }
+    assert_eq!(recovered, FILES, "republication restored every file");
+
+    let stats = tier.cache_stats();
+    assert_eq!(stats.hits + stats.misses, stats.lookups);
+    assert_eq!(stats.hits, FILES, "exactly the churn-wave round hit");
+    assert!(stats.expired_evictions > 0 || stats.expired_misses > 0);
     assert!(
         dht.stats().is_conserved(),
         "message accounting stays closed"
