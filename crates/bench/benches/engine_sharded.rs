@@ -27,9 +27,11 @@ const USERS: usize = 10_000;
 const DIRTY_FRACTION: f64 = 0.01;
 const SHARDS: usize = 8;
 
-/// A steady-state 10k-user engine (single-threaded params) plus the burst
-/// of fresh events the next epoch must absorb.
-fn steady_state() -> (ReputationEngine, Vec<(UserId, FileId)>, SimTime) {
+/// A steady-state 10k-user engine with the given recompute worker count,
+/// plus the burst of fresh events the next epoch must absorb. The trace is
+/// identically seeded for every worker count, so engines built at
+/// different `threads` hold bit-identical state.
+fn steady_state_with(threads: usize) -> (ReputationEngine, Vec<(UserId, FileId)>, SimTime) {
     let trace = TraceBuilder::new(
         WorkloadConfig::builder()
             .users(USERS)
@@ -43,7 +45,7 @@ fn steady_state() -> (ReputationEngine, Vec<(UserId, FileId)>, SimTime) {
     )
     .generate();
     let params = Params::builder()
-        .threads(1)
+        .threads(threads)
         .incremental_threshold(0.2)
         .build()
         .expect("valid params");
@@ -64,6 +66,11 @@ fn steady_state() -> (ReputationEngine, Vec<(UserId, FileId)>, SimTime) {
         })
         .collect();
     (engine, events, end)
+}
+
+/// The single-threaded steady-state fixture the existing groups use.
+fn steady_state() -> (ReputationEngine, Vec<(UserId, FileId)>, SimTime) {
+    steady_state_with(1)
 }
 
 fn bench_recompute(c: &mut Criterion) {
@@ -139,6 +146,70 @@ fn bench_recompute(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial vs parallel dirty-row recompute on identical state: the same 1%
+/// rank burst absorbed by one worker and by eight. Rank events dirty the
+/// user-trust rows without re-running the (serial) Eq. 2 pair
+/// accumulation, so the pair isolates the worker-level speedup of the
+/// per-shard row rebuild itself; the vote-heavy shape stays covered by
+/// the `recompute` group. Bit-identity across worker counts is asserted
+/// before either side is timed.
+fn bench_dirty_epoch(c: &mut Criterion) {
+    let (serial, _, end) = steady_state_with(1);
+    let (parallel, _, _) = steady_state_with(8);
+    let burst: Vec<(UserId, UserId)> = (0..(USERS as f64 * DIRTY_FRACTION) as u64)
+        .map(|i| {
+            (
+                UserId::new(i * 97 % USERS as u64),
+                UserId::new((i * 131 + 7) % USERS as u64),
+            )
+        })
+        .collect();
+
+    // Sanity: worker count changes neither the state nor the result bits.
+    {
+        let mut a = serial.clone();
+        let mut b = parallel.clone();
+        for &(rater, target) in &burst {
+            a.observe_rank(rater, target, Evaluation::BEST);
+            b.observe_rank(rater, target, Evaluation::BEST);
+        }
+        a.recompute(end);
+        b.recompute(end);
+        assert_eq!(
+            a.last_recompute_mode(),
+            Some(RecomputeMode::Incremental),
+            "the burst must stay on the dirty-row path"
+        );
+        assert_eq!(
+            a.reputation_matrix().unwrap().matrix(),
+            b.reputation_matrix().unwrap().matrix(),
+            "parallel dirty recompute diverged from serial (bit-exact contract)"
+        );
+    }
+
+    let mut group = c.benchmark_group(format!("engine_sharded/dirty_epoch_{USERS}"));
+    group.sample_size(10);
+    for (name, engine) in [("serial_1t", &serial), ("parallel_8t", &parallel)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), engine, |b, engine| {
+            b.iter_batched(
+                || {
+                    let mut e = engine.clone();
+                    for &(rater, target) in &burst {
+                        e.observe_rank(rater, target, Evaluation::BEST);
+                    }
+                    e
+                },
+                |mut e| {
+                    e.recompute(end);
+                    black_box(e)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
 fn bench_snapshot(c: &mut Criterion) {
     let (engine, _, end) = steady_state();
     let sharded = ShardedEngine::from_engine(engine, SHARDS);
@@ -179,6 +250,8 @@ fn bench_replay(c: &mut Criterion) {
         query_batch: 16,
         seed: 17,
         incremental_threshold: 1.0,
+        threads: 0,
+        max_evaluators_per_file: None,
     };
     let mut group = c.benchmark_group(format!("engine_sharded/replay_{USERS}"));
     group.sample_size(10);
@@ -188,5 +261,11 @@ fn bench_replay(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_recompute, bench_snapshot, bench_replay);
+criterion_group!(
+    benches,
+    bench_recompute,
+    bench_dirty_epoch,
+    bench_snapshot,
+    bench_replay
+);
 criterion_main!(benches);

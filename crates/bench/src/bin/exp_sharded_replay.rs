@@ -10,8 +10,14 @@
 //!   `--query-threads`, `--seed` — replay shape (default: the ISSUE's
 //!   170k-user Maze-scale configuration);
 //! - `--quick` — smoke scale (2k users), for the bench-smoke lane;
+//! - `--paper` — paper scale (1M users / 24.6M events, capped Eq. 2
+//!   evaluator pairing) — the one-machine headline run;
+//! - `--threads` — recompute worker threads (0 = auto);
+//! - `--max-evaluators` — Eq. 2 evaluator cap per file (0 = unbounded);
 //! - `--max-wall-secs` — wall-clock budget for the replay itself
 //!   (default 300: "completes in minutes on one machine");
+//! - `--max-peak-rss-gb` — peak-RSS budget, read from `VmHWM` in
+//!   `/proc/self/status` after the run (Linux only; 0 = no check);
 //! - `--skip-equivalence` — skip the smoke-scale shard-count digest check.
 //!
 //! Run: `cargo run -p mdrep-bench --bin exp_sharded_replay --release -- \
@@ -31,6 +37,8 @@ fn has_flag(flag: &str) -> bool {
 fn config_from_args() -> ReplayConfig {
     let mut config = if has_flag("--quick") {
         ReplayConfig::smoke()
+    } else if has_flag("--paper") {
+        ReplayConfig::paper_scale()
     } else {
         ReplayConfig::maze_scale()
     };
@@ -41,7 +49,22 @@ fn config_from_args() -> ReplayConfig {
     config.shards = flag_u64("--shards", config.shards as u64) as usize;
     config.query_threads = flag_u64("--query-threads", config.query_threads as u64) as usize;
     config.seed = flag_u64("--seed", config.seed);
+    config.threads = flag_u64("--threads", config.threads as u64) as usize;
+    let cap = config.max_evaluators_per_file.unwrap_or(0);
+    config.max_evaluators_per_file = match flag_u64("--max-evaluators", cap as u64) {
+        0 => None,
+        n => Some(n as usize),
+    };
     config
+}
+
+/// Peak resident-set size of this process in bytes, from `VmHWM` in
+/// `/proc/self/status`. `None` off Linux or when the field is absent.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
 }
 
 /// Smoke-scale pre-check: the published digest must be identical at shard
@@ -71,6 +94,17 @@ fn export_metrics(report: &ReplayReport) {
     obs.gauge_set("exp.sharded.epoch_ms", report.epoch_ms());
     obs.gauge_set("exp.sharded.events_per_sec", report.events_per_sec());
     obs.gauge_set("exp.sharded.rm_nnz", report.rm_nnz as f64);
+    obs.gauge_set(
+        "exp.sharded.last_publish_rows",
+        report.last_publish_rows as f64,
+    );
+    obs.gauge_set(
+        "exp.sharded.last_publish_bytes",
+        report.last_publish_bytes as f64,
+    );
+    if let Some(rss) = peak_rss_bytes() {
+        obs.gauge_set("exp.sharded.peak_rss_bytes", rss as f64);
+    }
 }
 
 fn main() {
@@ -111,6 +145,33 @@ fn main() {
         "wall time".into(),
         format!("{:.1} s", report.wall_ns as f64 / 1e9),
     ]);
+    // The engine's own COW publish gauges (set by the last epoch): rows
+    // actually republished and the bytes the publication copied.
+    let engine_gauges = mdrep_obs::global().snapshot();
+    table.row(&[
+        "rows republished (last epoch)".into(),
+        engine_gauges
+            .gauge("engine.sharded.rows_republished")
+            .map_or_else(
+                || report.last_publish_rows.to_string(),
+                |v| format!("{v:.0}"),
+            ),
+    ]);
+    table.row(&[
+        "snapshot bytes (last epoch)".into(),
+        engine_gauges
+            .gauge("engine.sharded.snapshot_bytes")
+            .map_or_else(
+                || report.last_publish_bytes.to_string(),
+                |v| format!("{v:.0}"),
+            ),
+    ]);
+    if let Some(rss) = peak_rss_bytes() {
+        table.row(&[
+            "peak RSS".into(),
+            format!("{:.2} GiB", rss as f64 / (1024.0 * 1024.0 * 1024.0)),
+        ]);
+    }
     table.finish("sharded_replay");
 
     let wall_secs = report.wall_ns as f64 / 1e9;
@@ -127,6 +188,21 @@ fn main() {
     if config.query_threads > 0 && report.queries == 0 {
         println!("concurrent reads: VIOLATED (no Eq. 9 query answered)");
         violations += 1;
+    }
+    let rss_budget_gb = flag_u64("--max-peak-rss-gb", 0);
+    if rss_budget_gb > 0 {
+        match peak_rss_bytes() {
+            Some(rss) => {
+                let gib = rss as f64 / (1024.0 * 1024.0 * 1024.0);
+                if gib > rss_budget_gb as f64 {
+                    println!("peak-RSS budget: VIOLATED ({gib:.2} GiB > {rss_budget_gb} GiB)");
+                    violations += 1;
+                } else {
+                    println!("peak-RSS budget: ok ({gib:.2} GiB <= {rss_budget_gb} GiB)");
+                }
+            }
+            None => println!("peak-RSS budget: skipped (no /proc/self/status VmHWM)"),
+        }
     }
 
     mdrep_bench::write_metrics_if_requested();

@@ -20,8 +20,7 @@ use crate::snapshot::EngineSnapshot;
 use crate::user_trust::UserTrust;
 use crate::volume_trust::VolumeTrust;
 use mdrep_matrix::{
-    blend_frozen, blend_row_frozen, build_rows_parallel, normalize_row_mut, normalized_row,
-    CsrMatrix, UserIndex,
+    blend_frozen, normalize_row_mut, normalized_row, shard_ranges, CsrMatrix, UserIndex,
 };
 use mdrep_types::{Evaluation, FileId, FileSize, SimTime, UserId};
 use mdrep_workload::{Catalog, EventKind, TraceEvent};
@@ -107,6 +106,34 @@ pub struct ReputationEngine {
     last_recompute: Option<SimTime>,
     last_mode: Option<RecomputeMode>,
     last_dirty_rows: usize,
+    /// Rows materialized fresh by the last recompute — everything else in
+    /// the next snapshot is shared structurally with the previous one.
+    last_publish_rows: usize,
+    /// Approximate bytes those fresh rows cost (the true marginal cost of
+    /// publishing the next copy-on-write snapshot).
+    last_publish_bytes: usize,
+}
+
+/// One dirty row's rebuilt slabs, produced by a shard worker of the
+/// parallel dirty recompute and merged serially into the CSR overlays.
+/// `fm`/`dm`/`um` are `Some` exactly when the row is dirty in that store;
+/// the blended `tm` row is always rebuilt (any dirty component changes it).
+/// Slabs arrive filtered and `Arc`-wrapped so the serial merge is a
+/// pointer insert per row — the allocation and zero-filtering happened on
+/// the worker.
+struct RowPatch {
+    user: UserId,
+    fm: Option<Arc<mdrep_matrix::SparseVector>>,
+    dm: Option<Arc<mdrep_matrix::SparseVector>>,
+    um: Option<Arc<mdrep_matrix::SparseVector>>,
+    tm: Arc<mdrep_matrix::SparseVector>,
+}
+
+/// Approximate heap bytes of one published overlay row slab — the same
+/// unit [`CsrMatrix::overlay_bytes`] prices rows in, so the publish gauges
+/// and the matrix-side accounting stay comparable.
+fn row_slab_bytes(len: usize) -> usize {
+    mdrep_matrix::approx_row_bytes(len)
 }
 
 impl ReputationEngine {
@@ -134,6 +161,8 @@ impl ReputationEngine {
             last_recompute: None,
             last_mode: None,
             last_dirty_rows: 0,
+            last_publish_rows: 0,
+            last_publish_bytes: 0,
         }
     }
 
@@ -445,6 +474,14 @@ impl ReputationEngine {
         };
         let rm = ReputationMatrix::compute_csr(tm.clone(), &self.params);
         Self::record_matrix_gauges(&tm, &rm);
+        // A batch rebuild materializes every matrix from scratch: the next
+        // snapshot shares nothing with the previous one.
+        self.last_publish_rows = index.len();
+        self.last_publish_bytes = fm.storage_bytes()
+            + dm.storage_bytes()
+            + um.storage_bytes()
+            + tm.storage_bytes()
+            + rm.approx_bytes();
         self.rm = Some(rm);
         self.components = Some(TrustComponents { fm, dm, um, tm });
     }
@@ -453,6 +490,15 @@ impl ReputationEngine {
     /// per-row computation (pair accumulation, volume sums, normalization,
     /// blending) goes through the same helpers as the batch path, in the
     /// same order, so the patched matrices are bit-identical to a rebuild.
+    ///
+    /// The row work is **shard-parallel**: the sorted dirty-row union is
+    /// partitioned into contiguous shard-owned ranges
+    /// ([`shard_ranges`]) and each range's `FM`/`DM`/`UM` rows *and* its
+    /// blended `TM` row are rebuilt by one worker in a single pass. Rows
+    /// are pure per-row functions of the (immutable during the pass)
+    /// stores, and the partition depends only on the union and
+    /// [`Params::threads`](crate::Params::threads) — so the merged result
+    /// is bit-identical to the serial loop at any shard/thread count.
     fn rebuild_incremental(&mut self, now: SimTime) {
         let obs = mdrep_obs::global();
         let threads = self.params.effective_threads();
@@ -465,87 +511,168 @@ impl ReputationEngine {
             .take()
             .expect("incremental mode requires a prior RM");
 
+        // Phase 1 — serial, stateful: the Equation 2 pair re-accumulation
+        // mutates the raw FT builder, so it cannot shard. It returns the
+        // FM dirty set; the other stores just hand theirs over. All three
+        // are ascending.
         let fm_dirty = {
             let _span = obs.span("engine.recompute.fm_build");
             let _trace = mdrep_obs::trace_span("engine.recompute.fm_build");
-            let dirty = self.file_trust.apply_dirty(
-                &self.evals,
-                now,
-                &self.params,
-                self.file_trust_options,
-            );
-            let ft = self.file_trust.raw();
-            let rebuilt = build_rows_parallel(&dirty, threads, |u| {
-                ft.row(u).and_then(normalized_row).unwrap_or_default()
-            });
-            for (u, row) in rebuilt {
-                comps.fm.set_row(u, row);
-            }
-            dirty
+            self.file_trust
+                .apply_dirty(&self.evals, now, &self.params, self.file_trust_options)
         };
-        let dm_dirty = {
-            let _span = obs.span("engine.recompute.dm_build");
-            let _trace = mdrep_obs::trace_span("engine.recompute.dm_build");
-            let dirty = self.volume.take_dirty();
-            let (volume, evals, params) = (&self.volume, &self.evals, &self.params);
-            let rebuilt = build_rows_parallel(&dirty, threads, |u| {
-                let mut row = volume.vd_row(u, evals, now, params);
-                if !normalize_row_mut(&mut row) {
-                    row.clear();
-                }
-                row
-            });
-            for (u, row) in rebuilt {
-                comps.dm.set_row(u, row);
-            }
-            dirty
-        };
-        let um_dirty = {
-            let _span = obs.span("engine.recompute.um_build");
-            let _trace = mdrep_obs::trace_span("engine.recompute.um_build");
-            let dirty = self.user_trust.take_dirty();
-            for &u in &dirty {
-                let mut row = self.user_trust.ut_row(u);
-                if !normalize_row_mut(&mut row) {
-                    row.clear();
-                }
-                comps.um.set_row(u, row);
-            }
-            dirty
-        };
+        let dm_dirty = self.volume.take_dirty();
+        let um_dirty = self.user_trust.take_dirty();
 
-        {
+        let mut union: Vec<UserId> =
+            Vec::with_capacity(fm_dirty.len() + dm_dirty.len() + um_dirty.len());
+        union.extend_from_slice(&fm_dirty);
+        union.extend_from_slice(&dm_dirty);
+        union.extend_from_slice(&um_dirty);
+        union.sort_unstable();
+        union.dedup();
+
+        // Phase 2 — parallel, pure: rebuild every dirty row (and its blend)
+        // without touching the matrices. Workers own contiguous id ranges
+        // of the union; each consults the per-store dirty sets by binary
+        // search and reads undirtied component rows straight from the
+        // frozen matrices — exactly what the serial path would have read,
+        // because a row absent from a dirty set is never patched.
+        let patches: Vec<RowPatch> = {
             let _span = obs.span("engine.recompute.integrate");
             let _trace = mdrep_obs::trace_span("engine.recompute.integrate");
-            let mut union: Vec<UserId> = Vec::with_capacity(fm_dirty.len() + dm_dirty.len());
-            union.extend(fm_dirty);
-            union.extend(dm_dirty);
-            union.extend(um_dirty);
-            union.sort_unstable();
-            union.dedup();
             let w = self.params.weights();
-            let parts = [
-                (w.alpha(), &comps.fm),
-                (w.beta(), &comps.dm),
-                (w.gamma(), &comps.um),
-            ];
-            let rebuilt = build_rows_parallel(&union, threads, |u| blend_row_frozen(&parts, u));
-            if self.params.steps() == 1 {
-                // RM = TM: patch both from the same blended rows.
-                for (u, row) in rebuilt {
-                    comps.tm.set_row(u, row.clone());
-                    rm.set_one_step_row(u, row);
-                }
+            let (ft, volume, user_trust, evals, params) = (
+                self.file_trust.raw(),
+                &self.volume,
+                &self.user_trust,
+                &self.evals,
+                &self.params,
+            );
+            let comps_ref = &comps;
+            let (fm_dirty, dm_dirty, um_dirty) = (&fm_dirty, &dm_dirty, &um_dirty);
+            let worker = move |rows: &[UserId]| -> Vec<RowPatch> {
+                rows.iter()
+                    .map(|&u| {
+                        let fm = fm_dirty.binary_search(&u).is_ok().then(|| {
+                            let mut row = ft.row(u).and_then(normalized_row).unwrap_or_default();
+                            row.retain(|_, v| *v != 0.0);
+                            Arc::new(row)
+                        });
+                        let dm = dm_dirty.binary_search(&u).is_ok().then(|| {
+                            let mut row = volume.vd_row(u, evals, now, params);
+                            if !normalize_row_mut(&mut row) {
+                                row.clear();
+                            }
+                            row.retain(|_, v| *v != 0.0);
+                            Arc::new(row)
+                        });
+                        let um = um_dirty.binary_search(&u).is_ok().then(|| {
+                            let mut row = user_trust.ut_row(u);
+                            if !normalize_row_mut(&mut row) {
+                                row.clear();
+                            }
+                            row.retain(|_, v| *v != 0.0);
+                            Arc::new(row)
+                        });
+                        // The Equation 7 blend over the *fresh* rows where
+                        // dirty and the frozen rows where not — the same
+                        // values `blend_row_frozen` would see after the
+                        // merge, accumulated in the same part order.
+                        let mut tm = mdrep_matrix::SparseVector::new();
+                        for (weight, fresh, frozen) in [
+                            (w.alpha(), &fm, &comps_ref.fm),
+                            (w.beta(), &dm, &comps_ref.dm),
+                            (w.gamma(), &um, &comps_ref.um),
+                        ] {
+                            if weight == 0.0 {
+                                continue;
+                            }
+                            match fresh {
+                                Some(row) => {
+                                    for (&c, &v) in row.iter() {
+                                        *tm.entry(c).or_insert(0.0) += weight * v;
+                                    }
+                                }
+                                None => {
+                                    for (c, v) in frozen.row_entries(u) {
+                                        *tm.entry(c).or_insert(0.0) += weight * v;
+                                    }
+                                }
+                            }
+                        }
+                        tm.retain(|_, v| *v != 0.0);
+                        RowPatch {
+                            user: u,
+                            fm,
+                            dm,
+                            um,
+                            tm: Arc::new(tm),
+                        }
+                    })
+                    .collect()
+            };
+            if threads == 1 || union.len() < 2 * threads {
+                worker(&union)
             } else {
-                for (u, row) in rebuilt {
-                    comps.tm.set_row(u, row);
-                }
-                // The power dominates the cost anyway; recompute it from
-                // the incrementally maintained TM (compacted inside
-                // `compute_csr` before the SpGEMM steps).
-                rm = ReputationMatrix::compute_csr(comps.tm.clone(), &self.params);
+                let worker = &worker;
+                let union = &union;
+                let partials: Vec<Vec<RowPatch>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = shard_ranges(union.len(), threads)
+                        .into_iter()
+                        .map(|range| scope.spawn(move || worker(&union[range])))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("dirty-recompute shard panicked"))
+                        .collect()
+                });
+                partials.into_iter().flatten().collect()
+            }
+        };
+
+        // Phase 3 — serial merge: fold the prebuilt slabs into the CSR
+        // overlays in ascending id order, tallying the copy-on-write
+        // publish cost (only these slabs are new bytes in the next
+        // snapshot; everything else is shared).
+        let _merge_span = obs.span("engine.recompute.merge");
+        let _merge_trace = mdrep_obs::trace_span("engine.recompute.merge");
+        let mut publish_bytes = 0usize;
+        let one_step = self.params.steps() == 1;
+        for patch in patches {
+            let u = patch.user;
+            if let Some(row) = patch.fm {
+                publish_bytes += row_slab_bytes(row.len());
+                comps.fm.set_row_arc(u, row);
+            }
+            if let Some(row) = patch.dm {
+                publish_bytes += row_slab_bytes(row.len());
+                comps.dm.set_row_arc(u, row);
+            }
+            if let Some(row) = patch.um {
+                publish_bytes += row_slab_bytes(row.len());
+                comps.um.set_row_arc(u, row);
+            }
+            // One slab serves both matrices on the one-step path (overlay
+            // rows are immutable), so it is priced once.
+            publish_bytes += row_slab_bytes(patch.tm.len());
+            if one_step {
+                // RM = TM: patch both from the same blended slab.
+                comps.tm.set_row_arc(u, Arc::clone(&patch.tm));
+                rm.set_one_step_row_arc(u, patch.tm);
+            } else {
+                comps.tm.set_row_arc(u, patch.tm);
             }
         }
+        if !one_step {
+            // The power dominates the cost anyway; recompute it from the
+            // incrementally maintained TM (compacted inside `compute_csr`
+            // before the SpGEMM steps). The rebuilt RM is fresh storage.
+            rm = ReputationMatrix::compute_csr(comps.tm.clone(), &self.params);
+            publish_bytes += rm.approx_bytes();
+        }
+        self.last_publish_rows = union.len();
+        self.last_publish_bytes = publish_bytes;
         Self::record_matrix_gauges(&comps.tm, &rm);
         self.rm = Some(rm);
         self.components = Some(comps);
@@ -573,6 +700,23 @@ impl ReputationEngine {
     #[must_use]
     pub fn last_dirty_rows(&self) -> usize {
         self.last_dirty_rows
+    }
+
+    /// Rows the last recompute materialized fresh — the only slabs the
+    /// next copy-on-write snapshot cannot share with its predecessor. A
+    /// batch rebuild reports every interned row; the incremental path
+    /// reports the dirty union.
+    #[must_use]
+    pub fn last_publish_rows(&self) -> usize {
+        self.last_publish_rows
+    }
+
+    /// Approximate bytes of those freshly materialized slabs (plus the
+    /// rebuilt `RM` storage when `steps > 1`) — the marginal memory cost
+    /// of publishing the next snapshot.
+    #[must_use]
+    pub fn last_publish_bytes(&self) -> usize {
+        self.last_publish_bytes
     }
 
     /// Rows currently marked dirty and awaiting the next recompute: the
@@ -767,11 +911,31 @@ impl ReputationEngine {
     /// snapshot answers every read query the engine does, against exactly
     /// this recompute's matrices — the publication unit of the sharded
     /// epoch-snapshot architecture.
+    ///
+    /// Cheap: the frozen CSR arrays are copy-on-write (`Arc`-shared), so
+    /// the clone costs only the overlay pointer maps and the punished set —
+    /// `O(dirty rows)`, not `O(nnz)`.
     #[must_use]
     pub fn snapshot_at(&self, epoch: u64, as_of: SimTime) -> EngineSnapshot {
-        EngineSnapshot::new(
-            epoch,
-            as_of,
+        let (params, components, rm, punished) = self.snapshot_parts();
+        EngineSnapshot::new(epoch, as_of, params, components, rm, punished)
+    }
+
+    /// The copy-on-write clones a snapshot is assembled from. The sharded
+    /// engine grabs these under the master lock (cheap — shared `Arc`s and
+    /// overlay pointer maps) and builds the [`EngineSnapshot`] *after*
+    /// dropping it, keeping the lock's critical section minimal.
+    #[must_use]
+    #[allow(clippy::type_complexity)]
+    pub fn snapshot_parts(
+        &self,
+    ) -> (
+        Params,
+        Option<TrustComponents>,
+        Option<ReputationMatrix>,
+        HashSet<UserId>,
+    ) {
+        (
             self.params.clone(),
             self.components.clone(),
             self.rm.clone(),

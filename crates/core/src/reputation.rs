@@ -106,16 +106,32 @@ impl ReputationMatrix {
 
     /// Patches one row of a single-step (`n = 1`) matrix in place — the
     /// dirty-row recompute path, where `RM` *is* `TM` and only changed rows
-    /// need rewriting. An empty `values` removes the row.
+    /// need rewriting. Takes the worker-prebuilt slab so `TM` and `RM`
+    /// share one `Arc` per patched row. An empty slab removes the row.
     ///
     /// # Panics
     ///
     /// Panics (debug) when more than one tier exists; multi-step matrices
     /// must be recomputed from the patched `TM` instead.
-    pub(crate) fn set_one_step_row(&mut self, row: UserId, values: SparseVector) {
+    pub(crate) fn set_one_step_row_arc(
+        &mut self,
+        row: UserId,
+        values: std::sync::Arc<SparseVector>,
+    ) {
         debug_assert_eq!(self.tiers.len(), 1, "row patching requires n = 1");
         let tier = self.tiers.first_mut().expect("at least one tier");
-        tier.set_row(row, values);
+        tier.set_row_arc(row, values);
+    }
+
+    /// Approximate heap bytes across all tiers (frozen storage plus
+    /// overlay row slabs) — the full-clone denominator of the engine's
+    /// copy-on-write publish gauges.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.tiers
+            .iter()
+            .map(|t| t.storage_bytes() + t.overlay_bytes())
+            .sum()
     }
 
     /// Number of computed tiers (`n`).

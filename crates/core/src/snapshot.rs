@@ -295,10 +295,24 @@ impl SnapshotCell {
     }
 
     /// Publishes a new epoch: swap the slot, then advertise the epoch.
-    pub fn publish(&self, snapshot: Arc<EngineSnapshot>) {
+    ///
+    /// Installation is **strictly monotonic**: a snapshot whose epoch is
+    /// not newer than the installed one is skipped (returning `false`).
+    /// Epoch numbers are assigned under the master lock, in engine-state
+    /// order, but the publish itself happens after that lock is dropped —
+    /// so a slow publisher can arrive after a faster one that observed a
+    /// *later* engine state. Skipping the stale snapshot is correct (the
+    /// installed one already reflects every change the stale one does) and
+    /// keeps readers' epochs strictly increasing.
+    pub fn publish(&self, snapshot: Arc<EngineSnapshot>) -> bool {
         let epoch = snapshot.epoch();
-        *self.slot.write().expect("snapshot lock poisoned") = snapshot;
+        let mut slot = self.slot.write().expect("snapshot lock poisoned");
+        if epoch <= slot.epoch() {
+            return false;
+        }
+        *slot = snapshot;
         self.epoch.store(epoch, Ordering::Release);
+        true
     }
 
     /// A reader with its own cached handle against this cell.

@@ -333,7 +333,10 @@ impl Bencher {
     }
 
     /// Times `routine` over inputs produced by `setup`; setup time is
-    /// excluded from the measurement.
+    /// excluded from the measurement, and so is dropping the routine's
+    /// output (upstream criterion accumulates outputs per batch and drops
+    /// them outside the timed region — freeing a large state clone can
+    /// cost more than the routine under test).
     pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
     where
         S: FnMut() -> I,
@@ -342,8 +345,9 @@ impl Bencher {
         for _ in 0..self.sample_size {
             let input = setup();
             let start = Instant::now();
-            black_box(routine(input));
+            let output = black_box(routine(input));
             self.samples.push(start.elapsed().as_nanos() as f64);
+            drop(output);
         }
     }
 

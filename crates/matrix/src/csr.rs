@@ -166,15 +166,38 @@ impl ColumnSet {
 #[derive(Debug, Clone)]
 pub struct CsrMatrix {
     index: Arc<UserIndex>,
+    /// The frozen arrays, structurally shared (copy-on-write): cloning a
+    /// `CsrMatrix` bumps this `Arc` instead of copying `O(nnz)` bytes, so
+    /// an epoch snapshot costs only the overlay's pointer map. The arrays
+    /// are written exactly once, at construction — no constructed matrix
+    /// ever mutates them.
+    storage: Arc<CsrStorage>,
+    /// Patched rows (dirty-row recompute): reads consult this first. An
+    /// empty vector masks the frozen row entirely (row removal). Rows are
+    /// `Arc`-wrapped so snapshot clones share the row slabs too; `set_row`
+    /// replaces the `Arc`, never the pointee, keeping clones isolated.
+    overlay: BTreeMap<UserId, Arc<SparseVector>>,
+}
+
+/// The immutable frozen arrays behind a [`CsrMatrix`] — see the `storage`
+/// field. Held in an `Arc` so clones (epoch snapshots, readers) share one
+/// allocation.
+#[derive(Debug, Default)]
+struct CsrStorage {
     /// Row start offsets into `cols`/`vals`; length `index.len() + 1`.
     indptr: Vec<usize>,
     /// Column positions per entry, ascending within each row.
     cols: Vec<u32>,
     /// Entry values, parallel to `cols`.
     vals: Vec<f64>,
-    /// Patched rows (dirty-row recompute): reads consult this first. An
-    /// empty vector masks the frozen row entirely (row removal).
-    overlay: BTreeMap<UserId, SparseVector>,
+}
+
+impl CsrStorage {
+    fn bytes(&self) -> usize {
+        self.indptr.len() * std::mem::size_of::<usize>()
+            + self.cols.len() * std::mem::size_of::<u32>()
+            + self.vals.len() * std::mem::size_of::<f64>()
+    }
 }
 
 impl CsrMatrix {
@@ -291,9 +314,7 @@ impl CsrMatrix {
         assert_eq!(cols.len(), m.nnz(), "index must intern every row id of m");
         Self {
             index: Arc::clone(index),
-            indptr,
-            cols,
-            vals,
+            storage: Arc::new(CsrStorage { indptr, cols, vals }),
             overlay: BTreeMap::new(),
         }
     }
@@ -325,9 +346,7 @@ impl CsrMatrix {
         assert_eq!(cols.len(), nnz, "index must intern every row id of m");
         Self {
             index: Arc::clone(index),
-            indptr,
-            cols,
-            vals,
+            storage: Arc::new(CsrStorage { indptr, cols, vals }),
             overlay: BTreeMap::new(),
         }
     }
@@ -351,8 +370,37 @@ impl CsrMatrix {
 
     /// The frozen (pre-overlay) row slice at dense position `pos`.
     fn base_row(&self, pos: u32) -> (&[u32], &[f64]) {
-        let (start, end) = (self.indptr[pos as usize], self.indptr[pos as usize + 1]);
-        (&self.cols[start..end], &self.vals[start..end])
+        let s = &*self.storage;
+        let (start, end) = (s.indptr[pos as usize], s.indptr[pos as usize + 1]);
+        (&s.cols[start..end], &s.vals[start..end])
+    }
+
+    /// Whether `self` and `other` share one frozen-storage allocation —
+    /// true exactly when one is a copy-on-write clone of the other (plus
+    /// any number of overlay patches). Snapshot tests use this to prove
+    /// publication did not deep-copy the matrices.
+    #[must_use]
+    pub fn shares_storage_with(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.storage, &other.storage)
+    }
+
+    /// Heap bytes of the frozen arrays (`indptr`/`cols`/`vals`). Shared,
+    /// not copied, by clones — the denominator of the COW savings gauges.
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        self.storage.bytes()
+    }
+
+    /// Approximate heap bytes of the overlay row slabs — the only
+    /// per-matrix payload a copy-on-write snapshot actually republishes
+    /// (clones share the slab `Arc`s, but each patched row was materialized
+    /// fresh by the dirty recompute that produced it).
+    #[must_use]
+    pub fn overlay_bytes(&self) -> usize {
+        self.overlay
+            .values()
+            .map(|row| crate::approx_row_bytes(row.len()))
+            .sum()
     }
 
     /// Entry `(row, col)`, with missing entries reading as `0.0`.
@@ -395,7 +443,8 @@ impl CsrMatrix {
             .iter()
             .enumerate()
             .filter(|&(pos, id)| {
-                !self.overlay.contains_key(id) && self.indptr[pos] < self.indptr[pos + 1]
+                !self.overlay.contains_key(id)
+                    && self.storage.indptr[pos] < self.storage.indptr[pos + 1]
             })
             .map(|(_, &id)| id)
             .collect();
@@ -420,10 +469,10 @@ impl CsrMatrix {
     /// Number of stored entries (overlay-aware).
     #[must_use]
     pub fn nnz(&self) -> usize {
-        let mut nnz = self.vals.len();
+        let mut nnz = self.storage.vals.len();
         for (id, row) in &self.overlay {
             if let Some(pos) = self.index.position(*id) {
-                nnz -= self.indptr[pos as usize + 1] - self.indptr[pos as usize];
+                nnz -= self.storage.indptr[pos as usize + 1] - self.storage.indptr[pos as usize];
             }
             nnz += row.len();
         }
@@ -498,7 +547,30 @@ impl CsrMatrix {
             self.overlay.remove(&row);
             return;
         }
-        self.overlay.insert(row, filtered);
+        // A fresh `Arc` per patch: clones taken earlier keep their slab.
+        self.overlay.insert(row, Arc::new(filtered));
+    }
+
+    /// [`set_row`](Self::set_row) taking a prebuilt, already-filtered slab.
+    /// The parallel dirty recompute materializes each patched row (and its
+    /// `Arc`) on a worker thread, leaving the serial merge a pointer
+    /// insert; sharing one slab between two matrices (`TM` and a one-step
+    /// `RM`) is sound because overlay rows are never mutated in place —
+    /// patches always replace the `Arc`.
+    ///
+    /// Debug-asserts what `set_row` enforces by filtering: entries finite,
+    /// positive, and non-zero.
+    pub fn set_row_arc(&mut self, row: UserId, values: Arc<SparseVector>) {
+        debug_assert!(
+            values.values().all(|v| v.is_finite() && *v > 0.0),
+            "prebuilt row slabs must be filtered to finite positive entries"
+        );
+        if values.is_empty() && self.index.position(row).is_none() {
+            // Nothing to mask: the row never existed.
+            self.overlay.remove(&row);
+            return;
+        }
+        self.overlay.insert(row, values);
     }
 
     /// Number of overlaid (patched) rows.
@@ -541,9 +613,7 @@ impl CsrMatrix {
         indptr[n] = vals.len();
         Self {
             index,
-            indptr,
-            cols,
-            vals,
+            storage: Arc::new(CsrStorage { indptr, cols, vals }),
             overlay: BTreeMap::new(),
         }
     }
@@ -627,7 +697,7 @@ impl CsrMatrix {
         );
         let n = self.index.len();
         let occupied: Vec<u32> = (0..n as u32)
-            .filter(|&p| self.indptr[p as usize] < self.indptr[p as usize + 1])
+            .filter(|&p| self.storage.indptr[p as usize] < self.storage.indptr[p as usize + 1])
             .collect();
         let chunk_len = if threads == 1 || occupied.len() < 2 * threads {
             occupied.len().max(1)
@@ -814,9 +884,7 @@ impl CsrMatrix {
         }
         Self {
             index,
-            indptr,
-            cols,
-            vals,
+            storage: Arc::new(CsrStorage { indptr, cols, vals }),
             overlay: BTreeMap::new(),
         }
     }
@@ -829,9 +897,11 @@ impl CsrMatrix {
         let n = index.len();
         Self {
             index: Arc::clone(index),
-            indptr: (0..=n).collect(),
-            cols: (0..n as u32).collect(),
-            vals: vec![1.0; n],
+            storage: Arc::new(CsrStorage {
+                indptr: (0..=n).collect(),
+                cols: (0..n as u32).collect(),
+                vals: vec![1.0; n],
+            }),
             overlay: BTreeMap::new(),
         }
     }
@@ -965,7 +1035,7 @@ pub fn blend_frozen(parts: &[(f64, &CsrMatrix)], threads: usize) -> Result<CsrMa
         .filter(|&p| {
             parts
                 .iter()
-                .any(|(_, m)| m.indptr[p as usize] < m.indptr[p as usize + 1])
+                .any(|(_, m)| m.storage.indptr[p as usize] < m.storage.indptr[p as usize + 1])
         })
         .collect();
     let chunk_len = if threads == 1 || occupied.len() < 2 * threads {
@@ -1164,10 +1234,13 @@ mod tests {
         let serial = CsrMatrix::freeze_normalized_with(&index, &m);
         for shards in [1, 2, 3, 4, 7, 16, 200] {
             let sharded = CsrMatrix::freeze_normalized_sharded(&index, &m, shards);
-            assert_eq!(sharded.indptr, serial.indptr, "{shards} shards");
-            assert_eq!(sharded.cols, serial.cols, "{shards} shards");
+            assert_eq!(
+                sharded.storage.indptr, serial.storage.indptr,
+                "{shards} shards"
+            );
+            assert_eq!(sharded.storage.cols, serial.storage.cols, "{shards} shards");
             // Bit-identical values, not just semantically equal.
-            for (a, b) in sharded.vals.iter().zip(&serial.vals) {
+            for (a, b) in sharded.storage.vals.iter().zip(&serial.storage.vals) {
                 assert_eq!(a.to_bits(), b.to_bits(), "{shards} shards");
             }
         }
@@ -1182,7 +1255,7 @@ mod tests {
         let index = Arc::new(UserIndex::from_ids([u(0), u(2), u(5), u(7), u(9)]));
         let serial = CsrMatrix::freeze_normalized_with(&index, &m);
         let sharded = CsrMatrix::freeze_normalized_sharded(&index, &m, 3);
-        assert_eq!(sharded.indptr, serial.indptr);
+        assert_eq!(sharded.storage.indptr, serial.storage.indptr);
         assert_eq!(sharded, serial);
         assert!(sharded.is_row_stochastic(1e-12));
 
@@ -1209,6 +1282,41 @@ mod tests {
                 assert!(ranges.len() <= shards);
             }
         }
+    }
+
+    #[test]
+    fn cow_clone_shares_frozen_storage() {
+        let m = synth(60, 5, 9);
+        let csr = CsrMatrix::freeze(&m);
+        let snap = csr.clone();
+        assert!(snap.shares_storage_with(&csr), "clone must not deep-copy");
+        assert!(csr.storage_bytes() > 0);
+        assert_eq!(snap.storage_bytes(), csr.storage_bytes());
+        // A compact() of a compact matrix is a cheap clone — still shared.
+        assert!(csr.compact().shares_storage_with(&csr));
+    }
+
+    #[test]
+    fn set_row_after_clone_leaves_sibling_untouched() {
+        let m = synth(40, 4, 21);
+        let mut live = CsrMatrix::freeze(&m);
+        let snap = live.clone();
+        let before: Vec<(UserId, UserId, f64)> = snap.iter().collect();
+        // Patch one existing row and one brand-new row on the live copy.
+        let target = snap.row_ids()[0];
+        live.set_row(target, [(u(1), 0.25), (u(2), 0.75)].into_iter().collect());
+        live.set_row(u(10_000), [(u(3), 1.0)].into_iter().collect());
+        live.set_row(snap.row_ids()[1], SparseVector::new()); // removal
+        assert!(live.shares_storage_with(&snap), "patches stay in overlay");
+        assert_eq!(live.overlay_len(), 3);
+        assert!(live.overlay_bytes() > 0);
+        let after: Vec<(UserId, UserId, f64)> = snap.iter().collect();
+        assert_eq!(before, after, "snapshot must not observe patches");
+        assert_eq!(live.get(target, u(2)), 0.75);
+        // Compacting folds the overlay into fresh storage.
+        let folded = live.compact();
+        assert!(!folded.shares_storage_with(&live));
+        assert_eq!(folded, live, "compaction preserves entries");
     }
 
     #[test]

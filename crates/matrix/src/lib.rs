@@ -42,5 +42,7 @@ mod stats;
 pub use csr::{blend_frozen, blend_row_frozen, shard_ranges, ColumnSet, CsrMatrix, UserIndex};
 pub use eigen::{principal_eigenvector, EigenOptions, EigenResult};
 pub use ops::{blend, blend_parallel, blend_row, build_rows_parallel, BlendError, PowerOptions};
-pub use sparse::{normalize_row_mut, normalized_row, MatrixError, SparseMatrix, SparseVector};
+pub use sparse::{
+    approx_row_bytes, normalize_row_mut, normalized_row, MatrixError, SparseMatrix, SparseVector,
+};
 pub use stats::MatrixStats;

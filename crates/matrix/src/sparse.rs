@@ -67,6 +67,18 @@ pub fn normalize_row_mut(row: &mut SparseVector) -> bool {
     true
 }
 
+/// Approximate heap bytes of one sparse row slab: the `BTreeMap` entries
+/// plus ~3 words of node overhead each, plus the key/`Arc` pair a
+/// copy-on-write overlay spends per patched row. This is the single unit
+/// of publish accounting — `CsrMatrix::overlay_bytes` and the engine's
+/// republished-bytes gauge both price rows through it, so their numbers
+/// stay comparable.
+#[must_use]
+pub fn approx_row_bytes(len: usize) -> usize {
+    len * (std::mem::size_of::<(UserId, f64)>() + 3 * std::mem::size_of::<usize>())
+        + 2 * std::mem::size_of::<usize>()
+}
+
 /// A sparse, row-major matrix over user ids with non-negative finite entries.
 ///
 /// Trust values are non-negative by construction in the paper (Equations

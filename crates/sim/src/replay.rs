@@ -16,7 +16,7 @@
 //! [`ReplayReport::rm_digest`]) depend only on the configuration — query
 //! threads race the writer but never influence it.
 
-use mdrep::{OwnerEvaluation, Params, ShardedEngine};
+use mdrep::{FileTrustOptions, OwnerEvaluation, Params, ShardedEngine};
 use mdrep_types::{Evaluation, FileId, FileSize, SimDuration, SimTime, UserId};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -44,6 +44,12 @@ pub struct ReplayConfig {
     /// `Params::incremental_threshold` for the engine (1.0 keeps every
     /// steady-state epoch on the dirty-row path).
     pub incremental_threshold: f64,
+    /// Recompute worker threads (`Params::threads`; 0 = auto-detect).
+    pub threads: usize,
+    /// Cap on evaluators paired per file in Eq. 2 (popular files can have
+    /// thousands of evaluators and pairing is quadratic — at paper scale
+    /// an unbounded cap is infeasible). `None` = unbounded.
+    pub max_evaluators_per_file: Option<usize>,
 }
 
 impl ReplayConfig {
@@ -61,6 +67,8 @@ impl ReplayConfig {
             query_batch: 16,
             seed: 7,
             incremental_threshold: 1.0,
+            threads: 0,
+            max_evaluators_per_file: None,
         }
     }
 
@@ -79,6 +87,30 @@ impl ReplayConfig {
             query_batch: 32,
             seed: 42,
             incremental_threshold: 1.0,
+            threads: 0,
+            max_evaluators_per_file: Some(64),
+        }
+    }
+
+    /// The full paper-scale config: one million users and the Maze trace's
+    /// 24.6M download records, replayed on one machine. The evaluator cap
+    /// is mandatory here — Eq. 2 pairs evaluators quadratically per file,
+    /// and the popularity head of a 24.6M-event stream would otherwise
+    /// accumulate millions of pairs on the hottest files.
+    #[must_use]
+    pub fn paper_scale() -> Self {
+        Self {
+            users: 1_000_000,
+            files: 200_000,
+            events: 24_600_000,
+            epochs: 12,
+            shards: 8,
+            query_threads: 2,
+            query_batch: 32,
+            seed: 42,
+            incremental_threshold: 1.0,
+            threads: 0,
+            max_evaluators_per_file: Some(32),
         }
     }
 }
@@ -108,6 +140,12 @@ pub struct ReplayReport {
     pub rm_digest: u64,
     /// The final published epoch.
     pub final_epoch: u64,
+    /// Rows the *last* epoch republished (the dirty union on the
+    /// copy-on-write path; every indexed row on a full rebuild).
+    pub last_publish_rows: usize,
+    /// Approximate bytes the last epoch's publication copied (patched row
+    /// slabs on the COW path; all frozen storage on a full rebuild).
+    pub last_publish_bytes: usize,
 }
 
 impl ReplayReport {
@@ -167,9 +205,18 @@ impl Stream {
 pub fn run_replay(config: &ReplayConfig) -> ReplayReport {
     let params = Params::builder()
         .incremental_threshold(config.incremental_threshold)
+        .threads(config.threads)
         .build()
         .expect("replay params are valid");
-    let engine = Arc::new(ShardedEngine::new(params, config.shards.max(1)));
+    let options = FileTrustOptions {
+        max_evaluators_per_file: config.max_evaluators_per_file,
+        ..FileTrustOptions::default()
+    };
+    let engine = Arc::new(ShardedEngine::with_options(
+        params,
+        options,
+        config.shards.max(1),
+    ));
     let done = Arc::new(AtomicBool::new(false));
     let queries = Arc::new(AtomicU64::new(0));
     let started = Instant::now();
@@ -260,6 +307,8 @@ pub fn run_replay(config: &ReplayConfig) -> ReplayReport {
     });
 
     let snap = engine.snapshot();
+    let (last_publish_rows, last_publish_bytes) =
+        engine.with_master(|e| (e.last_publish_rows(), e.last_publish_bytes()));
     ReplayReport {
         users: config.users,
         events: ingested,
@@ -271,6 +320,8 @@ pub fn run_replay(config: &ReplayConfig) -> ReplayReport {
         rm_nnz: snap.reputation_matrix().map_or(0, |rm| rm.matrix().nnz()),
         rm_digest: snap.digest(),
         final_epoch: snap.epoch(),
+        last_publish_rows,
+        last_publish_bytes,
     }
 }
 
@@ -293,6 +344,45 @@ mod tests {
         assert_eq!(a.final_epoch, 3);
         assert!(a.rm_nnz > 0);
         assert!(a.queries > 0, "readers answered during the run");
+    }
+
+    #[test]
+    fn worker_thread_count_does_not_change_the_digest() {
+        let mut config = ReplayConfig::smoke();
+        config.users = 250;
+        config.files = 60;
+        config.events = 2_500;
+        config.epochs = 3;
+        config.query_threads = 0;
+        config.threads = 1;
+        let serial = run_replay(&config);
+        config.threads = 4;
+        let parallel = run_replay(&config);
+        assert_eq!(
+            serial.rm_digest, parallel.rm_digest,
+            "recompute worker count must not affect numerics"
+        );
+        assert!(serial.last_publish_rows > 0, "publish gauges populated");
+        assert!(
+            serial.last_publish_rows as u64 <= config.users,
+            "republished rows bounded by the population"
+        );
+        assert_eq!(serial.last_publish_rows, parallel.last_publish_rows);
+    }
+
+    #[test]
+    fn evaluator_cap_keeps_the_stream_deterministic() {
+        let mut config = ReplayConfig::smoke();
+        config.users = 250;
+        config.files = 20; // few files -> deep evaluator lists per file
+        config.events = 2_500;
+        config.epochs = 2;
+        config.query_threads = 0;
+        config.max_evaluators_per_file = Some(8);
+        let a = run_replay(&config);
+        let b = run_replay(&config);
+        assert_eq!(a.rm_digest, b.rm_digest, "capped replay stays reproducible");
+        assert!(a.rm_nnz > 0);
     }
 
     #[test]
